@@ -1,0 +1,188 @@
+//! Composite operators built from tape primitives.
+//!
+//! These are the recurring sub-expressions of the DESAlign architecture,
+//! packaged so `desalign-nn` and `desalign-core` stay readable: dense linear
+//! layers, cosine-similarity logits, the InfoNCE contrastive loss of
+//! Eq. 16–17, and the differentiable Dirichlet energy of Definition 3.
+
+use crate::{Tape, Var};
+use desalign_graph::Csr;
+use std::rc::Rc;
+
+impl Tape {
+    /// Dense linear layer `x × w (+ bias)`.
+    pub fn linear(&mut self, x: Var, w: Var, bias: Option<Var>) -> Var {
+        let y = self.matmul(x, w);
+        match bias {
+            Some(b) => self.add_broadcast_row(y, b),
+            None => y,
+        }
+    }
+
+    /// Differentiable Dirichlet energy `ℒ(X) = tr(XᵀΔX) = ⟨X, ΔX⟩`
+    /// (Definition 3) for a constant Laplacian.
+    pub fn dirichlet_energy(&mut self, laplacian: Rc<Csr>, x: Var) -> Var {
+        let lx = self.spmm(laplacian, x);
+        let prod = self.mul(x, lx);
+        self.sum_all(prod)
+    }
+
+    /// Temperature-scaled similarity logits between two row-normalized
+    /// embedding sets: `logits = (Ẑ₁ Ẑ₂ᵀ) / τ`, the `γ_m` kernel of Eq. 16.
+    pub fn cosine_logits(&mut self, z1: Var, z2: Var, tau: f32) -> Var {
+        let n1 = self.l2_normalize_rows(z1, 1e-6);
+        let n2 = self.l2_normalize_rows(z2, 1e-6);
+        let n2t = self.transpose(n2);
+        let sim = self.matmul(n1, n2t);
+        self.scale(sim, 1.0 / tau)
+    }
+
+    /// Bidirectional in-batch InfoNCE loss (Eq. 16–17 with φ = 1):
+    ///
+    /// `L = ½ (CE(logits, diag) + CE(logitsᵀ, diag))`
+    ///
+    /// where row `i` of `z1` aligns with row `i` of `z2` and all other
+    /// in-batch rows act as negatives.
+    pub fn info_nce_bidirectional(&mut self, z1: Var, z2: Var, tau: f32) -> Var {
+        let logits = self.cosine_logits(z1, z2, tau);
+        let n = self.value(logits).rows();
+        let targets = Rc::new((0..n).collect::<Vec<_>>());
+        let fwd = self.cross_entropy_rows(logits, Rc::clone(&targets));
+        let logits_t = self.transpose(logits);
+        let bwd = self.cross_entropy_rows(logits_t, targets);
+        let s = self.add(fwd, bwd);
+        self.scale(s, 0.5)
+    }
+
+    /// Weighted bidirectional InfoNCE: per-pair weights `φ` (n×1, constant)
+    /// multiply each pair's loss term — the min-confidence weighting
+    /// `φ_m(e¹ᵢ, e²ᵢ)` of Eq. 17.
+    ///
+    /// Implemented as a weighted mean of per-row cross-entropies. To keep
+    /// the op set small the per-row CE is expressed with softmax + gather
+    /// instead of a dedicated fused op.
+    pub fn info_nce_weighted(&mut self, z1: Var, z2: Var, tau: f32, phi: Var) -> Var {
+        let logits = self.cosine_logits(z1, z2, tau);
+        let n = self.value(logits).rows();
+        self.value(phi).expect_shape(n, 1, "info_nce_weighted: phi");
+        let fwd = self.weighted_ce_diag(logits, phi);
+        let logits_t = self.transpose(logits);
+        let bwd = self.weighted_ce_diag(logits_t, phi);
+        let s = self.add(fwd, bwd);
+        self.scale(s, 0.5)
+    }
+
+    /// Weighted mean over rows of `−log softmax(logits)_{i,i}` with weights
+    /// `phi` (n×1): `Σᵢ φᵢ · CEᵢ / n`.
+    fn weighted_ce_diag(&mut self, logits: Var, phi: Var) -> Var {
+        let n = self.value(logits).rows();
+        let probs = self.softmax_rows(logits);
+        // Extract the diagonal via a constant mask and row-sum.
+        let mut mask = desalign_tensor::Matrix::zeros(n, n);
+        for i in 0..n {
+            mask[(i, i)] = 1.0;
+        }
+        let mask = self.constant(mask);
+        let diag_only = self.mul(probs, mask);
+        let p_diag = self.row_sum(diag_only); // n×1, p_{i,i}
+        let safe = self.add_const(p_diag, 1e-12);
+        let neg_log = self.neg_log(safe);
+        let weighted = self.mul(neg_log, phi);
+        let total = self.sum_all(weighted);
+        self.scale(total, 1.0 / n.max(1) as f32)
+    }
+
+    /// `−ln(x)` element-wise, for strictly positive inputs.
+    fn neg_log(&mut self, x: Var) -> Var {
+        let lg = self.ln(x);
+        self.scale(lg, -1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_gradient;
+    use desalign_graph::UndirectedGraph;
+    use desalign_tensor::{normal_matrix, rng_from_seed, Matrix};
+
+    #[test]
+    fn dirichlet_energy_matches_graph_crate() {
+        let g = UndirectedGraph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let lap = Rc::new(g.laplacian());
+        let x = normal_matrix(&mut rng_from_seed(1), 5, 3, 0.0, 1.0);
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let e = t.dirichlet_energy(Rc::clone(&lap), xv);
+        let expect = desalign_graph::dirichlet_energy(&lap, &x);
+        assert!((t.value(e)[(0, 0)] - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dirichlet_energy_gradient_is_2lx() {
+        // ∇ℒ = 2ΔX (the gradient flow driver of §IV-C).
+        let g = UndirectedGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let lap = Rc::new(g.laplacian());
+        let x = normal_matrix(&mut rng_from_seed(2), 4, 2, 0.0, 1.0);
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let e = t.dirichlet_energy(Rc::clone(&lap), xv);
+        t.backward(e);
+        let grad = t.grad(xv).expect("grad");
+        let expect = lap.spmm(&x).scale(2.0);
+        assert!(grad.sub(&expect).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn info_nce_prefers_aligned_pairs() {
+        let mut rng = rng_from_seed(3);
+        let z = normal_matrix(&mut rng, 6, 8, 0.0, 1.0);
+        let noise = normal_matrix(&mut rng, 6, 8, 0.0, 1.0);
+        // Identical embeddings → low loss; unrelated → higher loss.
+        let mut t = Tape::new();
+        let a = t.leaf(z.clone());
+        let b = t.constant(z.clone());
+        let aligned = t.info_nce_bidirectional(a, b, 0.1);
+        let c = t.constant(noise);
+        let unaligned = t.info_nce_bidirectional(a, c, 0.1);
+        assert!(t.value(aligned)[(0, 0)] < t.value(unaligned)[(0, 0)]);
+    }
+
+    #[test]
+    fn weighted_info_nce_matches_unweighted_with_unit_phi() {
+        let mut rng = rng_from_seed(4);
+        let z1 = normal_matrix(&mut rng, 5, 6, 0.0, 1.0);
+        let z2 = normal_matrix(&mut rng, 5, 6, 0.0, 1.0);
+        let mut t = Tape::new();
+        let a = t.leaf(z1);
+        let b = t.leaf(z2);
+        let phi = t.constant(Matrix::full(5, 1, 1.0));
+        let wtd = t.info_nce_weighted(a, b, 0.2, phi);
+        let plain = t.info_nce_bidirectional(a, b, 0.2);
+        assert!((t.value(wtd)[(0, 0)] - t.value(plain)[(0, 0)]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_info_nce() {
+        let z2 = normal_matrix(&mut rng_from_seed(5), 4, 5, 0.0, 1.0);
+        let z1 = normal_matrix(&mut rng_from_seed(6), 4, 5, 0.0, 1.0);
+        let report = check_gradient(&z1, 1e-2, move |t, x| {
+            let other = t.constant(z2.clone());
+            t.info_nce_bidirectional(x, other, 0.5)
+        });
+        assert!(report.passes(5e-2), "{report:?}");
+    }
+
+    #[test]
+    fn grad_weighted_info_nce() {
+        let z2 = normal_matrix(&mut rng_from_seed(7), 4, 5, 0.0, 1.0);
+        let z1 = normal_matrix(&mut rng_from_seed(8), 4, 5, 0.0, 1.0);
+        let phi_vals = Matrix::from_rows(&[&[0.9], &[0.1], &[0.5], &[1.0]]);
+        let report = check_gradient(&z1, 1e-2, move |t, x| {
+            let other = t.constant(z2.clone());
+            let phi = t.constant(phi_vals.clone());
+            t.info_nce_weighted(x, other, 0.5, phi)
+        });
+        assert!(report.passes(5e-2), "{report:?}");
+    }
+}

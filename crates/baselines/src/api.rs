@@ -1,0 +1,29 @@
+//! The common baseline interface.
+
+use desalign_eval::{evaluate_ranking, AlignmentMetrics, SimilarityMatrix};
+use desalign_mmkg::AlignmentDataset;
+
+/// A trainable entity-alignment method.
+///
+/// The contract mirrors how the paper's evaluation drives every method:
+/// train on the seed alignments (plus any injected pseudo seeds), emit a
+/// pairwise similarity matrix, rank the test pairs.
+pub trait Aligner {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains (or continues training) on the dataset's seed alignments plus
+    /// any pseudo seeds previously set. Returns wall-clock seconds.
+    fn fit(&mut self, dataset: &AlignmentDataset) -> f64;
+
+    /// The current source×target similarity matrix.
+    fn similarity(&self) -> SimilarityMatrix;
+
+    /// Replaces the pseudo-seed cache (used by the iterative strategy).
+    fn set_pseudo_pairs(&mut self, pairs: Vec<(usize, usize)>);
+
+    /// Evaluates H@k / MRR on the dataset's held-out pairs.
+    fn evaluate(&self, dataset: &AlignmentDataset) -> AlignmentMetrics {
+        evaluate_ranking(&self.similarity(), &dataset.test_pairs)
+    }
+}

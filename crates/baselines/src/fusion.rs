@@ -1,0 +1,265 @@
+//! Shared machinery for the GNN-based baselines (GCN-align, EVA, MCLEA):
+//! a two-layer GCN structure branch, per-modality FC branches, global
+//! (entity-independent) modality weights, and a common training loop.
+//!
+//! The deliberate differences from the DESAlign encoder are the point of
+//! the comparison: mean-pooled GCN instead of GAT, *global* softmax
+//! modality weights instead of per-entity cross-modal attention, no
+//! Dirichlet-energy constraint, and noise-filled missing features with no
+//! Semantic Propagation at inference.
+
+use desalign_autodiff::Var;
+use desalign_eval::{cosine_similarity, SimilarityMatrix};
+use desalign_graph::Csr;
+use desalign_mmkg::{fill_missing_with_noise, AlignmentDataset, FeatureDims, ModalFeatures};
+use desalign_nn::{AdamW, CosineWarmup, Linear, ParamId, ParamStore, Session};
+use desalign_tensor::{glorot_uniform, rng_from_seed, uniform_matrix, Matrix, Rng64};
+use rand::seq::SliceRandom;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Hyperparameters shared by the simple baselines.
+#[derive(Clone, Debug)]
+pub(crate) struct SimpleConfig {
+    pub hidden_dim: usize,
+    pub feature_dims: FeatureDims,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub weight_decay: f32,
+    pub tau: f32,
+    pub use_relation: bool,
+    pub use_text: bool,
+    pub use_visual: bool,
+}
+
+impl Default for SimpleConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 64,
+            feature_dims: FeatureDims::default(),
+            epochs: 60,
+            batch_size: 512,
+            lr: 5e-3,
+            weight_decay: 1e-4,
+            tau: 0.1,
+            use_relation: true,
+            use_text: true,
+            use_visual: true,
+        }
+    }
+}
+
+pub(crate) struct SideInputs {
+    pub adj: Rc<Csr>,
+    pub relation: Matrix,
+    pub attribute: Matrix,
+    pub visual: Matrix,
+}
+
+/// Encoder outputs for one side.
+pub(crate) struct SimpleEncoded {
+    /// Per-modality embeddings, ordered [structure, relation?, text?, visual?].
+    pub modal: Vec<Var>,
+    /// Weighted concatenation of the modal embeddings.
+    pub fused: Var,
+}
+
+/// The shared baseline model.
+pub(crate) struct SimpleModel {
+    pub cfg: SimpleConfig,
+    pub store: ParamStore,
+    x_g: [ParamId; 2],
+    gcn_w1: ParamId,
+    gcn_w2: ParamId,
+    fc_r: Option<Linear>,
+    fc_t: Option<Linear>,
+    fc_v: Option<Linear>,
+    modality_logits: ParamId,
+    pub inputs: [SideInputs; 2],
+    pub rng: Rng64,
+    pub pseudo: Vec<(usize, usize)>,
+}
+
+impl SimpleModel {
+    pub fn new(cfg: SimpleConfig, dataset: &AlignmentDataset, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed);
+        let mut store = ParamStore::new();
+        let d = cfg.hidden_dim;
+        let bound = 3.0f32.sqrt() / (d as f32).sqrt();
+        let x_g = [
+            store.add("xg.s", uniform_matrix(&mut rng, dataset.source.num_entities, d, -bound, bound)),
+            store.add("xg.t", uniform_matrix(&mut rng, dataset.target.num_entities, d, -bound, bound)),
+        ];
+        let gcn_w1 = store.add("gcn.w1", glorot_uniform(&mut rng, d, d));
+        let gcn_w2 = store.add("gcn.w2", glorot_uniform(&mut rng, d, d));
+        let fc_r = cfg.use_relation.then(|| Linear::new(&mut store, &mut rng, "fc_r", cfg.feature_dims.relation, d, true));
+        let fc_t = cfg.use_text.then(|| Linear::new(&mut store, &mut rng, "fc_t", cfg.feature_dims.attribute, d, true));
+        let fc_v = cfg.use_visual.then(|| Linear::new(&mut store, &mut rng, "fc_v", cfg.feature_dims.visual, d, true));
+        let n_mod = 1 + fc_r.is_some() as usize + fc_t.is_some() as usize + fc_v.is_some() as usize;
+        let modality_logits = store.add("modality.logits", Matrix::zeros(1, n_mod));
+
+        let prepare = |kg: &desalign_mmkg::Mmkg, rng: &mut Rng64| {
+            let f = ModalFeatures::build(kg, &cfg.feature_dims);
+            SideInputs {
+                adj: Rc::new(kg.graph().normalized_adjacency(true)),
+                relation: fill_missing_with_noise(&f.relation, &f.has_relation, rng),
+                attribute: fill_missing_with_noise(&f.attribute, &f.has_attribute, rng),
+                visual: fill_missing_with_noise(&f.visual, &f.has_visual, rng),
+            }
+        };
+        let inputs = [prepare(&dataset.source, &mut rng), prepare(&dataset.target, &mut rng)];
+        Self { cfg, store, x_g, gcn_w1, gcn_w2, fc_r, fc_t, fc_v, modality_logits, inputs, rng, pseudo: Vec::new() }
+    }
+
+    /// Number of active modalities (structure + enabled branches).
+    #[allow(dead_code)] // exercised by unit tests and diagnostics
+    pub fn num_modalities(&self) -> usize {
+        1 + self.fc_r.is_some() as usize + self.fc_t.is_some() as usize + self.fc_v.is_some() as usize
+    }
+
+    /// Encodes one side.
+    pub fn forward(&self, sess: &mut Session<'_>, side: usize) -> SimpleEncoded {
+        let inp = &self.inputs[side];
+        // Two-layer GCN: h = Ã·relu(Ã·(X W₁))·W₂.
+        let x = sess.param(self.x_g[side]);
+        let w1 = sess.param(self.gcn_w1);
+        let w2 = sess.param(self.gcn_w2);
+        let h = sess.tape.matmul(x, w1);
+        let h = sess.tape.spmm(Rc::clone(&inp.adj), h);
+        let h = sess.tape.relu(h);
+        let h = sess.tape.matmul(h, w2);
+        let h_g = sess.tape.spmm(Rc::clone(&inp.adj), h);
+
+        let mut modal = vec![h_g];
+        if let Some(fc) = &self.fc_r {
+            let x = sess.input(inp.relation.clone());
+            modal.push(fc.forward(sess, x));
+        }
+        if let Some(fc) = &self.fc_t {
+            let x = sess.input(inp.attribute.clone());
+            modal.push(fc.forward(sess, x));
+        }
+        if let Some(fc) = &self.fc_v {
+            let x = sess.input(inp.visual.clone());
+            modal.push(fc.forward(sess, x));
+        }
+
+        // Global modality weights: softmax over a (1 × M) logit vector,
+        // broadcast to every entity (EVA's fusion scheme).
+        let logits = sess.param(self.modality_logits);
+        let weights = sess.tape.softmax_rows(logits);
+        let n = sess.tape.value(modal[0]).rows();
+        let ones = sess.input(Matrix::full(n, 1, 1.0));
+        let weighted: Vec<Var> = modal
+            .iter()
+            .enumerate()
+            .map(|(m, &h)| {
+                let w_m = sess.tape.slice_cols(weights, m, m + 1); // 1×1
+                let col = sess.tape.matmul(ones, w_m); // n×1 of w_m
+                sess.tape.mul_broadcast_col(h, col)
+            })
+            .collect();
+        let fused = sess.tape.concat_cols(&weighted);
+        SimpleEncoded { modal, fused }
+    }
+
+    /// Shared training loop; `loss_fn` builds the per-batch loss from both
+    /// sides' encodings. Returns wall-clock seconds.
+    pub fn fit_with(
+        &mut self,
+        dataset: &AlignmentDataset,
+        mut loss_fn: impl FnMut(&mut Session<'_>, &SimpleEncoded, &SimpleEncoded, &[(usize, usize)], f32) -> Var,
+    ) -> f64 {
+        let t0 = Instant::now();
+        let mut pool = dataset.train_pairs.clone();
+        pool.extend(self.pseudo.iter().copied());
+        if pool.is_empty() {
+            return t0.elapsed().as_secs_f64();
+        }
+        let schedule = CosineWarmup::new(self.cfg.lr, self.cfg.epochs, 0.15);
+        let mut opt = AdamW::new(self.cfg.weight_decay);
+        let tau = self.cfg.tau;
+        for epoch in 0..self.cfg.epochs {
+            let batch: Vec<(usize, usize)> = if pool.len() <= self.cfg.batch_size {
+                pool.clone()
+            } else {
+                let mut idx: Vec<usize> = (0..pool.len()).collect();
+                idx.shuffle(&mut self.rng);
+                idx[..self.cfg.batch_size].iter().map(|&i| pool[i]).collect()
+            };
+            let mut sess = Session::new(&self.store);
+            let enc_s = self.forward(&mut sess, 0);
+            let enc_t = self.forward(&mut sess, 1);
+            let loss = loss_fn(&mut sess, &enc_s, &enc_t, &batch, tau);
+            let mut grads = sess.backward(loss);
+            opt.step(&mut self.store, &mut grads, schedule.lr(epoch));
+        }
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// Cosine similarity between the fused embeddings (no propagation).
+    pub fn similarity(&self) -> SimilarityMatrix {
+        let mut sess = Session::new(&self.store);
+        let enc_s = self.forward(&mut sess, 0);
+        let enc_t = self.forward(&mut sess, 1);
+        cosine_similarity(sess.tape.value(enc_s.fused), sess.tape.value(enc_t.fused))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_mmkg::{DatasetSpec, SynthConfig};
+    use std::rc::Rc;
+
+    fn tiny() -> (AlignmentDataset, SimpleConfig) {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(1);
+        let cfg = SimpleConfig { hidden_dim: 16, epochs: 5, batch_size: 32, ..Default::default() };
+        (ds, cfg)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (ds, cfg) = tiny();
+        let model = SimpleModel::new(cfg, &ds, 1);
+        let mut sess = Session::new(&model.store);
+        let enc = model.forward(&mut sess, 0);
+        assert_eq!(enc.modal.len(), 4);
+        assert_eq!(sess.tape.value(enc.fused).shape(), (ds.source.num_entities, 4 * 16));
+    }
+
+    #[test]
+    fn disabled_modalities_shrink_fusion() {
+        let (ds, mut cfg) = tiny();
+        cfg.use_visual = false;
+        cfg.use_relation = false;
+        let model = SimpleModel::new(cfg, &ds, 2);
+        assert_eq!(model.num_modalities(), 2);
+        let mut sess = Session::new(&model.store);
+        let enc = model.forward(&mut sess, 0);
+        assert_eq!(sess.tape.value(enc.fused).cols(), 2 * 16);
+    }
+
+    #[test]
+    fn training_reduces_contrastive_loss() {
+        let (ds, cfg) = tiny();
+        let mut model = SimpleModel::new(cfg, &ds, 3);
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        model.fit_with(&ds, |sess, enc_s, enc_t, batch, tau| {
+            let src: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(s, _)| s).collect());
+            let tgt: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(_, t)| t).collect());
+            let z1 = sess.tape.gather_rows(enc_s.fused, src);
+            let z2 = sess.tape.gather_rows(enc_t.fused, tgt);
+            let loss = sess.tape.info_nce_bidirectional(z1, z2, tau);
+            let v = sess.tape.value(loss)[(0, 0)];
+            if first.is_nan() {
+                first = v;
+            }
+            last = v;
+            loss
+        });
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+}

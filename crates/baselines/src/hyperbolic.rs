@@ -1,0 +1,224 @@
+//! Poincaré-ball geometry for the HEA baseline.
+//!
+//! Provides both plain-matrix kernels (for similarity computation) and
+//! tape-recorded composites (for differentiable training): Möbius
+//! addition, the exponential map at the origin, hyperbolic distance, and
+//! ball projection. Curvature is `−c` with `c > 0`.
+
+use desalign_autodiff::Var;
+use desalign_nn::Session;
+use desalign_tensor::Matrix;
+
+/// Numerical guard keeping points strictly inside the ball.
+const BALL_EPS: f32 = 1e-4;
+
+/// Projects every row of `x` into the open ball of radius `(1 − ε)/√c`.
+pub fn project_to_ball(x: &mut Matrix, c: f32) {
+    let max_norm = (1.0 - BALL_EPS) / c.sqrt();
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > max_norm {
+            let f = max_norm / norm;
+            for v in row {
+                *v *= f;
+            }
+        }
+    }
+}
+
+/// Möbius addition `x ⊕_c y` row-wise (plain matrices).
+pub fn mobius_add(x: &Matrix, y: &Matrix, c: f32) -> Matrix {
+    y.expect_shape(x.rows(), x.cols(), "mobius_add");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for i in 0..x.rows() {
+        let (xr, yr) = (x.row(i), y.row(i));
+        let xy: f32 = xr.iter().zip(yr).map(|(a, b)| a * b).sum();
+        let x2: f32 = xr.iter().map(|v| v * v).sum();
+        let y2: f32 = yr.iter().map(|v| v * v).sum();
+        let den = 1.0 + 2.0 * c * xy + c * c * x2 * y2;
+        let ax = 1.0 + 2.0 * c * xy + c * y2;
+        let ay = 1.0 - c * x2;
+        for ((o, &xv), &yv) in out.row_mut(i).iter_mut().zip(xr).zip(yr) {
+            *o = (ax * xv + ay * yv) / den.max(1e-9);
+        }
+    }
+    out
+}
+
+/// Hyperbolic distance between corresponding rows:
+/// `d_c(x, y) = (2/√c) artanh(√c ‖(−x) ⊕_c y‖)`.
+pub fn poincare_distance_rows(x: &Matrix, y: &Matrix, c: f32) -> Vec<f32> {
+    let neg = x.scale(-1.0);
+    let m = mobius_add(&neg, y, c);
+    let sc = c.sqrt();
+    (0..m.rows())
+        .map(|i| {
+            let norm = m.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let t = (sc * norm).clamp(0.0, 1.0 - BALL_EPS);
+            (2.0 / sc) * (0.5 * ((1.0 + t) / (1.0 - t)).ln())
+        })
+        .collect()
+}
+
+/// Full pairwise hyperbolic distance matrix (`n_s × n_t`).
+pub fn poincare_distance_matrix(xs: &Matrix, ys: &Matrix, c: f32) -> Matrix {
+    assert_eq!(xs.cols(), ys.cols(), "poincare_distance_matrix: dims differ");
+    let mut out = Matrix::zeros(xs.rows(), ys.rows());
+    let sc = c.sqrt();
+    for i in 0..xs.rows() {
+        let xr = xs.row(i);
+        let x2: f32 = xr.iter().map(|v| v * v).sum();
+        for j in 0..ys.rows() {
+            let yr = ys.row(j);
+            let y2: f32 = yr.iter().map(|v| v * v).sum();
+            let xy: f32 = xr.iter().zip(yr).map(|(a, b)| a * b).sum();
+            // Evaluate ‖(−x) ⊕_c y‖ from the Möbius form directly.
+            let mut m2 = 0.0f32;
+            let ax = 1.0 - 2.0 * c * xy + c * y2;
+            let ay = 1.0 - c * x2;
+            let d = 1.0 - 2.0 * c * xy + c * c * x2 * y2;
+            for (&xv, &yv) in xr.iter().zip(yr) {
+                let v = (ax * (-xv) + ay * yv) / d.max(1e-9);
+                m2 += v * v;
+            }
+            let t = (sc * m2.sqrt()).clamp(0.0, 1.0 - BALL_EPS);
+            out[(i, j)] = (2.0 / sc) * (0.5 * ((1.0 + t) / (1.0 - t)).ln());
+        }
+    }
+    out
+}
+
+/// Tape-recorded hyperbolic distance between corresponding rows of two
+/// ball-interior variables (`n × 1` result) — differentiable through
+/// Möbius addition and `artanh`.
+pub fn poincare_distance_var(sess: &mut Session<'_>, x: Var, y: Var, c: f32) -> Var {
+    let n = sess.tape.value(x).rows();
+    let ones = sess.input(Matrix::full(n, 1, 1.0));
+    // Row-wise scalars.
+    let neg_x = sess.tape.scale(x, -1.0);
+    let xy_prod = sess.tape.mul(neg_x, y);
+    let xy = sess.tape.row_sum(xy_prod); // ⟨−x, y⟩
+    let x_sq = sess.tape.square(neg_x);
+    let x2 = sess.tape.row_sum(x_sq);
+    let y_sq = sess.tape.square(y);
+    let y2 = sess.tape.row_sum(y_sq);
+    // Möbius addition (−x) ⊕ y.
+    let two_c_xy = sess.tape.scale(xy, 2.0 * c);
+    let c_y2 = sess.tape.scale(y2, c);
+    let ax_partial = sess.tape.add(two_c_xy, c_y2);
+    let ax = sess.tape.add_const(ax_partial, 1.0); // 1 + 2c⟨−x,y⟩ + c‖y‖²
+    let c_x2 = sess.tape.scale(x2, -c);
+    let ay = sess.tape.add_const(c_x2, 1.0); // 1 − c‖x‖²
+    let x2y2 = sess.tape.mul(x2, y2);
+    let c2_x2y2 = sess.tape.scale(x2y2, c * c);
+    let den_partial = sess.tape.add(two_c_xy, c2_x2y2);
+    let den = sess.tape.add_const(den_partial, 1.0);
+    let term_x = sess.tape.mul_broadcast_col(neg_x, ax);
+    let term_y = sess.tape.mul_broadcast_col(y, ay);
+    let num = sess.tape.add(term_x, term_y);
+    let inv_den = sess.tape.div(ones, den);
+    let m = sess.tape.mul_broadcast_col(num, inv_den);
+    // Norm and distance.
+    let m_sq = sess.tape.square(m);
+    let m2 = sess.tape.row_sum(m_sq);
+    let m2_safe = sess.tape.add_const(m2, 1e-9);
+    let norm = sess.tape.sqrt(m2_safe);
+    let scaled = sess.tape.scale(norm, c.sqrt());
+    let at = sess.tape.artanh(scaled);
+    sess.tape.scale(at, 2.0 / c.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_nn::ParamStore;
+    use desalign_tensor::{rng_from_seed, uniform_matrix};
+
+    #[test]
+    fn mobius_identity_element() {
+        let y = Matrix::from_rows(&[&[0.1, 0.2], &[-0.3, 0.05]]);
+        let zero = Matrix::zeros(2, 2);
+        let out = mobius_add(&zero, &y, 1.0);
+        assert!(out.sub(&y).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero_and_symmetric() {
+        let mut rng = rng_from_seed(1);
+        let mut x = uniform_matrix(&mut rng, 4, 3, -0.4, 0.4);
+        let mut y = uniform_matrix(&mut rng, 4, 3, -0.4, 0.4);
+        project_to_ball(&mut x, 1.0);
+        project_to_ball(&mut y, 1.0);
+        let d_self = poincare_distance_rows(&x, &x, 1.0);
+        assert!(d_self.iter().all(|&d| d.abs() < 1e-4), "{d_self:?}");
+        let d_xy = poincare_distance_rows(&x, &y, 1.0);
+        let d_yx = poincare_distance_rows(&y, &x, 1.0);
+        for (a, b) in d_xy.iter().zip(&d_yx) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn distance_matrix_matches_rowwise() {
+        let mut rng = rng_from_seed(2);
+        let mut x = uniform_matrix(&mut rng, 3, 4, -0.3, 0.3);
+        let mut y = uniform_matrix(&mut rng, 3, 4, -0.3, 0.3);
+        project_to_ball(&mut x, 1.0);
+        project_to_ball(&mut y, 1.0);
+        let matrix = poincare_distance_matrix(&x, &y, 1.0);
+        let rows = poincare_distance_rows(&x, &y, 1.0);
+        for (i, &d) in rows.iter().enumerate() {
+            assert!((matrix[(i, i)] - d).abs() < 1e-4, "row {i}: {d} vs {}", matrix[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn distance_grows_towards_the_boundary() {
+        // Hyperbolic distances blow up near the boundary: d(0, r·e₁)
+        // increases superlinearly in r.
+        let origin = Matrix::zeros(1, 2);
+        let mut prev = 0.0;
+        let mut gaps = Vec::new();
+        for r in [0.2f32, 0.5, 0.8, 0.95] {
+            let p = Matrix::from_rows(&[&[r, 0.0]]);
+            let d = poincare_distance_rows(&origin, &p, 1.0)[0];
+            gaps.push(d - prev);
+            prev = d;
+        }
+        assert!(gaps.windows(2).all(|w| w[1] > w[0] * 0.5), "growth pattern {gaps:?}");
+        assert!(prev > 3.0, "near-boundary distance {prev}");
+    }
+
+    #[test]
+    fn tape_distance_matches_plain_and_is_differentiable() {
+        let mut rng = rng_from_seed(3);
+        let mut x = uniform_matrix(&mut rng, 4, 3, -0.3, 0.3);
+        let mut y = uniform_matrix(&mut rng, 4, 3, -0.3, 0.3);
+        project_to_ball(&mut x, 1.0);
+        project_to_ball(&mut y, 1.0);
+        let plain = poincare_distance_rows(&x, &y, 1.0);
+        let mut store = ParamStore::new();
+        let xp = store.add("x", x);
+        let mut sess = Session::new(&store);
+        let xv = sess.param(xp);
+        let yv = sess.input(y);
+        let d = poincare_distance_var(&mut sess, xv, yv, 1.0);
+        for (i, &p) in plain.iter().enumerate() {
+            assert!((sess.tape.value(d)[(i, 0)] - p).abs() < 1e-3, "row {i}");
+        }
+        let loss = sess.tape.sum_all(d);
+        let grads = sess.backward(loss);
+        assert!(grads.get(xp).is_some());
+        assert!(grads.get(xp).expect("grad").all_finite());
+    }
+
+    #[test]
+    fn projection_clamps_norms() {
+        let mut x = Matrix::from_rows(&[&[3.0, 4.0], &[0.1, 0.0]]);
+        project_to_ball(&mut x, 1.0);
+        let n0: f32 = x.row(0).iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(n0 < 1.0);
+        assert!((x.row(1)[0] - 0.1).abs() < 1e-6, "interior point moved");
+    }
+}

@@ -1,0 +1,109 @@
+//! IMUSE (He et al., DASFAA 2019): (nearly) unsupervised alignment from
+//! attribute and relation triples — high-confidence pairs are first mined
+//! directly from raw attribute-feature similarity, then used as (extra)
+//! seeds for an embedding model; the final decision blends the learned
+//! similarity with the raw attribute similarity.
+
+use crate::api::Aligner;
+use crate::fusion::{SimpleConfig, SimpleModel};
+use desalign_eval::{cosine_similarity, mutual_nearest_neighbours, SimilarityMatrix};
+use desalign_mmkg::{AlignmentDataset, FeatureDims, ModalFeatures};
+use std::rc::Rc;
+
+/// The IMUSE baseline.
+pub struct ImuseAligner {
+    model: SimpleModel,
+    raw_attr_sim: SimilarityMatrix,
+    mined_seeds: Vec<(usize, usize)>,
+}
+
+impl ImuseAligner {
+    /// Creates an IMUSE model.
+    pub fn new(dataset: &AlignmentDataset, seed: u64) -> Self {
+        Self::with_profile(64, 60, dataset, seed)
+    }
+
+    /// Creates an IMUSE model with an explicit dimension / epoch budget.
+    pub fn with_profile(hidden_dim: usize, epochs: usize, dataset: &AlignmentDataset, seed: u64) -> Self {
+        let cfg = SimpleConfig { hidden_dim, epochs, ..Default::default() };
+        let model = SimpleModel::new(cfg, dataset, seed);
+        // Unsupervised stage: raw attribute-BoW similarity and its mutual
+        // nearest neighbours above a confidence threshold.
+        let dims = FeatureDims::default();
+        let f_s = ModalFeatures::build(&dataset.source, &dims);
+        let f_t = ModalFeatures::build(&dataset.target, &dims);
+        let raw = cosine_similarity(&f_s.attribute, &f_t.attribute);
+        let cand_s: Vec<usize> = (0..dataset.source.num_entities).collect();
+        let cand_t: Vec<usize> = (0..dataset.target.num_entities).collect();
+        let mined: Vec<(usize, usize)> =
+            mutual_nearest_neighbours(&raw, &cand_s, &cand_t, 0.85).into_iter().map(|(s, t, _)| (s, t)).collect();
+        Self { model, raw_attr_sim: raw, mined_seeds: mined }
+    }
+
+    /// Pairs mined without supervision (diagnostic).
+    pub fn mined_seed_count(&self) -> usize {
+        self.mined_seeds.len()
+    }
+}
+
+impl Aligner for ImuseAligner {
+    fn name(&self) -> &'static str {
+        "IMUSE"
+    }
+
+    fn fit(&mut self, dataset: &AlignmentDataset) -> f64 {
+        // The unsupervised pairs supplement whatever seeds exist, but never
+        // override iterative pseudo seeds already injected.
+        let mut pseudo = std::mem::take(&mut self.model.pseudo);
+        let seeded: std::collections::HashSet<usize> = dataset
+            .train_pairs
+            .iter()
+            .map(|&(s, _)| s)
+            .chain(pseudo.iter().map(|&(s, _)| s))
+            .collect();
+        pseudo.extend(self.mined_seeds.iter().copied().filter(|&(s, _)| !seeded.contains(&s)));
+        self.model.pseudo = pseudo;
+        self.model.fit_with(dataset, |sess, enc_s, enc_t, batch, tau| {
+            let src: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(s, _)| s).collect());
+            let tgt: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(_, t)| t).collect());
+            let z1 = sess.tape.gather_rows(enc_s.fused, src);
+            let z2 = sess.tape.gather_rows(enc_t.fused, tgt);
+            sess.tape.info_nce_bidirectional(z1, z2, tau)
+        })
+    }
+
+    fn similarity(&self) -> SimilarityMatrix {
+        // Blend learned and raw attribute similarity (equal weights).
+        let learned = self.model.similarity();
+        let blended = learned.scores().add(self.raw_attr_sim.scores()).scale(0.5);
+        SimilarityMatrix::new(blended)
+    }
+
+    fn set_pseudo_pairs(&mut self, pairs: Vec<(usize, usize)>) {
+        self.model.pseudo = pairs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+    #[test]
+    fn imuse_trains_and_evaluates() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(46);
+        let mut m = ImuseAligner::with_profile(16, 8, &ds, 1);
+        m.fit(&ds);
+        assert!(m.evaluate(&ds).num_queries > 0);
+        assert_eq!(m.name(), "IMUSE");
+    }
+
+    #[test]
+    fn unsupervised_mining_respects_threshold() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(47);
+        let m = ImuseAligner::with_profile(8, 1, &ds, 2);
+        // With a 0.85 cosine threshold the mined set is small but nonempty
+        // on the attribute-dense monolingual preset.
+        assert!(m.mined_seed_count() < ds.source.num_entities);
+    }
+}

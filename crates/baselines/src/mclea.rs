@@ -1,0 +1,85 @@
+//! MCLEA (Lin et al., COLING 2022): multi-modal contrastive representation
+//! learning — per-modality InfoNCE objectives *plus* a joint objective on
+//! the fused embedding. Missing features come from the predefined-
+//! distribution fill; there is no cross-modal attention and no propagation,
+//! which is exactly the gap the paper's analysis attributes its
+//! missing-modality sensitivity to.
+
+use crate::api::Aligner;
+use crate::fusion::{SimpleConfig, SimpleModel};
+use desalign_eval::SimilarityMatrix;
+use desalign_mmkg::AlignmentDataset;
+use std::rc::Rc;
+
+/// The MCLEA baseline.
+pub struct McleaAligner {
+    model: SimpleModel,
+}
+
+impl McleaAligner {
+    /// Creates an MCLEA model with the default laptop-scale profile.
+    pub fn new(dataset: &AlignmentDataset, seed: u64) -> Self {
+        Self::with_config(SimpleConfig::default(), dataset, seed)
+    }
+
+    pub(crate) fn with_config(cfg: SimpleConfig, dataset: &AlignmentDataset, seed: u64) -> Self {
+        Self { model: SimpleModel::new(cfg, dataset, seed) }
+    }
+    /// Creates a model with an explicit hidden dimension and epoch budget
+    /// (the benchmark harness profile).
+    pub fn with_profile(hidden_dim: usize, epochs: usize, dataset: &AlignmentDataset, seed: u64) -> Self {
+        let cfg = SimpleConfig { hidden_dim, epochs, ..Default::default() };
+        Self::with_config(cfg, dataset, seed)
+    }
+
+}
+
+impl Aligner for McleaAligner {
+    fn name(&self) -> &'static str {
+        "MCLEA"
+    }
+
+    fn fit(&mut self, dataset: &AlignmentDataset) -> f64 {
+        self.model.fit_with(dataset, |sess, enc_s, enc_t, batch, tau| {
+            let src: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(s, _)| s).collect());
+            let tgt: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(_, t)| t).collect());
+            // Joint objective on the fused embedding.
+            let z1 = sess.tape.gather_rows(enc_s.fused, Rc::clone(&src));
+            let z2 = sess.tape.gather_rows(enc_t.fused, Rc::clone(&tgt));
+            let mut loss = sess.tape.info_nce_bidirectional(z1, z2, tau);
+            // Intra-modal objectives, uniformly weighted.
+            for (hs, ht) in enc_s.modal.iter().zip(&enc_t.modal) {
+                let z1 = sess.tape.gather_rows(*hs, Rc::clone(&src));
+                let z2 = sess.tape.gather_rows(*ht, Rc::clone(&tgt));
+                let lm = sess.tape.info_nce_bidirectional(z1, z2, tau);
+                loss = sess.tape.add(loss, lm);
+            }
+            loss
+        })
+    }
+
+    fn similarity(&self) -> SimilarityMatrix {
+        self.model.similarity()
+    }
+
+    fn set_pseudo_pairs(&mut self, pairs: Vec<(usize, usize)>) {
+        self.model.pseudo = pairs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+    #[test]
+    fn mclea_trains_and_evaluates() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(4);
+        let cfg = SimpleConfig { hidden_dim: 16, epochs: 8, batch_size: 32, ..Default::default() };
+        let mut m = McleaAligner::with_config(cfg, &ds, 1);
+        m.fit(&ds);
+        let metrics = m.evaluate(&ds);
+        assert!(metrics.num_queries > 0);
+        assert_eq!(m.name(), "MCLEA");
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the end-to-end pipeline stages: one training
+//! epoch (forward + backward + AdamW step) and one full similarity
+//! evaluation with Semantic Propagation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desalign_core::{DesalignConfig, DesalignModel};
+use desalign_mmkg::{DatasetSpec, FeatureDims, SynthConfig};
+
+fn small_cfg(epochs: usize) -> DesalignConfig {
+    let mut cfg = DesalignConfig::fast();
+    cfg.hidden_dim = 32;
+    cfg.feature_dims = FeatureDims { relation: 64, attribute: 64, visual: 64 };
+    cfg.epochs = epochs;
+    cfg.eval_every = 0;
+    cfg
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(200).generate(1);
+    c.bench_function("train_epoch_200", |b| {
+        b.iter_batched(
+            || DesalignModel::new(small_cfg(1), &ds, 7),
+            |mut model| black_box(model.fit(&ds)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_similarity_with_sp(c: &mut Criterion) {
+    let ds = SynthConfig::preset(DatasetSpec::Dbp15kFrEn).scaled(200).generate(1);
+    let mut model = DesalignModel::new(small_cfg(3), &ds, 7);
+    model.fit(&ds);
+    c.bench_function("similarity_sp_np3_200", |b| {
+        b.iter(|| black_box(model.similarity_with_iterations(3)));
+    });
+    c.bench_function("similarity_plain_200", |b| {
+        b.iter(|| black_box(model.similarity_with_iterations(0)));
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_epoch, bench_similarity_with_sp
+}
+criterion_main!(pipeline);

@@ -1,0 +1,69 @@
+//! **Design-choice ablations** (DESIGN.md §6) — the reproduction-specific
+//! decisions that calibration surfaced, each swept on one monolingual and
+//! one bilingual split:
+//!
+//! - confidence blend α (0 = uniform fusion, 1 = literal Eq. 14);
+//! - Semantic Propagation mode (off / joint / joint+reset / per-modality);
+//! - `ℒ_m^(k−1)` placement (branch vs penultimate CAW layer);
+//! - φ rescaling on vs off;
+//! - structure encoder (GAT vs GCN).
+
+use desalign_bench::HarnessConfig;
+use desalign_core::{DesalignConfig, DesalignModel, StructureEncoderKind};
+use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+fn run(name: &str, cfg: DesalignConfig, ds: &desalign_mmkg::AlignmentDataset, seed: u64, json: &mut Vec<serde_json::Value>) {
+    let mut model = DesalignModel::new(cfg, ds, seed);
+    model.fit(ds);
+    let m = model.evaluate(ds);
+    println!("  {:<34} H@1 {:>5.1}  H@10 {:>5.1}  MRR {:>5.1}", name, m.hits_at_1 * 100.0, m.hits_at_10 * 100.0, m.mrr * 100.0);
+    json.push(serde_json::json!({
+        "dataset": ds.name, "variant": name, "metrics": desalign_bench::metrics_json(&m),
+    }));
+}
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    let mut json = Vec::new();
+    for spec in [DatasetSpec::FbDb15k, DatasetSpec::Dbp15kFrEn] {
+        let ds = SynthConfig::preset(spec).scaled(h.scale).generate(h.seed);
+        println!("\n=== design ablations on {} ===", ds.name);
+        let base = h.desalign_cfg();
+        run("default", base.clone(), &ds, h.seed, &mut json);
+
+        for alpha in [0.0f32, 0.5, 1.0] {
+            let mut v = base.clone();
+            v.confidence_blend = alpha;
+            run(&format!("confidence blend α={alpha}"), v, &ds, h.seed, &mut json);
+        }
+
+        let mut v = base.clone();
+        v.sp_iterations = 0;
+        run("SP off", v, &ds, h.seed, &mut json);
+        let mut v = base.clone();
+        v.sp_per_modality = false;
+        v.sp_reset_known = false;
+        run("SP joint (Alg. 1 literal)", v, &ds, h.seed, &mut json);
+        let mut v = base.clone();
+        v.sp_per_modality = false;
+        v.sp_reset_known = true;
+        run("SP joint + boundary reset", v, &ds, h.seed, &mut json);
+
+        let mut v = base.clone();
+        v.modal_k1_on_branch = true;
+        run("L_m^(k-1) on branch embeddings", v, &ds, h.seed, &mut json);
+
+        let mut v = base.clone();
+        v.phi_rescale = false;
+        run("phi without |M| rescale", v, &ds, h.seed, &mut json);
+
+        let mut v = base.clone();
+        v.structure_encoder = StructureEncoderKind::Gcn;
+        run("GCN structure encoder", v, &ds, h.seed, &mut json);
+
+        let mut v = base.clone();
+        v.fusion_normalize = true;
+        run("per-block l2 fusion normalize", v, &ds, h.seed, &mut json);
+    }
+    desalign_bench::dump_json("results/ablation_design.json", &serde_json::json!(json));
+}

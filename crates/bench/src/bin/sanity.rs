@@ -1,0 +1,37 @@
+//! Quick calibration run: one dataset, all methods, prints metrics and
+//! wall-clock so the scale/epoch profile can be tuned before regenerating
+//! the full table set. Not part of the paper's artifact list.
+
+use desalign_bench::{HarnessConfig, MethodId, ALL_WITH_OURS};
+use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    println!("profile: {h:?}");
+    for spec in [DatasetSpec::FbDb15k, DatasetSpec::Dbp15kFrEn] {
+        let cfg = SynthConfig::preset(spec).scaled(h.scale);
+        let ds = cfg.generate(h.seed);
+        println!(
+            "\n{} — {} vs {} entities, {} train / {} test pairs",
+            ds.name,
+            ds.source.num_entities,
+            ds.target.num_entities,
+            ds.train_pairs.len(),
+            ds.test_pairs.len()
+        );
+        for method in ALL_WITH_OURS {
+            let t0 = std::time::Instant::now();
+            let mut aligner = method.build(&h, &ds, h.seed);
+            aligner.fit(&ds);
+            let m = aligner.evaluate(&ds);
+            println!(
+                "  {:<10} H@1 {:5.1}  H@10 {:5.1}  MRR {:5.1}   ({:.1}s)",
+                MethodId::name(&method),
+                m.hits_at_1 * 100.0,
+                m.hits_at_10 * 100.0,
+                m.mrr * 100.0,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! **Table V** — main results on bilingual DBP15K.
+//!
+//! All three language pairs at the standard `R_seed = 0.3`, non-iterative
+//! roster plus iterative prominent methods. Shape target: DESAlign first in
+//! both blocks; non-iterative DESAlign competitive with iterative baselines.
+
+use desalign_bench::{print_table, HarnessConfig, ResultRow, ALL_WITH_OURS, PROMINENT};
+use desalign_baselines::iterative_align;
+use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+fn main() {
+    let h = HarnessConfig::from_env();
+    let mut all_json = Vec::new();
+    let mut basic: Vec<ResultRow> =
+        ALL_WITH_OURS.iter().map(|m| ResultRow { method: m.name(), cells: Vec::new(), seconds: Vec::new() }).collect();
+    let mut iterative: Vec<ResultRow> =
+        PROMINENT.iter().map(|m| ResultRow { method: m.name(), cells: Vec::new(), seconds: Vec::new() }).collect();
+    for spec in DatasetSpec::BILINGUAL {
+        let ds = SynthConfig::preset(spec).scaled(h.scale).generate(h.seed);
+        for (mi, method) in ALL_WITH_OURS.iter().enumerate() {
+            let mut aligner = method.build(&h, &ds, h.seed);
+            let secs = aligner.fit(&ds);
+            let metrics = aligner.evaluate(&ds);
+            basic[mi].cells.push(metrics);
+            basic[mi].seconds.push(secs);
+            all_json.push(serde_json::json!({
+                "dataset": spec.name(), "method": method.name(), "strategy": "non-iterative",
+                "metrics": desalign_bench::metrics_json(&metrics), "seconds": secs,
+            }));
+        }
+        for (mi, method) in PROMINENT.iter().enumerate() {
+            let mut aligner = method.build(&h, &ds, h.seed);
+            let outcome = iterative_align(aligner.as_mut(), &ds, 2, 0.4);
+            let metrics = outcome.final_metrics();
+            iterative[mi].cells.push(metrics);
+            iterative[mi].seconds.push(outcome.seconds);
+            all_json.push(serde_json::json!({
+                "dataset": spec.name(), "method": method.name(), "strategy": "iterative",
+                "metrics": desalign_bench::metrics_json(&metrics), "seconds": outcome.seconds,
+            }));
+        }
+    }
+    let conditions: Vec<String> = DatasetSpec::BILINGUAL.iter().map(|s| s.name().to_string()).collect();
+    print_table("Table V — bilingual (non-iterative)", &conditions, &basic);
+    print_table("Table V — bilingual (iterative)", &conditions, &iterative);
+    desalign_bench::dump_json("results/table5.json", &serde_json::json!(all_json));
+}

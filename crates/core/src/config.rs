@@ -1,0 +1,278 @@
+//! Hyperparameters, with the paper's defaults (§V-A4) and a laptop-scale
+//! profile used by tests and the synthetic benchmarks.
+
+use desalign_mmkg::FeatureDims;
+use serde::{Deserialize, Serialize};
+
+/// Ablation switches — each corresponds to one bar of Figure 3 (left).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Ablation {
+    /// `w/o g` — drop the graph-structure modality.
+    pub use_structure: bool,
+    /// `w/o r` — drop the relation modality.
+    pub use_relation: bool,
+    /// `w/o t` — drop the text-attribute modality.
+    pub use_text: bool,
+    /// `w/o v` — drop the visual modality.
+    pub use_visual: bool,
+    /// `w/o ℒ_task^(0)` — drop the early-fusion task loss.
+    pub use_loss_task0: bool,
+    /// `w/o ℒ_task^(k)` — drop the late-fusion task loss.
+    pub use_loss_taskk: bool,
+    /// `w/o ℒ_m^(k-1)` — drop the penultimate-layer intra-modal losses.
+    pub use_loss_mk1: bool,
+    /// `w/o ℒ_m^(k)` — drop the final-layer intra-modal losses.
+    pub use_loss_mk: bool,
+    /// `w/o PP` — disable Semantic Propagation at inference.
+    pub use_semantic_propagation: bool,
+    /// `w/o energy` — disable the Dirichlet-energy constraint penalty
+    /// (the MMSL bound of Proposition 3).
+    pub use_energy_constraint: bool,
+    /// `w/o φ` — disable min-confidence loss weighting.
+    pub use_confidence_weighting: bool,
+    /// Weight the joint embeddings by the modal confidences `w̃^m`
+    /// (Eq. 14); when disabled, modalities are concatenated uniformly.
+    pub use_confidence_fusion: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self {
+            use_structure: true,
+            use_relation: true,
+            use_text: true,
+            use_visual: true,
+            use_loss_task0: true,
+            use_loss_taskk: true,
+            use_loss_mk1: true,
+            use_loss_mk: true,
+            use_semantic_propagation: true,
+            use_energy_constraint: true,
+            use_confidence_weighting: true,
+            use_confidence_fusion: true,
+        }
+    }
+}
+
+impl Ablation {
+    /// Number of active modalities.
+    pub fn num_modalities(&self) -> usize {
+        [self.use_structure, self.use_relation, self.use_text, self.use_visual].iter().filter(|&&b| b).count()
+    }
+}
+
+/// Which structure-branch encoder to use (Eq. 7). The paper uses a GAT;
+/// a vanilla GCN is provided for the architecture study (and is stronger
+/// at very small graph scales, where attention heads are data-starved).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StructureEncoderKind {
+    /// Graph attention network (paper default).
+    Gat,
+    /// Two-layer mean-pooling GCN.
+    Gcn,
+}
+
+/// Full DESAlign configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DesalignConfig {
+    /// Unified hidden dimension `d` (paper: 300).
+    pub hidden_dim: usize,
+    /// Raw feature dims for BoW / vision inputs (paper: 1000/1000/2048).
+    #[serde(skip, default)]
+    pub feature_dims: FeatureDims,
+    /// Structure encoder architecture.
+    pub structure_encoder: StructureEncoderKind,
+    /// GAT attention heads (paper: 2).
+    pub gat_heads: usize,
+    /// GAT layers (paper: 2).
+    pub gat_layers: usize,
+    /// CAW multi-attention heads `N_h` (paper: 1).
+    pub caw_heads: usize,
+    /// Semantic-encoder depth `k` — number of stacked CAW blocks; the
+    /// Proposition 3 constraint couples layers `k`, `k−1` and `0`.
+    pub caw_layers: usize,
+    /// Contrastive temperature `τ` (paper: 0.1).
+    pub tau: f32,
+    /// Training epochs (paper: 500).
+    pub epochs: usize,
+    /// Pairs per contrastive batch (paper: 3500; in-batch negatives).
+    pub batch_size: usize,
+    /// AdamW peak learning rate.
+    pub lr: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Warmup fraction of the cosine schedule (paper: 0.15).
+    pub warmup_frac: f32,
+    /// Early-stopping patience in evaluations (0 disables).
+    pub early_stop_patience: usize,
+    /// Evaluate the validation split every this many epochs.
+    pub eval_every: usize,
+    /// Lower energy-bound coefficient `c_min` of Eq. 15 (in `(0, 1)`).
+    pub c_min: f32,
+    /// Upper energy-bound coefficient `c_max` of Eq. 15.
+    pub c_max: f32,
+    /// Weight of the energy-constraint penalty in the total loss.
+    pub energy_weight: f32,
+    /// Semantic Propagation rounds `n_p` (Figure 4; paper: 1 for bilingual,
+    /// 2–3 for monolingual).
+    pub sp_iterations: usize,
+    /// Whether SP resets boundary (consistent) features each round. The
+    /// paper's practice lets consistent features join the propagation
+    /// (§V-F), i.e. `false`.
+    pub sp_reset_known: bool,
+    /// Per-modality SP: propagate each modality block independently with
+    /// that modality's presence mask as the boundary, interpolating only
+    /// missing blocks (see `per_modality_propagation_similarity`). When
+    /// false, the joint embedding is propagated as one matrix (Alg. 1).
+    pub sp_per_modality: bool,
+    /// ℓ2-normalize each modality block inside the joint embeddings
+    /// (Eq. 14) so no branch dominates by norm; disabled, blocks keep their
+    /// learned norms (free norm-based modality weighting).
+    pub fusion_normalize: bool,
+    /// Compute `ℒ_m^(k−1)` on the branch embeddings `h^m` (true) or on the
+    /// penultimate CAW layer (false).
+    pub modal_k1_on_branch: bool,
+    /// Rescale φ by |M| so uniform confidence gives unit weight.
+    pub phi_rescale: bool,
+    /// Blend factor α for the fusion weights of Eq. 14:
+    /// `w_eff = α·w̃^m + (1−α)/|M|`. The modal confidences are estimated
+    /// independently per graph, so fully trusting them (α = 1) makes the
+    /// same modality carry different weights on the two sides of an aligned
+    /// pair and scrambles the similarity; a small α keeps the adaptive
+    /// signal while preserving cross-graph comparability.
+    pub confidence_blend: f32,
+    /// Ablation switches.
+    pub ablation: Ablation,
+}
+
+impl DesalignConfig {
+    /// The paper's configuration (§V-A4) — intended for full-scale data.
+    pub fn paper() -> Self {
+        Self {
+            hidden_dim: 300,
+            feature_dims: FeatureDims { relation: 1000, attribute: 1000, visual: 2048 },
+            structure_encoder: StructureEncoderKind::Gat,
+            gat_heads: 2,
+            gat_layers: 2,
+            caw_heads: 1,
+            caw_layers: 2,
+            tau: 0.1,
+            epochs: 500,
+            batch_size: 3500,
+            lr: 5e-3,
+            weight_decay: 1e-4,
+            warmup_frac: 0.15,
+            early_stop_patience: 10,
+            eval_every: 5,
+            c_min: 0.33,
+            c_max: 2.0,
+            energy_weight: 0.05,
+            sp_iterations: 3,
+            sp_reset_known: false,
+            sp_per_modality: true,
+            fusion_normalize: false,
+            modal_k1_on_branch: false,
+            phi_rescale: true,
+            confidence_blend: 0.25,
+            ablation: Ablation::default(),
+        }
+    }
+
+    /// Laptop-scale profile matched to the synthetic presets (`d = 64`,
+    /// 60 epochs). Used by tests, examples, and the benchmark harness.
+    pub fn fast() -> Self {
+        Self {
+            hidden_dim: 64,
+            feature_dims: FeatureDims { relation: 128, attribute: 128, visual: 64 },
+            structure_encoder: StructureEncoderKind::Gat,
+            gat_heads: 2,
+            gat_layers: 2,
+            caw_heads: 1,
+            caw_layers: 2,
+            tau: 0.1,
+            epochs: 60,
+            batch_size: 512,
+            lr: 5e-3,
+            weight_decay: 1e-4,
+            warmup_frac: 0.15,
+            early_stop_patience: 0,
+            eval_every: 10,
+            c_min: 0.33,
+            c_max: 2.0,
+            energy_weight: 0.05,
+            sp_iterations: 3,
+            sp_reset_known: false,
+            sp_per_modality: true,
+            fusion_normalize: false,
+            modal_k1_on_branch: false,
+            phi_rescale: true,
+            confidence_blend: 0.25,
+            ablation: Ablation::default(),
+        }
+    }
+
+    /// Validates hyperparameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden_dim == 0 || !self.hidden_dim.is_multiple_of(self.caw_heads) {
+            return Err(format!("hidden_dim {} must be a positive multiple of caw_heads {}", self.hidden_dim, self.caw_heads));
+        }
+        if !(0.0..1.0).contains(&self.c_min) {
+            return Err(format!("c_min {} must lie in (0,1) (Proposition 3)", self.c_min));
+        }
+        if self.c_max <= 0.0 {
+            return Err(format!("c_max {} must be positive", self.c_max));
+        }
+        if self.tau <= 0.0 {
+            return Err(format!("tau {} must be positive", self.tau));
+        }
+        if self.ablation.num_modalities() == 0 {
+            return Err("at least one modality must stay enabled".into());
+        }
+        if self.caw_layers == 0 {
+            return Err("caw_layers must be ≥ 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.confidence_blend) {
+            return Err(format!("confidence_blend {} must lie in [0,1]", self.confidence_blend));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert_eq!(DesalignConfig::paper().validate(), Ok(()));
+        assert_eq!(DesalignConfig::fast().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut c = DesalignConfig::fast();
+        c.c_min = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = DesalignConfig::fast();
+        c.tau = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DesalignConfig::fast();
+        c.hidden_dim = 63;
+        c.caw_heads = 2;
+        assert!(c.validate().is_err());
+        let mut c = DesalignConfig::fast();
+        c.ablation.use_structure = false;
+        c.ablation.use_relation = false;
+        c.ablation.use_text = false;
+        c.ablation.use_visual = false;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_counts_modalities() {
+        let mut a = Ablation::default();
+        assert_eq!(a.num_modalities(), 4);
+        a.use_visual = false;
+        assert_eq!(a.num_modalities(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Alternative decoding strategies on top of the similarity matrix.
+//!
+//! The paper evaluates with plain cosine ranking; two refinements are
+//! provided as drop-in post-processing:
+//!
+//! - [`csls_decode`] — CSLS hubness correction (standard in the EA
+//!   literature; the paper's related work applies it);
+//! - [`gradient_flow_decode`] — the energy-gradient-flow decoding of the
+//!   authors' companion work (reference 19 of the paper, "Gradient Flow
+//!   of Energy: a general and efficient approach for entity alignment
+//!   decoding"): the similarity matrix itself is treated as a feature
+//!   field over each graph and evolved by the same `x ← Ãx` flow used by
+//!   Semantic Propagation, mixing neighbourhood consensus into the
+//!   pairwise scores.
+
+use desalign_eval::{csls_rescale, SimilarityMatrix};
+use desalign_graph::{propagate_features, Csr, PropagationConfig};
+
+/// CSLS re-scoring with the standard `k = 10` neighbourhood.
+pub fn csls_decode(sim: &SimilarityMatrix) -> SimilarityMatrix {
+    csls_rescale(sim, 10)
+}
+
+/// Gradient-flow decoding: evolves the similarity matrix `Ω` along both
+/// graphs' Dirichlet-energy gradient flows and averages the states.
+///
+/// One round applies `Ω ← ½(Ã_s Ω + (Ã_t Ωᵀ)ᵀ)`, i.e. a smoothing step
+/// over source rows and target columns; `blend` mixes the evolved matrix
+/// with the original (`0` = no change, `1` = fully evolved).
+pub fn gradient_flow_decode(
+    sim: &SimilarityMatrix,
+    adj_s: &Csr,
+    adj_t: &Csr,
+    rounds: usize,
+    blend: f32,
+) -> SimilarityMatrix {
+    assert!((0.0..=1.0).contains(&blend), "gradient_flow_decode: blend {blend} out of [0,1]");
+    let (n_s, n_t) = sim.shape();
+    assert_eq!(adj_s.rows(), n_s, "gradient_flow_decode: Ã_s is {}x{}, Ω has {n_s} rows", adj_s.rows(), adj_s.cols());
+    assert_eq!(adj_t.rows(), n_t, "gradient_flow_decode: Ã_t is {}x{}, Ω has {n_t} cols", adj_t.rows(), adj_t.cols());
+    if rounds == 0 || blend == 0.0 {
+        return SimilarityMatrix::new(sim.scores().clone());
+    }
+    let cfg = PropagationConfig { iterations: rounds, step: 1.0, reset_known: false };
+    let no_boundary_s = vec![false; n_s];
+    let no_boundary_t = vec![false; n_t];
+    // Rows: smooth over the source graph.
+    let rows = propagate_features(adj_s, sim.scores(), &no_boundary_s, &cfg)
+        .pop()
+        .expect("propagate_features returns ≥ 1 state");
+    // Columns: smooth over the target graph (via the transpose).
+    let cols_t = propagate_features(adj_t, &rows.transpose(), &no_boundary_t, &cfg)
+        .pop()
+        .expect("propagate_features returns ≥ 1 state");
+    let evolved = cols_t.transpose();
+    let mixed = sim.scores().scale(1.0 - blend).add(&evolved.scale(blend));
+    SimilarityMatrix::new(mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_eval::evaluate_ranking;
+    use desalign_graph::UndirectedGraph;
+    use desalign_tensor::{normal_matrix, rng_from_seed, Matrix};
+
+    fn ring_adj(n: usize) -> Csr {
+        UndirectedGraph::new(n, (0..n).map(|i| (i, (i + 1) % n))).normalized_adjacency(true)
+    }
+
+    #[test]
+    fn zero_rounds_or_blend_is_identity() {
+        let mut rng = rng_from_seed(1);
+        let sim = SimilarityMatrix::new(normal_matrix(&mut rng, 5, 5, 0.0, 1.0));
+        let a = ring_adj(5);
+        assert_eq!(gradient_flow_decode(&sim, &a, &a, 0, 0.5).scores(), sim.scores());
+        assert_eq!(gradient_flow_decode(&sim, &a, &a, 2, 0.0).scores(), sim.scores());
+    }
+
+    #[test]
+    fn flow_recovers_a_corrupted_diagonal_entry() {
+        // A diagonal similarity with one wrecked entry: neighbourhood
+        // consensus from the flow restores the correct match.
+        let n = 8;
+        let mut scores = Matrix::full(n, n, 0.0);
+        for i in 0..n {
+            scores[(i, i)] = 1.0;
+        }
+        scores[(3, 3)] = -0.2; // corrupted
+        scores[(3, 6)] = 0.3; // misleading alternative
+        let sim = SimilarityMatrix::new(scores);
+        let a = ring_adj(n);
+        // Full blend: rely entirely on the two-sided neighbourhood
+        // consensus, which sees the intact diagonals of entities 2 and 4.
+        let decoded = gradient_flow_decode(&sim, &a, &a, 1, 1.0);
+        // Entity 3's gold target climbs from rank > 1 to rank 1: the
+        // two-sided flow sees the intact diagonals of its neighbours 2, 4.
+        assert!(sim.rank_of(3, 3) > 1, "premise: entity 3 starts broken");
+        assert_eq!(decoded.rank_of(3, 3), 1, "flow should fix entity 3");
+        // Sanity: the decoded matrix still ranks *some* entities and the
+        // harness metrics stay well-defined.
+        let pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let after = evaluate_ranking(&decoded, &pairs);
+        assert!(after.mrr > 0.0);
+    }
+
+    #[test]
+    fn csls_decode_preserves_shape() {
+        let mut rng = rng_from_seed(2);
+        let sim = SimilarityMatrix::new(normal_matrix(&mut rng, 4, 6, 0.0, 1.0));
+        let out = csls_decode(&sim);
+        assert_eq!(out.shape(), (4, 6));
+        assert!(out.scores().all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn blend_is_validated() {
+        let sim = SimilarityMatrix::new(Matrix::zeros(2, 2));
+        let a = ring_adj(2);
+        let _ = gradient_flow_decode(&sim, &a, &a, 1, 1.5);
+    }
+}

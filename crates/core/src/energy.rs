@@ -1,0 +1,113 @@
+//! Dirichlet-energy instrumentation: per-layer energy traces and the
+//! Proposition 2 singular-value bounds.
+//!
+//! These diagnostics are what Section III uses to *explain* semantic
+//! inconsistency: under missing modalities, unconstrained training drives
+//! layer weights' singular values (hence the layer's Dirichlet energy)
+//! towards zero — over-smoothing. The `energy_trace` benchmark binary plots
+//! exactly this.
+
+use desalign_graph::{dirichlet_energy, singular_value_range, Csr};
+use desalign_tensor::Matrix;
+
+/// Per-layer Dirichlet energies at one training epoch:
+/// `[ℒ(X^(0)), ℒ(X^(k−1)), ℒ(X^(k))]` for each side.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyTrace {
+    /// Training epoch the trace was taken at.
+    pub epoch: usize,
+    /// Source-graph energies `[E₀, E_{k−1}, E_k]`.
+    pub source: [f32; 3],
+    /// Target-graph energies `[E₀, E_{k−1}, E_k]`.
+    pub target: [f32; 3],
+}
+
+impl EnergyTrace {
+    /// Ratio `ℒ(X^(k)) / ℒ(X^(0))` averaged over both sides — the
+    /// over-smoothing indicator (→ 0 means collapse).
+    pub fn smoothing_ratio(&self) -> f32 {
+        let r = |e: &[f32; 3]| if e[0] > 1e-12 { e[2] / e[0] } else { 0.0 };
+        (r(&self.source) + r(&self.target)) / 2.0
+    }
+}
+
+/// Model-level energy diagnostics collected after training.
+#[derive(Clone, Debug, Default)]
+pub struct EnergyDiagnostics {
+    /// Energy traces sampled during training.
+    pub traces: Vec<EnergyTrace>,
+    /// Extreme singular values `(σ_min, σ_max)` of each per-modality FC
+    /// weight — the `√p_min`, `√p_max` of Proposition 2.
+    pub fc_singular_values: Vec<(char, (f32, f32))>,
+}
+
+impl EnergyDiagnostics {
+    /// True when any recorded trace shows a collapsed final-layer energy
+    /// (over-smoothing by the Section III criterion).
+    pub fn shows_over_smoothing(&self, threshold: f32) -> bool {
+        self.traces.iter().any(|t| t.smoothing_ratio() < threshold)
+    }
+}
+
+/// The two-sided bound of **Proposition 2** for a linear layer
+/// `X^{(k)} = X^{(k-1)} W`:
+///
+/// `p_min ℒ(X^{(k-1)}) ≤ ℒ(X^{(k)}) ≤ p_max ℒ(X^{(k-1)})`
+///
+/// with `p_min/p_max` the squared extreme singular values of `W`. Returns
+/// `(lower, actual, upper)`.
+pub fn proposition2_bounds(laplacian: &Csr, x_prev: &Matrix, w: &Matrix) -> (f32, f32, f32) {
+    let (smin, smax) = singular_value_range(w, 600, 1e-7);
+    let e_prev = dirichlet_energy(laplacian, x_prev);
+    let x_next = x_prev.matmul(w);
+    let e_next = dirichlet_energy(laplacian, &x_next);
+    (smin * smin * e_prev, e_next, smax * smax * e_prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_graph::UndirectedGraph;
+    use desalign_tensor::{glorot_uniform, normal_matrix, rng_from_seed};
+
+    #[test]
+    fn proposition2_holds_for_random_layers() {
+        let g = UndirectedGraph::new(10, (0..10).map(|i| (i, (i + 1) % 10)));
+        let lap = g.laplacian();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..10 {
+            let x = normal_matrix(&mut rng, 10, 6, 0.0, 1.0);
+            let w = glorot_uniform(&mut rng, 6, 6);
+            let (lower, actual, upper) = proposition2_bounds(&lap, &x, &w);
+            assert!(actual >= lower - 1e-3, "Prop. 2 lower bound violated: {actual} < {lower}");
+            assert!(actual <= upper + 1e-3, "Prop. 2 upper bound violated: {actual} > {upper}");
+        }
+    }
+
+    #[test]
+    fn near_singular_weight_collapses_energy() {
+        // The over-smoothing mechanism of Section III: a weight matrix with
+        // tiny singular values squeezes the Dirichlet energy towards zero.
+        let g = UndirectedGraph::new(8, (0..8).map(|i| (i, (i + 1) % 8)));
+        let lap = g.laplacian();
+        let mut rng = rng_from_seed(2);
+        let x = normal_matrix(&mut rng, 8, 4, 0.0, 1.0);
+        let w = desalign_tensor::Matrix::eye(4).scale(1e-3);
+        let (_, actual, upper) = proposition2_bounds(&lap, &x, &w);
+        let e_prev = dirichlet_energy(&lap, &x);
+        assert!(actual < e_prev * 1e-4, "energy should collapse: {actual} vs {e_prev}");
+        assert!(upper < e_prev * 1e-4);
+    }
+
+    #[test]
+    fn smoothing_ratio_detects_collapse() {
+        let healthy = EnergyTrace { epoch: 0, source: [1.0, 0.9, 0.8], target: [1.0, 0.9, 0.85] };
+        let collapsed = EnergyTrace { epoch: 1, source: [1.0, 0.1, 0.001], target: [1.0, 0.05, 0.002] };
+        assert!(healthy.smoothing_ratio() > 0.5);
+        assert!(collapsed.smoothing_ratio() < 0.01);
+        let diag = EnergyDiagnostics { traces: vec![healthy, collapsed], fc_singular_values: vec![] };
+        assert!(diag.shows_over_smoothing(0.1));
+        let diag = EnergyDiagnostics { traces: vec![healthy], fc_singular_values: vec![] };
+        assert!(!diag.shows_over_smoothing(0.1));
+    }
+}

@@ -1,0 +1,157 @@
+//! The iterative (bootstrapping) training strategy (§V-A2).
+//!
+//! Following the protocol of MCLEA that the paper adopts, a "temporary
+//! cache" of cross-graph **mutual nearest** entity pairs from the unaligned
+//! pool is mined after each training stage and injected as pseudo seeds for
+//! the next stage. The cache is rebuilt from scratch every round — this is
+//! the *alignment editing* step that discards stale pseudo pairs and keeps
+//! error accumulation down (§V-A4, following BootEA).
+
+use crate::config::DesalignConfig;
+use crate::model::DesalignModel;
+use desalign_eval::{mutual_nearest_neighbours, AlignmentMetrics};
+use desalign_mmkg::AlignmentDataset;
+
+/// Knobs of the iterative strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct IterativeConfig {
+    /// Number of mine-and-retrain rounds after the base fit (paper: the
+    /// iterative variant trains "another 500 epochs"; we default to 2
+    /// rounds of `epochs` each).
+    pub rounds: usize,
+    /// Cap on pseudo pairs admitted per round (0 = unlimited).
+    pub max_new_pairs: usize,
+    /// Minimum cosine similarity for an admitted pseudo pair.
+    pub min_score: f32,
+}
+
+impl Default for IterativeConfig {
+    fn default() -> Self {
+        Self { rounds: 2, max_new_pairs: 0, min_score: 0.5 }
+    }
+}
+
+/// Outcome of one iterative round.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Round index (0 = base training).
+    pub round: usize,
+    /// Pseudo pairs in use during this round.
+    pub pseudo_pairs: usize,
+    /// Of those, how many agree with a gold alignment (diagnostic only —
+    /// gold test labels are never used for training).
+    pub pseudo_correct: usize,
+    /// Test metrics at the end of the round.
+    pub metrics: AlignmentMetrics,
+}
+
+/// Full iterative-training report.
+#[derive(Clone, Debug)]
+pub struct IterativeReport {
+    /// Per-round outcomes, starting with the base (non-iterative) fit.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl IterativeReport {
+    /// Final metrics (last round).
+    pub fn final_metrics(&self) -> AlignmentMetrics {
+        self.rounds.last().map(|r| r.metrics).unwrap_or_default()
+    }
+
+    /// Metrics of the base fit before any bootstrapping.
+    pub fn base_metrics(&self) -> AlignmentMetrics {
+        self.rounds.first().map(|r| r.metrics).unwrap_or_default()
+    }
+}
+
+/// Trains DESAlign with the iterative strategy and returns the final model
+/// plus the per-round report.
+pub fn iterative_fit(
+    cfg: DesalignConfig,
+    it_cfg: IterativeConfig,
+    dataset: &AlignmentDataset,
+    seed: u64,
+) -> (DesalignModel, IterativeReport) {
+    let mut model = DesalignModel::new(cfg, dataset, seed);
+    let mut rounds = Vec::with_capacity(it_cfg.rounds + 1);
+
+    model.fit(dataset);
+    rounds.push(RoundReport { round: 0, pseudo_pairs: 0, pseudo_correct: 0, metrics: model.evaluate(dataset) });
+
+    // Gold map for the pseudo-pair precision diagnostic.
+    let mut gold = std::collections::HashMap::new();
+    for &(s, t) in dataset.train_pairs.iter().chain(&dataset.test_pairs) {
+        gold.insert(s, t);
+    }
+
+    for round in 1..=it_cfg.rounds {
+        // Candidate pools: entities not covered by gold seeds.
+        let seeded_s: std::collections::HashSet<usize> = dataset.train_pairs.iter().map(|&(s, _)| s).collect();
+        let seeded_t: std::collections::HashSet<usize> = dataset.train_pairs.iter().map(|&(_, t)| t).collect();
+        let cand_s: Vec<usize> = (0..dataset.source.num_entities).filter(|s| !seeded_s.contains(s)).collect();
+        let cand_t: Vec<usize> = (0..dataset.target.num_entities).filter(|t| !seeded_t.contains(t)).collect();
+
+        let sim = model.similarity();
+        let mut mined = mutual_nearest_neighbours(&sim, &cand_s, &cand_t, it_cfg.min_score);
+        if it_cfg.max_new_pairs > 0 {
+            mined.truncate(it_cfg.max_new_pairs);
+        }
+        // Alignment editing: the cache is replaced, not appended to.
+        model.pseudo_pairs = mined.iter().map(|&(s, t, _)| (s, t)).collect();
+        let pseudo_correct = model.pseudo_pairs.iter().filter(|&&(s, t)| gold.get(&s) == Some(&t)).count();
+
+        model.fit(dataset);
+        rounds.push(RoundReport {
+            round,
+            pseudo_pairs: model.pseudo_pairs.len(),
+            pseudo_correct,
+            metrics: model.evaluate(dataset),
+        });
+    }
+
+    (model, IterativeReport { rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+    fn tiny_cfg() -> DesalignConfig {
+        let mut cfg = DesalignConfig::fast();
+        cfg.hidden_dim = 16;
+        cfg.feature_dims = desalign_mmkg::FeatureDims { relation: 32, attribute: 32, visual: 64 };
+        cfg.epochs = 10;
+        cfg.batch_size = 64;
+        cfg
+    }
+
+    #[test]
+    fn iterative_runs_requested_rounds() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(21);
+        let it = IterativeConfig { rounds: 2, max_new_pairs: 20, min_score: 0.0 };
+        let (_, report) = iterative_fit(tiny_cfg(), it, &ds, 5);
+        assert_eq!(report.rounds.len(), 3);
+        assert_eq!(report.rounds[0].pseudo_pairs, 0);
+    }
+
+    #[test]
+    fn pseudo_pairs_never_reuse_gold_seeds() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(22);
+        let it = IterativeConfig { rounds: 1, max_new_pairs: 0, min_score: 0.0 };
+        let (model, _) = iterative_fit(tiny_cfg(), it, &ds, 6);
+        let seeded_s: std::collections::HashSet<usize> = ds.train_pairs.iter().map(|&(s, _)| s).collect();
+        for &(s, _) in &model.pseudo_pairs {
+            assert!(!seeded_s.contains(&s), "pseudo pair reuses seeded source {s}");
+        }
+    }
+
+    #[test]
+    fn max_new_pairs_caps_the_cache() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(23);
+        let it = IterativeConfig { rounds: 1, max_new_pairs: 5, min_score: -1.0 };
+        let (model, report) = iterative_fit(tiny_cfg(), it, &ds, 7);
+        assert!(model.pseudo_pairs.len() <= 5);
+        assert!(report.rounds[1].pseudo_pairs <= 5);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Multi-Modal Semantic Learning objective (§IV-B).
+//!
+//! Implements the optimization problem of **Proposition 3** (Eq. 15):
+//!
+//! `min  ℒ_task^(0) + ℒ_task^(k) + Σ_m (ℒ_m^(k−1) + ℒ_m^(k))`
+//! `s.t. c_min ℒ(X^(k−1)) ≤ ℒ(X^(k)) ≤ c_max ℒ(X^(0))`
+//!
+//! The task losses are bidirectional in-batch InfoNCE over the joint
+//! embeddings (Eq. 16–17); the per-modality losses additionally carry the
+//! min-confidence weight `φ_m` that prevents aligning meaningful features
+//! with the random noise filling a missing modality. The Dirichlet-energy
+//! constraint is enforced as a hinge penalty on both graphs — this is the
+//! mechanism that blocks the over-smoothing collapse of Proposition 2.
+
+use crate::config::DesalignConfig;
+use crate::encoder::EncodedGraph;
+use desalign_autodiff::Var;
+use desalign_graph::Csr;
+use desalign_nn::Session;
+use desalign_tensor::Matrix;
+use std::rc::Rc;
+
+/// Scalar components of one loss evaluation, for logging and the ablation
+/// analysis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LossBreakdown {
+    /// Total optimized loss.
+    pub total: f32,
+    /// `ℒ_task^(0)` (early fusion).
+    pub task0: f32,
+    /// `ℒ_task^(k)` (late fusion).
+    pub taskk: f32,
+    /// `Σ_m ℒ_m^(k−1)`.
+    pub modal_k1: f32,
+    /// `Σ_m ℒ_m^(k)`.
+    pub modal_k: f32,
+    /// Energy-constraint hinge penalty (already weighted).
+    pub energy_penalty: f32,
+}
+
+/// Builds the full MMSL loss for one batch of seed pairs.
+///
+/// `laplacians` are the per-side graph Laplacians used by the energy
+/// constraint. Returns the loss node plus the scalar breakdown.
+#[allow(clippy::too_many_arguments)]
+pub fn mmsl_loss(
+    sess: &mut Session<'_>,
+    cfg: &DesalignConfig,
+    enc_s: &EncodedGraph,
+    enc_t: &EncodedGraph,
+    batch: &[(usize, usize)],
+    laplacians: (&Rc<Csr>, &Rc<Csr>),
+) -> (Var, LossBreakdown) {
+    assert!(!batch.is_empty(), "mmsl_loss: empty batch");
+    let src_idx: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(s, _)| s).collect());
+    let tgt_idx: Rc<Vec<usize>> = Rc::new(batch.iter().map(|&(_, t)| t).collect());
+
+    let mut terms: Vec<Var> = Vec::new();
+    let mut breakdown = LossBreakdown::default();
+    let ab = &cfg.ablation;
+
+    // ℒ_task^(0): early-fusion joint embeddings, φ = 1 (Eq. 16 with h^Ori).
+    if ab.use_loss_task0 {
+        let z1 = sess.tape.gather_rows(enc_s.h_ori, Rc::clone(&src_idx));
+        let z2 = sess.tape.gather_rows(enc_t.h_ori, Rc::clone(&tgt_idx));
+        let l = sess.tape.info_nce_bidirectional(z1, z2, cfg.tau);
+        breakdown.task0 = sess.tape.value(l)[(0, 0)];
+        terms.push(l);
+    }
+
+    // ℒ_task^(k): late-fusion joint embeddings.
+    if ab.use_loss_taskk {
+        let z1 = sess.tape.gather_rows(enc_s.h_fus(), Rc::clone(&src_idx));
+        let z2 = sess.tape.gather_rows(enc_t.h_fus(), Rc::clone(&tgt_idx));
+        let l = sess.tape.info_nce_bidirectional(z1, z2, cfg.tau);
+        breakdown.taskk = sess.tape.value(l)[(0, 0)];
+        terms.push(l);
+    }
+
+    // Per-modality intra-modal losses at layers k and k−1, weighted by the
+    // detached min-confidence φ_m (Eq. 17).
+    let phi: Vec<Matrix> = (0..enc_s.modalities.len())
+        .map(|m| {
+            if ab.use_confidence_weighting {
+                // Optionally rescale by |M| so a uniform confidence (1/|M|
+                // each) gives unit weight; only *relative* confidence then
+                // down-weights a pair.
+                let scale = if cfg.phi_rescale { enc_s.modalities.len() as f32 } else { 1.0 };
+                let cap = if cfg.phi_rescale { 2.0 } else { 1.0 };
+                let ws = sess.tape.value(enc_s.confidence[m]).clone();
+                let wt = sess.tape.value(enc_t.confidence[m]).clone();
+                Matrix::column(batch.iter().map(|&(s, t)| (scale * ws[(s, 0)].min(wt[(t, 0)])).min(cap)).collect())
+            } else {
+                Matrix::full(batch.len(), 1, 1.0)
+            }
+        })
+        .collect();
+
+    let last = enc_s.fused_layers.len() - 1;
+    #[allow(clippy::needless_range_loop)] // `m` indexes parallel per-modality arrays
+    for m in 0..enc_s.modalities.len() {
+        if ab.use_loss_mk {
+            let z1 = sess.tape.gather_rows(enc_s.fused_layers[last][m], Rc::clone(&src_idx));
+            let z2 = sess.tape.gather_rows(enc_t.fused_layers[last][m], Rc::clone(&tgt_idx));
+            let phi_var = sess.input(phi[m].clone());
+            let l = sess.tape.info_nce_weighted(z1, z2, cfg.tau, phi_var);
+            breakdown.modal_k += sess.tape.value(l)[(0, 0)];
+            terms.push(l);
+        }
+        if ab.use_loss_mk1 {
+            // Layer k−1: either the branch embedding h^m (which feeds the
+            // early-fusion evaluation embedding h^Ori and so benefits from
+            // direct alignment signal) or the penultimate CAW layer.
+            let (h_s, h_t) = if cfg.modal_k1_on_branch || enc_s.fused_layers.len() < 2 {
+                (enc_s.modal[m], enc_t.modal[m])
+            } else {
+                (enc_s.fused_layers[last - 1][m], enc_t.fused_layers[last - 1][m])
+            };
+            let z1 = sess.tape.gather_rows(h_s, Rc::clone(&src_idx));
+            let z2 = sess.tape.gather_rows(h_t, Rc::clone(&tgt_idx));
+            let phi_var = sess.input(phi[m].clone());
+            let l = sess.tape.info_nce_weighted(z1, z2, cfg.tau, phi_var);
+            breakdown.modal_k1 += sess.tape.value(l)[(0, 0)];
+            terms.push(l);
+        }
+    }
+
+    // Dirichlet-energy constraint of Eq. 15 as a hinge penalty per side:
+    // relu(c_min·ℒ(X^(k−1)) − ℒ(X^(k))) + relu(ℒ(X^(k)) − c_max·ℒ(X^(0))).
+    if ab.use_energy_constraint && cfg.energy_weight > 0.0 {
+        for (enc, lap) in [(enc_s, laplacians.0), (enc_t, laplacians.1)] {
+            let n = sess.tape.value(enc.h_ori).rows();
+            let d_total = sess.tape.value(enc.h_ori).cols();
+            let norm = 1.0 / (n * d_total) as f32;
+            let e0 = sess.tape.dirichlet_energy(Rc::clone(lap), enc.h_ori);
+            let ek = sess.tape.dirichlet_energy(Rc::clone(lap), enc.h_fus());
+            let ek1 = sess.tape.dirichlet_energy(Rc::clone(lap), enc.h_fus_prev());
+            // Lower hinge: energy must not collapse below c_min·ℒ(X^(k−1)).
+            let lower_ref = sess.tape.scale(ek1, cfg.c_min);
+            let lower_gap = sess.tape.sub(lower_ref, ek);
+            let lower_pen = sess.tape.relu(lower_gap);
+            // Upper hinge: no over-separating beyond c_max·ℒ(X^(0)).
+            let upper_ref = sess.tape.scale(e0, cfg.c_max);
+            let upper_gap = sess.tape.sub(ek, upper_ref);
+            let upper_pen = sess.tape.relu(upper_gap);
+            let pen = sess.tape.add(lower_pen, upper_pen);
+            let pen = sess.tape.scale(pen, cfg.energy_weight * norm);
+            breakdown.energy_penalty += sess.tape.value(pen)[(0, 0)];
+            terms.push(pen);
+        }
+    }
+
+    assert!(!terms.is_empty(), "mmsl_loss: all loss terms ablated away");
+    let mut total = terms[0];
+    for &t in &terms[1..] {
+        total = sess.tape.add(total, t);
+    }
+    breakdown.total = sess.tape.value(total)[(0, 0)];
+    (total, breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{GraphInputs, MultiModalEncoder};
+    use desalign_mmkg::{DatasetSpec, SynthConfig};
+    use desalign_nn::ParamStore;
+    use desalign_tensor::rng_from_seed;
+
+    fn setup() -> (desalign_mmkg::AlignmentDataset, DesalignConfig) {
+        let mut cfg = DesalignConfig::fast();
+        cfg.hidden_dim = 16;
+        cfg.feature_dims = desalign_mmkg::FeatureDims { relation: 32, attribute: 32, visual: 64 };
+        (SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(5), cfg)
+    }
+
+    fn eval_loss(cfg: &DesalignConfig, ds: &desalign_mmkg::AlignmentDataset, seed: u64) -> LossBreakdown {
+        let mut rng = rng_from_seed(seed);
+        let mut store = ParamStore::new();
+        let enc = MultiModalEncoder::new(&mut store, &mut rng, cfg, ds);
+        let in_s = GraphInputs::prepare(&ds.source, cfg, &mut rng);
+        let in_t = GraphInputs::prepare(&ds.target, cfg, &mut rng);
+        let lap_s = Rc::new(ds.source.graph().laplacian());
+        let lap_t = Rc::new(ds.target.graph().laplacian());
+        let mut sess = Session::new(&store);
+        let enc_s = enc.forward(&mut sess, &in_s, 0);
+        let enc_t = enc.forward(&mut sess, &in_t, 1);
+        let (loss, breakdown) = mmsl_loss(&mut sess, cfg, &enc_s, &enc_t, &ds.train_pairs, (&lap_s, &lap_t));
+        let grads = sess.backward(loss);
+        assert!(!grads.is_empty());
+        breakdown
+    }
+
+    #[test]
+    fn loss_is_finite_and_composed() {
+        let (ds, cfg) = setup();
+        let b = eval_loss(&cfg, &ds, 1);
+        assert!(b.total.is_finite() && b.total > 0.0);
+        let sum = b.task0 + b.taskk + b.modal_k + b.modal_k1 + b.energy_penalty;
+        assert!((b.total - sum).abs() < 1e-3, "total {} != sum of parts {sum}", b.total);
+    }
+
+    #[test]
+    fn ablations_zero_their_terms() {
+        let (ds, mut cfg) = setup();
+        cfg.ablation.use_loss_task0 = false;
+        cfg.ablation.use_energy_constraint = false;
+        let b = eval_loss(&cfg, &ds, 2);
+        assert_eq!(b.task0, 0.0);
+        assert_eq!(b.energy_penalty, 0.0);
+        assert!(b.taskk > 0.0);
+    }
+
+    #[test]
+    fn confidence_weighting_changes_modal_losses() {
+        let (ds, mut cfg) = setup();
+        let with = eval_loss(&cfg, &ds, 3);
+        cfg.ablation.use_confidence_weighting = false;
+        let without = eval_loss(&cfg, &ds, 3);
+        // φ ≤ 1 per pair, so weighted modal losses are no larger.
+        assert!(with.modal_k <= without.modal_k + 1e-4, "φ-weighted {} vs unweighted {}", with.modal_k, without.modal_k);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let (ds, cfg) = setup();
+        let mut rng = rng_from_seed(4);
+        let mut store = ParamStore::new();
+        let enc = MultiModalEncoder::new(&mut store, &mut rng, &cfg, &ds);
+        let in_s = GraphInputs::prepare(&ds.source, &cfg, &mut rng);
+        let in_t = GraphInputs::prepare(&ds.target, &cfg, &mut rng);
+        let lap_s = Rc::new(ds.source.graph().laplacian());
+        let lap_t = Rc::new(ds.target.graph().laplacian());
+        let mut sess = Session::new(&store);
+        let enc_s = enc.forward(&mut sess, &in_s, 0);
+        let enc_t = enc.forward(&mut sess, &in_t, 1);
+        let _ = mmsl_loss(&mut sess, &cfg, &enc_s, &enc_t, &[], (&lap_s, &lap_t));
+    }
+}

@@ -1,0 +1,210 @@
+//! Semantic Propagation at inference time (§IV-C, Algorithm 1 lines 11–15).
+//!
+//! After training, the final semantic embeddings `X_s`, `X_t` are refined by
+//! the explicit-Euler gradient flow of the Dirichlet energy: `x ← Ãx`
+//! (Eq. 22), which reconstructs the missing part of the semantic features
+//! from neighbours. Each round produces a pairwise-similarity matrix
+//! `Ω_j`; the final decision matrix is their mean, which uses every
+//! intermediate estimate and preserves the original distribution of the
+//! consistent features.
+
+use desalign_eval::{cosine_similarity, SimilarityMatrix};
+use desalign_graph::{propagate_features, Csr, PropagationConfig};
+use desalign_mmkg::ModalFeatures;
+use desalign_tensor::Matrix;
+
+/// The semantic-consistency mask used as the propagation boundary: an
+/// entity is *consistent* when every optional modality (text attributes and
+/// image) is present. Structure/relations are always present on connected
+/// entities, so the optional modalities are what drive ε_c vs ε_o.
+pub fn consistency_mask(features: &ModalFeatures) -> Vec<bool> {
+    features
+        .has_attribute
+        .iter()
+        .zip(&features.has_visual)
+        .map(|(&a, &v)| a && v)
+        .collect()
+}
+
+/// Runs Semantic Propagation on both graphs and averages the per-round
+/// similarity matrices (Algorithm 1, line 15).
+///
+/// - `x_s`, `x_t` — final semantic embeddings from the encoder;
+/// - `adj_*` — symmetrically normalized adjacencies `Ã` (with self-loops);
+/// - `known_*` — boundary masks (see [`consistency_mask`]);
+/// - `iterations` — `n_p` (0 reduces to plain cosine similarity);
+/// - `reset_known` — enforce the hard boundary condition `x_c(t) = x_c`
+///   (the paper's §V-F practice lets consistent features join propagation,
+///   i.e. `false`).
+#[allow(clippy::too_many_arguments)]
+pub fn semantic_propagation_similarity(
+    x_s: &Matrix,
+    x_t: &Matrix,
+    adj_s: &Csr,
+    adj_t: &Csr,
+    known_s: &[bool],
+    known_t: &[bool],
+    iterations: usize,
+    reset_known: bool,
+) -> SimilarityMatrix {
+    if iterations == 0 {
+        return cosine_similarity(x_s, x_t);
+    }
+    let cfg = PropagationConfig { iterations, step: 1.0, reset_known };
+    let states_s = propagate_features(adj_s, x_s, known_s, &cfg);
+    let states_t = propagate_features(adj_t, x_t, known_t, &cfg);
+    let rounds: Vec<SimilarityMatrix> =
+        states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
+    SimilarityMatrix::average(&rounds)
+}
+
+/// Per-modality Semantic Propagation: each modality block of the joint
+/// embedding is propagated independently, with that modality's presence
+/// mask as the boundary — entities owning the modality keep their exact
+/// features, entities missing it receive the neighbour interpolation
+/// (replacing the noise fill). Blocks whose modality every entity owns are
+/// left untouched. This is the sharp version of §IV-C's goal: interpolate
+/// the *missing* semantics only, never blur the present ones.
+///
+/// `blocks` gives each modality's column width in concatenation order and
+/// `masks_*[m][i]` says entity `i` owns modality `m`.
+#[allow(clippy::too_many_arguments)]
+pub fn per_modality_propagation_similarity(
+    x_s: &Matrix,
+    x_t: &Matrix,
+    adj_s: &Csr,
+    adj_t: &Csr,
+    masks_s: &[Vec<bool>],
+    masks_t: &[Vec<bool>],
+    blocks: &[usize],
+    iterations: usize,
+) -> SimilarityMatrix {
+    assert_eq!(masks_s.len(), blocks.len(), "per_modality_propagation: {} masks for {} blocks", masks_s.len(), blocks.len());
+    assert_eq!(masks_t.len(), blocks.len(), "per_modality_propagation: mask/block count mismatch");
+    let total: usize = blocks.iter().sum();
+    assert_eq!(x_s.cols(), total, "per_modality_propagation: embedding width {} != block sum {total}", x_s.cols());
+    if iterations == 0 {
+        return cosine_similarity(x_s, x_t);
+    }
+    let cfg = PropagationConfig { iterations, step: 1.0, reset_known: true };
+
+    // Propagate each incomplete block, collecting its per-round states.
+    let propagate_side = |x: &Matrix, adj: &Csr, masks: &[Vec<bool>]| -> Vec<Matrix> {
+        let mut round_states: Vec<Matrix> = vec![x.clone(); iterations + 1];
+        let mut off = 0;
+        for (m, &w) in blocks.iter().enumerate() {
+            let complete = masks[m].iter().all(|&b| b);
+            if !complete {
+                let block = x.slice_cols(off, off + w);
+                let states = propagate_features(adj, &block, &masks[m], &cfg);
+                for (j, st) in states.iter().enumerate() {
+                    for i in 0..x.rows() {
+                        round_states[j].row_mut(i)[off..off + w].copy_from_slice(st.row(i));
+                    }
+                }
+            }
+            off += w;
+        }
+        round_states
+    };
+    let states_s = propagate_side(x_s, adj_s, masks_s);
+    let states_t = propagate_side(x_t, adj_t, masks_t);
+    let rounds: Vec<SimilarityMatrix> =
+        states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
+    SimilarityMatrix::average(&rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_graph::UndirectedGraph;
+    use desalign_tensor::{normal_matrix, rng_from_seed};
+
+    #[test]
+    fn zero_iterations_is_plain_cosine() {
+        let mut rng = rng_from_seed(1);
+        let x_s = normal_matrix(&mut rng, 4, 3, 0.0, 1.0);
+        let x_t = normal_matrix(&mut rng, 4, 3, 0.0, 1.0);
+        let g = UndirectedGraph::new(4, vec![(0, 1), (2, 3)]);
+        let a = g.normalized_adjacency(true);
+        let sp = semantic_propagation_similarity(&x_s, &x_t, &a, &a, &[true; 4], &[true; 4], 0, true);
+        let plain = cosine_similarity(&x_s, &x_t);
+        assert_eq!(sp.scores(), plain.scores());
+    }
+
+    #[test]
+    fn propagation_recovers_a_zeroed_entity() {
+        // Aligned graphs; source entity 2's features are wiped. Plain cosine
+        // cannot rank it; after SP its neighbours reconstruct it.
+        let g = UndirectedGraph::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 3)]);
+        let a = g.normalized_adjacency(true);
+        let mut rng = rng_from_seed(2);
+        let x_t = normal_matrix(&mut rng, 6, 8, 0.0, 1.0);
+        let mut x_s = x_t.clone();
+        for v in x_s.row_mut(2) {
+            *v = 0.0;
+        }
+        let known: Vec<bool> = (0..6).map(|i| i != 2).collect();
+        let plain = cosine_similarity(&x_s, &x_t);
+        let sp = semantic_propagation_similarity(&x_s, &x_t, &a, &a, &known, &known, 3, true);
+        // The diagonal score of the wiped entity improves under SP.
+        assert!(sp.scores()[(2, 2)] > plain.scores()[(2, 2)] + 0.05, "SP {} vs plain {}", sp.scores()[(2, 2)], plain.scores()[(2, 2)]);
+    }
+
+    #[test]
+    fn consistency_mask_requires_both_modalities() {
+        let kg = desalign_mmkg::Mmkg {
+            num_entities: 3,
+            num_relations: 1,
+            num_attributes: 2,
+            rel_triples: vec![(0, 0, 1), (1, 0, 2)],
+            attr_triples: vec![(0, 0), (1, 1)],
+            images: vec![Some(vec![1.0]), None, Some(vec![0.5])],
+        };
+        let dims = desalign_mmkg::FeatureDims { relation: 4, attribute: 4, visual: 1 };
+        let f = ModalFeatures::build(&kg, &dims);
+        assert_eq!(consistency_mask(&f), vec![true, false, false]);
+    }
+
+    #[test]
+    fn per_modality_only_touches_missing_entities() {
+        let g = UndirectedGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = g.normalized_adjacency(true);
+        let mut rng = rng_from_seed(7);
+        let x = normal_matrix(&mut rng, 4, 4, 0.0, 1.0);
+        // Two blocks of width 2: block 0 complete, block 1 missing at row 2.
+        let masks = vec![vec![true; 4], vec![true, true, false, true]];
+        let sim = per_modality_propagation_similarity(&x, &x, &a, &a, &masks, &masks, &[2, 2], 2);
+        assert_eq!(sim.shape(), (4, 4));
+        // Entities with complete features still self-match perfectly.
+        for i in [0usize, 1, 3] {
+            assert_eq!(sim.best_target(i), i);
+        }
+    }
+
+    #[test]
+    fn per_modality_zero_iterations_is_cosine() {
+        let mut rng = rng_from_seed(8);
+        let x_s = normal_matrix(&mut rng, 3, 4, 0.0, 1.0);
+        let x_t = normal_matrix(&mut rng, 3, 4, 0.0, 1.0);
+        let g = UndirectedGraph::new(3, vec![(0, 1)]);
+        let a = g.normalized_adjacency(true);
+        let masks = vec![vec![true; 3], vec![false; 3]];
+        let sim = per_modality_propagation_similarity(&x_s, &x_t, &a, &a, &masks, &masks, &[2, 2], 0);
+        assert_eq!(sim.scores(), cosine_similarity(&x_s, &x_t).scores());
+    }
+
+    #[test]
+    fn averaging_includes_round_zero() {
+        // With perfect embeddings, every round keeps the diagonal dominant,
+        // and averaging cannot break a perfect match.
+        let g = UndirectedGraph::new(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let a = g.normalized_adjacency(true);
+        let mut rng = rng_from_seed(3);
+        let x = normal_matrix(&mut rng, 4, 6, 0.0, 1.0);
+        let sim = semantic_propagation_similarity(&x, &x, &a, &a, &[true; 4], &[true; 4], 2, false);
+        for i in 0..4 {
+            assert_eq!(sim.best_target(i), i);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The training loop of Algorithm 1 (lines 3–10).
+
+use crate::loss::LossBreakdown;
+use desalign_tensor::Rng64;
+use rand::seq::SliceRandom;
+
+/// Summary of one `fit` call.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Epochs actually run (may stop early).
+    pub epochs_run: usize,
+    /// Final-epoch loss breakdown.
+    pub final_loss: LossBreakdown,
+    /// Per-epoch loss breakdowns.
+    pub loss_history: Vec<LossBreakdown>,
+    /// Energy traces sampled every `eval_every` epochs.
+    pub energy_history: Vec<crate::energy::EnergyTrace>,
+    /// Best validation H@1 seen (0 when no validation split is used).
+    pub best_val_h1: f32,
+    /// Wall-clock seconds spent in `fit`.
+    pub seconds: f64,
+}
+
+impl TrainReport {
+    /// True if the total loss decreased from the first to the last epoch.
+    pub fn loss_decreased(&self) -> bool {
+        match (self.loss_history.first(), self.loss_history.last()) {
+            (Some(first), Some(last)) => last.total < first.total,
+            _ => false,
+        }
+    }
+}
+
+/// Samples a contrastive batch of at most `batch_size` pairs. When the pool
+/// is smaller the whole pool is used (full-batch); otherwise sampling is
+/// without replacement — the in-batch negative strategy of Eq. 16.
+pub fn sample_batch(pairs: &[(usize, usize)], batch_size: usize, rng: &mut Rng64) -> Vec<(usize, usize)> {
+    if pairs.len() <= batch_size {
+        return pairs.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..pairs.len()).collect();
+    idx.shuffle(rng);
+    idx[..batch_size].iter().map(|&i| pairs[i]).collect()
+}
+
+/// A train/validation split of seed pairs.
+pub type PairSplit = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// Splits seed pairs into train/validation for early stopping.
+/// `val_frac = 0` disables validation (everything trains).
+pub fn train_val_split(pairs: &[(usize, usize)], val_frac: f32, rng: &mut Rng64) -> PairSplit {
+    if val_frac <= 0.0 || pairs.len() < 10 {
+        return (pairs.to_vec(), Vec::new());
+    }
+    let mut shuffled = pairs.to_vec();
+    shuffled.shuffle(rng);
+    let n_val = ((pairs.len() as f32) * val_frac).round().max(1.0) as usize;
+    let val = shuffled[..n_val].to_vec();
+    let train = shuffled[n_val..].to_vec();
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_tensor::rng_from_seed;
+
+    fn pairs(n: usize) -> Vec<(usize, usize)> {
+        (0..n).map(|i| (i, i)).collect()
+    }
+
+    #[test]
+    fn small_pool_is_full_batch() {
+        let p = pairs(5);
+        let batch = sample_batch(&p, 10, &mut rng_from_seed(1));
+        assert_eq!(batch, p);
+    }
+
+    #[test]
+    fn sampling_is_without_replacement() {
+        let p = pairs(100);
+        let batch = sample_batch(&p, 30, &mut rng_from_seed(2));
+        assert_eq!(batch.len(), 30);
+        let mut seen = std::collections::HashSet::new();
+        for &(s, _) in &batch {
+            assert!(seen.insert(s), "duplicate pair in batch");
+        }
+    }
+
+    #[test]
+    fn split_respects_fraction_and_partition() {
+        let p = pairs(50);
+        let (train, val) = train_val_split(&p, 0.2, &mut rng_from_seed(3));
+        assert_eq!(val.len(), 10);
+        assert_eq!(train.len(), 40);
+        let all: std::collections::HashSet<_> = train.iter().chain(&val).collect();
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn tiny_pools_skip_validation() {
+        let p = pairs(5);
+        let (train, val) = train_val_split(&p, 0.2, &mut rng_from_seed(4));
+        assert!(val.is_empty());
+        assert_eq!(train.len(), 5);
+    }
+
+    #[test]
+    fn report_loss_decrease_detection() {
+        let mut r = TrainReport::default();
+        assert!(!r.loss_decreased());
+        r.loss_history.push(LossBreakdown { total: 2.0, ..Default::default() });
+        r.loss_history.push(LossBreakdown { total: 1.0, ..Default::default() });
+        assert!(r.loss_decreased());
+    }
+}

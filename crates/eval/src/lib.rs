@@ -1,0 +1,18 @@
+//! Entity-alignment evaluation: ranking metrics, similarity matrices, and
+//! pseudo-pair mining.
+//!
+//! Implements the paper's evaluation protocol (§V-A3): cosine similarity
+//! between entity embeddings, `H@k` (Eq. 23) and `MRR` (Eq. 24) over the
+//! test alignments, plus CSLS re-scoring and the mutual-nearest-neighbour
+//! mining used by the iterative training strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod mining;
+mod similarity;
+
+pub use metrics::{evaluate_ranking, AlignmentMetrics};
+pub use mining::mutual_nearest_neighbours;
+pub use similarity::{cosine_similarity, csls_rescale, SimilarityMatrix};

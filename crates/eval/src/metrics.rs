@@ -1,0 +1,150 @@
+//! Ranking metrics: `H@k` (Eq. 23) and `MRR` (Eq. 24).
+
+use crate::SimilarityMatrix;
+
+/// Evaluation summary over a set of test alignments.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AlignmentMetrics {
+    /// `H@1` — fraction of queries whose gold target ranks first.
+    pub hits_at_1: f32,
+    /// `H@10`.
+    pub hits_at_10: f32,
+    /// Mean reciprocal rank.
+    pub mrr: f32,
+    /// Number of evaluated query entities.
+    pub num_queries: usize,
+}
+
+impl AlignmentMetrics {
+    /// Formats as the `H@1 / H@10 / MRR` percentage triple used in the
+    /// paper's tables.
+    pub fn as_table_row(&self) -> String {
+        format!("{:5.1} {:5.1} {:5.1}", self.hits_at_1 * 100.0, self.hits_at_10 * 100.0, self.mrr * 100.0)
+    }
+}
+
+/// Evaluates a similarity matrix against gold `(source, target)` pairs.
+///
+/// Candidate restriction follows the paper's protocol: each query source
+/// entity ranks **the test-set target entities only** (the standard MMEA
+/// evaluation where train pairs are excluded from the candidate pool).
+///
+/// # Panics
+/// Panics if a pair is out of bounds.
+pub fn evaluate_ranking(sim: &SimilarityMatrix, test_pairs: &[(usize, usize)]) -> AlignmentMetrics {
+    if test_pairs.is_empty() {
+        return AlignmentMetrics::default();
+    }
+    let (n_s, n_t) = sim.shape();
+    // Candidate pool: the test targets.
+    let candidates: Vec<usize> = test_pairs.iter().map(|&(_, t)| t).collect();
+    let mut h1 = 0usize;
+    let mut h10 = 0usize;
+    let mut mrr = 0.0f64;
+    for &(s, gold) in test_pairs {
+        assert!(s < n_s && gold < n_t, "evaluate_ranking: pair ({s},{gold}) out of bounds for {n_s}x{n_t}");
+        let row = sim.scores().row(s);
+        let gold_score = row[gold];
+        let rank = 1 + candidates.iter().filter(|&&c| row[c] > gold_score).count();
+        if rank <= 1 {
+            h1 += 1;
+        }
+        if rank <= 10 {
+            h10 += 1;
+        }
+        mrr += 1.0 / rank as f64;
+    }
+    let n = test_pairs.len();
+    AlignmentMetrics {
+        hits_at_1: h1 as f32 / n as f32,
+        hits_at_10: h10 as f32 / n as f32,
+        mrr: (mrr / n as f64) as f32,
+        num_queries: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_tensor::Matrix;
+
+    fn diag_sim(n: usize, noise: f32) -> SimilarityMatrix {
+        let mut m = Matrix::full(n, n, noise);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        SimilarityMatrix::new(m)
+    }
+
+    #[test]
+    fn perfect_alignment_scores_one() {
+        let sim = diag_sim(5, 0.0);
+        let pairs: Vec<(usize, usize)> = (0..5).map(|i| (i, i)).collect();
+        let m = evaluate_ranking(&sim, &pairs);
+        assert_eq!(m.hits_at_1, 1.0);
+        assert_eq!(m.hits_at_10, 1.0);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.num_queries, 5);
+    }
+
+    #[test]
+    fn rank_two_gives_half_mrr() {
+        // Gold always ranked second behind one distractor.
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = 0.9; // distractor beats gold (0,0)
+        m[(0, 0)] = 0.5;
+        m[(1, 1)] = 0.9;
+        m[(1, 0)] = 0.95; // distractor beats gold (1,1)
+        let sim = SimilarityMatrix::new(m);
+        let metrics = evaluate_ranking(&sim, &[(0, 0), (1, 1)]);
+        assert_eq!(metrics.hits_at_1, 0.0);
+        assert_eq!(metrics.hits_at_10, 1.0);
+        assert!((metrics.mrr - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn candidates_limited_to_test_targets() {
+        // A non-test target with a huge score must not affect the ranking.
+        let mut m = Matrix::zeros(1, 3);
+        m[(0, 2)] = 10.0; // not in the test pool
+        m[(0, 0)] = 1.0; // gold
+        m[(0, 1)] = 0.5;
+        let sim = SimilarityMatrix::new(m);
+        let metrics = evaluate_ranking(&sim, &[(0, 0)]);
+        assert_eq!(metrics.hits_at_1, 1.0);
+    }
+
+    #[test]
+    fn empty_test_set_is_zeroes() {
+        let sim = diag_sim(2, 0.0);
+        let metrics = evaluate_ranking(&sim, &[]);
+        assert_eq!(metrics.num_queries, 0);
+        assert_eq!(metrics.mrr, 0.0);
+    }
+
+    #[test]
+    fn brute_force_oracle_agreement() {
+        // Randomized check against an independent rank computation.
+        let mut rng = desalign_tensor::rng_from_seed(9);
+        let scores = desalign_tensor::normal_matrix(&mut rng, 20, 20, 0.0, 1.0);
+        let sim = SimilarityMatrix::new(scores.clone());
+        let pairs: Vec<(usize, usize)> = (0..20).map(|i| (i, (i * 7) % 20)).collect();
+        let metrics = evaluate_ranking(&sim, &pairs);
+        // Oracle: sort candidates per query.
+        let candidates: Vec<usize> = pairs.iter().map(|&(_, t)| t).collect();
+        let mut mrr = 0.0f64;
+        for &(s, gold) in &pairs {
+            let mut ranked: Vec<usize> = candidates.clone();
+            ranked.sort_by(|&a, &b| scores[(s, b)].partial_cmp(&scores[(s, a)]).unwrap());
+            let rank = ranked.iter().position(|&c| c == gold).unwrap() + 1;
+            mrr += 1.0 / rank as f64;
+        }
+        assert!((metrics.mrr - (mrr / 20.0) as f32).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table_row_formatting() {
+        let m = AlignmentMetrics { hits_at_1: 0.497, hits_at_10: 0.75, mrr: 0.586, num_queries: 10 };
+        assert_eq!(m.as_table_row().split_whitespace().collect::<Vec<_>>(), vec!["49.7", "75.0", "58.6"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Pseudo-pair mining for the iterative training strategy.
+//!
+//! The paper's iterative variant (following MCLEA) "maintains a temporary
+//! cache to store cross-graph mutual nearest entity pairs from the testing
+//! set" (§V-A2) and feeds them back as extra seeds.
+
+use crate::SimilarityMatrix;
+
+/// Finds mutual nearest neighbours: pairs `(s, t)` where `t` is `s`'s best
+/// target **and** `s` is `t`'s best source, restricted to the given
+/// candidate sets (pass the unaligned entities). Pairs whose similarity is
+/// below `min_score` are dropped.
+///
+/// Returns pairs sorted by descending similarity.
+pub fn mutual_nearest_neighbours(
+    sim: &SimilarityMatrix,
+    source_candidates: &[usize],
+    target_candidates: &[usize],
+    min_score: f32,
+) -> Vec<(usize, usize, f32)> {
+    let m = sim.scores();
+    if source_candidates.is_empty() || target_candidates.is_empty() {
+        return Vec::new();
+    }
+    // Best target per candidate source (within target candidates).
+    let mut best_t = Vec::with_capacity(source_candidates.len());
+    for &s in source_candidates {
+        let row = m.row(s);
+        let (mut arg, mut best) = (target_candidates[0], f32::NEG_INFINITY);
+        for &t in target_candidates {
+            if row[t] > best {
+                best = row[t];
+                arg = t;
+            }
+        }
+        best_t.push((s, arg, best));
+    }
+    // Best source per candidate target.
+    let mut best_s = std::collections::HashMap::with_capacity(target_candidates.len());
+    for &t in target_candidates {
+        let (mut arg, mut best) = (source_candidates[0], f32::NEG_INFINITY);
+        for &s in source_candidates {
+            if m[(s, t)] > best {
+                best = m[(s, t)];
+                arg = s;
+            }
+        }
+        best_s.insert(t, arg);
+    }
+    let mut pairs: Vec<(usize, usize, f32)> = best_t
+        .into_iter()
+        .filter(|&(s, t, score)| score >= min_score && best_s.get(&t) == Some(&s))
+        .collect();
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_tensor::Matrix;
+
+    #[test]
+    fn mutual_pairs_found_on_diagonal() {
+        let mut m = Matrix::full(3, 3, 0.1);
+        for i in 0..3 {
+            m[(i, i)] = 0.9;
+        }
+        let sim = SimilarityMatrix::new(m);
+        let pairs = mutual_nearest_neighbours(&sim, &[0, 1, 2], &[0, 1, 2], 0.0);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|&(s, t, _)| s == t));
+    }
+
+    #[test]
+    fn one_sided_preference_is_rejected() {
+        // Source 0 and 1 both prefer target 0; target 0 prefers source 0.
+        // So (1, 0) fails the mutual check, and source 1 — whose best target
+        // is taken — produces no pair at all.
+        let m = Matrix::from_rows(&[&[0.9, 0.1], &[0.8, 0.2]]);
+        let sim = SimilarityMatrix::new(m);
+        let pairs = mutual_nearest_neighbours(&sim, &[0, 1], &[0, 1], 0.0);
+        assert_eq!(pairs.iter().map(|&(s, t, _)| (s, t)).collect::<Vec<_>>(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn min_score_filters_weak_pairs() {
+        let m = Matrix::from_rows(&[&[0.3, 0.0], &[0.0, 0.9]]);
+        let sim = SimilarityMatrix::new(m);
+        let pairs = mutual_nearest_neighbours(&sim, &[0, 1], &[0, 1], 0.5);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (1, 1));
+    }
+
+    #[test]
+    fn candidates_restrict_the_search() {
+        let mut m = Matrix::full(3, 3, 0.0);
+        m[(0, 2)] = 1.0; // outside candidate targets
+        m[(0, 1)] = 0.6;
+        m[(1, 1)] = 0.4;
+        let sim = SimilarityMatrix::new(m);
+        let pairs = mutual_nearest_neighbours(&sim, &[0, 1], &[1], 0.0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].0, pairs[0].1), (0, 1));
+    }
+
+    #[test]
+    fn sorted_by_descending_score() {
+        let m = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.9]]);
+        let sim = SimilarityMatrix::new(m);
+        let pairs = mutual_nearest_neighbours(&sim, &[0, 1], &[0, 1], 0.0);
+        assert!(pairs[0].2 >= pairs[1].2);
+    }
+
+    #[test]
+    fn empty_candidates_yield_no_pairs() {
+        let sim = SimilarityMatrix::new(Matrix::zeros(2, 2));
+        assert!(mutual_nearest_neighbours(&sim, &[], &[0], 0.0).is_empty());
+        assert!(mutual_nearest_neighbours(&sim, &[0], &[], 0.0).is_empty());
+    }
+}

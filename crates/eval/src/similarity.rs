@@ -1,0 +1,165 @@
+//! Similarity matrices between two embedding sets.
+
+use desalign_tensor::Matrix;
+
+/// A dense `n_source × n_target` pairwise-similarity matrix `Ω`
+/// (Algorithm 1's output).
+#[derive(Clone, Debug)]
+pub struct SimilarityMatrix {
+    scores: Matrix,
+}
+
+impl SimilarityMatrix {
+    /// Wraps a raw score matrix.
+    pub fn new(scores: Matrix) -> Self {
+        Self { scores }
+    }
+
+    /// The raw score matrix.
+    pub fn scores(&self) -> &Matrix {
+        &self.scores
+    }
+
+    /// Shape `(n_source, n_target)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.scores.shape()
+    }
+
+    /// Element-wise average of several similarity matrices — the mean over
+    /// Semantic Propagation rounds (Algorithm 1, line 15).
+    ///
+    /// # Panics
+    /// Panics if `mats` is empty or shapes disagree.
+    pub fn average(mats: &[SimilarityMatrix]) -> SimilarityMatrix {
+        assert!(!mats.is_empty(), "SimilarityMatrix::average: no matrices");
+        let mut acc = mats[0].scores.clone();
+        for m in &mats[1..] {
+            acc = acc.add(&m.scores);
+        }
+        SimilarityMatrix { scores: acc.scale(1.0 / mats.len() as f32) }
+    }
+
+    /// For source row `i`, the target indices sorted by descending score.
+    pub fn ranked_targets(&self, i: usize) -> Vec<usize> {
+        let row = self.scores.row(i);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx
+    }
+
+    /// Rank (1-based) of `target` among source row `i`'s candidates, i.e.
+    /// `1 + |{j : score(i,j) > score(i,target)}|`. Ties rank optimistically
+    /// (standard competition ranking on strictly-greater scores).
+    pub fn rank_of(&self, i: usize, target: usize) -> usize {
+        let row = self.scores.row(i);
+        let s = row[target];
+        1 + row.iter().filter(|&&v| v > s).count()
+    }
+
+    /// Argmax target for source row `i`.
+    pub fn best_target(&self, i: usize) -> usize {
+        let row = self.scores.row(i);
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(j, _)| j)
+            .unwrap_or(0)
+    }
+}
+
+/// Cosine similarity between every row of `source` and every row of
+/// `target` (`n_s × n_t`).
+pub fn cosine_similarity(source: &Matrix, target: &Matrix) -> SimilarityMatrix {
+    assert_eq!(source.cols(), target.cols(), "cosine_similarity: dims differ ({} vs {})", source.cols(), target.cols());
+    let s = source.l2_normalize_rows(1e-9);
+    let t = target.l2_normalize_rows(1e-9);
+    SimilarityMatrix::new(s.matmul_nt(&t))
+}
+
+/// CSLS (Cross-domain Similarity Local Scaling) re-scoring, the standard
+/// hubness correction for alignment retrieval:
+///
+/// `csls(i,j) = 2·sim(i,j) − r_s(i) − r_t(j)`
+///
+/// where `r_s(i)` is the mean similarity of `i` to its `k` nearest targets
+/// and `r_t(j)` symmetric.
+pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
+    let m = sim.scores();
+    let (n_s, n_t) = m.shape();
+    let k = k.max(1);
+    let mean_topk = |row: &[f32]| -> f32 {
+        let mut v = row.to_vec();
+        let kk = k.min(v.len());
+        if kk == 0 {
+            return 0.0;
+        }
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        v[..kk].iter().sum::<f32>() / kk as f32
+    };
+    let r_s: Vec<f32> = (0..n_s).map(|i| mean_topk(m.row(i))).collect();
+    let r_t: Vec<f32> = (0..n_t).map(|j| mean_topk(&m.col(j))).collect();
+    let mut out = Matrix::zeros(n_s, n_t);
+    for i in 0..n_s {
+        for j in 0..n_t {
+            out[(i, j)] = 2.0 * m[(i, j)] - r_s[i] - r_t[j];
+        }
+    }
+    SimilarityMatrix::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_rows_is_one() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let sim = cosine_similarity(&a, &a);
+        assert!((sim.scores()[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((sim.scores()[(1, 1)] - 1.0).abs() < 1e-6);
+        assert!(sim.scores()[(0, 1)].abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[10.0, 20.0]]);
+        let sim = cosine_similarity(&a, &b);
+        assert!((sim.scores()[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranking_helpers() {
+        let sim = SimilarityMatrix::new(Matrix::from_rows(&[&[0.1, 0.9, 0.5]]));
+        assert_eq!(sim.ranked_targets(0), vec![1, 2, 0]);
+        assert_eq!(sim.rank_of(0, 1), 1);
+        assert_eq!(sim.rank_of(0, 2), 2);
+        assert_eq!(sim.rank_of(0, 0), 3);
+        assert_eq!(sim.best_target(0), 1);
+    }
+
+    #[test]
+    fn average_of_matrices() {
+        let a = SimilarityMatrix::new(Matrix::full(2, 2, 1.0));
+        let b = SimilarityMatrix::new(Matrix::full(2, 2, 3.0));
+        let avg = SimilarityMatrix::average(&[a, b]);
+        assert_eq!(avg.scores()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn csls_penalizes_hubs() {
+        // Target 0 is a "hub": similar to everything. CSLS should demote it
+        // relative to the discriminative target 1.
+        let raw = Matrix::from_rows(&[
+            &[0.9, 0.8, 0.0],
+            &[0.9, 0.0, 0.1],
+            &[0.9, 0.1, 0.0],
+        ]);
+        let sim = SimilarityMatrix::new(raw);
+        let csls = csls_rescale(&sim, 2);
+        // For source 0, the margin (hub − alternative) shrinks under CSLS.
+        let before = sim.scores()[(0, 0)] - sim.scores()[(0, 1)];
+        let after = csls.scores()[(0, 0)] - csls.scores()[(0, 1)];
+        assert!(after < before, "CSLS did not demote the hub: {after} >= {before}");
+    }
+}

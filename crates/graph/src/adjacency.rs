@@ -1,0 +1,263 @@
+//! Undirected graph construction and normalized adjacency matrices.
+
+use crate::Csr;
+
+/// An undirected graph over `n` nodes, stored as a deduplicated edge list.
+///
+/// This is the structural view of one MMKG: nodes are entities, edges come
+/// from relation triples with relation types erased (as in the paper's GNN
+/// encoders, which operate on the plain adjacency `A`).
+#[derive(Clone, Debug)]
+pub struct UndirectedGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl UndirectedGraph {
+    /// Builds a graph from an edge list. Self-loops and duplicate edges
+    /// (in either orientation) are dropped.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut canonical: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        for &(u, v) in &canonical {
+            assert!(u < n && v < n, "UndirectedGraph::new: edge ({u},{v}) out of bounds for {n} nodes");
+        }
+        canonical.sort_unstable();
+        canonical.dedup();
+        Self { n, edges: canonical }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical `(u, v)` edge list with `u < v`.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Node degrees (self-loops excluded — they were dropped at build time).
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            d[u] += 1;
+            d[v] += 1;
+        }
+        d
+    }
+
+    /// Binary adjacency matrix `A` as CSR (symmetric, zero diagonal).
+    pub fn adjacency(&self) -> Csr {
+        let mut triplets = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            triplets.push((u, v, 1.0));
+            triplets.push((v, u, 1.0));
+        }
+        Csr::from_coo(self.n, self.n, triplets)
+    }
+
+    /// Symmetrically normalized adjacency `Ã = D̂^{-1/2} Â D̂^{-1/2}`.
+    ///
+    /// With `self_loops = true` this is the GCN-style renormalization
+    /// `Â = A + I`, `D̂ = D + I` — the form behind the paper's Definition 3
+    /// denominator `√(D_ii + 1)` and the propagation operator of Eq. 21–22.
+    /// With `self_loops = false`, plain `D^{-1/2} A D^{-1/2}` (isolated
+    /// nodes get zero rows).
+    pub fn normalized_adjacency(&self, self_loops: bool) -> Csr {
+        let deg = self.degrees();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| {
+                let dd = d as f32 + if self_loops { 1.0 } else { 0.0 };
+                if dd > 0.0 {
+                    1.0 / dd.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut triplets = Vec::with_capacity(self.edges.len() * 2 + if self_loops { self.n } else { 0 });
+        for &(u, v) in &self.edges {
+            let w = inv_sqrt[u] * inv_sqrt[v];
+            triplets.push((u, v, w));
+            triplets.push((v, u, w));
+        }
+        if self_loops {
+            for (i, &w) in inv_sqrt.iter().enumerate() {
+                triplets.push((i, i, w * w));
+            }
+        }
+        Csr::from_coo(self.n, self.n, triplets)
+    }
+
+    /// Graph Laplacian `Δ = I − Ã` as CSR (using the self-loop-normalized
+    /// `Ã`, matching the paper's Definition 3).
+    pub fn laplacian(&self) -> Csr {
+        let a = self.normalized_adjacency(true);
+        let mut triplets: Vec<(usize, usize, f32)> = a.iter().map(|(r, c, v)| (r, c, -v)).collect();
+        for i in 0..self.n {
+            triplets.push((i, i, 1.0));
+        }
+        Csr::from_coo(self.n, self.n, triplets)
+    }
+
+    /// Directed edge arrays `(src, dst)` including both orientations of each
+    /// undirected edge *and* self-loops — the message-passing index used by
+    /// the GAT layer (each node attends to its neighbours and itself).
+    pub fn message_edges(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut src = Vec::with_capacity(self.edges.len() * 2 + self.n);
+        let mut dst = Vec::with_capacity(src.capacity());
+        for &(u, v) in &self.edges {
+            src.push(u);
+            dst.push(v);
+            src.push(v);
+            dst.push(u);
+        }
+        for i in 0..self.n {
+            src.push(i);
+            dst.push(i);
+        }
+        (src, dst)
+    }
+
+    /// Connected components, as a component id per node.
+    pub fn components(&self) -> Vec<usize> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let mut comp = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = next;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// True if the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.n > 0 && self.components().iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> UndirectedGraph {
+        UndirectedGraph::new(3, vec![(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn dedup_and_canonicalization() {
+        let g = UndirectedGraph::new(3, vec![(0, 1), (1, 0), (2, 1), (1, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn degrees_of_path() {
+        assert_eq!(path3().degrees(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_binary() {
+        let a = path3().adjacency();
+        assert!(a.is_symmetric(0.0));
+        let d = a.to_dense();
+        assert_eq!(d[(0, 1)], 1.0);
+        assert_eq!(d[(1, 2)], 1.0);
+        assert_eq!(d[(0, 2)], 0.0);
+        assert_eq!(d[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_of_regular_graph() {
+        // 3-cycle: every node degree 2; without self-loops Ã entries are 1/2.
+        let g = UndirectedGraph::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let a = g.normalized_adjacency(false).to_dense();
+        assert!((a[(0, 1)] - 0.5).abs() < 1e-6);
+        assert_eq!(a[(0, 0)], 0.0);
+        // With self-loops: D̂ = 3, entries 1/3.
+        let al = g.normalized_adjacency(true).to_dense();
+        assert!((al[(0, 0)] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((al[(0, 1)] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_adjacency_with_self_loops_is_row_stochastic_for_regular() {
+        let g = UndirectedGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = g.normalized_adjacency(true);
+        for s in a.row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn laplacian_is_identity_minus_normalized() {
+        let g = path3();
+        let lap = g.laplacian().to_dense();
+        let expect = desalign_tensor::Matrix::eye(3).sub(&g.normalized_adjacency(true).to_dense());
+        assert!(lap.sub(&expect).max_abs() < 1e-6);
+        assert!(g.laplacian().is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn message_edges_include_self_loops() {
+        let (src, dst) = path3().message_edges();
+        assert_eq!(src.len(), 2 * 2 + 3);
+        // Self loops at the tail.
+        assert_eq!(&src[src.len() - 3..], &[0, 1, 2]);
+        assert_eq!(&dst[dst.len() - 3..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = UndirectedGraph::new(5, vec![(0, 1), (2, 3)]);
+        let comp = g.components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!g.is_connected());
+        assert!(path3().is_connected());
+    }
+
+    #[test]
+    fn isolated_node_rows_are_zero_without_self_loops() {
+        let g = UndirectedGraph::new(3, vec![(0, 1)]);
+        let a = g.normalized_adjacency(false);
+        assert_eq!(a.row(2).count(), 0);
+        assert!(a.to_dense().all_finite());
+    }
+}

@@ -1,0 +1,391 @@
+//! Compressed sparse row matrices.
+
+use desalign_tensor::Matrix;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (maintained by every constructor):
+/// - `indptr.len() == rows + 1`, `indptr[0] == 0`,
+///   `indptr[rows] == indices.len() == values.len()`;
+/// - column indices within each row are strictly increasing and `< cols`;
+/// - no explicit zeros are stored by [`Csr::from_coo`] (duplicates are
+///   summed, exact-zero results kept — they are harmless).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from COO triplets `(row, col, value)`.
+    /// Duplicate coordinates are summed.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_coo(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, f32)>) -> Self {
+        for &(r, c, _) in &triplets {
+            assert!(r < rows && c < cols, "Csr::from_coo: entry ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triplets {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("duplicate follows an entry") += v;
+            } else {
+                indices.push(c);
+                values.push(v);
+                indptr[r + 1] = indices.len();
+                last = Some((r, c));
+            }
+        }
+        // Make indptr cumulative (rows with no entries inherit predecessor).
+        for r in 0..rows {
+            if indptr[r + 1] < indptr[r] {
+                indptr[r + 1] = indptr[r];
+            }
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Sparse identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the stored `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        self.indices[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+    }
+
+    /// Iterates over all stored `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Sparse × dense product `self × x`.
+    ///
+    /// This is the kernel Semantic Propagation runs once per iteration; its
+    /// cost is `O(nnz · d)`, linear in the number of edges, matching the
+    /// paper's `O(|E| d)` complexity claim (§V-E).
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != self.cols()`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.cols,
+            "Csr::spmm: dense operand has {} rows, sparse has {} cols",
+            x.rows(),
+            self.cols
+        );
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        for i in 0..self.rows {
+            let out_row = out.row_mut(i);
+            for (j, v) in
+                self.indices[self.indptr[i]..self.indptr[i + 1]].iter().zip(&self.values[self.indptr[i]..self.indptr[i + 1]])
+            {
+                let x_row = x.row(*j);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × x` without materializing the transpose.
+    pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.rows,
+            "Csr::spmm_t: dense operand has {} rows, sparse has {} rows",
+            x.rows(),
+            self.rows
+        );
+        let mut out = Matrix::zeros(self.cols, x.cols());
+        for i in 0..self.rows {
+            let x_row = x.row(i);
+            for (j, v) in self.row(i) {
+                let out_row = out.row_mut(j);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × dense-vector product for a flat slice (`cols()`-length).
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "Csr::spmv: vector length {} vs {} cols", x.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).map(|(j, v)| v * x[j]).sum();
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let triplets = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        Csr::from_coo(self.cols, self.rows, triplets)
+    }
+
+    /// Dense copy. Intended for tests and small matrices only.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Scales every stored value by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Sparse sum `self + other` (union of patterns).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Csr) -> Csr {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "Csr::add: shape mismatch");
+        let mut triplets: Vec<(usize, usize, f32)> = self.iter().collect();
+        triplets.extend(other.iter());
+        Csr::from_coo(self.rows, self.cols, triplets)
+    }
+
+    /// Extracts the sub-matrix with the given row and column index sets
+    /// (in the given order). Used for the Laplacian block views of Eq. 18.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Csr {
+        let mut col_pos = vec![usize::MAX; self.cols];
+        for (new, &old) in col_idx.iter().enumerate() {
+            assert!(old < self.cols, "Csr::submatrix: col index {old} out of bounds");
+            col_pos[old] = new;
+        }
+        let mut triplets = Vec::new();
+        for (new_r, &old_r) in row_idx.iter().enumerate() {
+            assert!(old_r < self.rows, "Csr::submatrix: row index {old_r} out of bounds");
+            for (c, v) in self.row(old_r) {
+                if col_pos[c] != usize::MAX {
+                    triplets.push((new_r, col_pos[c], v));
+                }
+            }
+        }
+        Csr::from_coo(row_idx.len(), col_idx.len(), triplets)
+    }
+
+    /// True if the matrix equals its transpose (up to `tol`).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            // Patterns can still match numerically if explicit zeros differ;
+            // fall back to dense comparison only for small matrices.
+            if self.rows <= 512 {
+                let (a, b) = (self.to_dense(), t.to_dense());
+                return a.sub(&b).max_abs() <= tol;
+            }
+            return false;
+        }
+        self.values.iter().zip(&t.values).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Sparse × sparse product `self × other` as CSR — used to build
+    /// multi-hop propagation operators (e.g. `Ã²` for MuGCN / AliNet-style
+    /// aggregation). Row-merge algorithm, `O(Σ_i nnz(row_i) · avg_nnz)`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_sparse(&self, other: &Csr) -> Csr {
+        assert_eq!(
+            self.cols, other.rows,
+            "Csr::matmul_sparse: inner dims differ ({}x{} × {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+        let mut acc: Vec<f32> = vec![0.0; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            for (k, v) in self.row(i) {
+                for (j, w) in other.row(k) {
+                    if acc[j] == 0.0 && !touched.contains(&j) {
+                        touched.push(j);
+                    }
+                    acc[j] += v * w;
+                }
+            }
+            for &j in &touched {
+                if acc[j] != 0.0 {
+                    triplets.push((i, j, acc[j]));
+                }
+                acc[j] = 0.0;
+            }
+            touched.clear();
+        }
+        Csr::from_coo(self.rows, other.cols, triplets)
+    }
+
+    /// Row sums (useful as weighted degrees).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|i| self.row(i).map(|(_, v)| v).sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        Csr::from_coo(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn from_coo_builds_expected_structure() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).collect::<Vec<_>>(), vec![(0, 3.0), (1, 4.0)]);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let m = Csr::from_coo(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.to_dense()[(0, 0)], 3.5);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let sparse = m.spmm(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transpose() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(m.spmm_t(&x), m.to_dense().transpose().matmul(&x));
+    }
+
+    #[test]
+    fn spmv_matches_spmm() {
+        let m = sample();
+        let v = vec![1.0, -1.0, 2.0];
+        let via_mm = m.spmm(&Matrix::column(v.clone()));
+        assert_eq!(m.spmv(&v), via_mm.into_vec());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(Csr::identity(2).spmm(&x), x);
+    }
+
+    #[test]
+    fn add_unions_patterns() {
+        let a = Csr::from_coo(2, 2, vec![(0, 0, 1.0)]);
+        let b = Csr::from_coo(2, 2, vec![(0, 0, 2.0), (1, 1, 3.0)]);
+        let s = a.add(&b).to_dense();
+        assert_eq!(s[(0, 0)], 3.0);
+        assert_eq!(s[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn submatrix_extracts_blocks() {
+        let m = sample();
+        let sub = m.submatrix(&[2, 0], &[0, 1]);
+        let d = sub.to_dense();
+        // Rows reordered: row 0 of sub is old row 2 -> [3, 4]; row 1 is old row 0 -> [1, 0].
+        assert_eq!(d.row(0), &[3.0, 4.0]);
+        assert_eq!(d.row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = Csr::from_coo(2, 2, vec![(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-9));
+        assert!(!sample().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn row_sums_are_degrees() {
+        assert_eq!(sample().row_sums(), vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn sparse_sparse_product_matches_dense() {
+        let a = sample();
+        let b = Csr::from_coo(3, 2, vec![(0, 0, 1.0), (1, 1, -2.0), (2, 0, 0.5)]);
+        let sparse = a.matmul_sparse(&b);
+        let dense = a.to_dense().matmul(&b.to_dense());
+        assert!(sparse.to_dense().sub(&dense).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_hop_operator_is_symmetric_for_symmetric_input() {
+        let sym = Csr::from_coo(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)]);
+        let two_hop = sym.matmul_sparse(&sym);
+        assert!(two_hop.is_symmetric(1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_coo_rejects_out_of_bounds() {
+        let _ = Csr::from_coo(2, 2, vec![(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Dirichlet energy (Definition 3) and the interpolation-quality bounds of
+//! Proposition 1 / Corollary 1.
+
+use crate::Csr;
+use desalign_tensor::Matrix;
+
+/// Dirichlet energy `ℒ(X) = tr(Xᵀ Δ X)` (Definition 3, trace form).
+///
+/// `laplacian` must be the (symmetric, PSD) graph Laplacian. The trace is
+/// evaluated without materializing `XᵀΔX`: it equals `⟨X, ΔX⟩`, one SpMM and
+/// one inner product.
+pub fn dirichlet_energy(laplacian: &Csr, x: &Matrix) -> f32 {
+    assert_eq!(laplacian.rows(), x.rows(), "dirichlet_energy: Laplacian is {}x{}, features have {} rows", laplacian.rows(), laplacian.cols(), x.rows());
+    laplacian.spmm(x).inner(x)
+}
+
+/// Dirichlet energy in the explicit edge-sum form of Definition 3:
+///
+/// `½ Σᵢⱼ aᵢⱼ ‖ Xᵢ/√(Dᵢᵢ+1) − Xⱼ/√(Dⱼⱼ+1) ‖²`
+///
+/// where `A` is the *unnormalized* binary adjacency and `D` its degree
+/// matrix. With the GCN-style self-loop renormalization used by
+/// [`crate::UndirectedGraph::laplacian`], this edge sum differs from the
+/// trace form only by the `(1 − Σⱼ ãᵢⱼ)‖X̂ᵢ‖²` diagonal slack on non-regular
+/// graphs; on regular graphs the two agree exactly. Both forms are exposed
+/// so tests can pin down the relationship (see the property tests).
+pub fn dirichlet_energy_edgesum(adjacency: &Csr, degrees: &[usize], x: &Matrix) -> f32 {
+    assert_eq!(adjacency.rows(), x.rows(), "dirichlet_energy_edgesum: shape mismatch");
+    assert_eq!(degrees.len(), x.rows(), "dirichlet_energy_edgesum: degree vector length mismatch");
+    let inv_sqrt: Vec<f32> = degrees.iter().map(|&d| 1.0 / ((d as f32) + 1.0).sqrt()).collect();
+    let mut total = 0.0f64;
+    for (i, j, a) in adjacency.iter() {
+        let (xi, xj) = (x.row(i), x.row(j));
+        let mut dist = 0.0f32;
+        for (&a_v, &b_v) in xi.iter().zip(xj) {
+            let d = a_v * inv_sqrt[i] - b_v * inv_sqrt[j];
+            dist += d * d;
+        }
+        total += 0.5 * (a * dist) as f64;
+    }
+    total as f32
+}
+
+/// The first-order lower bound of **Proposition 1**:
+///
+/// `ℒ(X̂) − ℒ(X) ≥ 2 ⟨ΔX, X̂ − X⟩`.
+///
+/// Returns `(lhs, rhs)` so callers/tests can check `lhs ≥ rhs` and use the
+/// gap as an interpolation-quality signal.
+pub fn interpolation_lower_bound(laplacian: &Csr, x: &Matrix, x_hat: &Matrix) -> (f32, f32) {
+    let lhs = dirichlet_energy(laplacian, x_hat) - dirichlet_energy(laplacian, x);
+    let rhs = 2.0 * laplacian.spmm(x).inner(&x_hat.sub(x));
+    (lhs, rhs)
+}
+
+/// The two-sided bound of **Corollary 1** on `‖X̂ − X‖₂` given the Dirichlet
+/// energy gap:
+///
+/// `|ℒ(X̂) − ℒ(X)| / (2 λ_max M) ≤ ‖X̂ − X‖₂ ≤ |ℒ(X̂) − ℒ(X)| / (2 λ_max m)`
+///
+/// where `M`/`m` are the max/min of the two Frobenius norms. Returns
+/// `(lower, upper)`; when `m` is zero the upper bound is `f32::INFINITY`.
+pub fn energy_gap_bounds(laplacian: &Csr, lambda_max: f32, x: &Matrix, x_hat: &Matrix) -> (f32, f32) {
+    let gap = (dirichlet_energy(laplacian, x_hat) - dirichlet_energy(laplacian, x)).abs();
+    let (na, nb) = (x.frobenius_norm(), x_hat.frobenius_norm());
+    let big = na.max(nb);
+    let small = na.min(nb);
+    let lower = if big > 0.0 { gap / (2.0 * lambda_max * big) } else { 0.0 };
+    let upper = if small > 0.0 { gap / (2.0 * lambda_max * small) } else { f32::INFINITY };
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraph;
+
+    fn cycle(n: usize) -> UndirectedGraph {
+        UndirectedGraph::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn energy_of_constant_features_is_zero_on_regular_graph() {
+        // On a d-regular graph with self-loop normalization, the constant
+        // vector is an eigenvector of Ã with eigenvalue 1 ⇒ Δ·1 = 0.
+        let g = cycle(6);
+        let lap = g.laplacian();
+        let x = Matrix::full(6, 3, 2.5);
+        let e = dirichlet_energy(&lap, &x);
+        assert!(e.abs() < 1e-4, "energy {e}");
+    }
+
+    #[test]
+    fn energy_is_nonnegative() {
+        let g = cycle(5);
+        let lap = g.laplacian();
+        let mut rng = desalign_tensor::rng_from_seed(1);
+        for _ in 0..10 {
+            let x = desalign_tensor::normal_matrix(&mut rng, 5, 4, 0.0, 1.0);
+            assert!(dirichlet_energy(&lap, &x) >= -1e-5);
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_disagreement() {
+        let g = cycle(4);
+        let lap = g.laplacian();
+        let smooth = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        let rough = Matrix::from_rows(&[&[1.0], &[-1.0], &[1.0], &[-1.0]]);
+        assert!(dirichlet_energy(&lap, &rough) > dirichlet_energy(&lap, &smooth) + 0.1);
+    }
+
+    #[test]
+    fn edgesum_matches_trace_on_regular_graph() {
+        let g = cycle(8);
+        let lap = g.laplacian();
+        let adj = g.adjacency();
+        let deg = g.degrees();
+        let mut rng = desalign_tensor::rng_from_seed(3);
+        let x = desalign_tensor::normal_matrix(&mut rng, 8, 5, 0.0, 1.0);
+        let trace = dirichlet_energy(&lap, &x);
+        let edges = dirichlet_energy_edgesum(&adj, &deg, &x);
+        // Regular graph: Σⱼ ãᵢⱼ = d/(d+1) + 1/(d+1) = 1 per row, so the
+        // diagonal slack vanishes and both forms agree.
+        assert!((trace - edges).abs() < 1e-3, "trace {trace} vs edgesum {edges}");
+    }
+
+    #[test]
+    fn proposition1_inequality_holds() {
+        let g = cycle(7);
+        let lap = g.laplacian();
+        let mut rng = desalign_tensor::rng_from_seed(4);
+        for _ in 0..20 {
+            let x = desalign_tensor::normal_matrix(&mut rng, 7, 3, 0.0, 1.0);
+            let x_hat = desalign_tensor::normal_matrix(&mut rng, 7, 3, 0.0, 1.0);
+            let (lhs, rhs) = interpolation_lower_bound(&lap, &x, &x_hat);
+            assert!(lhs >= rhs - 1e-4, "Prop. 1 violated: {lhs} < {rhs}");
+        }
+    }
+
+    #[test]
+    fn corollary1_bounds_bracket_the_distance() {
+        let g = cycle(9);
+        let lap = g.laplacian();
+        let lmax = crate::lambda_max(&lap, 200, 1e-7);
+        let mut rng = desalign_tensor::rng_from_seed(5);
+        for _ in 0..10 {
+            let x = desalign_tensor::normal_matrix(&mut rng, 9, 4, 0.0, 1.0);
+            let x_hat = desalign_tensor::normal_matrix(&mut rng, 9, 4, 0.0, 1.0);
+            let dist = x_hat.sub(&x).frobenius_norm();
+            let (lower, _upper) = energy_gap_bounds(&lap, lmax, &x, &x_hat);
+            // The lower bound from the Lipschitz argument always holds.
+            assert!(dist >= lower - 1e-4, "distance {dist} below lower bound {lower}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Sparse graphs and spectral machinery for DESAlign.
+//!
+//! This crate implements everything Section II–III of the paper relies on:
+//!
+//! - [`Csr`] — compressed sparse row matrices with sparse-dense products
+//!   (the `SpMM` kernel that dominates Semantic Propagation's cost, §V-E);
+//! - [`UndirectedGraph`] — adjacency construction, degrees, and the
+//!   symmetric normalization `Ã = D^{-1/2} A D^{-1/2}`;
+//! - Laplacian `Δ = I − Ã` and **Dirichlet energy**
+//!   `ℒ(X) = tr(XᵀΔX)` (Definition 3), in both the trace and edge-sum forms;
+//! - spectral utilities: `λ_max(Δ)` by power iteration, extreme singular
+//!   values of dense weights (for the Proposition 2 bounds);
+//! - the `(c, o1, o2)` **semantic partition** of Section II-B and block
+//!   views of the Laplacian;
+//! - **feature propagation** (Section IV-C): the explicit Euler scheme of
+//!   Eq. 20–22 and the closed-form solution of Eq. 19 (via conjugate
+//!   gradient on the sub-Laplacian) used as its oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod csr;
+mod energy;
+mod partition;
+mod propagation;
+mod spectral;
+
+pub use adjacency::UndirectedGraph;
+pub use csr::Csr;
+pub use energy::{dirichlet_energy, dirichlet_energy_edgesum, energy_gap_bounds, interpolation_lower_bound};
+pub use partition::{BlockLaplacian, SemanticPartition};
+pub use propagation::{closed_form_interpolation, propagate_features, PropagationConfig};
+pub use spectral::{lambda_max, power_iteration_sym, singular_value_range};

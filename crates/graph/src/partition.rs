@@ -1,0 +1,202 @@
+//! The semantic partition of Section II-B: consistent (`c`), attribute-count
+//! disparity (`o1`), and missing-modality (`o2`) entities, plus block views
+//! of the Laplacian used by Eq. 18–19.
+
+use crate::Csr;
+
+/// Partition of entity indices into the three sets of Section II-B.
+///
+/// - `consistent` (ε_c): entities whose modal features are complete and
+///   comparable — the boundary nodes whose features are held fixed during
+///   Semantic Propagation;
+/// - `partial` (ε_o1): entities with differing attribute counts — features
+///   present but lower-quality; they evolve during propagation;
+/// - `missing` (ε_o2): entities missing the modality entirely — features
+///   unknown, reconstructed by propagation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemanticPartition {
+    /// ε_c — semantically consistent entities.
+    pub consistent: Vec<usize>,
+    /// ε_o1 — entities with attribute-count disparities.
+    pub partial: Vec<usize>,
+    /// ε_o2 — entities with the modality absent.
+    pub missing: Vec<usize>,
+}
+
+impl SemanticPartition {
+    /// Builds a partition from per-entity flags.
+    ///
+    /// `has_feature[i]` — the entity has at least one attribute of the
+    /// modality; `full_count[i]` — the entity's attribute count matches its
+    /// counterpart (no disparity). Entities with a feature and full count go
+    /// to `consistent`; with a feature but disparity to `partial`; without a
+    /// feature to `missing`.
+    pub fn from_flags(has_feature: &[bool], full_count: &[bool]) -> Self {
+        assert_eq!(has_feature.len(), full_count.len(), "SemanticPartition::from_flags: length mismatch");
+        let mut p = SemanticPartition { consistent: Vec::new(), partial: Vec::new(), missing: Vec::new() };
+        for i in 0..has_feature.len() {
+            if !has_feature[i] {
+                p.missing.push(i);
+            } else if full_count[i] {
+                p.consistent.push(i);
+            } else {
+                p.partial.push(i);
+            }
+        }
+        p
+    }
+
+    /// Builds the simplest partition: known vs missing (no `o1` set).
+    pub fn known_missing(has_feature: &[bool]) -> Self {
+        Self::from_flags(has_feature, &vec![true; has_feature.len()])
+    }
+
+    /// Total number of entities.
+    pub fn len(&self) -> usize {
+        self.consistent.len() + self.partial.len() + self.missing.len()
+    }
+
+    /// Whether the partition covers no entities.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The permutation `[c | o1 | o2]` (new position → old index) that sorts
+    /// entities into the block order of Eq. 2.
+    pub fn permutation(&self) -> Vec<usize> {
+        let mut perm = Vec::with_capacity(self.len());
+        perm.extend_from_slice(&self.consistent);
+        perm.extend_from_slice(&self.partial);
+        perm.extend_from_slice(&self.missing);
+        perm
+    }
+
+    /// Validates that the partition is a disjoint cover of `0..n`.
+    pub fn is_valid_cover(&self, n: usize) -> bool {
+        if self.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &i in self.consistent.iter().chain(&self.partial).chain(&self.missing) {
+            if i >= n || seen[i] {
+                return false;
+            }
+            seen[i] = true;
+        }
+        true
+    }
+}
+
+/// The 3×3 block view of a Laplacian under a [`SemanticPartition`]
+/// (the matrix of Eq. 2 / Eq. 18).
+#[derive(Clone, Debug)]
+pub struct BlockLaplacian {
+    /// Δ_cc
+    pub cc: Csr,
+    /// Δ_co1
+    pub co1: Csr,
+    /// Δ_co2
+    pub co2: Csr,
+    /// Δ_o1c
+    pub o1c: Csr,
+    /// Δ_o1o1
+    pub o1o1: Csr,
+    /// Δ_o1o2
+    pub o1o2: Csr,
+    /// Δ_o2c
+    pub o2c: Csr,
+    /// Δ_o2o1
+    pub o2o1: Csr,
+    /// Δ_o2o2
+    pub o2o2: Csr,
+}
+
+impl BlockLaplacian {
+    /// Splits a Laplacian into the nine blocks induced by the partition.
+    pub fn split(laplacian: &Csr, p: &SemanticPartition) -> Self {
+        let (c, o1, o2) = (&p.consistent, &p.partial, &p.missing);
+        BlockLaplacian {
+            cc: laplacian.submatrix(c, c),
+            co1: laplacian.submatrix(c, o1),
+            co2: laplacian.submatrix(c, o2),
+            o1c: laplacian.submatrix(o1, c),
+            o1o1: laplacian.submatrix(o1, o1),
+            o1o2: laplacian.submatrix(o1, o2),
+            o2c: laplacian.submatrix(o2, c),
+            o2o1: laplacian.submatrix(o2, o1),
+            o2o2: laplacian.submatrix(o2, o2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraph;
+
+    #[test]
+    fn from_flags_routes_entities() {
+        let has = [true, true, false, true];
+        let full = [true, false, true, true];
+        let p = SemanticPartition::from_flags(&has, &full);
+        assert_eq!(p.consistent, vec![0, 3]);
+        assert_eq!(p.partial, vec![1]);
+        assert_eq!(p.missing, vec![2]);
+        assert!(p.is_valid_cover(4));
+    }
+
+    #[test]
+    fn known_missing_has_empty_partial() {
+        let p = SemanticPartition::known_missing(&[true, false, true]);
+        assert!(p.partial.is_empty());
+        assert_eq!(p.missing, vec![1]);
+    }
+
+    #[test]
+    fn permutation_orders_blocks() {
+        let p = SemanticPartition { consistent: vec![2], partial: vec![0], missing: vec![1] };
+        assert_eq!(p.permutation(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn invalid_covers_detected() {
+        let dup = SemanticPartition { consistent: vec![0, 1], partial: vec![1], missing: vec![] };
+        assert!(!dup.is_valid_cover(3));
+        let short = SemanticPartition { consistent: vec![0], partial: vec![], missing: vec![] };
+        assert!(!short.is_valid_cover(2));
+    }
+
+    #[test]
+    fn block_split_reassembles_to_original() {
+        let g = UndirectedGraph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let lap = g.laplacian();
+        let p = SemanticPartition { consistent: vec![0, 2], partial: vec![4], missing: vec![1, 3] };
+        let b = BlockLaplacian::split(&lap, &p);
+        // Reassemble the permuted dense Laplacian from blocks and compare.
+        let perm = p.permutation();
+        let full = lap.to_dense();
+        let mut permuted = desalign_tensor::Matrix::zeros(5, 5);
+        for (ni, &oi) in perm.iter().enumerate() {
+            for (nj, &oj) in perm.iter().enumerate() {
+                permuted[(ni, nj)] = full[(oi, oj)];
+            }
+        }
+        let top = b.cc.to_dense().hcat(&b.co1.to_dense()).hcat(&b.co2.to_dense());
+        let mid = b.o1c.to_dense().hcat(&b.o1o1.to_dense()).hcat(&b.o1o2.to_dense());
+        let bot = b.o2c.to_dense().hcat(&b.o2o1.to_dense()).hcat(&b.o2o2.to_dense());
+        let stacked = top.vcat(&mid).vcat(&bot);
+        assert!(stacked.sub(&permuted).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetry_of_off_diagonal_blocks() {
+        // A_co1ᵀ = A_o1c etc. (stated under Eq. 2).
+        let g = UndirectedGraph::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let lap = g.laplacian();
+        let p = SemanticPartition { consistent: vec![0, 1], partial: vec![2, 3], missing: vec![4, 5] };
+        let b = BlockLaplacian::split(&lap, &p);
+        assert!(b.co1.to_dense().transpose().sub(&b.o1c.to_dense()).max_abs() < 1e-6);
+        assert!(b.co2.to_dense().transpose().sub(&b.o2c.to_dense()).max_abs() < 1e-6);
+        assert!(b.o1o2.to_dense().transpose().sub(&b.o2o1.to_dense()).max_abs() < 1e-6);
+    }
+}

@@ -1,0 +1,272 @@
+//! Feature propagation — Section IV-C of the paper.
+//!
+//! Two interchangeable solvers for the interpolation problem "reconstruct
+//! missing modal features from existing ones":
+//!
+//! 1. [`propagate_features`] — the explicit Euler scheme of Eq. 20–22:
+//!    repeat `x ← Ã x`, then reset the known (boundary) rows to their true
+//!    values. `O(nnz · d)` per iteration, the paper's scalable choice
+//!    (Algorithm 1, lines 11–14).
+//! 2. [`closed_form_interpolation`] — the exact minimizer of Eq. 19,
+//!    `x_o2 = −Δ_o2o2^{-1}(Δ_o2c x_c + Δ_o2o1 x_o1)`, solved by conjugate
+//!    gradient on the (SPD) sub-Laplacian. `O(|ε_o|³)`-ish and only for
+//!    small graphs — used in tests as the oracle the Euler scheme converges
+//!    to, exactly as the paper positions it.
+
+use crate::{Csr, SemanticPartition};
+use desalign_tensor::Matrix;
+
+/// Configuration for the explicit-Euler propagation scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct PropagationConfig {
+    /// Number of propagation rounds `n_p` (Figure 4 sweeps this).
+    pub iterations: usize,
+    /// Euler step size `h`; `1.0` reduces Eq. 20 to the `x ← Ãx` form of
+    /// Eq. 21–22.
+    pub step: f32,
+    /// If true, rows of known entities are reset to their original values
+    /// after every round (the boundary condition `x_c(t) = x_c`). The paper
+    /// notes that *in practice* they let consistent features join the
+    /// propagation to "simplify the application" (§V-F) — set `false` to
+    /// reproduce that variant.
+    pub reset_known: bool,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        Self { iterations: 1, step: 1.0, reset_known: true }
+    }
+}
+
+/// Runs Semantic Propagation and returns the feature matrix after **each**
+/// round (index 0 = the input), so callers can average pairwise similarities
+/// over all rounds as Algorithm 1 does.
+///
+/// `adj_norm` must be the symmetrically normalized adjacency `Ã` (with
+/// self-loops) and `known[i]` marks boundary entities whose features are
+/// trusted.
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn propagate_features(
+    adj_norm: &Csr,
+    x0: &Matrix,
+    known: &[bool],
+    cfg: &PropagationConfig,
+) -> Vec<Matrix> {
+    assert_eq!(adj_norm.rows(), x0.rows(), "propagate_features: Ã is {}x{}, features have {} rows", adj_norm.rows(), adj_norm.cols(), x0.rows());
+    assert_eq!(known.len(), x0.rows(), "propagate_features: known mask length mismatch");
+    let mut states = Vec::with_capacity(cfg.iterations + 1);
+    states.push(x0.clone());
+    let mut x = x0.clone();
+    for _ in 0..cfg.iterations {
+        let ax = adj_norm.spmm(&x);
+        if (cfg.step - 1.0).abs() < f32::EPSILON {
+            x = ax;
+        } else {
+            // x ← x − h·Δx = (1−h)·x + h·Ãx
+            x = x.scale(1.0 - cfg.step);
+            x.axpy(cfg.step, &ax);
+        }
+        if cfg.reset_known {
+            for (i, &k) in known.iter().enumerate() {
+                if k {
+                    x.row_mut(i).copy_from_slice(x0.row(i));
+                }
+            }
+        }
+        states.push(x.clone());
+    }
+    states
+}
+
+/// Exact interpolation of missing features: the closed-form solution of
+/// Eq. 19, computed with conjugate gradient on the sub-Laplacian `Δ_oo`
+/// (SPD for a connected graph with a non-empty boundary).
+///
+/// Returns a full feature matrix: known rows keep their input values,
+/// unknown rows (`partial ∪ missing` of the partition, i.e. every entity not
+/// in `consistent`) receive the energy-minimizing interpolation.
+///
+/// # Panics
+/// Panics if shapes disagree or the partition does not cover the graph.
+pub fn closed_form_interpolation(
+    laplacian: &Csr,
+    x0: &Matrix,
+    partition: &SemanticPartition,
+    cg_iters: usize,
+    cg_tol: f32,
+) -> Matrix {
+    let n = x0.rows();
+    assert!(partition.is_valid_cover(n), "closed_form_interpolation: partition does not cover 0..{n}");
+    // Treat everything outside `consistent` as unknown.
+    let unknown: Vec<usize> = partition.partial.iter().chain(&partition.missing).copied().collect();
+    if unknown.is_empty() {
+        return x0.clone();
+    }
+    let boundary = &partition.consistent;
+    let l_uu = laplacian.submatrix(&unknown, &unknown);
+    let l_ub = laplacian.submatrix(&unknown, boundary);
+    let x_b = x0.gather_rows(boundary);
+    // Solve Δ_uu · x_u = −Δ_ub · x_b, one CG per feature column batched as
+    // a matrix (CG over block RHS, each column independently).
+    let rhs = l_ub.spmm(&x_b).scale(-1.0);
+    let x_u = cg_solve(&l_uu, &rhs, cg_iters, cg_tol);
+    let mut out = x0.clone();
+    for (row_u, &orig) in unknown.iter().enumerate() {
+        out.row_mut(orig).copy_from_slice(x_u.row(row_u));
+    }
+    out
+}
+
+/// Conjugate gradient on an SPD sparse system with matrix RHS (each column
+/// solved simultaneously with shared sparsity work).
+fn cg_solve(a: &Csr, b: &Matrix, max_iters: usize, tol: f32) -> Matrix {
+    let mut x = Matrix::zeros(b.rows(), b.cols());
+    let mut r = b.clone(); // r = b − A·0
+    let mut p = r.clone();
+    let mut rs_old = r.inner(&r);
+    if rs_old.sqrt() < tol {
+        return x;
+    }
+    for _ in 0..max_iters {
+        let ap = a.spmm(&p);
+        let p_ap = p.inner(&ap);
+        if p_ap.abs() < 1e-20 {
+            break;
+        }
+        let alpha = rs_old / p_ap;
+        x.axpy(alpha, &p);
+        r.axpy(-alpha, &ap);
+        let rs_new = r.inner(&r);
+        if rs_new.sqrt() < tol {
+            break;
+        }
+        let beta = rs_new / rs_old;
+        p = r.add(&p.scale(beta));
+        rs_old = rs_new;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dirichlet_energy, UndirectedGraph};
+
+    fn ring(n: usize) -> UndirectedGraph {
+        UndirectedGraph::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn propagation_preserves_known_rows() {
+        let g = ring(6);
+        let a = g.normalized_adjacency(true);
+        let x0 = Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f32);
+        let known = [true, false, true, false, true, false];
+        let states = propagate_features(&a, &x0, &known, &PropagationConfig { iterations: 5, ..Default::default() });
+        for s in &states {
+            for (i, &k) in known.iter().enumerate() {
+                if k {
+                    assert_eq!(s.row(i), x0.row(i), "known row {i} changed");
+                }
+            }
+        }
+        assert_eq!(states.len(), 6);
+    }
+
+    #[test]
+    fn propagation_fills_missing_rows_from_neighbours() {
+        let g = ring(4);
+        let a = g.normalized_adjacency(true);
+        let mut x0 = Matrix::full(4, 1, 1.0);
+        x0.row_mut(2)[0] = 0.0; // missing
+        let known = [true, true, false, true];
+        let states = propagate_features(&a, &x0, &known, &PropagationConfig { iterations: 10, ..Default::default() });
+        let last = states.last().expect("states never empty");
+        assert!(last[(2, 0)] > 0.5, "missing row should pull towards neighbours, got {}", last[(2, 0)]);
+    }
+
+    #[test]
+    fn euler_scheme_decreases_dirichlet_energy_without_reset() {
+        // Pure Euler steps (no boundary reset) are gradient descent on the
+        // Dirichlet energy — monotone non-increasing (the paper's reading of
+        // Eq. 21 as successive low-pass filtering).
+        let g = ring(8);
+        let a = g.normalized_adjacency(true);
+        let lap = g.laplacian();
+        let mut rng = desalign_tensor::rng_from_seed(11);
+        let x0 = desalign_tensor::normal_matrix(&mut rng, 8, 3, 0.0, 1.0);
+        let cfg = PropagationConfig { iterations: 6, step: 1.0, reset_known: false };
+        let states = propagate_features(&a, &x0, &[false; 8], &cfg);
+        let energies: Vec<f32> = states.iter().map(|s| dirichlet_energy(&lap, s)).collect();
+        for w in energies.windows(2) {
+            assert!(w[1] <= w[0] + 1e-4, "energy increased: {energies:?}");
+        }
+    }
+
+    #[test]
+    fn euler_converges_to_closed_form_solution() {
+        // On a small connected graph the iterative scheme approaches the
+        // exact minimizer of Eq. 19.
+        let g = UndirectedGraph::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let a = g.normalized_adjacency(true);
+        let lap = g.laplacian();
+        let mut rng = desalign_tensor::rng_from_seed(13);
+        let x0 = desalign_tensor::normal_matrix(&mut rng, 5, 2, 0.0, 1.0);
+        let known = [true, true, false, false, true];
+        let partition = SemanticPartition::known_missing(&known);
+        let exact = closed_form_interpolation(&lap, &x0, &partition, 500, 1e-9);
+        let cfg = PropagationConfig { iterations: 400, step: 1.0, reset_known: true };
+        let iterated = propagate_features(&a, &x0, &known, &cfg);
+        let last = iterated.last().expect("non-empty");
+        let err = last.sub(&exact).max_abs();
+        assert!(err < 1e-3, "Euler did not converge to closed form (err {err})");
+    }
+
+    #[test]
+    fn closed_form_keeps_boundary_and_minimizes_energy() {
+        let g = UndirectedGraph::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let lap = g.laplacian();
+        let mut rng = desalign_tensor::rng_from_seed(17);
+        let x0 = desalign_tensor::normal_matrix(&mut rng, 6, 2, 0.0, 1.0);
+        let known = [true, false, true, false, true, false];
+        let partition = SemanticPartition::known_missing(&known);
+        let exact = closed_form_interpolation(&lap, &x0, &partition, 500, 1e-9);
+        for (i, &k) in known.iter().enumerate() {
+            if k {
+                assert_eq!(exact.row(i), x0.row(i));
+            }
+        }
+        // Perturbing any unknown row must not lower the energy (first-order
+        // optimality of the minimizer).
+        let base = dirichlet_energy(&lap, &exact);
+        for &i in &partition.missing {
+            for sign in [-1.0f32, 1.0] {
+                let mut pert = exact.clone();
+                pert.row_mut(i)[0] += sign * 0.05;
+                assert!(dirichlet_energy(&lap, &pert) >= base - 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn no_unknowns_is_identity() {
+        let g = ring(4);
+        let lap = g.laplacian();
+        let x0 = Matrix::from_fn(4, 2, |i, j| (i + j) as f32);
+        let p = SemanticPartition::known_missing(&[true; 4]);
+        assert_eq!(closed_form_interpolation(&lap, &x0, &p, 100, 1e-8), x0);
+    }
+
+    #[test]
+    fn fractional_step_interpolates_between_states() {
+        let g = ring(4);
+        let a = g.normalized_adjacency(true);
+        let x0 = Matrix::from_fn(4, 1, |i, _| i as f32);
+        let full = propagate_features(&a, &x0, &[false; 4], &PropagationConfig { iterations: 1, step: 1.0, reset_known: false });
+        let half = propagate_features(&a, &x0, &[false; 4], &PropagationConfig { iterations: 1, step: 0.5, reset_known: false });
+        let expect = x0.scale(0.5).add(&full[1].scale(0.5));
+        assert!(half[1].sub(&expect).max_abs() < 1e-6);
+    }
+}

@@ -1,0 +1,148 @@
+//! Spectral utilities: extreme eigenvalues of sparse symmetric matrices and
+//! extreme singular values of dense weights (for the Proposition 2 bounds).
+
+use crate::Csr;
+use desalign_tensor::Matrix;
+
+/// Largest eigenvalue (in absolute value; for PSD matrices, the largest) of
+/// a symmetric sparse matrix, by power iteration.
+///
+/// For a normalized graph Laplacian the result lies in `[0, 2)`
+/// (Chung, *Spectral Graph Theory*), which the paper notes after
+/// Proposition 1.
+pub fn lambda_max(m: &Csr, max_iters: usize, tol: f32) -> f32 {
+    assert_eq!(m.rows(), m.cols(), "lambda_max: matrix is {}x{}, not square", m.rows(), m.cols());
+    let n = m.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    // Deterministic pseudo-random start to avoid orthogonality accidents.
+    let mut v: Vec<f32> = (0..n).map(|i| ((i * 2654435761usize) % 1000) as f32 / 1000.0 + 0.1).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0f32;
+    for _ in 0..max_iters {
+        let mut w = m.spmv(&v);
+        let new_lambda = dot(&v, &w);
+        normalize(&mut w);
+        let delta = (new_lambda - lambda).abs();
+        lambda = new_lambda;
+        v = w;
+        if delta < tol {
+            break;
+        }
+    }
+    lambda
+}
+
+/// Power iteration on a dense symmetric matrix; returns `(eigenvalue,
+/// eigenvector)` for the dominant (largest-magnitude) eigenpair.
+pub fn power_iteration_sym(m: &Matrix, max_iters: usize, tol: f32) -> (f32, Vec<f32>) {
+    assert_eq!(m.rows(), m.cols(), "power_iteration_sym: matrix not square");
+    let n = m.rows();
+    let mut v: Vec<f32> = (0..n).map(|i| ((i * 2246822519usize) % 997) as f32 / 997.0 + 0.05).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0f32;
+    for _ in 0..max_iters {
+        let w_mat = m.matmul(&Matrix::column(v.clone()));
+        let mut w = w_mat.into_vec();
+        let new_lambda = dot(&v, &w);
+        normalize(&mut w);
+        let delta = (new_lambda - lambda).abs();
+        lambda = new_lambda;
+        v = w;
+        if delta < tol {
+            break;
+        }
+    }
+    (lambda, v)
+}
+
+/// Estimates the extreme singular values `(σ_min, σ_max)` of a dense matrix
+/// `W`.
+///
+/// `σ_max² = λ_max(WᵀW)` by power iteration; `σ_min²` via power iteration on
+/// the spectrally shifted `σ_max² I − WᵀW` (whose dominant eigenvalue is
+/// `σ_max² − λ_min`). These are exactly the `p_max^{(k)}`, `p_min^{(k)}` of
+/// **Proposition 2**, i.e. the squares of the extreme singular values of the
+/// layer weight `W^{(k)}`.
+pub fn singular_value_range(w: &Matrix, max_iters: usize, tol: f32) -> (f32, f32) {
+    let gram = w.matmul_tn(w); // WᵀW, symmetric PSD, size cols×cols
+    let (lmax, _) = power_iteration_sym(&gram, max_iters, tol);
+    let lmax = lmax.max(0.0);
+    // Shifted matrix: σ_max² I − WᵀW.
+    let n = gram.rows();
+    let mut shifted = gram.scale(-1.0);
+    for i in 0..n {
+        shifted[(i, i)] += lmax;
+    }
+    let (shifted_max, _) = power_iteration_sym(&shifted, max_iters, tol);
+    let lmin = (lmax - shifted_max.max(0.0)).max(0.0);
+    (lmin.sqrt(), lmax.sqrt())
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraph;
+
+    #[test]
+    fn lambda_max_of_identity_is_one() {
+        let i = Csr::identity(5);
+        assert!((lambda_max(&i, 100, 1e-8) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn laplacian_spectrum_in_zero_two() {
+        // Bipartite path graph: λ_max close to but below 2 after self-loop
+        // renormalization.
+        let g = UndirectedGraph::new(6, (0..5).map(|i| (i, i + 1)));
+        let l = g.laplacian();
+        let lmax = lambda_max(&l, 500, 1e-9);
+        assert!(lmax > 0.0 && lmax < 2.0, "λ_max = {lmax}");
+    }
+
+    #[test]
+    fn power_iteration_diagonal_matrix() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let (lambda, v) = power_iteration_sym(&m, 200, 1e-9);
+        assert!((lambda - 3.0).abs() < 1e-4);
+        assert!(v[0].abs() > 0.99);
+    }
+
+    #[test]
+    fn singular_values_of_diagonal() {
+        let w = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 0.5, 0.0], &[0.0, 0.0, 1.0]]);
+        let (smin, smax) = singular_value_range(&w, 500, 1e-9);
+        assert!((smax - 2.0).abs() < 1e-3, "σ_max {smax}");
+        assert!((smin - 0.5).abs() < 1e-3, "σ_min {smin}");
+    }
+
+    #[test]
+    fn singular_values_of_orthogonal_rotation_are_one() {
+        let t = 0.7f32;
+        let w = Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]);
+        let (smin, smax) = singular_value_range(&w, 500, 1e-9);
+        assert!((smax - 1.0).abs() < 1e-3);
+        assert!((smin - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn singular_range_of_rank_deficient_matrix_hits_zero() {
+        let w = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let (smin, _) = singular_value_range(&w, 500, 1e-9);
+        assert!(smin < 1e-2, "σ_min {smin} should be ~0");
+    }
+}

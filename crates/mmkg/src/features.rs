@@ -1,0 +1,267 @@
+//! Model-ready modal feature construction.
+//!
+//! Follows §V-A of the paper: Bag-of-Words encodings for relations (`x^r`)
+//! and text attributes (`x^t`) hashed into fixed dims, pretrained-style
+//! visual features (`x^v`), and per-modality presence masks. The paper's
+//! default dims are `d_r = d_a = 1000` and `d_v = 2048`; the synthetic
+//! presets scale these down alongside everything else.
+
+use crate::Mmkg;
+use desalign_tensor::{Matrix, Rng64};
+use rand::Rng;
+
+/// Target dimensions for each modality's raw features.
+#[derive(Clone, Copy, Debug)]
+pub struct FeatureDims {
+    /// Relation BoW dimension (`d_r`).
+    pub relation: usize,
+    /// Attribute BoW dimension (`d_a`).
+    pub attribute: usize,
+    /// Visual feature dimension (`d_v`) — must match the generator's
+    /// `vision_dim`.
+    pub visual: usize,
+}
+
+impl Default for FeatureDims {
+    fn default() -> Self {
+        Self { relation: 128, attribute: 128, visual: 64 }
+    }
+}
+
+/// Raw per-modality features and presence masks for one KG.
+#[derive(Clone, Debug)]
+pub struct ModalFeatures {
+    /// Relation BoW (`n × d_r`), ℓ2-normalized rows.
+    pub relation: Matrix,
+    /// Attribute BoW (`n × d_a`), ℓ2-normalized rows.
+    pub attribute: Matrix,
+    /// Visual features (`n × d_v`); zero rows where absent.
+    pub visual: Matrix,
+    /// Entities that participate in ≥ 1 relation triple.
+    pub has_relation: Vec<bool>,
+    /// Entities with ≥ 1 text attribute.
+    pub has_attribute: Vec<bool>,
+    /// Entities with an image.
+    pub has_visual: Vec<bool>,
+}
+
+impl ModalFeatures {
+    /// Builds features from a KG.
+    ///
+    /// # Panics
+    /// Panics if the KG's image dimension disagrees with `dims.visual`.
+    pub fn build(kg: &Mmkg, dims: &FeatureDims) -> Self {
+        let n = kg.num_entities;
+
+        // Relation BoW: each (head, r, tail) contributes the hashed relation
+        // id to both endpoints (the standard "relations as words" encoding).
+        let mut relation = Matrix::zeros(n, dims.relation);
+        let mut has_relation = vec![false; n];
+        for &(h, r, t) in &kg.rel_triples {
+            let col = hash_index(r, 0x5bd1, dims.relation);
+            relation[(h, col)] += 1.0;
+            relation[(t, col)] += 1.0;
+            has_relation[h] = true;
+            has_relation[t] = true;
+        }
+        let relation = relation.l2_normalize_rows(1e-9);
+
+        // Attribute BoW.
+        let mut attribute = Matrix::zeros(n, dims.attribute);
+        let mut has_attribute = vec![false; n];
+        for &(e, a) in &kg.attr_triples {
+            let col = hash_index(a, 0x27d4, dims.attribute);
+            attribute[(e, col)] += 1.0;
+            has_attribute[e] = true;
+        }
+        let attribute = attribute.l2_normalize_rows(1e-9);
+
+        // Visual features straight from the (simulated) vision encoder.
+        let mut visual = Matrix::zeros(n, dims.visual);
+        let mut has_visual = vec![false; n];
+        for (e, img) in kg.images.iter().enumerate() {
+            if let Some(v) = img {
+                assert_eq!(v.len(), dims.visual, "ModalFeatures::build: image dim {} != configured {}", v.len(), dims.visual);
+                visual.row_mut(e).copy_from_slice(v);
+                has_visual[e] = true;
+            }
+        }
+
+        Self { relation, attribute, visual, has_relation, has_attribute, has_visual }
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.relation.rows()
+    }
+
+    /// Missing-modality rates `(relation, attribute, visual)` — the
+    /// instrumentation behind the semantic-inconsistency analysis.
+    pub fn missing_rates(&self) -> (f32, f32, f32) {
+        let rate = |mask: &[bool]| 1.0 - mask.iter().filter(|&&b| b).count() as f32 / mask.len().max(1) as f32;
+        (rate(&self.has_relation), rate(&self.has_attribute), rate(&self.has_visual))
+    }
+}
+
+/// Replaces missing rows with noise drawn from the distribution of the
+/// present rows (per-column mean/std) — the paper's training-time policy
+/// ("Entities lacking modal features receive randomly generated initial
+/// features, based on the distribution of existing modal features", §IV-A)
+/// and, at inference time, the baseline interpolation DESAlign's Semantic
+/// Propagation replaces.
+pub fn fill_missing_with_noise(features: &Matrix, present: &[bool], rng: &mut Rng64) -> Matrix {
+    assert_eq!(features.rows(), present.len(), "fill_missing_with_noise: mask length mismatch");
+    let n_present = present.iter().filter(|&&b| b).count();
+    let cols = features.cols();
+    if n_present == 0 {
+        // Nothing to estimate from: small uniform noise.
+        let mut out = features.clone();
+        for i in 0..out.rows() {
+            for v in out.row_mut(i) {
+                *v = rng.gen_range(-0.01f32..0.01);
+            }
+        }
+        return out;
+    }
+    // Column statistics over present rows.
+    let mut mean = vec![0.0f32; cols];
+    for (i, &p) in present.iter().enumerate() {
+        if p {
+            for (m, &v) in mean.iter_mut().zip(features.row(i)) {
+                *m += v;
+            }
+        }
+    }
+    for m in &mut mean {
+        *m /= n_present as f32;
+    }
+    let mut var = vec![0.0f32; cols];
+    for (i, &p) in present.iter().enumerate() {
+        if p {
+            for ((s, &v), &m) in var.iter_mut().zip(features.row(i)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+    }
+    for s in &mut var {
+        *s /= n_present as f32;
+    }
+    let std: Vec<f32> = var.iter().map(|v| v.sqrt()).collect();
+
+    let mut out = features.clone();
+    for (i, &p) in present.iter().enumerate() {
+        if !p {
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                *v = mean[j] + std[j] * z;
+            }
+        }
+    }
+    out
+}
+
+fn hash_index(id: usize, salt: usize, dim: usize) -> usize {
+    // Fibonacci hashing; deterministic across runs and platforms.
+    (id.wrapping_add(salt).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % dim.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, SynthConfig};
+    use desalign_tensor::rng_from_seed;
+
+    fn sample_features() -> (Mmkg, ModalFeatures) {
+        let kg = Mmkg {
+            num_entities: 4,
+            num_relations: 3,
+            num_attributes: 5,
+            rel_triples: vec![(0, 0, 1), (1, 2, 2)],
+            attr_triples: vec![(0, 1), (0, 1), (3, 4)],
+            images: vec![Some(vec![1.0, 0.0]), None, None, Some(vec![0.0, 1.0])],
+        };
+        let dims = FeatureDims { relation: 8, attribute: 8, visual: 2 };
+        let f = ModalFeatures::build(&kg, &dims);
+        (kg, f)
+    }
+
+    #[test]
+    fn masks_reflect_participation() {
+        let (_, f) = sample_features();
+        assert_eq!(f.has_relation, vec![true, true, true, false]);
+        assert_eq!(f.has_attribute, vec![true, false, false, true]);
+        assert_eq!(f.has_visual, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn bow_rows_are_normalized_or_zero() {
+        let (_, f) = sample_features();
+        for i in 0..4 {
+            let norm: f32 = f.relation.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!(norm.abs() < 1e-6 || (norm - 1.0).abs() < 1e-5, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn repeated_attributes_increase_weight_before_normalization() {
+        // Entity 0 has attribute 1 twice → single BoW column, unit norm.
+        let (_, f) = sample_features();
+        let nz: Vec<f32> = f.attribute.row(0).iter().copied().filter(|v| *v != 0.0).collect();
+        assert_eq!(nz.len(), 1);
+        assert!((nz[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_rates() {
+        let (_, f) = sample_features();
+        let (r, a, v) = f.missing_rates();
+        assert!((r - 0.25).abs() < 1e-6);
+        assert!((a - 0.5).abs() < 1e-6);
+        assert!((v - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_fill_preserves_present_rows_and_matches_moments() {
+        let mut rng = rng_from_seed(1);
+        let mut features = Matrix::zeros(200, 3);
+        let mut present = vec![false; 200];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..100 {
+            present[i] = true;
+            for (j, v) in features.row_mut(i).iter_mut().enumerate() {
+                *v = 2.0 + j as f32; // constant per column → std 0
+            }
+        }
+        let filled = fill_missing_with_noise(&features, &present, &mut rng);
+        for i in 0..100 {
+            assert_eq!(filled.row(i), features.row(i));
+        }
+        // With zero std, missing rows equal the column means exactly.
+        for i in 100..200 {
+            assert!((filled.row(i)[0] - 2.0).abs() < 1e-5);
+            assert!((filled.row(i)[2] - 4.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn noise_fill_with_no_present_rows_is_small_noise() {
+        let mut rng = rng_from_seed(2);
+        let features = Matrix::zeros(5, 4);
+        let filled = fill_missing_with_noise(&features, &[false; 5], &mut rng);
+        assert!(filled.max_abs() <= 0.01);
+    }
+
+    #[test]
+    fn end_to_end_features_from_generator() {
+        let cfg = SynthConfig::preset(DatasetSpec::FbYg15k).scaled(150);
+        let ds = cfg.generate(3);
+        let dims = FeatureDims { relation: 64, attribute: 64, visual: cfg.vision_dim };
+        let f = ModalFeatures::build(&ds.source, &dims);
+        assert_eq!(f.num_entities(), ds.source.num_entities);
+        let (_, _, v_missing) = f.missing_rates();
+        // FB15K side has ~90 % image coverage.
+        assert!((v_missing - 0.101).abs() < 0.06, "visual missing {v_missing}");
+    }
+}

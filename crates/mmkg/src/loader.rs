@@ -1,0 +1,51 @@
+//! Dataset (de)serialization so experiment splits are reproducible
+//! byte-for-byte and shareable between binaries.
+
+use crate::AlignmentDataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Saves a dataset as pretty JSON.
+pub fn save_dataset_json(ds: &AlignmentDataset, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(ds).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads a dataset saved with [`save_dataset_json`], validating it.
+pub fn load_dataset_json(path: &Path) -> io::Result<AlignmentDataset> {
+    let json = fs::read_to_string(path)?;
+    let ds: AlignmentDataset = serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    ds.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid dataset: {e}")))?;
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, SynthConfig};
+
+    #[test]
+    fn round_trip_preserves_dataset() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(1);
+        let dir = std::env::temp_dir().join("desalign-loader-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("ds.json");
+        save_dataset_json(&ds, &path).expect("save");
+        let loaded = load_dataset_json(&path).expect("load");
+        assert_eq!(loaded.name, ds.name);
+        assert_eq!(loaded.source.rel_triples, ds.source.rel_triples);
+        assert_eq!(loaded.test_pairs, ds.test_pairs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_data() {
+        let dir = std::env::temp_dir().join("desalign-loader-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"not\": \"a dataset\"}").expect("write");
+        assert!(load_dataset_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

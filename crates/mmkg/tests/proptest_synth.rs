@@ -1,0 +1,90 @@
+//! Property tests for the synthetic benchmark generator: every generated
+//! split must satisfy the dataset invariants regardless of preset, scale,
+//! ratio knobs, or seed.
+
+use desalign_mmkg::{DatasetSpec, FeatureDims, ModalFeatures, SynthConfig};
+use proptest::prelude::*;
+
+fn preset_strategy() -> impl Strategy<Value = DatasetSpec> {
+    prop_oneof![
+        Just(DatasetSpec::FbDb15k),
+        Just(DatasetSpec::FbYg15k),
+        Just(DatasetSpec::Dbp15kZhEn),
+        Just(DatasetSpec::Dbp15kJaEn),
+        Just(DatasetSpec::Dbp15kFrEn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_datasets_always_validate(
+        spec in preset_strategy(),
+        scale in 30usize..120,
+        seed in 0u64..10_000,
+        r_seed in 0.05f32..0.9,
+    ) {
+        let ds = SynthConfig::preset(spec).scaled(scale).with_seed_ratio(r_seed).generate(seed);
+        prop_assert_eq!(ds.validate(), Ok(()));
+        prop_assert!(ds.num_pairs() > 0);
+        prop_assert!((ds.seed_ratio() - r_seed).abs() < 0.15);
+    }
+
+    #[test]
+    fn ratio_overrides_bound_coverage(
+        spec in preset_strategy(),
+        seed in 0u64..1000,
+        r in 0.05f32..0.95,
+    ) {
+        let ds = SynthConfig::preset(spec).scaled(80).with_image_ratio(r).with_text_ratio(r).generate(seed);
+        let img_cov = ds.source.num_images() as f32 / ds.source.num_entities as f32;
+        prop_assert!((img_cov - r).abs() < 0.1, "image coverage {} vs requested {}", img_cov, r);
+        let tex_cov = ds.source.entities_with_attributes().iter().filter(|&&b| b).count() as f32
+            / ds.source.num_entities as f32;
+        prop_assert!(tex_cov <= r + 0.1, "text coverage {} exceeds requested {}", tex_cov, r);
+    }
+
+    #[test]
+    fn feature_matrices_are_finite_and_shaped(
+        spec in preset_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let ds = SynthConfig::preset(spec).scaled(60).generate(seed);
+        let dims = FeatureDims { relation: 32, attribute: 32, visual: 64 };
+        for kg in [&ds.source, &ds.target] {
+            let f = ModalFeatures::build(kg, &dims);
+            prop_assert_eq!(f.num_entities(), kg.num_entities);
+            prop_assert!(f.relation.all_finite());
+            prop_assert!(f.attribute.all_finite());
+            prop_assert!(f.visual.all_finite());
+            // Presence masks must be consistent with the raw data.
+            prop_assert_eq!(
+                f.has_visual.iter().filter(|&&b| b).count(),
+                kg.num_images()
+            );
+        }
+    }
+
+    #[test]
+    fn alignment_is_one_to_one(spec in preset_strategy(), seed in 0u64..1000) {
+        let ds = SynthConfig::preset(spec).scaled(60).generate(seed);
+        let mut seen_s = std::collections::HashSet::new();
+        let mut seen_t = std::collections::HashSet::new();
+        for &(s, t) in ds.train_pairs.iter().chain(&ds.test_pairs) {
+            prop_assert!(seen_s.insert(s));
+            prop_assert!(seen_t.insert(t));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_dataset_different_seed_different(spec in preset_strategy(), seed in 0u64..1000) {
+        let cfg = SynthConfig::preset(spec).scaled(50);
+        let a = cfg.generate(seed);
+        let b = cfg.generate(seed);
+        prop_assert_eq!(&a.source.rel_triples, &b.source.rel_triples);
+        prop_assert_eq!(&a.test_pairs, &b.test_pairs);
+        let c = cfg.generate(seed + 1);
+        prop_assert!(a.source.rel_triples != c.source.rel_triples || a.test_pairs != c.test_pairs);
+    }
+}

@@ -1,0 +1,162 @@
+//! Parameter-store checkpointing: save/load all weights as JSON.
+//!
+//! The format is deliberately simple and self-describing — one record per
+//! parameter with name, shape, and row-major data — so checkpoints stay
+//! inspectable and diff-able. Loading validates that the store layout
+//! (count, order, shapes) matches; names are informative only.
+
+use crate::{ParamId, ParamStore};
+use desalign_tensor::Matrix;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+impl ParamStore {
+    /// Saves every parameter to `path` as JSON.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::from("[");
+        for (i, id) in self.ids().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = self.value(id);
+            write!(
+                out,
+                "{{\"name\":{},\"rows\":{},\"cols\":{},\"data\":[",
+                serde_json_escape(self.name(id)),
+                v.rows(),
+                v.cols()
+            )
+            .expect("string write");
+            for (j, x) in v.as_slice().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write!(out, "{x}").expect("string write");
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        fs::write(path, out)
+    }
+
+    /// Loads a checkpoint saved with [`ParamStore::save_json`] into this
+    /// store. The store must already have the same layout (same number of
+    /// parameters, same shapes, in the same order) — build the model first,
+    /// then restore.
+    pub fn load_json(&mut self, path: &Path) -> io::Result<()> {
+        let text = fs::read_to_string(path)?;
+        let records: Vec<CheckpointRecord> =
+            serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let ids: Vec<ParamId> = self.ids().collect();
+        if records.len() != ids.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint has {} parameters, store has {}", records.len(), ids.len()),
+            ));
+        }
+        // Validate everything before mutating anything.
+        for (rec, &id) in records.iter().zip(&ids) {
+            let v = self.value(id);
+            if (rec.rows, rec.cols) != (v.rows(), v.cols()) || rec.data.len() != rec.rows * rec.cols {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "parameter '{}' shape mismatch: checkpoint {}x{} ({} values) vs store {}x{}",
+                        rec.name,
+                        rec.rows,
+                        rec.cols,
+                        rec.data.len(),
+                        v.rows(),
+                        v.cols()
+                    ),
+                ));
+            }
+        }
+        for (rec, &id) in records.iter().zip(&ids) {
+            *self.value_mut(id) = Matrix::from_vec(rec.rows, rec.cols, rec.data.clone());
+        }
+        Ok(())
+    }
+}
+
+#[derive(serde::Deserialize)]
+struct CheckpointRecord {
+    name: String,
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+fn serde_json_escape(s: &str) -> String {
+    serde_json::to_string(s).expect("string serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_tensor::{normal_matrix, rng_from_seed};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("desalign-ckpt-tests");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_preserves_all_weights() {
+        let mut rng = rng_from_seed(1);
+        let mut store = ParamStore::new();
+        let a = store.add("layer.w", normal_matrix(&mut rng, 3, 4, 0.0, 1.0));
+        let b = store.add("layer.b", normal_matrix(&mut rng, 1, 4, 0.0, 1.0));
+        let path = tmp("roundtrip.json");
+        store.save_json(&path).expect("save");
+
+        let mut other = ParamStore::new();
+        other.add("layer.w", Matrix::zeros(3, 4));
+        other.add("layer.b", Matrix::zeros(1, 4));
+        other.load_json(&path).expect("load");
+        assert_eq!(other.value(ParamId::test_id(0)), store.value(a));
+        assert_eq!(other.value(ParamId::test_id(1)), store.value(b));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::zeros(2, 2));
+        let path = tmp("mismatch.json");
+        store.save_json(&path).expect("save");
+        let mut other = ParamStore::new();
+        other.add("w", Matrix::zeros(3, 2));
+        assert!(other.load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_count_mismatch() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::zeros(1, 1));
+        let path = tmp("count.json");
+        store.save_json(&path).expect("save");
+        let mut other = ParamStore::new();
+        other.add("w", Matrix::zeros(1, 1));
+        other.add("extra", Matrix::zeros(1, 1));
+        assert!(other.load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let mut store = ParamStore::new();
+        store.add("weird \"name\"", Matrix::full(1, 1, 2.5));
+        let path = tmp("escape.json");
+        store.save_json(&path).expect("save");
+        let mut other = ParamStore::new();
+        other.add("anything", Matrix::zeros(1, 1));
+        other.load_json(&path).expect("load");
+        assert_eq!(other.value(ParamId::test_id(0))[(0, 0)], 2.5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,35 @@
+//! Neural-network building blocks for DESAlign.
+//!
+//! Layers are thin structs holding [`ParamId`]s into a [`ParamStore`]; a
+//! forward pass binds parameters onto a fresh autodiff [`Session`] each
+//! step. This mirrors the PyTorch module/optimizer split the paper's
+//! implementation relies on:
+//!
+//! - [`Linear`] / [`DiagonalLinear`] — the per-modality FC layers (Eq. 8)
+//!   and the diagonal `W_g` of the structure branch (Eq. 7);
+//! - [`GatLayer`] / [`GatEncoder`] — multi-head Graph Attention (Veličković
+//!   et al.) with the two-layer, two-head configuration of §IV-A;
+//! - [`CrossModalAttention`] — the Cross-modal Attention Weighted (CAW)
+//!   block of Eq. 9–13, including the modal-level confidence weights `w̃^m`;
+//! - [`AdamW`] — decoupled weight decay Adam (β₁ = 0.9, β₂ = 0.999), with
+//!   global-norm gradient clipping;
+//! - [`CosineWarmup`] — the 15 %-warmup cosine LR schedule of §V-A;
+//! - checkpointing: [`ParamStore::save_json`] / [`ParamStore::load_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attention;
+mod checkpoint;
+mod gat;
+mod linear;
+mod module;
+mod optim;
+mod schedule;
+
+pub use attention::{CawOutput, CrossModalAttention};
+pub use gat::{GatEncoder, GatLayer, WeightKind};
+pub use linear::{DiagonalLinear, Linear};
+pub use module::{Gradients, ParamId, ParamStore, Session};
+pub use optim::AdamW;
+pub use schedule::CosineWarmup;

@@ -1,0 +1,133 @@
+//! Dense and diagonal linear layers.
+
+use crate::{ParamId, ParamStore, Session};
+use desalign_autodiff::Var;
+use desalign_tensor::{glorot_uniform, Matrix, Rng64};
+
+/// A dense linear layer `y = xW (+ b)` — the per-modality fully connected
+/// transforms `FC_m` of Eq. 8.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a Glorot-initialized layer and registers its parameters.
+    pub fn new(store: &mut ParamStore, rng: &mut Rng64, name: &str, in_dim: usize, out_dim: usize, bias: bool) -> Self {
+        let w = store.add(format!("{name}.w"), glorot_uniform(rng, in_dim, out_dim));
+        let b = bias.then(|| store.add(format!("{name}.b"), Matrix::zeros(1, out_dim)));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer: `x (n×in) → (n×out)`.
+    pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Var {
+        let w = sess.param(self.w);
+        let b = self.b.map(|id| sess.param(id));
+        sess.tape.linear(x, w, b)
+    }
+
+    /// Weight parameter id (exposed for energy diagnostics: Proposition 2
+    /// tracks the singular values of each layer's `W^{(k)}`).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// A diagonal linear layer `y = x ⊙ diag(w)` — the `W_g ∈ ℝ^{d×d}` diagonal
+/// weight of the structure branch (Eq. 7, following Yang et al.).
+#[derive(Clone, Debug)]
+pub struct DiagonalLinear {
+    w: ParamId,
+    dim: usize,
+}
+
+impl DiagonalLinear {
+    /// Creates a layer initialized to the identity (all-ones diagonal).
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let w = store.add(format!("{name}.diag"), Matrix::full(1, dim, 1.0));
+        Self { w, dim }
+    }
+
+    /// Applies the per-column scaling.
+    pub fn forward(&self, sess: &mut Session<'_>, x: Var) -> Var {
+        let w = sess.param(self.w);
+        sess.tape.mul_broadcast_row(x, w)
+    }
+
+    /// The diagonal parameter id.
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_tensor::rng_from_seed;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = rng_from_seed(1);
+        let layer = Linear::new(&mut store, &mut rng, "fc", 3, 5, true);
+        assert_eq!(store.len(), 2);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Matrix::full(4, 3, 1.0));
+        let y = layer.forward(&mut sess, x);
+        assert_eq!(sess.tape.value(y).shape(), (4, 5));
+    }
+
+    #[test]
+    fn linear_gradients_reach_weight_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = rng_from_seed(2);
+        let layer = Linear::new(&mut store, &mut rng, "fc", 2, 2, true);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Matrix::full(3, 2, 1.0));
+        let y = layer.forward(&mut sess, x);
+        let sq = sess.tape.square(y);
+        let loss = sess.tape.sum_all(sq);
+        let grads = sess.backward(loss);
+        assert_eq!(grads.len(), 2);
+    }
+
+    #[test]
+    fn diagonal_linear_identity_init_is_noop() {
+        let mut store = ParamStore::new();
+        let layer = DiagonalLinear::new(&mut store, "wg", 3);
+        let mut sess = Session::new(&store);
+        let input = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let x = sess.input(input.clone());
+        let y = layer.forward(&mut sess, x);
+        assert_eq!(sess.tape.value(y), &input);
+    }
+
+    #[test]
+    fn diagonal_linear_scales_columns() {
+        let mut store = ParamStore::new();
+        let layer = DiagonalLinear::new(&mut store, "wg", 2);
+        store.value_mut(layer.weight()).as_mut_slice().copy_from_slice(&[2.0, -1.0]);
+        let mut sess = Session::new(&store);
+        let x = sess.input(Matrix::from_rows(&[&[1.0, 1.0], &[3.0, 4.0]]));
+        let y = layer.forward(&mut sess, x);
+        assert_eq!(sess.tape.value(y).as_slice(), &[2.0, -1.0, 6.0, -4.0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Persistent parameter storage and per-step autodiff sessions.
+
+use desalign_autodiff::{Tape, Var};
+use desalign_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Constructs an id by raw index — test helper only (ids are normally
+    /// obtained from [`ParamStore::add`]).
+    #[cfg(test)]
+    pub(crate) fn test_id(i: usize) -> Self {
+        ParamId(i)
+    }
+}
+
+struct ParamEntry {
+    name: String,
+    value: Matrix,
+}
+
+/// Owns every trainable parameter of a model across training steps.
+///
+/// Tapes are transient (one per step); the store is the durable state the
+/// optimizer updates. Layers keep `ParamId`s, never matrices, so weight
+/// sharing is explicit and snapshots are trivial.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an initial value; names aid debugging and
+    /// snapshots and need not be unique.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.params.push(ParamEntry { name: name.into(), value });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Deep copy of all values (for snapshots / early stopping).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restores a snapshot taken with [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store layout.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.params.len(), "ParamStore::restore: snapshot has {} entries, store has {}", snapshot.len(), self.params.len());
+        for (entry, saved) in self.params.iter_mut().zip(snapshot) {
+            saved.expect_shape(entry.value.rows(), entry.value.cols(), "ParamStore::restore");
+            entry.value = saved.clone();
+        }
+    }
+}
+
+/// Gradients collected from one backward pass, keyed by parameter.
+#[derive(Default)]
+pub struct Gradients {
+    grads: HashMap<ParamId, Matrix>,
+}
+
+impl Gradients {
+    /// Gradient for a parameter, if it participated in the loss.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(&id)
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether no gradients were collected.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Global ℓ2 norm over all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads.values().map(|g| {
+            let n = g.frobenius_norm();
+            n * n
+        }).sum::<f32>().sqrt()
+    }
+
+    /// Scales every gradient in place (used for clipping).
+    pub fn scale_all(&mut self, factor: f32) {
+        for g in self.grads.values_mut() {
+            *g = g.scale(factor);
+        }
+    }
+
+    /// Iterates over `(id, grad)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads.iter().map(|(&id, g)| (id, g))
+    }
+}
+
+/// One training step's autodiff context: a fresh [`Tape`] plus the binding
+/// of store parameters to tape leaves.
+pub struct Session<'s> {
+    /// The underlying tape; layers record their ops here.
+    pub tape: Tape,
+    store: &'s ParamStore,
+    bound: HashMap<ParamId, Var>,
+}
+
+impl<'s> Session<'s> {
+    /// Starts a session over the given store.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self { tape: Tape::new(), store, bound: HashMap::new() }
+    }
+
+    /// Binds a parameter as a trainable leaf (cached: binding the same id
+    /// twice returns the same `Var`, so weight sharing accumulates
+    /// gradients correctly).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(&v) = self.bound.get(&id) {
+            return v;
+        }
+        let v = self.tape.leaf(self.store.value(id).clone());
+        self.bound.insert(id, v);
+        v
+    }
+
+    /// Records a non-trainable input.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.tape.constant(value)
+    }
+
+    /// Runs backward from `loss` and collects per-parameter gradients.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        self.tape.backward(loss);
+        let mut grads = Gradients::default();
+        for (&id, &var) in &self.bound {
+            if let Some(g) = self.tape.grad(var) {
+                grads.grads.insert(id, g.clone());
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(2, 2, 1.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_weights(), 4);
+        assert_eq!(store.name(w), "w");
+        store.value_mut(w)[(0, 0)] = 5.0;
+        assert_eq!(store.value(w)[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 2, 1.0));
+        let snap = store.snapshot();
+        store.value_mut(w)[(0, 1)] = 9.0;
+        store.restore(&snap);
+        assert_eq!(store.value(w).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn session_binds_once_and_accumulates_shared_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 3.0));
+        let mut sess = Session::new(&store);
+        let a = sess.param(w);
+        let b = sess.param(w);
+        assert_eq!(a, b);
+        // loss = w·w → dL/dw = 2w = 6
+        let prod = sess.tape.mul(a, b);
+        let loss = sess.tape.sum_all(prod);
+        let grads = sess.backward(loss);
+        assert_eq!(grads.get(w).expect("grad")[(0, 0)], 6.0);
+    }
+
+    #[test]
+    fn gradients_norm_and_scale() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 2, 2.0));
+        let mut sess = Session::new(&store);
+        let v = sess.param(w);
+        let sq = sess.tape.square(v);
+        let loss = sess.tape.sum_all(sq);
+        let mut grads = sess.backward(loss);
+        // grad = 2w = [4, 4]; norm = sqrt(32)
+        assert!((grads.global_norm() - 32.0f32.sqrt()).abs() < 1e-5);
+        grads.scale_all(0.5);
+        assert_eq!(grads.get(w).expect("grad").as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn unused_params_have_no_grad() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::full(1, 1, 1.0));
+        let u = store.add("unused", Matrix::full(1, 1, 1.0));
+        let mut sess = Session::new(&store);
+        let v = sess.param(w);
+        let _also_bound_but_unused = sess.param(u);
+        let loss = sess.tape.sum_all(v);
+        let grads = sess.backward(loss);
+        assert!(grads.get(w).is_some());
+        assert!(grads.get(u).is_none());
+    }
+}

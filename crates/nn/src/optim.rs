@@ -1,0 +1,138 @@
+//! AdamW — Adam with decoupled weight decay (Loshchilov & Hutter), the
+//! optimizer the paper trains with (β₁ = 0.9, β₂ = 0.999, §V-A).
+
+use crate::{Gradients, ParamId, ParamStore};
+use desalign_tensor::Matrix;
+use std::collections::HashMap;
+
+/// AdamW optimizer state.
+pub struct AdamW {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    /// Optional global-norm gradient clip; `None` disables clipping.
+    pub clip_norm: Option<f32>,
+    step: u64,
+    moments: HashMap<ParamId, (Matrix, Matrix)>, // (m, v)
+}
+
+impl AdamW {
+    /// Creates an optimizer with the paper's betas and the given weight
+    /// decay.
+    pub fn new(weight_decay: f32) -> Self {
+        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, clip_norm: Some(5.0), step: 0, moments: HashMap::new() }
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update with learning rate `lr`.
+    ///
+    /// Parameters without gradients in `grads` are untouched (their moments
+    /// also stay frozen, matching PyTorch's sparse-participation behaviour).
+    pub fn step(&mut self, store: &mut ParamStore, grads: &mut Gradients, lr: f32) {
+        if let Some(max_norm) = self.clip_norm {
+            let norm = grads.global_norm();
+            if norm > max_norm && norm > 0.0 {
+                grads.scale_all(max_norm / norm);
+            }
+        }
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for (id, grad) in grads.iter() {
+            let value = store.value(id);
+            let (m, v) = self
+                .moments
+                .entry(id)
+                .or_insert_with(|| (Matrix::zeros(value.rows(), value.cols()), Matrix::zeros(value.rows(), value.cols())));
+            let value = store.value_mut(id);
+            for ((w, g), (m_i, v_i)) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;
+                let m_hat = *m_i / bc1;
+                let v_hat = *v_i / bc2;
+                // Decoupled weight decay: applied to the weight directly.
+                *w -= lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * *w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+
+    fn quadratic_grads(store: &ParamStore, id: ParamId) -> Gradients {
+        // loss = Σ w² → grad = 2w
+        let mut sess = Session::new(store);
+        let w = sess.param(id);
+        let sq = sess.tape.square(w);
+        let loss = sess.tape.sum_all(sq);
+        sess.backward(loss)
+    }
+
+    #[test]
+    fn adamw_minimizes_a_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_rows(&[&[3.0, -2.0]]));
+        let mut opt = AdamW::new(0.0);
+        for _ in 0..400 {
+            let mut grads = quadratic_grads(&store, id);
+            opt.step(&mut store, &mut grads, 0.05);
+        }
+        assert!(store.value(id).max_abs() < 1e-2, "did not converge: {:?}", store.value(id));
+        assert_eq!(opt.steps(), 400);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_gradient_free_weights_only_via_participation() {
+        // A parameter with zero gradient is untouched — decay is only
+        // applied to participating parameters (PyTorch semantics).
+        let mut store = ParamStore::new();
+        let used = store.add("used", Matrix::full(1, 1, 1.0));
+        let unused = store.add("unused", Matrix::full(1, 1, 1.0));
+        let mut opt = AdamW::new(0.1);
+        let mut grads = quadratic_grads(&store, used);
+        opt.step(&mut store, &mut grads, 0.01);
+        assert!(store.value(used)[(0, 0)] < 1.0);
+        assert_eq!(store.value(unused)[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::full(1, 4, 1000.0));
+        let mut opt = AdamW::new(0.0);
+        opt.clip_norm = Some(1.0);
+        let mut grads = quadratic_grads(&store, id);
+        let norm_before = grads.global_norm();
+        assert!(norm_before > 1.0);
+        opt.step(&mut store, &mut grads, 0.1);
+        assert!(grads.global_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let run = || {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Matrix::from_rows(&[&[1.0, 2.0]]));
+            let mut opt = AdamW::new(0.01);
+            for _ in 0..10 {
+                let mut grads = quadratic_grads(&store, id);
+                opt.step(&mut store, &mut grads, 0.02);
+            }
+            store.value(id).clone()
+        };
+        assert_eq!(run(), run());
+    }
+}

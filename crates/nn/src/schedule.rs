@@ -1,0 +1,81 @@
+//! Learning-rate schedules.
+
+/// Cosine decay with linear warmup — the paper trains with a "cosine warm-up
+/// schedule (15 % steps for LR warmup)" (§V-A).
+#[derive(Clone, Copy, Debug)]
+pub struct CosineWarmup {
+    base_lr: f32,
+    total_steps: usize,
+    warmup_steps: usize,
+    /// Floor learning rate after full decay.
+    pub min_lr: f32,
+}
+
+impl CosineWarmup {
+    /// Creates a schedule over `total_steps` with `warmup_frac` of them
+    /// spent in linear warmup (the paper's 0.15).
+    pub fn new(base_lr: f32, total_steps: usize, warmup_frac: f32) -> Self {
+        let warmup_steps = ((total_steps as f32) * warmup_frac).round() as usize;
+        Self { base_lr, total_steps: total_steps.max(1), warmup_steps, min_lr: 0.0 }
+    }
+
+    /// Learning rate at `step` (0-based). Steps beyond `total_steps` stay at
+    /// `min_lr`.
+    pub fn lr(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        if step >= self.total_steps {
+            return self.min_lr;
+        }
+        let progress = (step - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps).max(1) as f32;
+        let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cosine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_rises_linearly() {
+        let s = CosineWarmup::new(1.0, 100, 0.2);
+        assert!(s.lr(0) < s.lr(10));
+        assert!((s.lr(19) - 1.0).abs() < 1e-6); // last warmup step hits base
+    }
+
+    #[test]
+    fn decays_to_floor() {
+        let mut s = CosineWarmup::new(0.1, 50, 0.1);
+        s.min_lr = 0.001;
+        assert!(s.lr(49) < 0.01);
+        assert_eq!(s.lr(60), 0.001);
+    }
+
+    #[test]
+    fn peak_at_end_of_warmup() {
+        let s = CosineWarmup::new(2.0, 200, 0.15);
+        let peak = s.lr(29);
+        for step in [0, 10, 60, 120, 199] {
+            assert!(s.lr(step) <= peak + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_base() {
+        let s = CosineWarmup::new(1.0, 10, 0.0);
+        assert!((s.lr(0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = CosineWarmup::new(1.0, 100, 0.15);
+        let mut prev = f32::INFINITY;
+        for step in 15..100 {
+            let lr = s.lr(step);
+            assert!(lr <= prev + 1e-6, "lr rose at step {step}");
+            prev = lr;
+        }
+    }
+}

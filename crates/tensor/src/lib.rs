@@ -1,0 +1,30 @@
+//! Dense numeric kernels for DESAlign.
+//!
+//! This crate provides the dense linear-algebra substrate the rest of the
+//! workspace builds on: a row-major `f32` [`Matrix`], element-wise and
+//! matrix-product kernels, row-wise normalizations used by attention layers,
+//! and seedable random initializers (Glorot et al.).
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness** — every kernel has a small-case unit test and the
+//!    gradient-bearing ones are finite-difference checked from the
+//!    `desalign-autodiff` crate.
+//! 2. **Predictable performance** — row-major storage, blocked `ikj` matmul,
+//!    no hidden allocation in hot loops. At the scales this reproduction
+//!    targets (≤ a few thousand rows, feature dims ≤ a few hundred) this is
+//!    within a small factor of BLAS without the dependency.
+//! 3. **No `unsafe`** — the whole workspace forbids unsafe code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod ops;
+mod random;
+mod rowwise;
+
+pub use matrix::Matrix;
+pub use ops::dot;
+pub use random::{glorot_uniform, normal_matrix, rng_from_seed, uniform_matrix, Rng64};
+pub use rowwise::softmax_slice;

@@ -1,0 +1,159 @@
+//! Row-wise normalizations: softmax, ℓ2-normalization, layer-norm statistics.
+//!
+//! These are the numeric primitives behind the attention and fusion layers.
+//! They live here (rather than in `desalign-nn`) so both forward kernels and
+//! autodiff backward passes can share one implementation.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Numerically stable row-wise softmax.
+    ///
+    /// Each row is shifted by its maximum before exponentiation, so the
+    /// result is finite for any finite input. Rows sum to exactly 1 up to
+    /// rounding.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            softmax_slice(out.row_mut(i));
+        }
+        out
+    }
+
+    /// Row-wise ℓ2 normalization. Rows with norm below `eps` are left
+    /// untouched (returned as-is) to avoid division blow-ups on missing /
+    /// zeroed features.
+    pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > eps {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-row mean vector (`rows × 1`).
+    pub fn row_means(&self) -> Matrix {
+        let c = self.cols().max(1) as f32;
+        Matrix::column((0..self.rows()).map(|i| self.row(i).iter().sum::<f32>() / c).collect())
+    }
+
+    /// Per-row (population) variance vector (`rows × 1`).
+    pub fn row_vars(&self) -> Matrix {
+        let c = self.cols().max(1) as f32;
+        Matrix::column(
+            (0..self.rows())
+                .map(|i| {
+                    let row = self.row(i);
+                    let mean = row.iter().sum::<f32>() / c;
+                    row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c
+                })
+                .collect(),
+        )
+    }
+
+    /// Layer normalization over each row: `(x − mean) / sqrt(var + eps)`.
+    ///
+    /// Affine scale/shift, when needed, is applied by the caller (the
+    /// autodiff layer keeps γ/β as separate parameters).
+    pub fn layernorm_rows(&self, eps: f32) -> Matrix {
+        let mut out = self.clone();
+        let c = out.cols().max(1) as f32;
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let mean = row.iter().sum::<f32>() / c;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c;
+            let inv = 1.0 / (var + eps).sqrt();
+            for v in row {
+                *v = (*v - mean) * inv;
+            }
+        }
+        out
+    }
+
+    /// Per-row ℓ2 norms as a `rows × 1` matrix.
+    pub fn row_norms(&self) -> Matrix {
+        Matrix::column(
+            (0..self.rows())
+                .map(|i| self.row(i).iter().map(|v| v * v).sum::<f32>().sqrt())
+                .collect(),
+        )
+    }
+}
+
+/// In-place numerically stable softmax of one slice.
+pub fn softmax_slice(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let s = m.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {i} sums to {sum}");
+        }
+        // Monotone in logits.
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let m = Matrix::from_rows(&[&[1000.0, 1001.0]]);
+        let s = m.softmax_rows();
+        assert!(s.all_finite());
+        let t = Matrix::from_rows(&[&[0.0, 1.0]]).softmax_rows();
+        assert!((s[(0, 0)] - t[(0, 0)]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_unit_rows() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        let n = m.l2_normalize_rows(1e-12);
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-6);
+        // Zero row left intact, not NaN.
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn layernorm_rows_zero_mean_unit_var() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let n = m.layernorm_rows(1e-5);
+        let mean: f32 = n.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = n.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn row_stats() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 2.0]]);
+        assert_eq!(m.row_means().as_slice(), &[2.0, 2.0]);
+        assert_eq!(m.row_vars().as_slice(), &[1.0, 0.0]);
+        assert!((m.row_norms().as_slice()[0] - 10.0f32.sqrt()).abs() < 1e-6);
+    }
+}

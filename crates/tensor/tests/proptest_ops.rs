@@ -1,0 +1,118 @@
+//! Property tests for the dense kernels: algebraic identities that must
+//! hold for arbitrary (finite, bounded) matrices.
+
+use desalign_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn square(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in matrix(3, 5), b in matrix(3, 5)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(4, 3), b in matrix(4, 3)) {
+        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in matrix(3, 3), b in matrix(3, 3)) {
+        let restored = a.sub(&b).add(&b);
+        prop_assert!(restored.sub(&a).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(a in matrix(3, 4)) {
+        prop_assert_eq!(a.matmul(&Matrix::eye(4)), a.clone());
+        prop_assert_eq!(Matrix::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.sub(&rhs).max_abs() < 1e-2);
+    }
+
+    #[test]
+    fn fused_transposed_products_match_explicit(a in matrix(4, 3), b in matrix(4, 2), c in matrix(5, 3)) {
+        prop_assert!(a.matmul_tn(&b).sub(&a.transpose().matmul(&b)).max_abs() < 1e-2);
+        prop_assert!(a.matmul_nt(&c).sub(&a.matmul(&c.transpose())).max_abs() < 1e-2);
+    }
+
+    #[test]
+    fn trace_is_similarity_invariant_under_transpose(a in square(4)) {
+        prop_assert!((a.trace() - a.transpose().trace()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inner_product_symmetry(a in matrix(3, 4), b in matrix(3, 4)) {
+        prop_assert!((a.inner(&b) - b.inner(&a)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn frobenius_norm_from_inner(a in matrix(3, 4)) {
+        let via_inner = a.inner(&a).max(0.0).sqrt();
+        prop_assert!((via_inner - a.frobenius_norm()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix(4, 6)) {
+        let s = a.softmax_rows();
+        prop_assert!(s.all_finite());
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", i, sum);
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_or_zero_norm(a in matrix(4, 3)) {
+        let n = a.l2_normalize_rows(1e-6);
+        for i in 0..n.rows() {
+            let norm: f32 = n.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            prop_assert!(norm < 1e-5 || (norm - 1.0).abs() < 1e-3, "row {} norm {}", i, norm);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_adjoint_identity(a in matrix(5, 3)) {
+        // scatter_add(gather(x, idx), idx) sums duplicates; with unique
+        // indices it is a permutation-restricted identity.
+        let idx = vec![4usize, 2, 0];
+        let g = a.gather_rows(&idx);
+        let s = g.scatter_add_rows(&idx, 5);
+        for (pos, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(i), g.row(pos));
+        }
+        prop_assert_eq!(s.row(1).iter().copied().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn hcat_slice_round_trip(a in matrix(3, 4), b in matrix(3, 2)) {
+        let cat = a.hcat(&b);
+        prop_assert_eq!(cat.slice_cols(0, 4), a);
+        prop_assert_eq!(cat.slice_cols(4, 6), b);
+    }
+
+    #[test]
+    fn layernorm_output_is_centered(a in matrix(3, 8)) {
+        let n = a.layernorm_rows(1e-5);
+        for i in 0..n.rows() {
+            let mean: f32 = n.row(i).iter().sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-3);
+        }
+    }
+}

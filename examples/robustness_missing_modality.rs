@@ -1,0 +1,45 @@
+//! Robustness under missing modalities — the paper's headline scenario.
+//!
+//! Sweeps the image ratio `R_img` on a bilingual split and compares
+//! DESAlign against MEAformer (same encoder, no energy constraint, no
+//! Semantic Propagation), reproducing the Table III story in miniature.
+//!
+//! ```sh
+//! cargo run --release --example robustness_missing_modality
+//! ```
+
+use desalign::baselines::{Aligner, DesalignAligner, MeaformerAligner};
+use desalign::core::DesalignConfig;
+use desalign::mmkg::{DatasetSpec, SynthConfig};
+
+fn main() {
+    let mut cfg = DesalignConfig::fast();
+    cfg.epochs = 40;
+    println!("{:>7} | {:>18} | {:>18}", "R_img", "MEAformer H@1/MRR", "DESAlign H@1/MRR");
+    for r_img in [0.1f32, 0.3, 0.6] {
+        let dataset = SynthConfig::preset(DatasetSpec::Dbp15kFrEn)
+            .scaled(250)
+            .with_image_ratio(r_img)
+            .generate(11);
+
+        let mut meaformer = MeaformerAligner::new(cfg.clone(), &dataset, 3);
+        meaformer.fit(&dataset);
+        let m_base = meaformer.evaluate(&dataset);
+
+        let mut desalign = DesalignAligner::new(cfg.clone(), &dataset, 3);
+        desalign.fit(&dataset);
+        let m_ours = desalign.evaluate(&dataset);
+
+        println!(
+            "{:>6.0}% | {:>8.1} / {:>7.1} | {:>8.1} / {:>7.1}",
+            r_img * 100.0,
+            m_base.hits_at_1 * 100.0,
+            m_base.mrr * 100.0,
+            m_ours.hits_at_1 * 100.0,
+            m_ours.mrr * 100.0
+        );
+    }
+    println!("\nDESAlign's margin should be largest at the low-coverage end — the");
+    println!("noise-filled features MEAformer relies on are replaced by Semantic");
+    println!("Propagation's neighbour interpolation.");
+}

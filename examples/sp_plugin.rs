@@ -1,0 +1,61 @@
+//! Semantic Propagation as a training-free plug-in (§V-E: "it seamlessly
+//! integrates as a plugin for enhancing other MMEA models").
+//!
+//! Trains a plain EVA baseline, then re-scores its similarity matrix with
+//! the per-modality propagation operator — no retraining, just one sparse
+//! product per round — and shows the metric delta.
+//!
+//! ```sh
+//! cargo run --release --example sp_plugin
+//! ```
+
+use desalign::baselines::{Aligner, EvaAligner};
+use desalign::eval::evaluate_ranking;
+use desalign::graph::{propagate_features, PropagationConfig};
+use desalign::mmkg::{DatasetSpec, FeatureDims, ModalFeatures, SynthConfig};
+use desalign::tensor::Matrix;
+
+fn main() {
+    let dataset = SynthConfig::preset(DatasetSpec::Dbp15kJaEn)
+        .scaled(250)
+        .with_image_ratio(0.25)
+        .generate(5);
+    println!("split: {}", dataset.name);
+
+    // 1. Train the baseline as-is.
+    let mut eva = EvaAligner::with_profile(64, 60, &dataset, 9);
+    eva.fit(&dataset);
+    let base_sim = eva.similarity();
+    let base = evaluate_ranking(&base_sim, &dataset.test_pairs);
+    println!("EVA baseline:   H@1 {:5.1}  MRR {:5.1}", base.hits_at_1 * 100.0, base.mrr * 100.0);
+
+    // 2. Plug-in SP: smooth each side's *similarity rows* through its graph.
+    //    Ω' rows live on source entities, columns on target entities; one
+    //    propagation step over each graph mixes neighbour evidence exactly
+    //    like Eq. 22 (x ← Ãx with boundary reset on consistent entities).
+    let dims = FeatureDims::default();
+    let feats_s = ModalFeatures::build(&dataset.source, &dims);
+    let feats_t = ModalFeatures::build(&dataset.target, &dims);
+    let known_s: Vec<bool> = feats_s.has_visual.iter().zip(&feats_s.has_attribute).map(|(&v, &a)| v && a).collect();
+    let known_t: Vec<bool> = feats_t.has_visual.iter().zip(&feats_t.has_attribute).map(|(&v, &a)| v && a).collect();
+    let adj_s = dataset.source.graph().normalized_adjacency(true);
+    let adj_t = dataset.target.graph().normalized_adjacency(true);
+    let cfg = PropagationConfig { iterations: 1, step: 1.0, reset_known: true };
+
+    // Propagate over source rows, then over target rows (via the transpose).
+    let omega: Matrix = base_sim.scores().clone();
+    let rows_smoothed = propagate_features(&adj_s, &omega, &known_s, &cfg).pop().expect("state");
+    let omega_t = rows_smoothed.transpose();
+    let cols_smoothed = propagate_features(&adj_t, &omega_t, &known_t, &cfg).pop().expect("state");
+    let enhanced = cols_smoothed.transpose();
+
+    // 3. Average the raw and propagated scores (Algorithm 1, line 15).
+    let blended = omega.add(&enhanced).scale(0.5);
+    let plugin = evaluate_ranking(&desalign::eval::SimilarityMatrix::new(blended), &dataset.test_pairs);
+    println!("EVA + SP plug-in: H@1 {:5.1}  MRR {:5.1}", plugin.hits_at_1 * 100.0, plugin.mrr * 100.0);
+    println!(
+        "delta: H@1 {:+.1}, MRR {:+.1} — with zero retraining.",
+        (plugin.hits_at_1 - base.hits_at_1) * 100.0,
+        (plugin.mrr - base.mrr) * 100.0
+    );
+}

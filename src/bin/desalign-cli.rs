@@ -1,0 +1,194 @@
+//! `desalign-cli` — generate benchmark splits, train, evaluate, and save
+//! model checkpoints from the command line.
+//!
+//! ```text
+//! desalign-cli generate --preset fbdb15k --scale 300 --seed 42 --out split.json
+//! desalign-cli train    --data split.json --epochs 60 --save model.json
+//! desalign-cli evaluate --data split.json --load model.json
+//! desalign-cli presets
+//! ```
+//!
+//! Flags are parsed by hand (no CLI dependency); unknown flags abort with
+//! usage help.
+
+use desalign::core::{DesalignConfig, DesalignModel};
+use desalign::mmkg::{load_dataset_json, save_dataset_json, DatasetSpec, SynthConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage("missing command");
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "presets" => cmd_presets(),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => usage(&e),
+    }
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{name}")),
+            None => Ok(default),
+        }
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let name = k.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got '{k}'"))?;
+        let v = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+        out.push((name.to_string(), v.clone()));
+    }
+    Ok(Flags(out))
+}
+
+fn preset_by_name(name: &str) -> Result<DatasetSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "fbdb15k" => Ok(DatasetSpec::FbDb15k),
+        "fbyg15k" => Ok(DatasetSpec::FbYg15k),
+        "dbp15k-zh-en" | "zh-en" => Ok(DatasetSpec::Dbp15kZhEn),
+        "dbp15k-ja-en" | "ja-en" => Ok(DatasetSpec::Dbp15kJaEn),
+        "dbp15k-fr-en" | "fr-en" => Ok(DatasetSpec::Dbp15kFrEn),
+        other => Err(format!("unknown preset '{other}' (see `desalign-cli presets`)")),
+    }
+}
+
+fn cmd_presets() -> Result<(), String> {
+    println!("available presets (Table I analogues):");
+    for spec in DatasetSpec::ALL {
+        println!(
+            "  {:<14} {} family",
+            spec.name().to_ascii_lowercase().replace("15k_", "15k-"),
+            if spec.is_bilingual() { "bilingual" } else { "monolingual" }
+        );
+    }
+    println!("names accepted by --preset: fbdb15k, fbyg15k, zh-en, ja-en, fr-en");
+    Ok(())
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let spec = preset_by_name(flags.require("preset")?)?;
+    let scale: usize = flags.parse("scale", 300)?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    let out = PathBuf::from(flags.require("out")?);
+    let mut cfg = SynthConfig::preset(spec).scaled(scale);
+    if let Some(r) = flags.get("seed-ratio") {
+        cfg = cfg.with_seed_ratio(r.parse().map_err(|_| "invalid --seed-ratio")?);
+    }
+    if let Some(r) = flags.get("image-ratio") {
+        cfg = cfg.with_image_ratio(r.parse().map_err(|_| "invalid --image-ratio")?);
+    }
+    if let Some(r) = flags.get("text-ratio") {
+        cfg = cfg.with_text_ratio(r.parse().map_err(|_| "invalid --text-ratio")?);
+    }
+    let ds = cfg.generate(seed);
+    save_dataset_json(&ds, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} — {} + {} entities, {} seed / {} test pairs",
+        out.display(),
+        ds.source.num_entities,
+        ds.target.num_entities,
+        ds.train_pairs.len(),
+        ds.test_pairs.len()
+    );
+    Ok(())
+}
+
+fn model_config(flags: &Flags) -> Result<DesalignConfig, String> {
+    let mut cfg = DesalignConfig::fast();
+    cfg.epochs = flags.parse("epochs", cfg.epochs)?;
+    cfg.hidden_dim = flags.parse("dim", cfg.hidden_dim)?;
+    cfg.sp_iterations = flags.parse("sp-iterations", cfg.sp_iterations)?;
+    cfg.lr = flags.parse("lr", cfg.lr)?;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let data = PathBuf::from(flags.require("data")?);
+    let ds = load_dataset_json(&data).map_err(|e| format!("cannot load {}: {e}", data.display()))?;
+    let cfg = model_config(flags)?;
+    let seed: u64 = flags.parse("model-seed", 7)?;
+    let mut model = DesalignModel::new(cfg, &ds, seed);
+    let report = model.fit(&ds);
+    println!(
+        "trained {} epochs in {:.1}s (final loss {:.4})",
+        report.epochs_run, report.seconds, report.final_loss.total
+    );
+    let metrics = model.evaluate(&ds);
+    println!(
+        "H@1 {:.1}%  H@10 {:.1}%  MRR {:.1}%  ({} queries)",
+        metrics.hits_at_1 * 100.0,
+        metrics.hits_at_10 * 100.0,
+        metrics.mrr * 100.0,
+        metrics.num_queries
+    );
+    if let Some(save) = flags.get("save") {
+        let path = PathBuf::from(save);
+        model.save_weights(&path).map_err(|e| format!("cannot save {}: {e}", path.display()))?;
+        println!("checkpoint written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
+    let data = PathBuf::from(flags.require("data")?);
+    let ds = load_dataset_json(&data).map_err(|e| format!("cannot load {}: {e}", data.display()))?;
+    let cfg = model_config(flags)?;
+    let seed: u64 = flags.parse("model-seed", 7)?;
+    let mut model = DesalignModel::new(cfg, &ds, seed);
+    if let Some(load) = flags.get("load") {
+        let path = PathBuf::from(load);
+        model.load_weights(&path).map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))?;
+        println!("loaded checkpoint {}", path.display());
+    } else {
+        println!("note: evaluating an untrained model (pass --load <ckpt>)");
+    }
+    let metrics = model.evaluate(&ds);
+    println!(
+        "H@1 {:.1}%  H@10 {:.1}%  MRR {:.1}%  ({} queries)",
+        metrics.hits_at_1 * 100.0,
+        metrics.hits_at_10 * 100.0,
+        metrics.mrr * 100.0,
+        metrics.num_queries
+    );
+    Ok(())
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}\n");
+    eprintln!("usage:");
+    eprintln!("  desalign-cli presets");
+    eprintln!("  desalign-cli generate --preset <name> --out <file> [--scale N] [--seed N]");
+    eprintln!("                        [--seed-ratio R] [--image-ratio R] [--text-ratio R]");
+    eprintln!("  desalign-cli train    --data <file> [--epochs N] [--dim N] [--lr F]");
+    eprintln!("                        [--sp-iterations N] [--model-seed N] [--save <ckpt>]");
+    eprintln!("  desalign-cli evaluate --data <file> --load <ckpt> [--dim N] [--model-seed N]");
+    ExitCode::FAILURE
+}

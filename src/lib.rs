@@ -1,0 +1,48 @@
+//! # DESAlign
+//!
+//! A full-stack Rust reproduction of **"Towards Semantic Consistency:
+//! Dirichlet Energy Driven Robust Multi-Modal Entity Alignment"**
+//! (Wang et al., ICDE 2024).
+//!
+//! This facade crate re-exports every workspace crate under one roof so
+//! examples and downstream users can depend on a single package:
+//!
+//! - [`tensor`] — dense `f32` matrices and numeric kernels;
+//! - [`graph`] — CSR sparse matrices, Laplacians, Dirichlet energy, feature
+//!   propagation;
+//! - [`autodiff`] — tape-based reverse-mode automatic differentiation;
+//! - [`nn`] — GAT, cross-modal attention, AdamW, LR schedules;
+//! - [`mmkg`] — multi-modal knowledge graphs and the synthetic benchmark
+//!   generator;
+//! - [`eval`] — H@k / MRR metrics, similarity, pair mining;
+//! - [`core`] — the DESAlign model itself (multi-modal semantic learning +
+//!   semantic propagation);
+//! - [`baselines`] — TransE, GCN-align, EVA, MCLEA, MEAformer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use desalign::mmkg::{DatasetSpec, SynthConfig};
+//! use desalign::core::{DesalignConfig, DesalignModel};
+//!
+//! // Generate a small monolingual benchmark pair with 40% of images missing.
+//! let cfg = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(200).with_image_ratio(0.6);
+//! let dataset = cfg.generate(42);
+//!
+//! // Train DESAlign and evaluate H@k / MRR on the held-out alignments.
+//! let mut model_cfg = DesalignConfig::fast();
+//! model_cfg.epochs = 5; // keep the doctest quick
+//! let mut model = DesalignModel::new(model_cfg, &dataset, 7);
+//! let report = model.fit(&dataset);
+//! let metrics = model.evaluate(&dataset);
+//! assert!(metrics.hits_at_1 >= 0.0 && report.epochs_run > 0);
+//! ```
+
+pub use desalign_autodiff as autodiff;
+pub use desalign_baselines as baselines;
+pub use desalign_core as core;
+pub use desalign_eval as eval;
+pub use desalign_graph as graph;
+pub use desalign_mmkg as mmkg;
+pub use desalign_nn as nn;
+pub use desalign_tensor as tensor;

@@ -1,0 +1,97 @@
+//! The 60-split benchmark matrix: every preset × every robustness knob the
+//! paper sweeps must generate a valid dataset.
+
+use desalign::baselines::{Aligner, GcnAligner, McleaAligner, TransEAligner};
+use desalign::mmkg::{DatasetSpec, SynthConfig};
+
+#[test]
+fn all_sixty_splits_generate_and_validate() {
+    // 2 monolingual × (3 R_seed + 6 R_tex) + 3 bilingual × (1 + 6 R_img)
+    // + weak-supervision points = the paper's "60 benchmark splits" space.
+    let mut count = 0;
+    for spec in DatasetSpec::MONOLINGUAL {
+        for r_seed in [0.2f32, 0.5, 0.8] {
+            let ds = SynthConfig::preset(spec).scaled(60).with_seed_ratio(r_seed).generate(1);
+            assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+            count += 1;
+        }
+        for r_tex in [0.05f32, 0.2, 0.3, 0.4, 0.5, 0.6] {
+            let ds = SynthConfig::preset(spec).scaled(60).with_text_ratio(r_tex).generate(1);
+            assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+            count += 1;
+        }
+    }
+    for spec in DatasetSpec::BILINGUAL {
+        let ds = SynthConfig::preset(spec).scaled(60).generate(1);
+        assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+        count += 1;
+        for r_img in [0.05f32, 0.2, 0.3, 0.4, 0.5, 0.6] {
+            let ds = SynthConfig::preset(spec).scaled(60).with_image_ratio(r_img).generate(1);
+            assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+            count += 1;
+        }
+    }
+    for r_seed in [0.01f32, 0.05, 0.1, 0.15, 0.25, 0.3] {
+        for spec in [DatasetSpec::FbDb15k, DatasetSpec::Dbp15kFrEn] {
+            let ds = SynthConfig::preset(spec).scaled(60).with_seed_ratio(r_seed).generate(1);
+            assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+            count += 1;
+        }
+    }
+    // Cross-family knobs: R_img on monolingual, R_tex on bilingual.
+    for r in [0.2f32, 0.4, 0.6] {
+        for spec in DatasetSpec::MONOLINGUAL {
+            let ds = SynthConfig::preset(spec).scaled(60).with_image_ratio(r).generate(1);
+            assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+            count += 1;
+        }
+        for spec in DatasetSpec::BILINGUAL {
+            let ds = SynthConfig::preset(spec).scaled(60).with_text_ratio(r).generate(1);
+            assert_eq!(ds.validate(), Ok(()), "{}", ds.name);
+            count += 1;
+        }
+    }
+    assert!(count >= 60, "only {count} splits covered");
+}
+
+#[test]
+fn split_names_are_unique_across_the_matrix() {
+    let mut names = std::collections::HashSet::new();
+    for spec in DatasetSpec::ALL {
+        for r in [0.2f32, 0.5] {
+            assert!(names.insert(SynthConfig::preset(spec).with_seed_ratio(r).split_name()));
+            assert!(names.insert(SynthConfig::preset(spec).with_seed_ratio(r).with_image_ratio(0.3).split_name()));
+            assert!(names.insert(SynthConfig::preset(spec).with_seed_ratio(r).with_text_ratio(0.3).split_name()));
+        }
+    }
+}
+
+#[test]
+fn every_baseline_runs_on_every_preset() {
+    for spec in DatasetSpec::ALL {
+        let ds = SynthConfig::preset(spec).scaled(80).generate(2);
+        let mut methods: Vec<Box<dyn Aligner>> = vec![
+            Box::new(TransEAligner::new(&ds, 1)),
+            Box::new(GcnAligner::with_profile(16, 4, &ds, 1)),
+            Box::new(McleaAligner::with_profile(16, 4, &ds, 1)),
+        ];
+        for m in &mut methods {
+            m.fit(&ds);
+            let metrics = m.evaluate(&ds);
+            assert_eq!(metrics.num_queries, ds.test_pairs.len(), "{} on {}", m.name(), ds.name);
+        }
+    }
+}
+
+#[test]
+fn dataset_round_trip_through_json() {
+    let ds = SynthConfig::preset(DatasetSpec::Dbp15kZhEn).scaled(50).generate(3);
+    let dir = std::env::temp_dir().join("desalign-integration");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("split.json");
+    desalign::mmkg::save_dataset_json(&ds, &path).expect("save");
+    let loaded = desalign::mmkg::load_dataset_json(&path).expect("load");
+    assert_eq!(loaded.source.rel_triples, ds.source.rel_triples);
+    assert_eq!(loaded.train_pairs, ds.train_pairs);
+    std::fs::remove_file(&path).ok();
+}
