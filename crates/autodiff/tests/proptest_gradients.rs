@@ -3,51 +3,64 @@
 
 use desalign_autodiff::{check_gradient, Tape};
 use desalign_tensor::Matrix;
-use proptest::prelude::*;
+use desalign_testkit::{check, ensure, gen, Rng64};
 use std::rc::Rc;
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    // Keep values away from ReLU kinks, ln(0), and the high-curvature
-    // regime where f32 central differences lose accuracy.
-    proptest::collection::vec(0.2f32..1.4, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
+const CASES: u64 = 24;
+
+// Keep values away from ReLU kinks, ln(0), and the high-curvature
+// regime where f32 central differences lose accuracy.
+fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    gen::matrix(rng, rows, cols, 0.2, 1.4)
 }
 
-fn signed(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
+fn signed(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    gen::matrix(rng, rows, cols, -2.0, 2.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn grad_of_random_elementwise_chain() {
+    check(
+        "grad_of_random_elementwise_chain",
+        CASES,
+        |rng| {
+            let num_ops = rng.gen_range(1..4);
+            (matrix(rng, 3, 4), gen::usize_vec(rng, num_ops, 5))
+        },
+        |(x0, ops)| {
+            let ops = ops.clone();
+            let report = check_gradient(x0, 1e-3, move |t, x| {
+                let mut v = x;
+                for &op in &ops {
+                    v = match op {
+                        0 => t.scale(v, 1.3),
+                        1 => t.add_const(v, 0.5),
+                        2 => t.square(v),
+                        3 => t.exp(v),
+                        _ => t.ln(v),
+                    };
+                    // Re-positivize so a following ln stays in-domain, then
+                    // squash into (0.2, 1.2) with the differentiable v/(1+v)
+                    // so curvature never compounds beyond what f32 central
+                    // differences can resolve (also exercises Div).
+                    v = t.square(v);
+                    let denom = t.add_const(v, 1.0);
+                    let squashed = t.div(v, denom);
+                    v = t.add_const(squashed, 0.2);
+                }
+                t.mean_all(v)
+            });
+            ensure!(report.passes(8e-2), "{report:?}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn grad_of_random_elementwise_chain(x0 in matrix(3, 4), ops in proptest::collection::vec(0u8..5, 1..4)) {
-        let report = check_gradient(&x0, 1e-3, move |t, x| {
-            let mut v = x;
-            for &op in &ops {
-                v = match op {
-                    0 => t.scale(v, 1.3),
-                    1 => t.add_const(v, 0.5),
-                    2 => t.square(v),
-                    3 => t.exp(v),
-                    _ => t.ln(v),
-                };
-                // Re-positivize so a following ln stays in-domain, then
-                // squash into (0.2, 1.2) with the differentiable v/(1+v)
-                // so curvature never compounds beyond what f32 central
-                // differences can resolve (also exercises Div).
-                v = t.square(v);
-                let denom = t.add_const(v, 1.0);
-                let squashed = t.div(v, denom);
-                v = t.add_const(squashed, 0.2);
-            }
-            t.mean_all(v)
-        });
-        prop_assert!(report.passes(8e-2), "{:?}", report);
-    }
-
-    #[test]
-    fn grad_of_bilinear_form(x0 in signed(3, 3), y in signed(3, 3)) {
-        let report = check_gradient(&x0, 1e-2, move |t, x| {
+#[test]
+fn grad_of_bilinear_form() {
+    check("grad_of_bilinear_form", CASES, |rng| (signed(rng, 3, 3), signed(rng, 3, 3)), |(x0, y)| {
+        let y = y.clone();
+        let report = check_gradient(x0, 1e-2, move |t, x| {
             let c = t.constant(y.clone());
             let prod = t.matmul(x, c);
             let xt = t.transpose(x);
@@ -55,31 +68,44 @@ proptest! {
             let sq = t.square(prod2);
             t.sum_all(sq)
         });
-        prop_assert!(report.passes(5e-2), "{:?}", report);
-    }
+        ensure!(report.passes(5e-2), "{report:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn grad_of_softmax_cross_entropy(x0 in signed(4, 3), targets in proptest::collection::vec(0usize..3, 4)) {
-        let report = check_gradient(&x0, 1e-2, move |t, x| {
-            t.cross_entropy_rows(x, Rc::new(targets.clone()))
-        });
-        prop_assert!(report.passes(5e-2), "{:?}", report);
-    }
+#[test]
+fn grad_of_softmax_cross_entropy() {
+    check(
+        "grad_of_softmax_cross_entropy",
+        CASES,
+        |rng| (signed(rng, 4, 3), gen::usize_vec(rng, 4, 3)),
+        |(x0, targets)| {
+            let targets = Rc::new(targets.clone());
+            let report = check_gradient(x0, 1e-2, move |t, x| t.cross_entropy_rows(x, targets.clone()));
+            ensure!(report.passes(5e-2), "{report:?}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn grad_of_gather_softmax_scatter(x0 in signed(5, 2)) {
-        let report = check_gradient(&x0, 1e-2, move |t, x| {
+#[test]
+fn grad_of_gather_softmax_scatter() {
+    check("grad_of_gather_softmax_scatter", CASES, |rng| signed(rng, 5, 2), |x0| {
+        let report = check_gradient(x0, 1e-2, move |t, x| {
             let g = t.gather_rows(x, Rc::new(vec![0, 2, 2, 4, 1]));
             let sm = t.edge_softmax(g, Rc::new(vec![0, 0, 1, 1, 1]));
             let s = t.scatter_add_rows(sm, Rc::new(vec![1, 0, 1, 0, 1]), 2);
             let sq = t.square(s);
             t.sum_all(sq)
         });
-        prop_assert!(report.passes(5e-2), "{:?}", report);
-    }
+        ensure!(report.passes(5e-2), "{report:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn backward_accumulates_like_sum_rule(x0 in signed(2, 3)) {
+#[test]
+fn backward_accumulates_like_sum_rule() {
+    check("backward_accumulates_like_sum_rule", CASES, |rng| signed(rng, 2, 3), |x0| {
         // L = f(x) + g(x) ⇒ ∂L = ∂f + ∂g: run jointly and separately.
         let joint = {
             let mut t = Tape::new();
@@ -106,17 +132,21 @@ proptest! {
             t.backward(sb);
             ga.add(t.grad(x).expect("grad"))
         };
-        prop_assert!(joint.sub(&parts).max_abs() < 1e-4);
-    }
+        ensure!(joint.sub(&parts).max_abs() < 1e-4);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn forward_values_are_always_finite(x0 in signed(3, 3)) {
+#[test]
+fn forward_values_are_always_finite() {
+    check("forward_values_are_always_finite", CASES, |rng| signed(rng, 3, 3), |x0| {
         let mut t = Tape::new();
-        let x = t.leaf(x0);
+        let x = t.leaf(x0.clone());
         let s = t.softmax_rows(x);
         let l = t.layernorm_rows(s, 1e-5);
         let n = t.l2_normalize_rows(l, 1e-6);
         let m = t.mean_all(n);
-        prop_assert!(t.value(m).all_finite());
-    }
+        ensure!(t.value(m).all_finite());
+        Ok(())
+    });
 }

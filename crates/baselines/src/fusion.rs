@@ -14,7 +14,7 @@ use desalign_graph::Csr;
 use desalign_mmkg::{fill_missing_with_noise, AlignmentDataset, FeatureDims, ModalFeatures};
 use desalign_nn::{AdamW, CosineWarmup, Linear, ParamId, ParamStore, Session};
 use desalign_tensor::{glorot_uniform, rng_from_seed, uniform_matrix, Matrix, Rng64};
-use rand::seq::SliceRandom;
+use desalign_tensor::SliceRandom;
 use std::rc::Rc;
 use std::time::Instant;
 

@@ -15,7 +15,6 @@ use desalign_eval::SimilarityMatrix;
 use desalign_mmkg::{AlignmentDataset, FeatureDims, ModalFeatures};
 use desalign_nn::{AdamW, CosineWarmup, Linear, ParamId, ParamStore, Session};
 use desalign_tensor::{rng_from_seed, uniform_matrix, Matrix, Rng64};
-use rand::Rng;
 use std::rc::Rc;
 use std::time::Instant;
 

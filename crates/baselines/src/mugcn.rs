@@ -10,7 +10,7 @@ use desalign_graph::Csr;
 use desalign_mmkg::AlignmentDataset;
 use desalign_nn::{AdamW, CosineWarmup, ParamId, ParamStore, Session};
 use desalign_tensor::{glorot_uniform, rng_from_seed, uniform_matrix, Rng64};
-use rand::seq::SliceRandom;
+use desalign_tensor::SliceRandom;
 use std::rc::Rc;
 use std::time::Instant;
 

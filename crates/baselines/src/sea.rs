@@ -11,7 +11,6 @@ use desalign_graph::Csr;
 use desalign_mmkg::AlignmentDataset;
 use desalign_nn::{AdamW, CosineWarmup, ParamId, ParamStore, Session};
 use desalign_tensor::{rng_from_seed, uniform_matrix, Matrix, Rng64};
-use rand::Rng;
 use std::rc::Rc;
 use std::time::Instant;
 

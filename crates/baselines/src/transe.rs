@@ -9,7 +9,6 @@ use desalign_eval::{cosine_similarity, SimilarityMatrix};
 use desalign_mmkg::AlignmentDataset;
 use desalign_nn::{AdamW, CosineWarmup, ParamId, ParamStore, Session};
 use desalign_tensor::{rng_from_seed, uniform_matrix, Rng64};
-use rand::Rng;
 use std::rc::Rc;
 use std::time::Instant;
 

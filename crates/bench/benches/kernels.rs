@@ -1,44 +1,42 @@
-//! Criterion micro-benchmarks for the numeric kernels behind the paper's
-//! efficiency claims (§V-E): Dirichlet energy evaluation, sparse-dense
-//! products, one Semantic Propagation step, and a GAT forward pass.
+//! Micro-benchmarks for the numeric kernels behind the paper's efficiency
+//! claims (§V-E): Dirichlet energy evaluation, sparse-dense products, one
+//! Semantic Propagation step, and a GAT forward pass.
+//!
+//! Run with `cargo bench --bench kernels`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use desalign_bench::timing::{bench, DEFAULT_SAMPLES};
 use desalign_graph::{dirichlet_energy, propagate_features, PropagationConfig};
 use desalign_mmkg::{DatasetSpec, SynthConfig};
 use desalign_nn::{GatEncoder, ParamStore, Session};
 use desalign_tensor::{normal_matrix, rng_from_seed};
+use std::hint::black_box;
 use std::rc::Rc;
 
-fn bench_dirichlet_energy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dirichlet_energy");
+fn bench_dirichlet_energy() {
     for &n in &[500usize, 2000] {
         let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
         let lap = ds.source.graph().laplacian();
         let x = normal_matrix(&mut rng_from_seed(2), ds.source.num_entities, 64, 0.0, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(dirichlet_energy(&lap, &x)));
+        bench(&format!("dirichlet_energy/{n}"), DEFAULT_SAMPLES, || {
+            black_box(dirichlet_energy(&lap, &x));
         });
     }
-    group.finish();
 }
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
+fn bench_spmm() {
     for &n in &[500usize, 2000] {
         let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
         let a = ds.source.graph().normalized_adjacency(true);
         let x = normal_matrix(&mut rng_from_seed(3), ds.source.num_entities, 64, 0.0, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(a.spmm(&x)));
+        bench(&format!("spmm/{n}"), DEFAULT_SAMPLES, || {
+            black_box(a.spmm(&x));
         });
     }
-    group.finish();
 }
 
-fn bench_semantic_propagation(c: &mut Criterion) {
+fn bench_semantic_propagation() {
     // One full SP pass: n_p = 3 rounds with boundary reset — the paper's
     // "7–9 seconds on DBP15K / FB-DB" step at laptop scale.
-    let mut group = c.benchmark_group("semantic_propagation");
     for &n in &[500usize, 2000] {
         let ds = SynthConfig::preset(DatasetSpec::Dbp15kFrEn).scaled(n).generate(1);
         let a = ds.source.graph().normalized_adjacency(true);
@@ -46,14 +44,13 @@ fn bench_semantic_propagation(c: &mut Criterion) {
         let x = normal_matrix(&mut rng_from_seed(4), nn, 64, 0.0, 1.0);
         let known: Vec<bool> = (0..nn).map(|i| i % 3 != 0).collect();
         let cfg = PropagationConfig { iterations: 3, step: 1.0, reset_known: true };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(propagate_features(&a, &x, &known, &cfg)));
+        bench(&format!("semantic_propagation/{n}"), DEFAULT_SAMPLES, || {
+            black_box(propagate_features(&a, &x, &known, &cfg));
         });
     }
-    group.finish();
 }
 
-fn bench_gat_forward(c: &mut Criterion) {
+fn bench_gat_forward() {
     let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(500).generate(1);
     let g = ds.source.graph();
     let (src, dst) = g.message_edges();
@@ -62,18 +59,16 @@ fn bench_gat_forward(c: &mut Criterion) {
     let mut store = ParamStore::new();
     let enc = GatEncoder::new(&mut store, &mut rng, "gat", 64, 2, 2);
     let x = normal_matrix(&mut rng, g.num_nodes(), 64, 0.0, 1.0);
-    c.bench_function("gat_forward_500", |b| {
-        b.iter(|| {
-            let mut sess = Session::new(&store);
-            let input = sess.input(x.clone());
-            black_box(enc.forward(&mut sess, input, &src, &dst));
-        });
+    bench("gat_forward_500", DEFAULT_SAMPLES, || {
+        let mut sess = Session::new(&store);
+        let input = sess.input(x.clone());
+        black_box(enc.forward(&mut sess, input, &src, &dst));
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_dirichlet_energy, bench_spmm, bench_semantic_propagation, bench_gat_forward
+fn main() {
+    bench_dirichlet_energy();
+    bench_spmm();
+    bench_semantic_propagation();
+    bench_gat_forward();
 }
-criterion_main!(kernels);

@@ -1,10 +1,15 @@
-//! Criterion benchmarks of the end-to-end pipeline stages: one training
-//! epoch (forward + backward + AdamW step) and one full similarity
-//! evaluation with Semantic Propagation.
+//! Benchmarks of the end-to-end pipeline stages: one training epoch
+//! (forward + backward + AdamW step) and one full similarity evaluation
+//! with Semantic Propagation.
+//!
+//! Run with `cargo bench --bench pipeline`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desalign_bench::timing::{bench, bench_with_setup};
 use desalign_core::{DesalignConfig, DesalignModel};
 use desalign_mmkg::{DatasetSpec, FeatureDims, SynthConfig};
+use std::hint::black_box;
+
+const SAMPLES: usize = 10;
 
 fn small_cfg(epochs: usize) -> DesalignConfig {
     let mut cfg = DesalignConfig::fast();
@@ -15,32 +20,31 @@ fn small_cfg(epochs: usize) -> DesalignConfig {
     cfg
 }
 
-fn bench_train_epoch(c: &mut Criterion) {
+fn bench_train_epoch() {
     let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(200).generate(1);
-    c.bench_function("train_epoch_200", |b| {
-        b.iter_batched(
-            || DesalignModel::new(small_cfg(1), &ds, 7),
-            |mut model| black_box(model.fit(&ds)),
-            criterion::BatchSize::LargeInput,
-        );
-    });
+    bench_with_setup(
+        "train_epoch_200",
+        SAMPLES,
+        || DesalignModel::new(small_cfg(1), &ds, 7),
+        |mut model| {
+            black_box(model.fit(&ds));
+        },
+    );
 }
 
-fn bench_similarity_with_sp(c: &mut Criterion) {
+fn bench_similarity_with_sp() {
     let ds = SynthConfig::preset(DatasetSpec::Dbp15kFrEn).scaled(200).generate(1);
     let mut model = DesalignModel::new(small_cfg(3), &ds, 7);
     model.fit(&ds);
-    c.bench_function("similarity_sp_np3_200", |b| {
-        b.iter(|| black_box(model.similarity_with_iterations(3)));
+    bench("similarity_sp_np3_200", SAMPLES, || {
+        black_box(model.similarity_with_iterations(3));
     });
-    c.bench_function("similarity_plain_200", |b| {
-        b.iter(|| black_box(model.similarity_with_iterations(0)));
+    bench("similarity_plain_200", SAMPLES, || {
+        black_box(model.similarity_with_iterations(0));
     });
 }
 
-criterion_group! {
-    name = pipeline;
-    config = Criterion::default().sample_size(10);
-    targets = bench_train_epoch, bench_similarity_with_sp
+fn main() {
+    bench_train_epoch();
+    bench_similarity_with_sp();
 }
-criterion_main!(pipeline);

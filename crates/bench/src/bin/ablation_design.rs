@@ -12,12 +12,12 @@ use desalign_bench::HarnessConfig;
 use desalign_core::{DesalignConfig, DesalignModel, StructureEncoderKind};
 use desalign_mmkg::{DatasetSpec, SynthConfig};
 
-fn run(name: &str, cfg: DesalignConfig, ds: &desalign_mmkg::AlignmentDataset, seed: u64, json: &mut Vec<serde_json::Value>) {
+fn run(name: &str, cfg: DesalignConfig, ds: &desalign_mmkg::AlignmentDataset, seed: u64, json: &mut Vec<desalign_util::Json>) {
     let mut model = DesalignModel::new(cfg, ds, seed);
     model.fit(ds);
     let m = model.evaluate(ds);
     println!("  {:<34} H@1 {:>5.1}  H@10 {:>5.1}  MRR {:>5.1}", name, m.hits_at_1 * 100.0, m.hits_at_10 * 100.0, m.mrr * 100.0);
-    json.push(serde_json::json!({
+    json.push(desalign_util::json!({
         "dataset": ds.name, "variant": name, "metrics": desalign_bench::metrics_json(&m),
     }));
 }
@@ -65,5 +65,5 @@ fn main() {
         v.fusion_normalize = true;
         run("per-block l2 fusion normalize", v, &ds, h.seed, &mut json);
     }
-    desalign_bench::dump_json("results/ablation_design.json", &serde_json::json!(json));
+    desalign_bench::dump_json("results/ablation_design.json", &desalign_util::json!(json));
 }

@@ -25,7 +25,7 @@ fn main() {
             let secs = aligner.fit(&ds);
             let m = aligner.evaluate(&ds);
             println!("  {:<10} {:>7.2}s   (H@1 {:.1})", method.name(), secs, m.hits_at_1 * 100.0);
-            all_json.push(serde_json::json!({
+            all_json.push(desalign_util::json!({
                 "dataset": spec.name(), "method": method.name(), "fit_seconds": secs,
                 "h1": m.hits_at_1,
             }));
@@ -41,7 +41,7 @@ fn main() {
         let cosine_only = t0.elapsed().as_secs_f64();
         println!("  semantic propagation (incl. similarity): {:.3}s; plain cosine: {:.3}s; SP overhead: {:.3}s",
             sp_total, cosine_only, (sp_total - cosine_only).max(0.0));
-        all_json.push(serde_json::json!({
+        all_json.push(desalign_util::json!({
             "dataset": spec.name(), "sp_seconds": sp_total - cosine_only,
         }));
     }
@@ -66,10 +66,10 @@ fn main() {
         }
         let ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
         println!("{:>8} {:>10} {:>12.2} {:>14.4}", g.num_nodes(), a.nnz(), ms, ms / (a.nnz() as f64 / 1000.0));
-        all_json.push(serde_json::json!({
+        all_json.push(desalign_util::json!({
             "nodes": g.num_nodes(), "nnz": a.nnz(), "sp_step_ms": ms,
         }));
     }
     println!("(near-constant ms per 1k nonzeros ⇒ the O(|E|·d) claim holds)");
-    desalign_bench::dump_json("results/efficiency.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/efficiency.json", &desalign_util::json!(all_json));
 }

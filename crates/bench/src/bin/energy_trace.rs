@@ -104,7 +104,7 @@ fn main() {
             .map(|&w| desalign_graph::singular_value_range(store.value(w), 400, 1e-6).0)
             .fold(f32::INFINITY, f32::min);
         println!("{:<28} {:>14.3} {:>10.4} {:>12.4}", label, final_energy, final_energy / e0, min_sv);
-        all_json.push(serde_json::json!({
+        all_json.push(desalign_util::json!({
             "part": 1, "constrained": constrained, "e0": e0, "ek_final": final_energy,
             "ratio": final_energy / e0, "min_sigma_min": min_sv,
         }));
@@ -122,7 +122,7 @@ fn main() {
     for t in &report.energy_history {
         let e = t.source;
         println!("{:>6} {:>12.2} {:>12.2} {:>12.2}", t.epoch, e[0], e[1], e[2]);
-        all_json.push(serde_json::json!({
+        all_json.push(desalign_util::json!({
             "part": 2, "epoch": t.epoch, "e0": e[0], "ek1": e[1], "ek": e[2],
         }));
     }
@@ -133,5 +133,5 @@ fn main() {
     }
     let m = model.evaluate(&ds);
     println!("final H@1 {:.1}  MRR {:.1}", m.hits_at_1 * 100.0, m.mrr * 100.0);
-    desalign_bench::dump_json("results/energy_trace.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/energy_trace.json", &desalign_util::json!(all_json));
 }

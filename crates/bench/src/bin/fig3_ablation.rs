@@ -55,11 +55,11 @@ fn main() {
                 m.mrr * 100.0,
                 delta.map_or("—".into(), |d| format!("{d:+.1}"))
             );
-            all_json.push(serde_json::json!({
+            all_json.push(desalign_util::json!({
                 "dataset": spec.name(), "variant": name,
                 "metrics": desalign_bench::metrics_json(&m),
             }));
         }
     }
-    desalign_bench::dump_json("results/fig3_ablation.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/fig3_ablation.json", &desalign_util::json!(all_json));
 }

@@ -23,7 +23,7 @@ fn main() {
                 let metrics = aligner.evaluate(&ds);
                 rows[mi].cells.push(metrics);
                 rows[mi].seconds.push(secs);
-                all_json.push(serde_json::json!({
+                all_json.push(desalign_util::json!({
                     "dataset": spec.name(), "r_seed": r, "method": method.name(),
                     "metrics": desalign_bench::metrics_json(&metrics), "seconds": secs,
                 }));
@@ -32,5 +32,5 @@ fn main() {
         let conditions: Vec<String> = ratios.iter().map(|r| format!("R_seed={:.0}%", r * 100.0)).collect();
         print_table(&format!("Figure 3 (right) — weak supervision on {}", spec.name()), &conditions, &rows);
     }
-    desalign_bench::dump_json("results/fig3_weak.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/fig3_weak.json", &desalign_util::json!(all_json));
 }

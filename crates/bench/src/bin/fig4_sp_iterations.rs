@@ -36,12 +36,12 @@ fn main() {
             let sim = model.similarity_with_iterations(n);
             let m = desalign_eval::evaluate_ranking(&sim, &ds.test_pairs);
             print!(" {:>6.1}", m.hits_at_1 * 100.0);
-            all_json.push(serde_json::json!({
+            all_json.push(desalign_util::json!({
                 "dataset": spec.name(), "n_p": n,
                 "metrics": desalign_bench::metrics_json(&m),
             }));
         }
         println!();
     }
-    desalign_bench::dump_json("results/fig4.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/fig4.json", &desalign_util::json!(all_json));
 }

@@ -30,7 +30,7 @@ fn main() {
                 s.images,
                 if label == "source" { ds.num_pairs().to_string() } else { String::new() }
             );
-            rows.push(serde_json::json!({
+            rows.push(desalign_util::json!({
                 "dataset": spec.name(), "side": label,
                 "entities": s.entities, "relations": s.relations,
                 "attributes": s.attributes, "rel_triples": s.rel_triples,
@@ -42,5 +42,5 @@ fn main() {
     println!("\nPublished full-scale reference (paper Table I):");
     println!("  FB15K 14951 ents / 592213 R.triples / 13444 images; DB15K 12842/89197/12837; pairs 12846");
     println!("  YAGO15K 15404/122886/11194; pairs 11199; DBP15K sides ≈ 19.4–20k ents, 15000 pairs each");
-    desalign_bench::dump_json("results/table1.json", &serde_json::json!(rows));
+    desalign_bench::dump_json("results/table1.json", &desalign_util::json!(rows));
 }

@@ -25,7 +25,7 @@ fn main() {
                 let metrics = aligner.evaluate(&ds);
                 rows[mi].cells.push(metrics);
                 rows[mi].seconds.push(secs);
-                all_json.push(serde_json::json!({
+                all_json.push(desalign_util::json!({
                     "dataset": spec.name(), "r_img": r, "method": method.name(),
                     "metrics": desalign_bench::metrics_json(&metrics), "seconds": secs,
                 }));
@@ -34,5 +34,5 @@ fn main() {
         let conditions: Vec<String> = ratios.iter().map(|r| format!("R_img={:.0}%", r * 100.0)).collect();
         print_table(&format!("Table III — {} (R_seed=0.3)", spec.name()), &conditions, &rows);
     }
-    desalign_bench::dump_json("results/table3.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/table3.json", &desalign_util::json!(all_json));
 }

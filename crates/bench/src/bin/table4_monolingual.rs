@@ -26,7 +26,7 @@ fn main() {
                 let metrics = aligner.evaluate(&ds);
                 basic[mi].cells.push(metrics);
                 basic[mi].seconds.push(secs);
-                all_json.push(serde_json::json!({
+                all_json.push(desalign_util::json!({
                     "dataset": spec.name(), "r_seed": r, "method": method.name(), "strategy": "basic",
                     "metrics": desalign_bench::metrics_json(&metrics), "seconds": secs,
                 }));
@@ -37,7 +37,7 @@ fn main() {
                 let metrics = outcome.final_metrics();
                 iterative[mi].cells.push(metrics);
                 iterative[mi].seconds.push(outcome.seconds);
-                all_json.push(serde_json::json!({
+                all_json.push(desalign_util::json!({
                     "dataset": spec.name(), "r_seed": r, "method": method.name(), "strategy": "iterative",
                     "metrics": desalign_bench::metrics_json(&metrics), "seconds": outcome.seconds,
                 }));
@@ -47,5 +47,5 @@ fn main() {
         print_table(&format!("Table IV — {} (basic)", spec.name()), &conditions, &basic);
         print_table(&format!("Table IV — {} (iterative)", spec.name()), &conditions, &iterative);
     }
-    desalign_bench::dump_json("results/table4.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/table4.json", &desalign_util::json!(all_json));
 }

@@ -23,7 +23,7 @@ fn main() {
             let metrics = aligner.evaluate(&ds);
             basic[mi].cells.push(metrics);
             basic[mi].seconds.push(secs);
-            all_json.push(serde_json::json!({
+            all_json.push(desalign_util::json!({
                 "dataset": spec.name(), "method": method.name(), "strategy": "non-iterative",
                 "metrics": desalign_bench::metrics_json(&metrics), "seconds": secs,
             }));
@@ -34,7 +34,7 @@ fn main() {
             let metrics = outcome.final_metrics();
             iterative[mi].cells.push(metrics);
             iterative[mi].seconds.push(outcome.seconds);
-            all_json.push(serde_json::json!({
+            all_json.push(desalign_util::json!({
                 "dataset": spec.name(), "method": method.name(), "strategy": "iterative",
                 "metrics": desalign_bench::metrics_json(&metrics), "seconds": outcome.seconds,
             }));
@@ -43,5 +43,5 @@ fn main() {
     let conditions: Vec<String> = DatasetSpec::BILINGUAL.iter().map(|s| s.name().to_string()).collect();
     print_table("Table V — bilingual (non-iterative)", &conditions, &basic);
     print_table("Table V — bilingual (iterative)", &conditions, &iterative);
-    desalign_bench::dump_json("results/table5.json", &serde_json::json!(all_json));
+    desalign_bench::dump_json("results/table5.json", &desalign_util::json!(all_json));
 }

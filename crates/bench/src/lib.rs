@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use desalign_baselines::{
     AckAligner, Aligner, AlinetAligner, AttrGnnAligner, DesalignAligner, EvaAligner, GcnAligner, HeaAligner,
     ImuseAligner, IpTransEAligner, McleaAligner, MeaformerAligner, MmeaAligner, MsneaAligner, MugcnAligner,
@@ -257,15 +259,15 @@ pub fn print_table(title: &str, conditions: &[String], rows: &[ResultRow]) {
 
 /// Serializes results to JSON next to stdout output so EXPERIMENTS.md can
 /// reference machine-readable artifacts.
-pub fn dump_json(path: &str, value: &serde_json::Value) {
+pub fn dump_json(path: &str, value: &desalign_util::Json) {
     if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, value.to_string())) {
         eprintln!("warning: could not write {path}: {e}");
     }
 }
 
 /// Converts metrics to a JSON object.
-pub fn metrics_json(m: &AlignmentMetrics) -> serde_json::Value {
-    serde_json::json!({
+pub fn metrics_json(m: &AlignmentMetrics) -> desalign_util::Json {
+    desalign_util::json!({
         "h1": m.hits_at_1,
         "h10": m.hits_at_10,
         "mrr": m.mrr,

@@ -1,0 +1,111 @@
+//! Hand-rolled timing loop backing `benches/` — an in-repo replacement for
+//! criterion, keeping the workspace dependency-free.
+//!
+//! Deliberately simple: a fixed warmup, a fixed sample count, and
+//! min/median/mean wall-clock per sample printed in one line. That is
+//! enough to compare kernels across commits and scales; it makes no
+//! attempt at outlier rejection or statistical significance.
+
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark (after warmup).
+pub const DEFAULT_SAMPLES: usize = 20;
+
+/// Runs `f` under a warmup + sampling loop and prints one result line.
+///
+/// Each sample times exactly one call. Wrap inputs/outputs with
+/// [`std::hint::black_box`] inside `f` to keep the optimizer honest.
+pub fn bench<F: FnMut()>(name: &str, samples: usize, mut f: F) {
+    assert!(samples > 0, "benchmark '{name}' needs at least one sample");
+    // Warmup: enough iterations to fault in caches and reach steady state,
+    // bounded so slow end-to-end benches don't pay twice.
+    let warmup_deadline = Instant::now() + Duration::from_millis(300);
+    let mut warmups = 0;
+    while warmups < 3 || (Instant::now() < warmup_deadline && warmups < samples) {
+        f();
+        warmups += 1;
+    }
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!("{name:<40} min {:>12} median {:>12} mean {:>12} ({samples} samples)", fmt(min), fmt(median), fmt(mean));
+}
+
+/// Like [`bench`], but rebuilds fresh state before every timed call, so
+/// benchmarks that consume or mutate their input (e.g. training a model)
+/// measure only the work, not the setup.
+pub fn bench_with_setup<T, S: FnMut() -> T, F: FnMut(T)>(name: &str, samples: usize, mut setup: S, mut f: F) {
+    assert!(samples > 0, "benchmark '{name}' needs at least one sample");
+    for _ in 0..2 {
+        f(setup());
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let state = setup();
+        let start = Instant::now();
+        f(state);
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!("{name:<40} min {:>12} median {:>12} mean {:>12} ({samples} samples)", fmt(min), fmt(median), fmt(mean));
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0usize;
+        bench("timing_smoke", 3, || count += 1);
+        assert!(count >= 3 + 3, "warmup + samples should run the closure, got {count}");
+    }
+
+    #[test]
+    fn bench_with_setup_rebuilds_state() {
+        let mut setups = 0usize;
+        bench_with_setup(
+            "timing_setup_smoke",
+            4,
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| {
+                std::hint::black_box(v.len());
+            },
+        );
+        assert!(setups >= 4, "setup should run per sample, got {setups}");
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt(Duration::from_millis(2500)), "2.500 s");
+    }
+}

@@ -2,10 +2,10 @@
 //! profile used by tests and the synthetic benchmarks.
 
 use desalign_mmkg::FeatureDims;
-use serde::{Deserialize, Serialize};
+use desalign_util::{json, Json, ToJson};
 
 /// Ablation switches — each corresponds to one bar of Figure 3 (left).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Ablation {
     /// `w/o g` — drop the graph-structure modality.
     pub use_structure: bool,
@@ -64,7 +64,7 @@ impl Ablation {
 /// Which structure-branch encoder to use (Eq. 7). The paper uses a GAT;
 /// a vanilla GCN is provided for the architecture study (and is stronger
 /// at very small graph scales, where attention heads are data-starved).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StructureEncoderKind {
     /// Graph attention network (paper default).
     Gat,
@@ -73,12 +73,11 @@ pub enum StructureEncoderKind {
 }
 
 /// Full DESAlign configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DesalignConfig {
     /// Unified hidden dimension `d` (paper: 300).
     pub hidden_dim: usize,
     /// Raw feature dims for BoW / vision inputs (paper: 1000/1000/2048).
-    #[serde(skip, default)]
     pub feature_dims: FeatureDims,
     /// Structure encoder architecture.
     pub structure_encoder: StructureEncoderKind,
@@ -238,6 +237,76 @@ impl DesalignConfig {
     }
 }
 
+impl ToJson for StructureEncoderKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                StructureEncoderKind::Gat => "Gat",
+                StructureEncoderKind::Gcn => "Gcn",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for Ablation {
+    fn to_json(&self) -> Json {
+        json!({
+            "use_structure": self.use_structure,
+            "use_relation": self.use_relation,
+            "use_text": self.use_text,
+            "use_visual": self.use_visual,
+            "use_loss_task0": self.use_loss_task0,
+            "use_loss_taskk": self.use_loss_taskk,
+            "use_loss_mk1": self.use_loss_mk1,
+            "use_loss_mk": self.use_loss_mk,
+            "use_semantic_propagation": self.use_semantic_propagation,
+            "use_energy_constraint": self.use_energy_constraint,
+            "use_confidence_weighting": self.use_confidence_weighting,
+            "use_confidence_fusion": self.use_confidence_fusion,
+        })
+    }
+}
+
+impl ToJson for DesalignConfig {
+    /// Serializes the configuration for provenance next to result dumps
+    /// (write-only — configs are constructed in code, not loaded).
+    fn to_json(&self) -> Json {
+        json!({
+            "hidden_dim": self.hidden_dim,
+            "feature_dims": json!({
+                "relation": self.feature_dims.relation,
+                "attribute": self.feature_dims.attribute,
+                "visual": self.feature_dims.visual,
+            }),
+            "structure_encoder": self.structure_encoder,
+            "gat_heads": self.gat_heads,
+            "gat_layers": self.gat_layers,
+            "caw_heads": self.caw_heads,
+            "caw_layers": self.caw_layers,
+            "tau": self.tau,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "weight_decay": self.weight_decay,
+            "warmup_frac": self.warmup_frac,
+            "early_stop_patience": self.early_stop_patience,
+            "eval_every": self.eval_every,
+            "c_min": self.c_min,
+            "c_max": self.c_max,
+            "energy_weight": self.energy_weight,
+            "sp_iterations": self.sp_iterations,
+            "sp_reset_known": self.sp_reset_known,
+            "sp_per_modality": self.sp_per_modality,
+            "fusion_normalize": self.fusion_normalize,
+            "modal_k1_on_branch": self.modal_k1_on_branch,
+            "phi_rescale": self.phi_rescale,
+            "confidence_blend": self.confidence_blend,
+            "ablation": self.ablation,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +335,17 @@ mod tests {
         c.ablation.use_text = false;
         c.ablation.use_visual = false;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_serializes_for_provenance() {
+        let v = DesalignConfig::fast().to_json();
+        let text = v.to_string();
+        let back = Json::parse(&text).expect("config JSON parses back");
+        assert_eq!(back.get("hidden_dim").unwrap().as_usize(), Some(64));
+        assert_eq!(back.get("structure_encoder").unwrap().as_str(), Some("Gat"));
+        assert_eq!(back.get("ablation").unwrap().get("use_visual").unwrap().as_bool(), Some(true));
+        assert_eq!(back.get("feature_dims").unwrap().get("visual").unwrap().as_usize(), Some(64));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::loss::LossBreakdown;
 use desalign_tensor::Rng64;
-use rand::seq::SliceRandom;
+use desalign_tensor::SliceRandom;
 
 /// Summary of one `fit` call.
 #[derive(Clone, Debug, Default)]

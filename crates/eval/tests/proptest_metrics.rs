@@ -2,31 +2,34 @@
 //! brute-force ranking oracle.
 
 use desalign_eval::{csls_rescale, evaluate_ranking, mutual_nearest_neighbours, SimilarityMatrix};
-use desalign_tensor::Matrix;
-use proptest::prelude::*;
+use desalign_tensor::{Matrix, Rng64};
+use desalign_testkit::{check, ensure, ensure_eq, gen};
 
-fn scores(n: usize, m: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0f32..1.0, n * m).prop_map(move |v| Matrix::from_vec(n, m, v))
+const CASES: u64 = 64;
+
+fn scores(rng: &mut Rng64, n: usize, m: usize) -> Matrix {
+    gen::matrix(rng, n, m, -1.0, 1.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn metric_ranges_and_ordering(s in scores(8, 8)) {
-        let sim = SimilarityMatrix::new(s);
+#[test]
+fn metric_ranges_and_ordering() {
+    check("metric_ranges_and_ordering", CASES, |rng| scores(rng, 8, 8), |s| {
+        let sim = SimilarityMatrix::new(s.clone());
         let pairs: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
         let m = evaluate_ranking(&sim, &pairs);
-        prop_assert!((0.0..=1.0).contains(&m.hits_at_1));
-        prop_assert!((0.0..=1.0).contains(&m.hits_at_10));
-        prop_assert!((0.0..=1.0).contains(&m.mrr));
-        prop_assert!(m.hits_at_10 >= m.hits_at_1);
-        prop_assert!(m.mrr >= m.hits_at_1 - 1e-6);
-        prop_assert!(m.mrr <= m.hits_at_1 + (1.0 - m.hits_at_1) * 0.5 + 1e-6);
-    }
+        ensure!((0.0..=1.0).contains(&m.hits_at_1));
+        ensure!((0.0..=1.0).contains(&m.hits_at_10));
+        ensure!((0.0..=1.0).contains(&m.mrr));
+        ensure!(m.hits_at_10 >= m.hits_at_1);
+        ensure!(m.mrr >= m.hits_at_1 - 1e-6);
+        ensure!(m.mrr <= m.hits_at_1 + (1.0 - m.hits_at_1) * 0.5 + 1e-6);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mrr_matches_bruteforce_oracle(s in scores(6, 6)) {
+#[test]
+fn mrr_matches_bruteforce_oracle() {
+    check("mrr_matches_bruteforce_oracle", CASES, |rng| scores(rng, 6, 6), |s| {
         let sim = SimilarityMatrix::new(s.clone());
         let pairs: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 2) % 6)).collect();
         let m = evaluate_ranking(&sim, &pairs);
@@ -36,57 +39,73 @@ proptest! {
             let rank = 1 + cands.iter().filter(|&&c| s[(q, c)] > s[(q, gold)]).count();
             mrr += 1.0 / rank as f64;
         }
-        prop_assert!((m.mrr - (mrr / 6.0) as f32).abs() < 1e-5);
-    }
+        ensure!((m.mrr - (mrr / 6.0) as f32).abs() < 1e-5);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn monotone_transform_preserves_metrics(s in scores(6, 6)) {
+#[test]
+fn monotone_transform_preserves_metrics() {
+    check("monotone_transform_preserves_metrics", CASES, |rng| scores(rng, 6, 6), |s| {
         // Ranking metrics are invariant under strictly increasing maps.
         let pairs: Vec<(usize, usize)> = (0..6).map(|i| (i, i)).collect();
         let before = evaluate_ranking(&SimilarityMatrix::new(s.clone()), &pairs);
         let transformed = s.map(|v| v.mul_add(2.0, 1.0).tanh());
         let after = evaluate_ranking(&SimilarityMatrix::new(transformed), &pairs);
-        prop_assert!((before.mrr - after.mrr).abs() < 1e-5);
-        prop_assert_eq!(before.hits_at_1, after.hits_at_1);
-    }
+        ensure!((before.mrr - after.mrr).abs() < 1e-5);
+        ensure_eq!(before.hits_at_1, after.hits_at_1);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rank_of_is_consistent_with_ranked_targets(s in scores(5, 7)) {
-        let sim = SimilarityMatrix::new(s);
+#[test]
+fn rank_of_is_consistent_with_ranked_targets() {
+    check("rank_of_is_consistent_with_ranked_targets", CASES, |rng| scores(rng, 5, 7), |s| {
+        let sim = SimilarityMatrix::new(s.clone());
         for i in 0..5 {
             let ranked = sim.ranked_targets(i);
-            prop_assert_eq!(sim.best_target(i), ranked[0]);
+            ensure_eq!(sim.best_target(i), ranked[0]);
             // rank_of counts strictly-greater scores, so it is ≤ position+1.
             for (pos, &t) in ranked.iter().enumerate() {
-                prop_assert!(sim.rank_of(i, t) <= pos + 1);
+                ensure!(sim.rank_of(i, t) <= pos + 1);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mutual_pairs_are_one_to_one(s in scores(7, 7)) {
-        let sim = SimilarityMatrix::new(s);
+#[test]
+fn mutual_pairs_are_one_to_one() {
+    check("mutual_pairs_are_one_to_one", CASES, |rng| scores(rng, 7, 7), |s| {
+        let sim = SimilarityMatrix::new(s.clone());
         let all: Vec<usize> = (0..7).collect();
         let pairs = mutual_nearest_neighbours(&sim, &all, &all, f32::NEG_INFINITY);
         let mut seen_s = std::collections::HashSet::new();
         let mut seen_t = std::collections::HashSet::new();
         for &(a, b, _) in &pairs {
-            prop_assert!(seen_s.insert(a), "source {} repeated", a);
-            prop_assert!(seen_t.insert(b), "target {} repeated", b);
+            ensure!(seen_s.insert(a), "source {a} repeated");
+            ensure!(seen_t.insert(b), "target {b} repeated");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csls_preserves_shape_and_finiteness(s in scores(6, 5)) {
-        let out = csls_rescale(&SimilarityMatrix::new(s), 3);
-        prop_assert_eq!(out.shape(), (6, 5));
-        prop_assert!(out.scores().all_finite());
-    }
+#[test]
+fn csls_preserves_shape_and_finiteness() {
+    check("csls_preserves_shape_and_finiteness", CASES, |rng| scores(rng, 6, 5), |s| {
+        let out = csls_rescale(&SimilarityMatrix::new(s.clone()), 3);
+        ensure_eq!(out.shape(), (6, 5));
+        ensure!(out.scores().all_finite());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn average_of_identical_matrices_is_identity(s in scores(4, 4)) {
+#[test]
+fn average_of_identical_matrices_is_identity() {
+    check("average_of_identical_matrices_is_identity", CASES, |rng| scores(rng, 4, 4), |s| {
         let sim = SimilarityMatrix::new(s.clone());
         let avg = SimilarityMatrix::average(&[sim.clone(), sim]);
-        prop_assert!(avg.scores().sub(&s).max_abs() < 1e-5);
-    }
+        ensure!(avg.scores().sub(s).max_abs() < 1e-5);
+        Ok(())
+    });
 }

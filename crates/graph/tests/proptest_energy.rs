@@ -7,127 +7,196 @@ use desalign_graph::{
     singular_value_range, Csr, PropagationConfig, SemanticPartition, UndirectedGraph,
 };
 use desalign_tensor::Matrix;
-use proptest::prelude::*;
+use desalign_testkit::{check, ensure, ensure_eq, gen, Rng64};
+
+const CASES: u64 = 48;
 
 /// Random connected-ish graph: a ring plus random chords.
-fn graph(n: usize) -> impl Strategy<Value = UndirectedGraph> {
-    proptest::collection::vec((0..n, 0..n), 0..2 * n).prop_map(move |chords| {
-        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-        edges.extend(chords);
-        UndirectedGraph::new(n, edges)
-    })
+fn graph(rng: &mut Rng64, n: usize) -> UndirectedGraph {
+    let num_chords = rng.gen_range(0..2 * n);
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    edges.extend((0..num_chords).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))));
+    UndirectedGraph::new(n, edges)
 }
 
-fn features(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-5.0f32..5.0, n * d).prop_map(move |v| Matrix::from_vec(n, d, v))
+fn features(rng: &mut Rng64, n: usize, d: usize) -> Matrix {
+    gen::matrix(rng, n, d, -5.0, 5.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn dirichlet_energy_is_nonnegative() {
+    check("dirichlet_energy_is_nonnegative", CASES, |rng| (graph(rng, 10), features(rng, 10, 3)), |(g, x)| {
+        let e = dirichlet_energy(&g.laplacian(), x);
+        ensure!(e >= -1e-2, "PSD violated: {e}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dirichlet_energy_is_nonnegative(g in graph(10), x in features(10, 3)) {
-        let e = dirichlet_energy(&g.laplacian(), &x);
-        prop_assert!(e >= -1e-2, "PSD violated: {}", e);
-    }
-
-    #[test]
-    fn laplacian_eigenvalues_bounded_by_two(g in graph(12)) {
+#[test]
+fn laplacian_eigenvalues_bounded_by_two() {
+    check("laplacian_eigenvalues_bounded_by_two", CASES, |rng| graph(rng, 12), |g| {
         let lmax = lambda_max(&g.laplacian(), 400, 1e-7);
-        prop_assert!((0.0..2.0 + 1e-3).contains(&lmax), "λ_max = {}", lmax);
-    }
+        ensure!((0.0..2.0 + 1e-3).contains(&lmax), "λ_max = {lmax}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn proposition1_first_order_bound(g in graph(8), x in features(8, 2), x_hat in features(8, 2)) {
-        let lap = g.laplacian();
-        let (lhs, rhs) = interpolation_lower_bound(&lap, &x, &x_hat);
-        prop_assert!(lhs >= rhs - 1e-2, "Prop. 1 violated: {} < {}", lhs, rhs);
-    }
+#[test]
+fn proposition1_first_order_bound() {
+    check(
+        "proposition1_first_order_bound",
+        CASES,
+        |rng| (graph(rng, 8), features(rng, 8, 2), features(rng, 8, 2)),
+        |(g, x, x_hat)| {
+            let lap = g.laplacian();
+            let (lhs, rhs) = interpolation_lower_bound(&lap, x, x_hat);
+            ensure!(lhs >= rhs - 1e-2, "Prop. 1 violated: {lhs} < {rhs}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn corollary1_lower_bound_on_distance(g in graph(8), x in features(8, 2), x_hat in features(8, 2)) {
-        let lap = g.laplacian();
-        let lmax = lambda_max(&lap, 400, 1e-7).max(1e-3);
-        let (lower, _upper) = energy_gap_bounds(&lap, lmax, &x, &x_hat);
-        let dist = x_hat.sub(&x).frobenius_norm();
-        prop_assert!(dist >= lower - 1e-2, "distance {} below Cor. 1 lower bound {}", dist, lower);
-    }
+#[test]
+fn corollary1_lower_bound_on_distance() {
+    check(
+        "corollary1_lower_bound_on_distance",
+        CASES,
+        |rng| (graph(rng, 8), features(rng, 8, 2), features(rng, 8, 2)),
+        |(g, x, x_hat)| {
+            let lap = g.laplacian();
+            let lmax = lambda_max(&lap, 400, 1e-7).max(1e-3);
+            let (lower, _upper) = energy_gap_bounds(&lap, lmax, x, x_hat);
+            let dist = x_hat.sub(x).frobenius_norm();
+            ensure!(dist >= lower - 1e-2, "distance {dist} below Cor. 1 lower bound {lower}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn proposition2_bounds_hold(g in graph(9), x in features(9, 4), w in features(4, 4)) {
-        let lap = g.laplacian();
-        let e_prev = dirichlet_energy(&lap, &x);
-        let e_next = dirichlet_energy(&lap, &x.matmul(&w));
-        let (smin, smax) = singular_value_range(&w, 600, 1e-7);
-        let tol = 1e-2 * (1.0 + e_prev.abs());
-        prop_assert!(e_next >= smin * smin * e_prev - tol, "lower: {} < {}", e_next, smin * smin * e_prev);
-        prop_assert!(e_next <= smax * smax * e_prev + tol, "upper: {} > {}", e_next, smax * smax * e_prev);
-    }
+#[test]
+fn proposition2_bounds_hold() {
+    check(
+        "proposition2_bounds_hold",
+        CASES,
+        |rng| (graph(rng, 9), features(rng, 9, 4), features(rng, 4, 4)),
+        |(g, x, w)| {
+            let lap = g.laplacian();
+            let e_prev = dirichlet_energy(&lap, x);
+            let e_next = dirichlet_energy(&lap, &x.matmul(w));
+            let (smin, smax) = singular_value_range(w, 600, 1e-7);
+            let tol = 1e-2 * (1.0 + e_prev.abs());
+            ensure!(e_next >= smin * smin * e_prev - tol, "lower: {} < {}", e_next, smin * smin * e_prev);
+            ensure!(e_next <= smax * smax * e_prev + tol, "upper: {} > {}", e_next, smax * smax * e_prev);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn propagation_never_increases_energy_without_boundary(g in graph(10), x in features(10, 3)) {
-        let adj = g.normalized_adjacency(true);
-        let lap = g.laplacian();
-        let states = propagate_features(&adj, &x, &[false; 10], &PropagationConfig { iterations: 4, step: 1.0, reset_known: false });
-        let energies: Vec<f32> = states.iter().map(|s| dirichlet_energy(&lap, s)).collect();
-        for w in energies.windows(2) {
-            prop_assert!(w[1] <= w[0] + 1e-2 * (1.0 + w[0].abs()), "energy rose: {:?}", energies);
-        }
-    }
+#[test]
+fn propagation_never_increases_energy_without_boundary() {
+    check(
+        "propagation_never_increases_energy_without_boundary",
+        CASES,
+        |rng| (graph(rng, 10), features(rng, 10, 3)),
+        |(g, x)| {
+            let adj = g.normalized_adjacency(true);
+            let lap = g.laplacian();
+            let states =
+                propagate_features(&adj, x, &[false; 10], &PropagationConfig { iterations: 4, step: 1.0, reset_known: false });
+            let energies: Vec<f32> = states.iter().map(|s| dirichlet_energy(&lap, s)).collect();
+            for w in energies.windows(2) {
+                ensure!(w[1] <= w[0] + 1e-2 * (1.0 + w[0].abs()), "energy rose: {energies:?}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn propagation_preserves_boundary_rows(g in graph(10), x in features(10, 3), mask in proptest::collection::vec(any::<bool>(), 10)) {
-        let adj = g.normalized_adjacency(true);
-        let states = propagate_features(&adj, &x, &mask, &PropagationConfig { iterations: 3, step: 1.0, reset_known: true });
-        for s in &states {
-            for (i, &known) in mask.iter().enumerate() {
-                if known {
-                    prop_assert_eq!(s.row(i), x.row(i));
+#[test]
+fn propagation_preserves_boundary_rows() {
+    check(
+        "propagation_preserves_boundary_rows",
+        CASES,
+        |rng| (graph(rng, 10), features(rng, 10, 3), gen::bool_vec(rng, 10)),
+        |(g, x, mask)| {
+            let adj = g.normalized_adjacency(true);
+            let states = propagate_features(&adj, x, mask, &PropagationConfig { iterations: 3, step: 1.0, reset_known: true });
+            for s in &states {
+                for (i, &known) in mask.iter().enumerate() {
+                    if known {
+                        ensure_eq!(s.row(i), x.row(i));
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn spmm_matches_dense_reference(g in graph(8), x in features(8, 3)) {
+#[test]
+fn spmm_matches_dense_reference() {
+    check("spmm_matches_dense_reference", CASES, |rng| (graph(rng, 8), features(rng, 8, 3)), |(g, x)| {
         let a = g.normalized_adjacency(true);
-        let sparse = a.spmm(&x);
-        let dense = a.to_dense().matmul(&x);
-        prop_assert!(sparse.sub(&dense).max_abs() < 1e-3);
-    }
+        let sparse = a.spmm(x);
+        let dense = a.to_dense().matmul(x);
+        ensure!(sparse.sub(&dense).max_abs() < 1e-3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_transpose_round_trip(g in graph(7)) {
+#[test]
+fn csr_transpose_round_trip() {
+    check("csr_transpose_round_trip", CASES, |rng| graph(rng, 7), |g| {
         let a = g.adjacency();
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
+        ensure_eq!(a.transpose().transpose(), a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn partition_permutation_is_bijective(mask in proptest::collection::vec(0u8..3, 12)) {
+#[test]
+fn partition_permutation_is_bijective() {
+    check("partition_permutation_is_bijective", CASES, |rng| gen::usize_vec(rng, 12, 3), |mask| {
         let has: Vec<bool> = mask.iter().map(|&m| m != 2).collect();
         let full: Vec<bool> = mask.iter().map(|&m| m == 0).collect();
         let p = SemanticPartition::from_flags(&has, &full);
-        prop_assert!(p.is_valid_cover(12));
+        ensure!(p.is_valid_cover(12));
         let mut perm = p.permutation();
         perm.sort_unstable();
-        prop_assert_eq!(perm, (0..12).collect::<Vec<_>>());
-    }
+        ensure_eq!(perm, (0..12).collect::<Vec<_>>());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn submatrix_of_symmetric_diagonal_blocks_is_symmetric(g in graph(10)) {
+#[test]
+fn submatrix_of_symmetric_diagonal_blocks_is_symmetric() {
+    check("submatrix_of_symmetric_diagonal_blocks_is_symmetric", CASES, |rng| graph(rng, 10), |g| {
         let lap = g.laplacian();
         let idx: Vec<usize> = (0..10).step_by(2).collect();
         let sub = lap.submatrix(&idx, &idx);
-        prop_assert!(sub.is_symmetric(1e-5));
-    }
+        ensure!(sub.is_symmetric(1e-5));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_from_coo_merges_duplicates_additively(entries in proptest::collection::vec((0usize..4, 0usize..4, -3.0f32..3.0), 0..20)) {
-        let m = Csr::from_coo(4, 4, entries.clone());
-        let mut dense = Matrix::zeros(4, 4);
-        for (r, c, v) in entries {
-            dense[(r, c)] += v;
-        }
-        prop_assert!(m.to_dense().sub(&dense).max_abs() < 1e-4);
-    }
+#[test]
+fn csr_from_coo_merges_duplicates_additively() {
+    check(
+        "csr_from_coo_merges_duplicates_additively",
+        CASES,
+        |rng| {
+            let len = rng.gen_range(0..20usize);
+            (0..len)
+                .map(|_| (rng.gen_range(0..4usize), rng.gen_range(0..4usize), rng.gen_range(-3.0f32..3.0)))
+                .collect::<Vec<_>>()
+        },
+        |entries| {
+            let m = Csr::from_coo(4, 4, entries.clone());
+            let mut dense = Matrix::zeros(4, 4);
+            for &(r, c, v) in entries {
+                dense[(r, c)] += v;
+            }
+            ensure!(m.to_dense().sub(&dense).max_abs() < 1e-4);
+            Ok(())
+        },
+    );
 }

@@ -8,7 +8,6 @@
 
 use crate::Mmkg;
 use desalign_tensor::{Matrix, Rng64};
-use rand::Rng;
 
 /// Target dimensions for each modality's raw features.
 #[derive(Clone, Copy, Debug)]

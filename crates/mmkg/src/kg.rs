@@ -1,7 +1,6 @@
 //! The multi-modal knowledge graph data model.
 
 use desalign_graph::UndirectedGraph;
-use serde::{Deserialize, Serialize};
 
 /// One multi-modal knowledge graph `G = (ε, R, A, V)` (Section II).
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// entity; images are raw per-entity feature vectors (the output of a
 /// pretrained vision encoder in the paper, a simulated one here) — `None`
 /// when the entity has no image.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Mmkg {
     /// Number of entities `|ε|`.
     pub num_entities: usize,
@@ -91,7 +90,7 @@ impl Mmkg {
 }
 
 /// Table I-style statistics for one KG.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KgStats {
     /// `Ent.`
     pub entities: usize,
@@ -109,7 +108,7 @@ pub struct KgStats {
 
 /// A pair of MMKGs with gold alignments, split into seeds (`Φ'`) and a test
 /// set — one benchmark split.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AlignmentDataset {
     /// Human-readable split name, e.g. `FBDB15K(Rseed=0.2)`.
     pub name: String,

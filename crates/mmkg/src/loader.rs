@@ -1,21 +1,76 @@
 //! Dataset (de)serialization so experiment splits are reproducible
 //! byte-for-byte and shareable between binaries.
+//!
+//! The on-disk shape is the one the earlier serde-derive implementation
+//! produced (structs as objects, tuples as arrays), so files written by
+//! previous builds keep loading.
 
-use crate::AlignmentDataset;
+use crate::{AlignmentDataset, Mmkg};
+use desalign_util::{json, FromJson, Json, JsonError, ToJson};
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Saves a dataset as pretty JSON.
+impl ToJson for Mmkg {
+    fn to_json(&self) -> Json {
+        json!({
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "num_attributes": self.num_attributes,
+            "rel_triples": self.rel_triples,
+            "attr_triples": self.attr_triples,
+            "images": self.images,
+        })
+    }
+}
+
+impl FromJson for Mmkg {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Mmkg {
+            num_entities: v.field("num_entities")?,
+            num_relations: v.field("num_relations")?,
+            num_attributes: v.field("num_attributes")?,
+            rel_triples: v.field("rel_triples")?,
+            attr_triples: v.field("attr_triples")?,
+            images: v.field("images")?,
+        })
+    }
+}
+
+impl ToJson for AlignmentDataset {
+    fn to_json(&self) -> Json {
+        json!({
+            "name": self.name,
+            "source": self.source,
+            "target": self.target,
+            "train_pairs": self.train_pairs,
+            "test_pairs": self.test_pairs,
+        })
+    }
+}
+
+impl FromJson for AlignmentDataset {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(AlignmentDataset {
+            name: v.field("name")?,
+            source: v.field("source")?,
+            target: v.field("target")?,
+            train_pairs: v.field("train_pairs")?,
+            test_pairs: v.field("test_pairs")?,
+        })
+    }
+}
+
+/// Saves a dataset as compact JSON.
 pub fn save_dataset_json(ds: &AlignmentDataset, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string(ds).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    fs::write(path, ds.to_json().to_string())
 }
 
 /// Loads a dataset saved with [`save_dataset_json`], validating it.
 pub fn load_dataset_json(path: &Path) -> io::Result<AlignmentDataset> {
     let json = fs::read_to_string(path)?;
-    let ds: AlignmentDataset = serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let doc = Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let ds = AlignmentDataset::from_json(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     ds.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid dataset: {e}")))?;
     Ok(ds)
 }
@@ -35,6 +90,7 @@ mod tests {
         let loaded = load_dataset_json(&path).expect("load");
         assert_eq!(loaded.name, ds.name);
         assert_eq!(loaded.source.rel_triples, ds.source.rel_triples);
+        assert_eq!(loaded.source.images, ds.source.images);
         assert_eq!(loaded.test_pairs, ds.test_pairs);
         std::fs::remove_file(&path).ok();
     }
@@ -46,6 +102,10 @@ mod tests {
         let path = dir.join("bad.json");
         std::fs::write(&path, "{\"not\": \"a dataset\"}").expect("write");
         assert!(load_dataset_json(&path).is_err());
+        let path2 = dir.join("garbage.json");
+        std::fs::write(&path2, "{\"name\": trailing").expect("write");
+        assert!(load_dataset_json(&path2).is_err());
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
     }
 }

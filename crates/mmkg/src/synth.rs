@@ -11,12 +11,10 @@
 
 use crate::{AlignmentDataset, Mmkg};
 use desalign_tensor::{rng_from_seed, Rng64};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use desalign_tensor::SliceRandom;
 
 /// The five benchmark pairs of Table I.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DatasetSpec {
     /// FB15K–DB15K (monolingual).
     FbDb15k,
@@ -61,7 +59,7 @@ impl DatasetSpec {
 /// Full generator configuration. Use [`SynthConfig::preset`] then the
 /// builder-style `with_*` methods; all fields stay public for custom
 /// experiments.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SynthConfig {
     /// Which Table I dataset this split mimics.
     pub spec: DatasetSpec,

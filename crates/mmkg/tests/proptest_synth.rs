@@ -3,88 +3,100 @@
 //! ratio knobs, or seed.
 
 use desalign_mmkg::{DatasetSpec, FeatureDims, ModalFeatures, SynthConfig};
-use proptest::prelude::*;
+use desalign_testkit::{check, ensure, ensure_eq, Rng64, SliceRandom};
 
-fn preset_strategy() -> impl Strategy<Value = DatasetSpec> {
-    prop_oneof![
-        Just(DatasetSpec::FbDb15k),
-        Just(DatasetSpec::FbYg15k),
-        Just(DatasetSpec::Dbp15kZhEn),
-        Just(DatasetSpec::Dbp15kJaEn),
-        Just(DatasetSpec::Dbp15kFrEn),
-    ]
+const CASES: u64 = 24;
+
+fn preset(rng: &mut Rng64) -> DatasetSpec {
+    *DatasetSpec::ALL.choose(rng).expect("non-empty preset list")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn generated_datasets_always_validate() {
+    check(
+        "generated_datasets_always_validate",
+        CASES,
+        |rng| (preset(rng), rng.gen_range(30..120usize), rng.gen_range(0..10_000u64), rng.gen_range(0.05f32..0.9)),
+        |&(spec, scale, seed, r_seed)| {
+            let ds = SynthConfig::preset(spec).scaled(scale).with_seed_ratio(r_seed).generate(seed);
+            ensure_eq!(ds.validate(), Ok(()));
+            ensure!(ds.num_pairs() > 0);
+            ensure!((ds.seed_ratio() - r_seed).abs() < 0.15);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn generated_datasets_always_validate(
-        spec in preset_strategy(),
-        scale in 30usize..120,
-        seed in 0u64..10_000,
-        r_seed in 0.05f32..0.9,
-    ) {
-        let ds = SynthConfig::preset(spec).scaled(scale).with_seed_ratio(r_seed).generate(seed);
-        prop_assert_eq!(ds.validate(), Ok(()));
-        prop_assert!(ds.num_pairs() > 0);
-        prop_assert!((ds.seed_ratio() - r_seed).abs() < 0.15);
-    }
+#[test]
+fn ratio_overrides_bound_coverage() {
+    check(
+        "ratio_overrides_bound_coverage",
+        CASES,
+        |rng| (preset(rng), rng.gen_range(0..1000u64), rng.gen_range(0.05f32..0.95)),
+        |&(spec, seed, r)| {
+            let ds = SynthConfig::preset(spec).scaled(80).with_image_ratio(r).with_text_ratio(r).generate(seed);
+            let img_cov = ds.source.num_images() as f32 / ds.source.num_entities as f32;
+            ensure!((img_cov - r).abs() < 0.1, "image coverage {img_cov} vs requested {r}");
+            let tex_cov =
+                ds.source.entities_with_attributes().iter().filter(|&&b| b).count() as f32 / ds.source.num_entities as f32;
+            ensure!(tex_cov <= r + 0.1, "text coverage {tex_cov} exceeds requested {r}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ratio_overrides_bound_coverage(
-        spec in preset_strategy(),
-        seed in 0u64..1000,
-        r in 0.05f32..0.95,
-    ) {
-        let ds = SynthConfig::preset(spec).scaled(80).with_image_ratio(r).with_text_ratio(r).generate(seed);
-        let img_cov = ds.source.num_images() as f32 / ds.source.num_entities as f32;
-        prop_assert!((img_cov - r).abs() < 0.1, "image coverage {} vs requested {}", img_cov, r);
-        let tex_cov = ds.source.entities_with_attributes().iter().filter(|&&b| b).count() as f32
-            / ds.source.num_entities as f32;
-        prop_assert!(tex_cov <= r + 0.1, "text coverage {} exceeds requested {}", tex_cov, r);
-    }
+#[test]
+fn feature_matrices_are_finite_and_shaped() {
+    check(
+        "feature_matrices_are_finite_and_shaped",
+        CASES,
+        |rng| (preset(rng), rng.gen_range(0..1000u64)),
+        |&(spec, seed)| {
+            let ds = SynthConfig::preset(spec).scaled(60).generate(seed);
+            let dims = FeatureDims { relation: 32, attribute: 32, visual: 64 };
+            for kg in [&ds.source, &ds.target] {
+                let f = ModalFeatures::build(kg, &dims);
+                ensure_eq!(f.num_entities(), kg.num_entities);
+                ensure!(f.relation.all_finite());
+                ensure!(f.attribute.all_finite());
+                ensure!(f.visual.all_finite());
+                // Presence masks must be consistent with the raw data.
+                ensure_eq!(f.has_visual.iter().filter(|&&b| b).count(), kg.num_images());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn feature_matrices_are_finite_and_shaped(
-        spec in preset_strategy(),
-        seed in 0u64..1000,
-    ) {
-        let ds = SynthConfig::preset(spec).scaled(60).generate(seed);
-        let dims = FeatureDims { relation: 32, attribute: 32, visual: 64 };
-        for kg in [&ds.source, &ds.target] {
-            let f = ModalFeatures::build(kg, &dims);
-            prop_assert_eq!(f.num_entities(), kg.num_entities);
-            prop_assert!(f.relation.all_finite());
-            prop_assert!(f.attribute.all_finite());
-            prop_assert!(f.visual.all_finite());
-            // Presence masks must be consistent with the raw data.
-            prop_assert_eq!(
-                f.has_visual.iter().filter(|&&b| b).count(),
-                kg.num_images()
-            );
-        }
-    }
-
-    #[test]
-    fn alignment_is_one_to_one(spec in preset_strategy(), seed in 0u64..1000) {
+#[test]
+fn alignment_is_one_to_one() {
+    check("alignment_is_one_to_one", CASES, |rng| (preset(rng), rng.gen_range(0..1000u64)), |&(spec, seed)| {
         let ds = SynthConfig::preset(spec).scaled(60).generate(seed);
         let mut seen_s = std::collections::HashSet::new();
         let mut seen_t = std::collections::HashSet::new();
         for &(s, t) in ds.train_pairs.iter().chain(&ds.test_pairs) {
-            prop_assert!(seen_s.insert(s));
-            prop_assert!(seen_t.insert(t));
+            ensure!(seen_s.insert(s));
+            ensure!(seen_t.insert(t));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn same_seed_same_dataset_different_seed_different(spec in preset_strategy(), seed in 0u64..1000) {
-        let cfg = SynthConfig::preset(spec).scaled(50);
-        let a = cfg.generate(seed);
-        let b = cfg.generate(seed);
-        prop_assert_eq!(&a.source.rel_triples, &b.source.rel_triples);
-        prop_assert_eq!(&a.test_pairs, &b.test_pairs);
-        let c = cfg.generate(seed + 1);
-        prop_assert!(a.source.rel_triples != c.source.rel_triples || a.test_pairs != c.test_pairs);
-    }
+#[test]
+fn same_seed_same_dataset_different_seed_different() {
+    check(
+        "same_seed_same_dataset_different_seed_different",
+        CASES,
+        |rng| (preset(rng), rng.gen_range(0..1000u64)),
+        |&(spec, seed)| {
+            let cfg = SynthConfig::preset(spec).scaled(50);
+            let a = cfg.generate(seed);
+            let b = cfg.generate(seed);
+            ensure_eq!(&a.source.rel_triples, &b.source.rel_triples);
+            ensure_eq!(&a.test_pairs, &b.test_pairs);
+            let c = cfg.generate(seed + 1);
+            ensure!(a.source.rel_triples != c.source.rel_triples || a.test_pairs != c.test_pairs);
+            Ok(())
+        },
+    );
 }

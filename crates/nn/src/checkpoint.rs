@@ -7,6 +7,7 @@
 
 use crate::{ParamId, ParamStore};
 use desalign_tensor::Matrix;
+use desalign_util::{FromJson, Json, JsonError};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -24,16 +25,24 @@ impl ParamStore {
             write!(
                 out,
                 "{{\"name\":{},\"rows\":{},\"cols\":{},\"data\":[",
-                serde_json_escape(self.name(id)),
+                json_escape(self.name(id)),
                 v.rows(),
                 v.cols()
             )
             .expect("string write");
-            for (j, x) in v.as_slice().iter().enumerate() {
+            for (j, &x) in v.as_slice().iter().enumerate() {
                 if j > 0 {
                     out.push(',');
                 }
-                write!(out, "{x}").expect("string write");
+                if x.is_finite() {
+                    write!(out, "{x}").expect("string write");
+                } else if x.is_nan() {
+                    out.push_str("NaN");
+                } else if x > 0.0 {
+                    out.push_str("Infinity");
+                } else {
+                    out.push_str("-Infinity");
+                }
             }
             out.push_str("]}");
         }
@@ -47,8 +56,9 @@ impl ParamStore {
     /// then restore.
     pub fn load_json(&mut self, path: &Path) -> io::Result<()> {
         let text = fs::read_to_string(path)?;
+        let doc = Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let records: Vec<CheckpointRecord> =
-            serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Vec::from_json(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let ids: Vec<ParamId> = self.ids().collect();
         if records.len() != ids.len() {
             return Err(io::Error::new(
@@ -81,7 +91,6 @@ impl ParamStore {
     }
 }
 
-#[derive(serde::Deserialize)]
 struct CheckpointRecord {
     name: String,
     rows: usize,
@@ -89,8 +98,19 @@ struct CheckpointRecord {
     data: Vec<f32>,
 }
 
-fn serde_json_escape(s: &str) -> String {
-    serde_json::to_string(s).expect("string serialization is infallible")
+impl FromJson for CheckpointRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CheckpointRecord {
+            name: v.field("name")?,
+            rows: v.field("rows")?,
+            cols: v.field("cols")?,
+            data: v.field("data")?,
+        })
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    Json::Str(s.to_string()).to_string()
 }
 
 #[cfg(test)]
@@ -144,6 +164,35 @@ mod tests {
         other.add("w", Matrix::zeros(1, 1));
         other.add("extra", Matrix::zeros(1, 1));
         assert!(other.load_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn round_trip_handles_hostile_names_and_non_finite_floats() {
+        // Names exercising every escaping path: quotes, backslashes,
+        // control characters, and non-ASCII; data exercising the full f32
+        // range including non-finite values (a diverged run's checkpoint
+        // must reload bit-faithfully, not silently corrupt).
+        let mut store = ParamStore::new();
+        store.add("q\"uote", Matrix::full(1, 1, f32::NAN));
+        store.add("back\\slash\\", Matrix::full(1, 2, f32::INFINITY));
+        store.add("ctrl\n\t\r\u{0}\u{7}", Matrix::full(2, 1, f32::NEG_INFINITY));
+        store.add("unicode é🦀", Matrix::from_vec(1, 4, vec![f32::MIN_POSITIVE, -0.0, f32::MAX, 1e-40]));
+        let path = tmp("hostile.json");
+        store.save_json(&path).expect("save");
+
+        let mut other = ParamStore::new();
+        other.add("a", Matrix::zeros(1, 1));
+        other.add("b", Matrix::zeros(1, 2));
+        other.add("c", Matrix::zeros(2, 1));
+        other.add("d", Matrix::zeros(1, 4));
+        other.load_json(&path).expect("load");
+        assert!(other.value(ParamId::test_id(0))[(0, 0)].is_nan());
+        assert_eq!(other.value(ParamId::test_id(1))[(0, 1)], f32::INFINITY);
+        assert_eq!(other.value(ParamId::test_id(2))[(1, 0)], f32::NEG_INFINITY);
+        let d = other.value(ParamId::test_id(3));
+        assert_eq!(d.as_slice(), &[f32::MIN_POSITIVE, -0.0, f32::MAX, 1e-40]);
+        assert_eq!(d[(0, 1)].to_bits(), (-0.0f32).to_bits(), "signed zero must survive");
         std::fs::remove_file(&path).ok();
     }
 

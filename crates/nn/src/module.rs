@@ -2,10 +2,10 @@
 
 use desalign_autodiff::{Tape, Var};
 use desalign_tensor::Matrix;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Handle to a parameter in a [`ParamStore`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ParamId(pub(crate) usize);
 
 impl ParamId {
@@ -99,9 +99,15 @@ impl ParamStore {
 }
 
 /// Gradients collected from one backward pass, keyed by parameter.
+///
+/// Ordered by id (BTreeMap) so that float reductions over all gradients —
+/// notably the global-norm clip in `AdamW::step` — accumulate in a fixed
+/// order and training stays byte-for-byte reproducible. A HashMap here
+/// makes the summation order (and hence the f32 rounding of the clip
+/// factor) vary per process thanks to per-instance hasher seeds.
 #[derive(Default)]
 pub struct Gradients {
-    grads: HashMap<ParamId, Matrix>,
+    grads: BTreeMap<ParamId, Matrix>,
 }
 
 impl Gradients {

@@ -3,78 +3,98 @@
 
 use desalign_graph::UndirectedGraph;
 use desalign_nn::{AdamW, CosineWarmup, CrossModalAttention, GatLayer, Linear, ParamStore, Session, WeightKind};
-use desalign_tensor::{rng_from_seed, Matrix};
-use proptest::prelude::*;
+use desalign_tensor::rng_from_seed;
+use desalign_testkit::{check, ensure, ensure_eq, gen};
 use std::rc::Rc;
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
+const CASES: u64 = 24;
+
+#[test]
+fn linear_shape_contract() {
+    check(
+        "linear_shape_contract",
+        CASES,
+        |rng| (gen::matrix(rng, 5, 3, -2.0, 2.0), rng.gen_range(0..1000u64)),
+        |(x, seed)| {
+            let mut store = ParamStore::new();
+            let mut rng = rng_from_seed(*seed);
+            let layer = Linear::new(&mut store, &mut rng, "fc", 3, 7, true);
+            let mut sess = Session::new(&store);
+            let input = sess.input(x.clone());
+            let y = layer.forward(&mut sess, input);
+            ensure_eq!(sess.tape.value(y).shape(), (5, 7));
+            ensure!(sess.tape.value(y).all_finite());
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn linear_shape_contract(x in matrix(5, 3), seed in 0u64..1000) {
-        let mut store = ParamStore::new();
-        let mut rng = rng_from_seed(seed);
-        let layer = Linear::new(&mut store, &mut rng, "fc", 3, 7, true);
-        let mut sess = Session::new(&store);
-        let input = sess.input(x);
-        let y = layer.forward(&mut sess, input);
-        prop_assert_eq!(sess.tape.value(y).shape(), (5, 7));
-        prop_assert!(sess.tape.value(y).all_finite());
-    }
-
-    #[test]
-    fn gat_attention_outputs_stay_in_convex_hull(x in matrix(6, 1), seed in 0u64..1000) {
-        // With identity diagonal weights, every output coordinate is a
-        // convex combination of input features.
-        let g = UndirectedGraph::new(6, (0..6).map(|i| (i, (i + 1) % 6)));
-        let (src, dst) = g.message_edges();
-        let (src, dst) = (Rc::new(src), Rc::new(dst));
-        let mut store = ParamStore::new();
-        let mut rng = rng_from_seed(seed);
-        let layer = GatLayer::new(&mut store, &mut rng, "g", 1, 1, 1, WeightKind::Diagonal);
-        // Force the diagonal to exactly 1.
-        let diag_id = store.ids().next().expect("diag param");
-        store.value_mut(diag_id).as_mut_slice()[0] = 1.0;
-        let lo = x.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
-        let hi = x.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sess = Session::new(&store);
-        let input = sess.input(x);
-        let y = layer.forward(&mut sess, input, &src, &dst);
-        for i in 0..6 {
-            let v = sess.tape.value(y)[(i, 0)];
-            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "row {} = {} outside [{}, {}]", i, v, lo, hi);
-        }
-    }
-
-    #[test]
-    fn caw_confidences_form_distributions(seed in 0u64..1000, n in 2usize..6) {
-        let mut store = ParamStore::new();
-        let mut rng = rng_from_seed(seed);
-        let caw = CrossModalAttention::new(&mut store, &mut rng, "caw", 3, 8, 2, 16);
-        let mut sess = Session::new(&store);
-        let inputs: Vec<_> = (0..3)
-            .map(|k| {
-                let m = desalign_tensor::normal_matrix(&mut rng, n, 8, k as f32 * 0.1, 1.0);
-                sess.input(m)
-            })
-            .collect();
-        let out = caw.forward(&mut sess, &inputs);
-        for i in 0..n {
-            let total: f32 = out.confidence.iter().map(|&c| sess.tape.value(c)[(i, 0)]).sum();
-            prop_assert!((total - 1.0).abs() < 1e-4, "entity {} confidences sum to {}", i, total);
-            for &c in &out.confidence {
-                let v = sess.tape.value(c)[(i, 0)];
-                prop_assert!((0.0..=1.0).contains(&v));
+#[test]
+fn gat_attention_outputs_stay_in_convex_hull() {
+    check(
+        "gat_attention_outputs_stay_in_convex_hull",
+        CASES,
+        |rng| (gen::matrix(rng, 6, 1, -2.0, 2.0), rng.gen_range(0..1000u64)),
+        |(x, seed)| {
+            // With identity diagonal weights, every output coordinate is a
+            // convex combination of input features.
+            let g = UndirectedGraph::new(6, (0..6).map(|i| (i, (i + 1) % 6)));
+            let (src, dst) = g.message_edges();
+            let (src, dst) = (Rc::new(src), Rc::new(dst));
+            let mut store = ParamStore::new();
+            let mut rng = rng_from_seed(*seed);
+            let layer = GatLayer::new(&mut store, &mut rng, "g", 1, 1, 1, WeightKind::Diagonal);
+            // Force the diagonal to exactly 1.
+            let diag_id = store.ids().next().expect("diag param");
+            store.value_mut(diag_id).as_mut_slice()[0] = 1.0;
+            let lo = x.as_slice().iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = x.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sess = Session::new(&store);
+            let input = sess.input(x.clone());
+            let y = layer.forward(&mut sess, input, &src, &dst);
+            for i in 0..6 {
+                let v = sess.tape.value(y)[(i, 0)];
+                ensure!(v >= lo - 1e-4 && v <= hi + 1e-4, "row {i} = {v} outside [{lo}, {hi}]");
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn adamw_step_is_bounded_by_lr(seed in 0u64..1000) {
+#[test]
+fn caw_confidences_form_distributions() {
+    check(
+        "caw_confidences_form_distributions",
+        CASES,
+        |rng| (rng.gen_range(0..1000u64), rng.gen_range(2..6usize)),
+        |&(seed, n)| {
+            let mut store = ParamStore::new();
+            let mut rng = rng_from_seed(seed);
+            let caw = CrossModalAttention::new(&mut store, &mut rng, "caw", 3, 8, 2, 16);
+            let mut sess = Session::new(&store);
+            let inputs: Vec<_> = (0..3)
+                .map(|k| {
+                    let m = desalign_tensor::normal_matrix(&mut rng, n, 8, k as f32 * 0.1, 1.0);
+                    sess.input(m)
+                })
+                .collect();
+            let out = caw.forward(&mut sess, &inputs);
+            for i in 0..n {
+                let total: f32 = out.confidence.iter().map(|&c| sess.tape.value(c)[(i, 0)]).sum();
+                ensure!((total - 1.0).abs() < 1e-4, "entity {i} confidences sum to {total}");
+                for &c in &out.confidence {
+                    let v = sess.tape.value(c)[(i, 0)];
+                    ensure!((0.0..=1.0).contains(&v));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adamw_step_is_bounded_by_lr() {
+    check("adamw_step_is_bounded_by_lr", CASES, |rng| rng.gen_range(0..1000u64), |&seed| {
         // Adam's per-coordinate step magnitude is ≈ lr at the first step
         // (|m̂/√v̂| ≤ 1 for the first update, ignoring eps and decay).
         let mut rng = rng_from_seed(seed);
@@ -90,15 +110,24 @@ proptest! {
         let lr = 0.01;
         opt.step(&mut store, &mut grads, lr);
         let delta = store.value(id).sub(&init);
-        prop_assert!(delta.max_abs() <= lr * 1.01, "first-step delta {} exceeds lr", delta.max_abs());
-    }
+        ensure!(delta.max_abs() <= lr * 1.01, "first-step delta {} exceeds lr", delta.max_abs());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cosine_warmup_is_bounded_by_base_lr(base in 0.001f32..1.0, total in 10usize..200) {
-        let s = CosineWarmup::new(base, total, 0.15);
-        for step in 0..total + 10 {
-            let lr = s.lr(step);
-            prop_assert!(lr >= 0.0 && lr <= base * 1.0001, "lr {} at step {}", lr, step);
-        }
-    }
+#[test]
+fn cosine_warmup_is_bounded_by_base_lr() {
+    check(
+        "cosine_warmup_is_bounded_by_base_lr",
+        CASES,
+        |rng| (rng.gen_range(0.001f32..1.0), rng.gen_range(10..200usize)),
+        |&(base, total)| {
+            let s = CosineWarmup::new(base, total, 0.15);
+            for step in 0..total + 10 {
+                let lr = s.lr(step);
+                ensure!(lr >= 0.0 && lr <= base * 1.0001, "lr {lr} at step {step}");
+            }
+            Ok(())
+        },
+    );
 }

@@ -21,10 +21,10 @@
 
 mod matrix;
 mod ops;
-mod random;
+pub mod random;
 mod rowwise;
 
 pub use matrix::Matrix;
 pub use ops::dot;
-pub use random::{glorot_uniform, normal_matrix, rng_from_seed, uniform_matrix, Rng64};
+pub use random::{glorot_uniform, normal_matrix, rng_from_seed, uniform_matrix, Rng64, SampleRange, SliceRandom};
 pub use rowwise::softmax_slice;

@@ -1,19 +1,199 @@
-//! Seedable random matrix initializers.
+//! Seedable random matrix initializers and the workspace RNG.
 //!
 //! Every stochastic component in the workspace draws from an explicitly
 //! seeded [`Rng64`] so that datasets, weight initializations, and therefore
 //! whole experiments are reproducible byte-for-byte.
+//!
+//! # Zero-dependency RNG
+//!
+//! [`Rng64`] is an in-repo xoshiro256++ generator seeded through SplitMix64.
+//! The update function, the `u64 → [0, n)` bounded-sampling scheme (widening
+//! multiply with rejection), the `[1, 2)`-mantissa float sampling, and the
+//! Fisher–Yates [`SliceRandom::shuffle`] all replicate the exact algorithms
+//! the workspace previously obtained from the `rand` crate's `SmallRng`
+//! (rand 0.8 on a 64-bit target), so every seeded stream — synthetic
+//! datasets, Glorot initializations, negative sampling, batch shuffles — is
+//! byte-identical to what the crates.io-backed build produced. The
+//! regression tests at the bottom of this file pin the reference streams.
 
 use crate::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-/// The workspace-wide RNG: a fast, seedable, non-cryptographic generator.
-pub type Rng64 = SmallRng;
+/// Golden-ratio increment of the SplitMix64 seeding sequence.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The workspace-wide RNG: xoshiro256++, a fast, seedable,
+/// non-cryptographic generator with 256 bits of state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
 
 /// Creates an [`Rng64`] from a `u64` seed.
 pub fn rng_from_seed(seed: u64) -> Rng64 {
-    SmallRng::seed_from_u64(seed)
+    Rng64::seed_from_u64(seed)
+}
+
+impl Rng64 {
+    /// Expands a 64-bit seed into the full 256-bit state with SplitMix64,
+    /// guaranteeing a well-mixed, non-zero initial state.
+    pub fn seed_from_u64(mut state: u64) -> Self {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            state = state.wrapping_add(GOLDEN_GAMMA);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *word = z ^ (z >> 31);
+        }
+        Rng64 { s }
+    }
+
+    /// The raw xoshiro256++ output: uniform over all of `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u32` taken from the upper half of [`Self::next_u64`] (the
+    /// low bits of xoshiro++ have weak linear structure).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from a half-open or inclusive range, e.g.
+    /// `rng.gen_range(0..n)` or `rng.gen_range(-1.0f32..1.0)`.
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 ≤ p ≤ 1.0`. `p = 1.0` consumes no randomness and
+    /// is always `true`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // Compare against p scaled to the full 64-bit range (2^64).
+        let p_int = (p * 1.844_674_407_370_955_2e19) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+/// Ranges an [`Rng64`] can sample a single uniform value from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single(self, rng: &mut Rng64) -> T;
+}
+
+/// Bounded sampling of `v ∈ [0, range)` by widening multiplication with
+/// rejection of the biased low-product zone (unbiased, usually one draw).
+#[inline]
+fn bounded_u64(rng: &mut Rng64, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let wide = (v as u128) * (range as u128);
+        let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            #[inline]
+            fn sample_single(self, rng: &mut Rng64) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single(self, rng: &mut Rng64) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty integer range");
+                let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if range == 0 {
+                    // The range spans every representable value.
+                    return rng.next_u64() as $ty;
+                }
+                low.wrapping_add(bounded_u64(rng, range) as $ty)
+            }
+        }
+    )+};
+}
+
+impl_sample_range_int!(usize, u64);
+
+macro_rules! impl_sample_range_float {
+    ($ty:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $exponent_bits:expr) => {
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            #[inline]
+            fn sample_single(self, rng: &mut Rng64) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty float range");
+                let scale = self.end - self.start;
+                // Fill the mantissa to get a uniform value in [1, 2), then
+                // shift down to [0, 1); multiply-add keeps one rounding.
+                let mantissa = rng.$next() >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits($exponent_bits | mantissa);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + self.start
+            }
+        }
+    };
+}
+
+impl_sample_range_float!(f32, u32, next_u32, 32 - 23, 127u32 << 23);
+impl_sample_range_float!(f64, u64, next_u64, 64 - 52, 1023u64 << 52);
+
+/// Random operations on slices: the in-repo replacement for
+/// `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle(&mut self, rng: &mut Rng64);
+
+    /// Uniformly chosen element, `None` when empty.
+    fn choose(&self, rng: &mut Rng64) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut Rng64) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose(&self, rng: &mut Rng64) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
 }
 
 /// Matrix with elements drawn uniformly from `[lo, hi)`.
@@ -23,8 +203,7 @@ pub fn uniform_matrix(rng: &mut Rng64, rows: usize, cols: usize, lo: f32, hi: f3
 }
 
 /// Matrix with elements drawn from a normal distribution `N(mean, std²)`,
-/// generated with the Box–Muller transform (avoids the `rand_distr`
-/// dependency).
+/// generated with the Box–Muller transform.
 pub fn normal_matrix(rng: &mut Rng64, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
     let n = rows * cols;
     let mut data = Vec::with_capacity(n);
@@ -54,6 +233,97 @@ pub fn glorot_uniform(rng: &mut Rng64, fan_in: usize, fan_out: usize) -> Matrix 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference outputs of xoshiro256++ from the published C
+        // implementation, state = [1, 2, 3, 4].
+        let mut rng = Rng64 { s: [1, 2, 3, 4] };
+        let expected: [u64; 10] = [
+            41_943_041,
+            58_720_359,
+            3_588_806_011_781_223,
+            3_591_011_842_654_386,
+            9_228_616_714_210_784_205,
+            9_973_669_472_204_895_162,
+            14_011_001_112_246_962_877,
+            12_406_186_145_184_390_807,
+            15_849_039_046_786_891_736,
+            10_450_023_813_501_588_000,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn splitmix_seeding_matches_reference() {
+        // SplitMix64(0): the canonical first three outputs.
+        let rng = Rng64::seed_from_u64(0);
+        assert_eq!(rng.s[0], 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.s[1], 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(rng.s[2], 0x06c4_5d18_8009_454f);
+        assert_eq!(rng.s[3], 0xf88b_b8a8_724c_81ec);
+    }
+
+    #[test]
+    fn stream_is_pinned_against_drift() {
+        // Byte-for-byte regression pin of the composite stream: any change
+        // to seeding, the update function, bounded integer sampling, or
+        // float mantissa-fill breaks the reproducibility promise of every
+        // experiment in the workspace. Values were cross-checked against
+        // rand 0.8's `SmallRng` on x86-64.
+        let mut rng = rng_from_seed(17);
+        let ints: Vec<usize> = (0..4).map(|_| rng.gen_range(0..1000usize)).collect();
+        assert_eq!(ints, vec![866, 876, 31, 613]);
+        let float_bits: Vec<u32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0).to_bits()).collect();
+        assert_eq!(float_bits, vec![3_179_298_528, 1_057_960_784, 3_188_216_384, 3_206_503_016]);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = rng_from_seed(5);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02, "p=0.25 hit rate {hits}");
+    }
+
+    #[test]
+    fn gen_range_int_is_unbiased_over_small_range() {
+        let mut rng = rng_from_seed(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 50_000.0 - 0.2).abs() < 0.01, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rng_from_seed(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100-element shuffle left the identity in place");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = rng_from_seed(4);
+        let v = [1, 2, 3];
+        let empty: [i32; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(v.choose(&mut rng).copied().unwrap() - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
 
     #[test]
     fn seeded_generation_is_deterministic() {

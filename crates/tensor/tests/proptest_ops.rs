@@ -1,118 +1,159 @@
 //! Property tests for the dense kernels: algebraic identities that must
 //! hold for arbitrary (finite, bounded) matrices.
 
-use desalign_tensor::Matrix;
-use proptest::prelude::*;
+use desalign_tensor::{Matrix, Rng64};
+use desalign_testkit::{check, ensure, ensure_eq, gen};
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
+const CASES: u64 = 64;
+
+fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    gen::matrix(rng, rows, cols, -10.0, 10.0)
 }
 
-fn square(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n, n)
+#[test]
+fn addition_commutes() {
+    check("addition_commutes", CASES, |rng| (matrix(rng, 3, 5), matrix(rng, 3, 5)), |(a, b)| {
+        ensure_eq!(a.add(b), b.add(a));
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn hadamard_commutes() {
+    check("hadamard_commutes", CASES, |rng| (matrix(rng, 4, 3), matrix(rng, 4, 3)), |(a, b)| {
+        ensure_eq!(a.hadamard(b), b.hadamard(a));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn addition_commutes(a in matrix(3, 5), b in matrix(3, 5)) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-    }
+#[test]
+fn sub_then_add_round_trips() {
+    check("sub_then_add_round_trips", CASES, |rng| (matrix(rng, 3, 3), matrix(rng, 3, 3)), |(a, b)| {
+        let restored = a.sub(b).add(b);
+        ensure!(restored.sub(a).max_abs() < 1e-3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hadamard_commutes(a in matrix(4, 3), b in matrix(4, 3)) {
-        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
-    }
+#[test]
+fn matmul_associates_with_identity() {
+    check("matmul_associates_with_identity", CASES, |rng| matrix(rng, 3, 4), |a| {
+        ensure_eq!(a.matmul(&Matrix::eye(4)), a.clone());
+        ensure_eq!(Matrix::eye(3).matmul(a), a.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sub_then_add_round_trips(a in matrix(3, 3), b in matrix(3, 3)) {
-        let restored = a.sub(&b).add(&b);
-        prop_assert!(restored.sub(&a).max_abs() < 1e-3);
-    }
-
-    #[test]
-    fn matmul_associates_with_identity(a in matrix(3, 4)) {
-        prop_assert_eq!(a.matmul(&Matrix::eye(4)), a.clone());
-        prop_assert_eq!(Matrix::eye(3).matmul(&a), a);
-    }
-
-    #[test]
-    fn transpose_reverses_matmul(a in matrix(3, 4), b in matrix(4, 2)) {
+#[test]
+fn transpose_reverses_matmul() {
+    check("transpose_reverses_matmul", CASES, |rng| (matrix(rng, 3, 4), matrix(rng, 4, 2)), |(a, b)| {
         // (AB)ᵀ = BᵀAᵀ
-        let lhs = a.matmul(&b).transpose();
+        let lhs = a.matmul(b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
-        prop_assert!(lhs.sub(&rhs).max_abs() < 1e-2);
-    }
+        ensure!(lhs.sub(&rhs).max_abs() < 1e-2);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fused_transposed_products_match_explicit(a in matrix(4, 3), b in matrix(4, 2), c in matrix(5, 3)) {
-        prop_assert!(a.matmul_tn(&b).sub(&a.transpose().matmul(&b)).max_abs() < 1e-2);
-        prop_assert!(a.matmul_nt(&c).sub(&a.matmul(&c.transpose())).max_abs() < 1e-2);
-    }
+#[test]
+fn fused_transposed_products_match_explicit() {
+    check(
+        "fused_transposed_products_match_explicit",
+        CASES,
+        |rng| (matrix(rng, 4, 3), matrix(rng, 4, 2), matrix(rng, 5, 3)),
+        |(a, b, c)| {
+            ensure!(a.matmul_tn(b).sub(&a.transpose().matmul(b)).max_abs() < 1e-2);
+            ensure!(a.matmul_nt(c).sub(&a.matmul(&c.transpose())).max_abs() < 1e-2);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn trace_is_similarity_invariant_under_transpose(a in square(4)) {
-        prop_assert!((a.trace() - a.transpose().trace()).abs() < 1e-3);
-    }
+#[test]
+fn trace_is_similarity_invariant_under_transpose() {
+    check("trace_is_similarity_invariant_under_transpose", CASES, |rng| matrix(rng, 4, 4), |a| {
+        ensure!((a.trace() - a.transpose().trace()).abs() < 1e-3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn inner_product_symmetry(a in matrix(3, 4), b in matrix(3, 4)) {
-        prop_assert!((a.inner(&b) - b.inner(&a)).abs() < 1e-2);
-    }
+#[test]
+fn inner_product_symmetry() {
+    check("inner_product_symmetry", CASES, |rng| (matrix(rng, 3, 4), matrix(rng, 3, 4)), |(a, b)| {
+        ensure!((a.inner(b) - b.inner(a)).abs() < 1e-2);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frobenius_norm_from_inner(a in matrix(3, 4)) {
-        let via_inner = a.inner(&a).max(0.0).sqrt();
-        prop_assert!((via_inner - a.frobenius_norm()).abs() < 1e-2);
-    }
+#[test]
+fn frobenius_norm_from_inner() {
+    check("frobenius_norm_from_inner", CASES, |rng| matrix(rng, 3, 4), |a| {
+        let via_inner = a.inner(a).max(0.0).sqrt();
+        ensure!((via_inner - a.frobenius_norm()).abs() < 1e-2);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(a in matrix(4, 6)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    check("softmax_rows_are_distributions", CASES, |rng| matrix(rng, 4, 6), |a| {
         let s = a.softmax_rows();
-        prop_assert!(s.all_finite());
+        ensure!(s.all_finite());
         for i in 0..s.rows() {
             let sum: f32 = s.row(i).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", i, sum);
-            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            ensure!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+            ensure!(s.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn l2_normalized_rows_have_unit_or_zero_norm(a in matrix(4, 3)) {
+#[test]
+fn l2_normalized_rows_have_unit_or_zero_norm() {
+    check("l2_normalized_rows_have_unit_or_zero_norm", CASES, |rng| matrix(rng, 4, 3), |a| {
         let n = a.l2_normalize_rows(1e-6);
         for i in 0..n.rows() {
             let norm: f32 = n.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
-            prop_assert!(norm < 1e-5 || (norm - 1.0).abs() < 1e-3, "row {} norm {}", i, norm);
+            ensure!(norm < 1e-5 || (norm - 1.0).abs() < 1e-3, "row {i} norm {norm}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gather_scatter_adjoint_identity(a in matrix(5, 3)) {
+#[test]
+fn gather_scatter_adjoint_identity() {
+    check("gather_scatter_adjoint_identity", CASES, |rng| matrix(rng, 5, 3), |a| {
         // scatter_add(gather(x, idx), idx) sums duplicates; with unique
         // indices it is a permutation-restricted identity.
         let idx = vec![4usize, 2, 0];
         let g = a.gather_rows(&idx);
         let s = g.scatter_add_rows(&idx, 5);
         for (pos, &i) in idx.iter().enumerate() {
-            prop_assert_eq!(s.row(i), g.row(pos));
+            ensure_eq!(s.row(i), g.row(pos));
         }
-        prop_assert_eq!(s.row(1).iter().copied().sum::<f32>(), 0.0);
-    }
+        ensure_eq!(s.row(1).iter().copied().sum::<f32>(), 0.0);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hcat_slice_round_trip(a in matrix(3, 4), b in matrix(3, 2)) {
-        let cat = a.hcat(&b);
-        prop_assert_eq!(cat.slice_cols(0, 4), a);
-        prop_assert_eq!(cat.slice_cols(4, 6), b);
-    }
+#[test]
+fn hcat_slice_round_trip() {
+    check("hcat_slice_round_trip", CASES, |rng| (matrix(rng, 3, 4), matrix(rng, 3, 2)), |(a, b)| {
+        let cat = a.hcat(b);
+        ensure_eq!(cat.slice_cols(0, 4), a.clone());
+        ensure_eq!(cat.slice_cols(4, 6), b.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn layernorm_output_is_centered(a in matrix(3, 8)) {
+#[test]
+fn layernorm_output_is_centered() {
+    check("layernorm_output_is_centered", CASES, |rng| matrix(rng, 3, 8), |a| {
         let n = a.layernorm_rows(1e-5);
         for i in 0..n.rows() {
             let mean: f32 = n.row(i).iter().sum::<f32>() / 8.0;
-            prop_assert!(mean.abs() < 1e-3);
+            ensure!(mean.abs() < 1e-3);
         }
-    }
+        Ok(())
+    });
 }

@@ -17,7 +17,8 @@
 //! - [`eval`] — H@k / MRR metrics, similarity, pair mining;
 //! - [`core`] — the DESAlign model itself (multi-modal semantic learning +
 //!   semantic propagation);
-//! - [`baselines`] — TransE, GCN-align, EVA, MCLEA, MEAformer.
+//! - [`baselines`] — TransE, GCN-align, EVA, MCLEA, MEAformer;
+//! - [`util`] — zero-dependency JSON serialization.
 //!
 //! ## Quickstart
 //!
@@ -46,3 +47,4 @@ pub use desalign_graph as graph;
 pub use desalign_mmkg as mmkg;
 pub use desalign_nn as nn;
 pub use desalign_tensor as tensor;
+pub use desalign_util as util;
