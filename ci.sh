@@ -10,8 +10,33 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
-echo "==> cargo test -q --offline"
+echo "==> cargo test -q --offline (DESALIGN_THREADS=1, forced serial)"
+DESALIGN_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> cargo test -q --offline (default thread count)"
 cargo test -q --offline --workspace
+
+# Determinism gate for desalign-parallel: an end-to-end pipeline fingerprint
+# (dataset → training → Semantic Propagation → metrics, hashed at the f32
+# bit level) must not depend on the thread count.
+echo "==> determinism fingerprint (serial vs default threads)"
+fp_serial=$(DESALIGN_THREADS=1 cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+fp_default=$(cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+if [ "$fp_serial" != "$fp_default" ]; then
+    echo "    DETERMINISM FAILURE: serial fingerprint $fp_serial != default $fp_default"
+    exit 1
+fi
+echo "    fingerprint $fp_serial (identical)"
+
+# Bench harness smoke: tiny scale and sample count — just proves the bench
+# still compiles, runs, and writes its JSON table. Output is redirected to a
+# scratch file so the committed full-scale BENCH_kernels.json is untouched.
+echo "==> cargo bench --bench kernels (smoke)"
+smoke_out=$(mktemp)
+DESALIGN_BENCH_SAMPLES=2 DESALIGN_BENCH_MAX_N=500 DESALIGN_BENCH_OUT="$smoke_out" \
+    cargo bench -q --offline --bench kernels -p desalign-bench >/dev/null
+test -s "$smoke_out" || { echo "    bench smoke did not write its JSON table"; exit 1; }
+rm -f "$smoke_out"
 
 # Formatting is checked only when a rustfmt binary is installed — it is not
 # part of the zero-dependency contract. The check is advisory: the codebase

@@ -1,50 +1,149 @@
 //! Micro-benchmarks for the numeric kernels behind the paper's efficiency
-//! claims (§V-E): Dirichlet energy evaluation, sparse-dense products, one
-//! Semantic Propagation step, and a GAT forward pass.
+//! claims (§V-E): dense matmul, sparse-dense products, Dirichlet energy,
+//! one Semantic Propagation step, and a GAT forward pass.
 //!
-//! Run with `cargo bench --bench kernels`.
+//! Every parallelized kernel is timed twice — pinned to one thread and at
+//! the configured thread count — and the speedup table is written to
+//! `BENCH_kernels.json` at the repository root (results are bit-identical
+//! between the two legs; only wall-clock differs). The zero-skip removal in
+//! `Matrix::matmul` is tracked by re-timing the old branchy inner loop
+//! against the shipped branch-free one.
+//!
+//! Run with `cargo bench --bench kernels`. Knobs:
+//! - `DESALIGN_BENCH_SAMPLES` — samples per benchmark (default 20);
+//! - `DESALIGN_BENCH_MAX_N` — skip scales above this (default 8000; CI's
+//!   smoke run caps it low to keep the harness from rotting unnoticed);
+//! - `DESALIGN_BENCH_OUT` — where to write the JSON (default
+//!   `BENCH_kernels.json` at the repo root; CI's smoke run redirects it so
+//!   a committed full-scale table is never clobbered by a 2-sample run).
 
-use desalign_bench::timing::{bench, DEFAULT_SAMPLES};
+use desalign_bench::timing::{bench, bench_stats, BenchStats, DEFAULT_SAMPLES};
 use desalign_graph::{dirichlet_energy, propagate_features, PropagationConfig};
 use desalign_mmkg::{DatasetSpec, SynthConfig};
 use desalign_nn::{GatEncoder, ParamStore, Session};
-use desalign_tensor::{normal_matrix, rng_from_seed};
+use desalign_parallel::{configured_threads, with_threads};
+use desalign_tensor::{normal_matrix, rng_from_seed, Matrix};
+use desalign_util::{json, Json};
 use std::hint::black_box;
 use std::rc::Rc;
 
-fn bench_dirichlet_energy() {
-    for &n in &[500usize, 2000] {
-        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
-        let lap = ds.source.graph().laplacian();
-        let x = normal_matrix(&mut rng_from_seed(2), ds.source.num_entities, 64, 0.0, 1.0);
-        bench(&format!("dirichlet_energy/{n}"), DEFAULT_SAMPLES, || {
-            black_box(dirichlet_energy(&lap, &x));
+/// The scales of the ISSUE's serial-vs-parallel comparison.
+const SCALES: [usize; 3] = [500, 2000, 8000];
+
+fn samples() -> usize {
+    std::env::var("DESALIGN_BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SAMPLES)
+}
+
+fn max_n() -> usize {
+    std::env::var("DESALIGN_BENCH_MAX_N").ok().and_then(|v| v.parse().ok()).unwrap_or(8000)
+}
+
+fn scales() -> Vec<usize> {
+    SCALES.iter().copied().filter(|&n| n <= max_n()).collect()
+}
+
+/// One serial-vs-parallel row of the speedup table.
+fn compare<F: FnMut()>(rows: &mut Vec<Json>, name: &str, n: usize, threads: usize, mut f: F) {
+    let serial = with_threads(1, || bench_stats(&format!("{name}/{n} (1 thread)"), samples(), &mut f));
+    let parallel = with_threads(threads, || bench_stats(&format!("{name}/{n} ({threads} threads)"), samples(), &mut f));
+    rows.push(row_json(name, n, &serial, &parallel));
+}
+
+fn row_json(name: &str, n: usize, serial: &BenchStats, parallel: &BenchStats) -> Json {
+    let (s, p) = (serial.median.as_nanos() as f64, parallel.median.as_nanos() as f64);
+    json!({
+        "kernel": name,
+        "n": n,
+        "serial_median_ns": s,
+        "parallel_median_ns": p,
+        "speedup": if p > 0.0 { s / p } else { 0.0 },
+    })
+}
+
+/// The seed's `matmul` inner loop: zero-skip branch intact. Kept here as
+/// the baseline for the branch-removal satellite — on the dense inputs this
+/// kernel sees, the branch defeats auto-vectorization.
+fn matmul_branchy(a: &Matrix, b: &Matrix) -> Matrix {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+    out
+}
+
+fn bench_matmul(rows: &mut Vec<Json>, zero_skip_rows: &mut Vec<Json>, threads: usize) {
+    for n in scales() {
+        // The workload shape: entity embeddings (n × 64) times a layer
+        // weight (64 × 64), dense on both sides.
+        let a = normal_matrix(&mut rng_from_seed(1), n, 64, 0.0, 1.0);
+        let b = normal_matrix(&mut rng_from_seed(2), 64, 64, 0.0, 1.0);
+        compare(rows, "matmul", n, threads, || {
+            black_box(a.matmul(&b));
         });
+        let branchy = with_threads(1, || {
+            bench_stats(&format!("matmul_seed/{n} (branchy, 1 thread)"), samples(), || {
+                black_box(matmul_branchy(&a, &b));
+            })
+        });
+        let branchless = with_threads(1, || {
+            bench_stats(&format!("matmul_fixed/{n} (branch-free, 1 thread)"), samples(), || {
+                black_box(a.matmul(&b));
+            })
+        });
+        let (old, new) = (branchy.median.as_nanos() as f64, branchless.median.as_nanos() as f64);
+        zero_skip_rows.push(json!({
+            "n": n,
+            "branchy_median_ns": old,
+            "branchless_median_ns": new,
+            "speedup": if new > 0.0 { old / new } else { 0.0 },
+        }));
     }
 }
 
-fn bench_spmm() {
-    for &n in &[500usize, 2000] {
+fn bench_spmm(rows: &mut Vec<Json>, threads: usize) {
+    for n in scales() {
         let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
         let a = ds.source.graph().normalized_adjacency(true);
         let x = normal_matrix(&mut rng_from_seed(3), ds.source.num_entities, 64, 0.0, 1.0);
-        bench(&format!("spmm/{n}"), DEFAULT_SAMPLES, || {
+        compare(rows, "spmm", n, threads, || {
             black_box(a.spmm(&x));
         });
     }
 }
 
-fn bench_semantic_propagation() {
+fn bench_dirichlet_energy(rows: &mut Vec<Json>, threads: usize) {
+    for n in scales() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
+        let lap = ds.source.graph().laplacian();
+        let x = normal_matrix(&mut rng_from_seed(2), ds.source.num_entities, 64, 0.0, 1.0);
+        compare(rows, "dirichlet_energy", n, threads, || {
+            black_box(dirichlet_energy(&lap, &x));
+        });
+    }
+}
+
+fn bench_semantic_propagation(rows: &mut Vec<Json>, threads: usize) {
     // One full SP pass: n_p = 3 rounds with boundary reset — the paper's
     // "7–9 seconds on DBP15K / FB-DB" step at laptop scale.
-    for &n in &[500usize, 2000] {
+    for n in scales() {
         let ds = SynthConfig::preset(DatasetSpec::Dbp15kFrEn).scaled(n).generate(1);
         let a = ds.source.graph().normalized_adjacency(true);
         let nn = ds.source.num_entities;
         let x = normal_matrix(&mut rng_from_seed(4), nn, 64, 0.0, 1.0);
         let known: Vec<bool> = (0..nn).map(|i| i % 3 != 0).collect();
         let cfg = PropagationConfig { iterations: 3, step: 1.0, reset_known: true };
-        bench(&format!("semantic_propagation/{n}"), DEFAULT_SAMPLES, || {
+        compare(rows, "semantic_propagation", n, threads, || {
             black_box(propagate_features(&a, &x, &known, &cfg));
         });
     }
@@ -59,7 +158,7 @@ fn bench_gat_forward() {
     let mut store = ParamStore::new();
     let enc = GatEncoder::new(&mut store, &mut rng, "gat", 64, 2, 2);
     let x = normal_matrix(&mut rng, g.num_nodes(), 64, 0.0, 1.0);
-    bench("gat_forward_500", DEFAULT_SAMPLES, || {
+    bench("gat_forward_500", samples(), || {
         let mut sess = Session::new(&store);
         let input = sess.input(x.clone());
         black_box(enc.forward(&mut sess, input, &src, &dst));
@@ -67,8 +166,30 @@ fn bench_gat_forward() {
 }
 
 fn main() {
-    bench_dirichlet_energy();
-    bench_spmm();
-    bench_semantic_propagation();
+    let host = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let threads = configured_threads();
+    println!("host parallelism: {host}, parallel leg runs {threads} thread(s)\n");
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut zero_skip_rows: Vec<Json> = Vec::new();
+    bench_matmul(&mut rows, &mut zero_skip_rows, threads);
+    bench_spmm(&mut rows, threads);
+    bench_dirichlet_energy(&mut rows, threads);
+    bench_semantic_propagation(&mut rows, threads);
     bench_gat_forward();
+
+    let out = json!({
+        "host_threads": host,
+        "parallel_threads": threads,
+        "samples": samples(),
+        "max_n": max_n(),
+        "kernels": Json::Array(rows),
+        "matmul_zero_skip_fix": Json::Array(zero_skip_rows),
+    });
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let path = std::env::var("DESALIGN_BENCH_OUT").unwrap_or_else(|_| default_path.to_string());
+    match std::fs::write(&path, out.to_string()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }

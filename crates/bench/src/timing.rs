@@ -11,11 +11,30 @@ use std::time::{Duration, Instant};
 /// Samples per benchmark (after warmup).
 pub const DEFAULT_SAMPLES: usize = 20;
 
+/// Summary statistics of one benchmark's samples.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchStats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Middle sample.
+    pub median: Duration,
+    /// Arithmetic mean over all samples.
+    pub mean: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
 /// Runs `f` under a warmup + sampling loop and prints one result line.
 ///
 /// Each sample times exactly one call. Wrap inputs/outputs with
 /// [`std::hint::black_box`] inside `f` to keep the optimizer honest.
-pub fn bench<F: FnMut()>(name: &str, samples: usize, mut f: F) {
+pub fn bench<F: FnMut()>(name: &str, samples: usize, f: F) {
+    let _ = bench_stats(name, samples, f);
+}
+
+/// Like [`bench`], but also returns the sample statistics so callers can
+/// build machine-readable speedup tables (e.g. `BENCH_kernels.json`).
+pub fn bench_stats<F: FnMut()>(name: &str, samples: usize, mut f: F) -> BenchStats {
     assert!(samples > 0, "benchmark '{name}' needs at least one sample");
     // Warmup: enough iterations to fault in caches and reach steady state,
     // bounded so slow end-to-end benches don't pay twice.
@@ -33,10 +52,19 @@ pub fn bench<F: FnMut()>(name: &str, samples: usize, mut f: F) {
         times.push(start.elapsed());
     }
     times.sort_unstable();
-    let min = times[0];
-    let median = times[times.len() / 2];
-    let mean = times.iter().sum::<Duration>() / times.len() as u32;
-    println!("{name:<40} min {:>12} median {:>12} mean {:>12} ({samples} samples)", fmt(min), fmt(median), fmt(mean));
+    let stats = BenchStats {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<Duration>() / times.len() as u32,
+        samples,
+    };
+    println!(
+        "{name:<40} min {:>12} median {:>12} mean {:>12} ({samples} samples)",
+        fmt(stats.min),
+        fmt(stats.median),
+        fmt(stats.mean)
+    );
+    stats
 }
 
 /// Like [`bench`], but rebuilds fresh state before every timed call, so

@@ -51,8 +51,12 @@ pub fn semantic_propagation_similarity(
         return cosine_similarity(x_s, x_t);
     }
     let cfg = PropagationConfig { iterations, step: 1.0, reset_known };
-    let states_s = propagate_features(adj_s, x_s, known_s, &cfg);
-    let states_t = propagate_features(adj_t, x_t, known_t, &cfg);
+    // The two graphs are independent; run their propagations concurrently
+    // (each internally row-parallelizes its SpMM — nested regions are fine).
+    let (states_s, states_t) = desalign_parallel::par_join(
+        || propagate_features(adj_s, x_s, known_s, &cfg),
+        || propagate_features(adj_t, x_t, known_t, &cfg),
+    );
     let rounds: Vec<SimilarityMatrix> =
         states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
     SimilarityMatrix::average(&rounds)
@@ -107,8 +111,10 @@ pub fn per_modality_propagation_similarity(
         }
         round_states
     };
-    let states_s = propagate_side(x_s, adj_s, masks_s);
-    let states_t = propagate_side(x_t, adj_t, masks_t);
+    let (states_s, states_t) = desalign_parallel::par_join(
+        || propagate_side(x_s, adj_s, masks_s),
+        || propagate_side(x_t, adj_t, masks_t),
+    );
     let rounds: Vec<SimilarityMatrix> =
         states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
     SimilarityMatrix::average(&rounds)

@@ -38,14 +38,22 @@ pub fn evaluate_ranking(sim: &SimilarityMatrix, test_pairs: &[(usize, usize)]) -
     let (n_s, n_t) = sim.shape();
     // Candidate pool: the test targets.
     let candidates: Vec<usize> = test_pairs.iter().map(|&(_, t)| t).collect();
-    let mut h1 = 0usize;
-    let mut h10 = 0usize;
-    let mut mrr = 0.0f64;
-    for &(s, gold) in test_pairs {
+    // Per-query ranks are independent integer computations, so they run in
+    // parallel; the float MRR accumulation below stays serial in pair order,
+    // keeping the metrics bit-identical at any thread count.
+    let mut ranks = vec![0usize; test_pairs.len()];
+    let cost = test_pairs.len().saturating_mul(candidates.len());
+    desalign_parallel::par_rows(&mut ranks, 1, cost, |q, slot| {
+        let (s, gold) = test_pairs[q];
         assert!(s < n_s && gold < n_t, "evaluate_ranking: pair ({s},{gold}) out of bounds for {n_s}x{n_t}");
         let row = sim.scores().row(s);
         let gold_score = row[gold];
-        let rank = 1 + candidates.iter().filter(|&&c| row[c] > gold_score).count();
+        slot[0] = 1 + candidates.iter().filter(|&&c| row[c] > gold_score).count();
+    });
+    let mut h1 = 0usize;
+    let mut h10 = 0usize;
+    let mut mrr = 0.0f64;
+    for &rank in &ranks {
         if rank <= 1 {
             h1 += 1;
         }

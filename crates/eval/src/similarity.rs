@@ -96,13 +96,22 @@ pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
         v.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
         v[..kk].iter().sum::<f32>() / kk as f32
     };
-    let r_s: Vec<f32> = (0..n_s).map(|i| mean_topk(m.row(i))).collect();
-    let r_t: Vec<f32> = (0..n_t).map(|j| mean_topk(&m.col(j))).collect();
+    // r_s(i) / r_t(j) are independent per row/column, and the output is
+    // element-wise — all three loops parallelize with bit-identical results
+    // at any thread count.
+    let hood_cost = n_s.saturating_mul(n_t).saturating_mul(8); // sort-dominated
+    let mut r_s = vec![0.0f32; n_s];
+    desalign_parallel::par_rows(&mut r_s, 1, hood_cost, |i, slot| slot[0] = mean_topk(m.row(i)));
+    let mut r_t = vec![0.0f32; n_t];
+    desalign_parallel::par_rows(&mut r_t, 1, hood_cost, |j, slot| slot[0] = mean_topk(&m.col(j)));
     let mut out = Matrix::zeros(n_s, n_t);
-    for i in 0..n_s {
-        for j in 0..n_t {
-            out[(i, j)] = 2.0 * m[(i, j)] - r_s[i] - r_t[j];
-        }
+    if n_t > 0 {
+        desalign_parallel::par_rows(out.as_mut_slice(), n_t, n_s.saturating_mul(n_t), |i, out_row| {
+            let (row, ri) = (m.row(i), r_s[i]);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = 2.0 * row[j] - ri - r_t[j];
+            }
+        });
     }
     SimilarityMatrix::new(out)
 }

@@ -1,0 +1,61 @@
+//! Determinism-under-parallelism properties for evaluation: similarity
+//! construction, CSLS re-scoring, and ranking metrics must produce
+//! **byte-identical** results at 1, 2, and 7 threads.
+
+use desalign_eval::{cosine_similarity, csls_rescale, evaluate_ranking, SimilarityMatrix};
+use desalign_parallel::with_threads;
+use desalign_tensor::Matrix;
+use desalign_testkit::{check, ensure, gen};
+
+const CASES: u64 = 8;
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn identical_matrix_bits(name: &str, f: impl Fn() -> Matrix) -> Result<(), String> {
+    let reference = with_threads(THREADS[0], &f);
+    for &t in &THREADS[1..] {
+        let got = with_threads(t, &f);
+        ensure!(bits(&got) == bits(&reference), "{name}: {t}-thread bits diverge from serial");
+    }
+    Ok(())
+}
+
+#[test]
+fn cosine_similarity_is_thread_count_invariant() {
+    check("cosine_similarity_is_thread_count_invariant", CASES, |rng| {
+        (gen::matrix(rng, 120, 48, -3.0, 3.0), gen::matrix(rng, 110, 48, -3.0, 3.0))
+    }, |(s, t)| {
+        identical_matrix_bits("cosine_similarity", || cosine_similarity(s, t).scores().clone())
+    });
+}
+
+#[test]
+fn csls_rescale_is_thread_count_invariant() {
+    check("csls_rescale_is_thread_count_invariant", CASES, |rng| {
+        SimilarityMatrix::new(gen::matrix(rng, 100, 100, -1.0, 1.0))
+    }, |sim| {
+        identical_matrix_bits("csls_rescale", || csls_rescale(sim, 10).scores().clone())
+    });
+}
+
+#[test]
+fn evaluate_ranking_is_thread_count_invariant() {
+    check("evaluate_ranking_is_thread_count_invariant", CASES, |rng| {
+        let sim = SimilarityMatrix::new(gen::matrix(rng, 200, 200, -1.0, 1.0));
+        let pairs: Vec<(usize, usize)> = (0..200).map(|i| (i, gen::usize_vec(rng, 1, 200)[0])).collect();
+        (sim, pairs)
+    }, |(sim, pairs)| {
+        let run = |t: usize| {
+            let m = with_threads(t, || evaluate_ranking(sim, pairs));
+            (m.hits_at_1.to_bits(), m.hits_at_10.to_bits(), m.mrr.to_bits(), m.num_queries)
+        };
+        let reference = run(THREADS[0]);
+        for &t in &THREADS[1..] {
+            ensure!(run(t) == reference, "evaluate_ranking: {t}-thread metrics diverge from serial");
+        }
+        Ok(())
+    });
+}

@@ -99,7 +99,9 @@ impl Csr {
     ///
     /// This is the kernel Semantic Propagation runs once per iteration; its
     /// cost is `O(nnz · d)`, linear in the number of edges, matching the
-    /// paper's `O(|E| d)` complexity claim (§V-E).
+    /// paper's `O(|E| d)` complexity claim (§V-E). Output rows are computed
+    /// in parallel; each row keeps its exact serial accumulation order, so
+    /// results are bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics if `x.rows() != self.cols()`.
@@ -111,22 +113,40 @@ impl Csr {
             x.rows(),
             self.cols
         );
-        let mut out = Matrix::zeros(self.rows, x.cols());
-        for i in 0..self.rows {
-            let out_row = out.row_mut(i);
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        if out.is_empty() {
+            return out;
+        }
+        let cost = self.nnz().saturating_mul(d);
+        desalign_parallel::par_rows(out.as_mut_slice(), d, cost, |i, out_row| {
             for (j, v) in
                 self.indices[self.indptr[i]..self.indptr[i + 1]].iter().zip(&self.values[self.indptr[i]..self.indptr[i + 1]])
             {
+                debug_assert!(
+                    *j < x.rows(),
+                    "Csr::spmm: row {i} stores column index {j} but the dense operand has only {} rows — the CSR invariant (indices < cols) is broken",
+                    x.rows()
+                );
                 let x_row = x.row(*j);
                 for (o, &xv) in out_row.iter_mut().zip(x_row) {
                     *o += v * xv;
                 }
             }
-        }
+        });
         out
     }
 
     /// `selfᵀ × x` without materializing the transpose.
+    ///
+    /// The serial loop scatters row `i` of `x` into output rows — a write
+    /// pattern that cannot be row-partitioned. When parallelism is on and
+    /// the product is large enough to benefit, the kernel switches to
+    /// `self.transpose().spmm(x)`, which IS row-partitionable and
+    /// **bit-identical** to the serial loop: both accumulate output row `j`
+    /// as `Σᵢ v·x[i]` over ascending `i` (the serial loop visits `i` in
+    /// order; the transposed row `j` stores its entries sorted by `i`), so
+    /// every output element sees the same additions in the same order.
     pub fn spmm_t(&self, x: &Matrix) -> Matrix {
         assert_eq!(
             x.rows(),
@@ -135,6 +155,10 @@ impl Csr {
             x.rows(),
             self.rows
         );
+        let cost = self.nnz().saturating_mul(x.cols());
+        if desalign_parallel::current_threads() > 1 && cost >= desalign_parallel::PAR_MIN_COST {
+            return self.transpose().spmm(x);
+        }
         let mut out = Matrix::zeros(self.cols, x.cols());
         for i in 0..self.rows {
             let x_row = x.row(i);
@@ -152,9 +176,20 @@ impl Csr {
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "Csr::spmv: vector length {} vs {} cols", x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = self.row(i).map(|(j, v)| v * x[j]).sum();
-        }
+        let cost = self.nnz().saturating_mul(2);
+        desalign_parallel::par_rows(&mut out, 1, cost, |i, o| {
+            o[0] = self
+                .row(i)
+                .map(|(j, v)| {
+                    debug_assert!(
+                        j < x.len(),
+                        "Csr::spmv: row {i} stores column index {j} but the vector has only {} elements — the CSR invariant (indices < cols) is broken",
+                        x.len()
+                    );
+                    v * x[j]
+                })
+                .sum();
+        });
         out
     }
 
@@ -387,5 +422,28 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn from_coo_rejects_out_of_bounds() {
         let _ = Csr::from_coo(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    /// A structurally valid-looking CSR whose second row stores column 5 in
+    /// a 2-column matrix — the kind of corruption [`Csr::from_coo`] rejects
+    /// but a hand-built struct can smuggle in.
+    #[cfg(debug_assertions)]
+    fn corrupt_csr() -> Csr {
+        Csr { rows: 2, cols: 2, indptr: vec![0, 1, 2], indices: vec![0, 5], values: vec![1.0, 1.0] }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "CSR invariant (indices < cols) is broken")]
+    fn spmm_catches_out_of_range_column_index() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let _ = corrupt_csr().spmm(&x);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "CSR invariant (indices < cols) is broken")]
+    fn spmv_catches_out_of_range_column_index() {
+        let _ = corrupt_csr().spmv(&[1.0, 2.0]);
     }
 }

@@ -2,7 +2,7 @@
 //! extreme singular values of dense weights (for the Proposition 2 bounds).
 
 use crate::Csr;
-use desalign_tensor::Matrix;
+use desalign_tensor::{par_dot, Matrix};
 
 /// Largest eigenvalue (in absolute value; for PSD matrices, the largest) of
 /// a symmetric sparse matrix, by power iteration.
@@ -22,7 +22,7 @@ pub fn lambda_max(m: &Csr, max_iters: usize, tol: f32) -> f32 {
     let mut lambda = 0.0f32;
     for _ in 0..max_iters {
         let mut w = m.spmv(&v);
-        let new_lambda = dot(&v, &w);
+        let new_lambda = par_dot(&v, &w);
         normalize(&mut w);
         let delta = (new_lambda - lambda).abs();
         lambda = new_lambda;
@@ -45,7 +45,7 @@ pub fn power_iteration_sym(m: &Matrix, max_iters: usize, tol: f32) -> (f32, Vec<
     for _ in 0..max_iters {
         let w_mat = m.matmul(&Matrix::column(v.clone()));
         let mut w = w_mat.into_vec();
-        let new_lambda = dot(&v, &w);
+        let new_lambda = par_dot(&v, &w);
         normalize(&mut w);
         let delta = (new_lambda - lambda).abs();
         lambda = new_lambda;
@@ -81,16 +81,12 @@ pub fn singular_value_range(w: &Matrix, max_iters: usize, tol: f32) -> (f32, f32
 }
 
 fn normalize(v: &mut [f32]) {
-    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let norm = par_dot(v, v).max(0.0).sqrt();
     if norm > 0.0 {
         for x in v {
             *x /= norm;
         }
     }
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]

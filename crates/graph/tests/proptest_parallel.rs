@@ -1,0 +1,108 @@
+//! Determinism-under-parallelism properties for the sparse kernels: SpMM,
+//! its transpose, SpMV, the Dirichlet energy, and power iteration must all
+//! produce **byte-identical** results at 1, 2, and 7 threads.
+//!
+//! Graph sizes are chosen so `nnz · d` exceeds
+//! `desalign_parallel::PAR_MIN_COST` and the multi-thread runs genuinely
+//! take the parallel paths (including `spmm_t`'s switch to the transposed
+//! row-parallel form).
+
+use desalign_graph::{dirichlet_energy, lambda_max, Csr, UndirectedGraph};
+use desalign_parallel::with_threads;
+use desalign_tensor::{Matrix, Rng64};
+use desalign_testkit::{check, ensure, gen};
+
+const CASES: u64 = 8;
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn random_graph(rng: &mut Rng64, n: usize, edges: usize) -> UndirectedGraph {
+    let ends: Vec<(usize, usize)> = (0..edges).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    UndirectedGraph::new(n, ends.into_iter().filter(|&(a, b)| a != b))
+}
+
+fn random_rect_csr(rng: &mut Rng64, rows: usize, cols: usize, nnz: usize) -> Csr {
+    let triplets: Vec<(usize, usize, f32)> =
+        (0..nnz).map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols), rng.gen_range(-2.0f32..2.0))).collect();
+    Csr::from_coo(rows, cols, triplets)
+}
+
+fn identical_matrix_bits(name: &str, f: impl Fn() -> Matrix) -> Result<(), String> {
+    let reference = with_threads(THREADS[0], &f);
+    for &t in &THREADS[1..] {
+        let got = with_threads(t, &f);
+        ensure!(bits(&got) == bits(&reference), "{name}: {t}-thread bits diverge from serial");
+    }
+    Ok(())
+}
+
+fn identical_scalar_bits(name: &str, f: impl Fn() -> f32) -> Result<(), String> {
+    let reference = with_threads(THREADS[0], &f).to_bits();
+    for &t in &THREADS[1..] {
+        let got = with_threads(t, &f).to_bits();
+        ensure!(got == reference, "{name}: {t}-thread bits {got:#x} vs serial {reference:#x}");
+    }
+    Ok(())
+}
+
+#[test]
+fn spmm_is_thread_count_invariant() {
+    check("spmm_is_thread_count_invariant", CASES, |rng| {
+        let adj = random_graph(rng, 150, 600).normalized_adjacency(true);
+        let x = gen::matrix(rng, 150, 32, -5.0, 5.0);
+        (adj, x)
+    }, |(adj, x)| {
+        identical_matrix_bits("spmm", || adj.spmm(x))
+    });
+}
+
+#[test]
+fn spmm_t_is_thread_count_invariant() {
+    // Rectangular, so the transposed row-parallel form is genuinely
+    // different from the forward kernel.
+    check("spmm_t_is_thread_count_invariant", CASES, |rng| {
+        let m = random_rect_csr(rng, 120, 80, 2000);
+        let x = gen::matrix(rng, 120, 32, -5.0, 5.0);
+        (m, x)
+    }, |(m, x)| {
+        identical_matrix_bits("spmm_t", || m.spmm_t(x))
+    });
+}
+
+#[test]
+fn spmv_is_thread_count_invariant() {
+    check("spmv_is_thread_count_invariant", CASES, |rng| {
+        let m = random_rect_csr(rng, 200, 200, 20_000);
+        let x = gen::f32_vec(rng, 200, -5.0, 5.0);
+        (m, x)
+    }, |(m, x)| {
+        let as_bits = |v: &[f32]| v.iter().map(|y| y.to_bits()).collect::<Vec<_>>();
+        let reference = as_bits(&with_threads(THREADS[0], || m.spmv(x)));
+        for &t in &THREADS[1..] {
+            let got = as_bits(&with_threads(t, || m.spmv(x)));
+            ensure!(got == reference, "spmv: {t}-thread bits diverge from serial");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn dirichlet_energy_is_thread_count_invariant() {
+    check("dirichlet_energy_is_thread_count_invariant", CASES, |rng| {
+        let lap = random_graph(rng, 150, 600).laplacian();
+        let x = gen::matrix(rng, 150, 32, -5.0, 5.0);
+        (lap, x)
+    }, |(lap, x)| {
+        identical_scalar_bits("dirichlet_energy", || dirichlet_energy(lap, x))
+    });
+}
+
+#[test]
+fn lambda_max_is_thread_count_invariant() {
+    check("lambda_max_is_thread_count_invariant", CASES, |rng| random_graph(rng, 200, 1200).laplacian(), |lap| {
+        identical_scalar_bits("lambda_max", || lambda_max(lap, 50, 1e-12))
+    });
+}

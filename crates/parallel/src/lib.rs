@@ -1,0 +1,330 @@
+//! Deterministic, zero-dependency parallelism for the DESAlign workspace.
+//!
+//! Every hot kernel in the workspace (dense matmul, SpMM, row-wise
+//! normalization, ranking evaluation) is data-parallel over its **output
+//! rows**: each output element is produced by one fully serial computation
+//! that never mixes with another row's. This crate exploits that shape to
+//! give parallel speedups with **bit-identical results at any thread
+//! count** — the design centerpiece, relied on by the byte-reproducibility
+//! guarantees the rest of the workspace makes:
+//!
+//! - [`par_rows`] partitions an output buffer into contiguous row blocks
+//!   and runs a per-row closure on each. Because a row is computed by
+//!   exactly one thread with its exact serial instruction sequence, the
+//!   result cannot depend on the number of threads or the block layout.
+//! - [`par_blocks`] handles reductions (dot products, `AᵀB` accumulated
+//!   over the shared dimension): the caller fixes a block length that
+//!   depends **only on the problem size** (see [`fixed_block_len`]), each
+//!   block is reduced serially, and the per-block partials are merged in
+//!   block order on one thread. The float summation tree is therefore a
+//!   fixed function of the input shape — threads only decide *who* computes
+//!   a node, never *what* the tree looks like.
+//! - [`par_join`] runs two independent closures concurrently (e.g. source-
+//!   and target-graph propagation).
+//!
+//! Thread count is `DESALIGN_THREADS` when set (`1` forces the serial
+//! path), else the machine's available parallelism. [`with_threads`]
+//! overrides it programmatically — the determinism property tests run every
+//! kernel under 1, 2, and 7 threads and assert identical `f32` bit
+//! patterns, which is safe to do from concurrently running tests precisely
+//! because thread count can never change results.
+//!
+//! The worker pool is spawned once and reused; see [`pool`] for the
+//! deadlock-freedom and panic-propagation story, and for the one audited
+//! `unsafe` block in the workspace (the scoped-lifetime erasure).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+use pool::Job;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Upper bound on the number of fixed reduction blocks produced by
+/// [`fixed_block_len`]. Bounding the block count bounds both the merge cost
+/// and the memory held in per-block partials.
+pub const MAX_REDUCTION_BLOCKS: usize = 64;
+
+/// Minimum estimated scalar-op count before a helper bothers going
+/// parallel; below this, dispatch overhead dominates and the serial path
+/// (which produces the same bits) is used.
+pub const PAR_MIN_COST: usize = 32_000;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+
+/// The thread count configured for this process: `DESALIGN_THREADS` when
+/// set to a positive integer, otherwise the machine's available
+/// parallelism. Read once and cached.
+pub fn configured_threads() -> usize {
+    *CONFIGURED.get_or_init(|| {
+        match std::env::var("DESALIGN_THREADS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!("DESALIGN_THREADS must be a positive integer, got {s:?}"),
+            },
+            Err(_) => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        }
+    })
+}
+
+/// The thread count the next parallel region will use: the active
+/// [`set_thread_override`] value if any, else [`configured_threads`].
+pub fn current_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the thread count process-wide (`None` restores the
+/// environment-configured default). Intended for tests and benchmarks;
+/// because results are thread-count independent, a racing override from a
+/// concurrent test can affect timing but never values.
+pub fn set_thread_override(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Runs `f` with the thread count overridden to `threads`, restoring the
+/// previous override afterwards (also on panic).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(OVERRIDE.swap(threads, Ordering::Relaxed));
+    f()
+}
+
+/// The block length for a reduction over `n` items given a per-block
+/// minimum: `max(min_block, ceil(n / MAX_REDUCTION_BLOCKS))`.
+///
+/// Depends only on the problem size — never on the thread count — which is
+/// what keeps the float summation tree of [`par_blocks`]-based reductions
+/// fixed across serial and parallel runs.
+pub fn fixed_block_len(n: usize, min_block: usize) -> usize {
+    min_block.max(n.div_ceil(MAX_REDUCTION_BLOCKS)).max(1)
+}
+
+/// Applies `f(row_index, row)` to every `row_width`-element row of `data`,
+/// in parallel when `cost_hint` (estimated scalar ops for the whole call)
+/// justifies it.
+///
+/// Each row is passed to `f` exactly once, as the same `&mut` slice it
+/// would get in a serial loop — determinism by construction, since block
+/// boundaries only decide scheduling.
+///
+/// # Panics
+/// Panics if `row_width` is zero or does not divide `data.len()`.
+pub fn par_rows<T, F>(data: &mut [T], row_width: usize, cost_hint: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_width > 0, "par_rows: row_width must be positive");
+    assert_eq!(data.len() % row_width, 0, "par_rows: data length {} not a multiple of row width {row_width}", data.len());
+    let rows = data.len() / row_width;
+    let threads = current_threads().min(rows);
+    if threads <= 1 || cost_hint < PAR_MIN_COST {
+        for (i, row) in data.chunks_mut(row_width).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    // Over-partition 4× for load balance (CSR rows and ranking queries have
+    // skewed per-row cost); the queue evens it out.
+    let blocks = (threads * 4).min(rows);
+    let rows_per_block = rows.div_ceil(blocks);
+    let f = &f;
+    let jobs: Vec<Job> = data
+        .chunks_mut(rows_per_block * row_width)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let start = b * rows_per_block;
+            Box::new(move || {
+                for (r, row) in chunk.chunks_mut(row_width).enumerate() {
+                    f(start + r, row);
+                }
+            }) as Job
+        })
+        .collect();
+    pool::global().execute(jobs, threads);
+}
+
+/// Splits `0..n` into consecutive blocks of `block_len` (the last may be
+/// short) and maps `f(block_index, range)` over them, returning the results
+/// **in block order**.
+///
+/// This is the reduction primitive: pass a [`fixed_block_len`] so the block
+/// layout is thread-count independent, then merge the returned partials
+/// serially in order. The serial path produces the identical block layout,
+/// so bits match at any thread count.
+///
+/// # Panics
+/// Panics if `block_len` is zero.
+pub fn par_blocks<R, F>(n: usize, block_len: usize, cost_hint: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    assert!(block_len > 0, "par_blocks: block_len must be positive");
+    let blocks = n.div_ceil(block_len);
+    let range = |b: usize| b * block_len..((b + 1) * block_len).min(n);
+    let threads = current_threads().min(blocks);
+    if threads <= 1 || cost_hint < PAR_MIN_COST {
+        return (0..blocks).map(|b| f(b, range(b))).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..blocks).map(|_| None).collect();
+    {
+        let f = &f;
+        let jobs: Vec<Job> = slots
+            .chunks_mut(1)
+            .enumerate()
+            .map(|(b, slot)| {
+                Box::new(move || {
+                    slot[0] = Some(f(b, range(b)));
+                }) as Job
+            })
+            .collect();
+        pool::global().execute(jobs, threads);
+    }
+    slots.into_iter().map(|s| s.expect("par_blocks: every block completes before execute returns")).collect()
+}
+
+/// Runs two independent closures, `b` on the pool and `a` on the calling
+/// thread, and returns both results. Falls back to sequential `(a(), b())`
+/// when only one thread is configured — same results either way, since the
+/// closures are independent.
+pub fn par_join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if current_threads() <= 1 {
+        return (fa(), fb());
+    }
+    let mut rb: Option<B> = None;
+    let pool = pool::global();
+    let batch = {
+        let rb = &mut rb;
+        pool.submit(vec![Box::new(move || *rb = Some(fb())) as Job], 2)
+    };
+    // Run `a` here while `b` runs on a worker. If `a` panics we still must
+    // wait out the batch before this frame (which `b` borrows) unwinds.
+    let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(fa));
+    batch.wait(pool);
+    let ra = match ra {
+        Ok(ra) => ra,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    (ra, rb.expect("par_join: batch waited, so fb has completed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_rows_matches_serial_loop() {
+        let width = 8;
+        let rows = 300;
+        let mut parallel: Vec<f32> = vec![0.0; rows * width];
+        let mut serial = parallel.clone();
+        let fill = |i: usize, row: &mut [f32]| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * 31 + j) as f32 * 0.5;
+            }
+        };
+        for (i, row) in serial.chunks_mut(width).enumerate() {
+            fill(i, row);
+        }
+        with_threads(5, || par_rows(&mut parallel, width, usize::MAX, fill));
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn par_rows_serial_when_cheap() {
+        // Below the cost threshold nothing is dispatched; results identical.
+        let mut data = vec![0u64; 16];
+        with_threads(4, || par_rows(&mut data, 1, 10, |i, row| row[0] = i as u64));
+        assert_eq!(data, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_blocks_returns_results_in_block_order() {
+        let got = with_threads(6, || par_blocks(103, 10, usize::MAX, |b, r| (b, r.start, r.end)));
+        assert_eq!(got.len(), 11);
+        for (b, (bb, s, e)) in got.iter().enumerate() {
+            assert_eq!(*bb, b);
+            assert_eq!(*s, b * 10);
+            assert_eq!(*e, (b * 10 + 10).min(103));
+        }
+    }
+
+    #[test]
+    fn fixed_block_len_ignores_thread_count() {
+        let before = fixed_block_len(100_000, 4096);
+        let after = with_threads(7, || fixed_block_len(100_000, 4096));
+        assert_eq!(before, after);
+        // Block count stays bounded.
+        assert!(100_000usize.div_ceil(fixed_block_len(100_000, 1)) <= MAX_REDUCTION_BLOCKS);
+        assert_eq!(fixed_block_len(10, 4096), 4096);
+    }
+
+    #[test]
+    fn par_join_returns_both_results() {
+        let (a, b) = with_threads(4, || par_join(|| 2 + 2, || "done".to_string()));
+        assert_eq!(a, 4);
+        assert_eq!(b, "done");
+    }
+
+    #[test]
+    fn par_join_nested_inside_par_rows() {
+        let mut out = vec![0usize; 64];
+        with_threads(4, || {
+            par_rows(&mut out, 1, usize::MAX, |i, slot| {
+                let (a, b) = par_join(|| i * 2, || i * 3);
+                slot[0] = a + b;
+            });
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 5);
+        }
+    }
+
+    #[test]
+    fn override_restores_on_exit_and_panic() {
+        set_thread_override(None);
+        let base = current_threads();
+        with_threads(3, || assert_eq!(current_threads(), 3));
+        assert_eq!(current_threads(), base);
+        let _ = std::panic::catch_unwind(|| with_threads(5, || panic!("boom")));
+        assert_eq!(current_threads(), base);
+    }
+
+    #[test]
+    fn panic_inside_par_rows_propagates() {
+        let err = std::panic::catch_unwind(|| {
+            let mut data = vec![0f32; 1000];
+            with_threads(4, || {
+                par_rows(&mut data, 1, usize::MAX, |i, _| {
+                    assert!(i != 777, "row 777 is cursed");
+                })
+            });
+        })
+        .expect_err("panic must reach the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+            .expect("string payload");
+        assert!(msg.contains("cursed"), "{msg}");
+    }
+}

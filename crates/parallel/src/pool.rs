@@ -1,0 +1,281 @@
+//! The persistent worker pool behind the `par_*` helpers.
+//!
+//! Workers are OS threads spawned **once** (lazily, on first parallel
+//! region) and reused for the life of the process; the pool grows on demand
+//! up to the requested thread count and never shrinks. Work arrives as
+//! boxed closures on a shared FIFO guarded by a mutex + condvar — at the
+//! granularity this workspace uses (whole-kernel row blocks, tens of
+//! microseconds to milliseconds each) a lock-free deque would buy nothing.
+//!
+//! Two properties matter more than raw throughput here:
+//!
+//! 1. **Nested regions cannot deadlock.** A thread that waits for a batch
+//!    to finish *helps*: it keeps draining the shared queue while it waits,
+//!    so a parallel region launched from inside a worker task (e.g.
+//!    `par_join` over two graphs whose propagation internally runs a
+//!    parallel SpMM) always makes progress even when every worker is busy.
+//! 2. **Panics propagate.** A panicking task is caught on the executing
+//!    thread, the batch still completes, and the panic payload is re-thrown
+//!    on the submitting thread — a failed assertion inside a parallelized
+//!    kernel reports exactly as it would serially.
+//!
+//! # Safety
+//!
+//! This module contains the workspace's only `unsafe` code: the lifetime
+//! erasure that lets persistent (`'static`) workers run closures borrowing
+//! the caller's stack. The justification is the classic scoped-pool
+//! argument, localized to [`Pool::submit`] / [`Batch::wait`]:
+//!
+//! - every submitted closure is tracked by a [`Batch`] latch whose counter
+//!   is decremented only *after* the closure has returned (or unwound —
+//!   the decrement happens on the executing thread after `catch_unwind`);
+//! - [`Batch::wait`] does not return until the counter reaches zero, and
+//!   the public entry points ([`Pool::execute`], `par_join`) always call
+//!   `wait` before returning — including on the panic path;
+//! - therefore no borrow captured by a task can be used after the stack
+//!   frame that owns it is torn down, which is exactly the guarantee the
+//!   `'static` bound would otherwise enforce.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of work with the lifetime of the submitting stack frame.
+pub(crate) type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+type ErasedJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion latch for one submitted batch of jobs.
+pub(crate) struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    /// First panic payload observed in this batch, if any.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Batch {
+    fn new(remaining: usize) -> Arc<Self> {
+        Arc::new(Batch { state: Mutex::new(BatchState { remaining, panic: None }), done: Condvar::new() })
+    }
+
+    /// Records one finished job (and its panic payload, if it unwound).
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("batch lock");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        } else {
+            drop(panic); // keep the first payload; later ones are dropped
+        }
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Waits up to `timeout` for the batch to finish; true when done.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        let st = self.state.lock().expect("batch lock");
+        if st.remaining == 0 {
+            return true;
+        }
+        let (st, _) = self.done.wait_timeout(st, timeout).expect("batch lock");
+        st.remaining == 0
+    }
+
+    /// Blocks until every job in the batch has finished, helping the pool
+    /// drain its queue in the meantime (this is what makes nested parallel
+    /// regions deadlock-free), then re-throws the first captured panic.
+    pub(crate) fn wait(self: &Arc<Self>, pool: &Pool) {
+        loop {
+            while let Some(task) = pool.try_pop() {
+                run_task(task);
+            }
+            // Short timed wait instead of a bare condvar wait: a nested
+            // region may enqueue more work after we observed an empty
+            // queue, and that work signals the *queue* condvar, not ours.
+            if self.wait_timeout(Duration::from_micros(200)) {
+                break;
+            }
+        }
+        let payload = self.state.lock().expect("batch lock").panic.take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+struct Task {
+    job: ErasedJob,
+    batch: Arc<Batch>,
+}
+
+fn run_task(task: Task) {
+    // AssertUnwindSafe: the job's captures are either `&`/`&mut` borrows of
+    // the submitting frame (which `Batch::wait` keeps alive and re-throws
+    // into) or owned values dropped with the job; no shared state survives
+    // a broken invariant.
+    let result = catch_unwind(AssertUnwindSafe(task.job));
+    task.batch.complete(result.err());
+}
+
+/// The process-wide worker pool.
+pub(crate) struct Pool {
+    queue: Mutex<VecDeque<Task>>,
+    ready: Condvar,
+    /// Number of worker threads spawned so far (monotone).
+    workers: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// The lazily initialized global pool.
+pub(crate) fn global() -> &'static Pool {
+    POOL.get_or_init(|| Pool { queue: Mutex::new(VecDeque::new()), ready: Condvar::new(), workers: Mutex::new(0) })
+}
+
+impl Pool {
+    fn try_pop(&self) -> Option<Task> {
+        self.queue.lock().expect("pool queue lock").pop_front()
+    }
+
+    /// Grows the pool so that, counting the calling thread, `threads`
+    /// threads can run concurrently. Workers are never torn down; across
+    /// the whole process this spawns at most `max(threads) - 1` threads.
+    fn ensure_workers(&self, threads: usize) {
+        let want = threads.saturating_sub(1);
+        let mut n = self.workers.lock().expect("pool worker lock");
+        while *n < want {
+            std::thread::Builder::new()
+                .name(format!("desalign-par-{n}"))
+                .spawn(move || worker_loop(global()))
+                .expect("desalign-parallel: failed to spawn worker thread");
+            *n += 1;
+        }
+    }
+
+    /// Enqueues a batch of jobs and returns its latch. The caller **must**
+    /// call [`Batch::wait`] before any borrow captured by the jobs expires;
+    /// the public wrappers in `lib.rs` uphold this unconditionally.
+    pub(crate) fn submit<'a>(&self, jobs: Vec<Job<'a>>, threads: usize) -> Arc<Batch> {
+        self.ensure_workers(threads);
+        let batch = Batch::new(jobs.len());
+        {
+            let mut q = self.queue.lock().expect("pool queue lock");
+            for job in jobs {
+                // SAFETY: see the module-level comment. `Batch::wait` is
+                // always reached before the submitting frame unwinds, and
+                // it returns only after this job has run to completion, so
+                // extending the closure's lifetime to 'static can never let
+                // it observe a dead borrow.
+                #[allow(unsafe_code)]
+                let job: ErasedJob = unsafe { std::mem::transmute::<Job<'a>, ErasedJob>(job) };
+                q.push_back(Task { job, batch: Arc::clone(&batch) });
+            }
+        }
+        self.ready.notify_all();
+        batch
+    }
+
+    /// Runs `jobs` to completion across up to `threads` threads (the caller
+    /// participates). Panics from jobs are re-thrown here.
+    pub(crate) fn execute<'a>(&self, jobs: Vec<Job<'a>>, threads: usize) {
+        if threads <= 1 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let batch = self.submit(jobs, threads);
+        batch.wait(self);
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(task) = q.pop_front() {
+                    break task;
+                }
+                q = pool.ready.wait(q).expect("pool queue lock");
+            }
+        };
+        run_task(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn execute_runs_every_job_and_blocks_until_done() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job> = (0..32)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        global().execute(jobs, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn single_thread_request_runs_inline() {
+        // threads == 1 must never touch the queue: jobs run on the caller.
+        let caller = std::thread::current().id();
+        let mut ran_on = None;
+        global().execute(vec![Box::new(|| ran_on = Some(std::thread::current().id()))], 1);
+        assert_eq!(ran_on, Some(caller));
+    }
+
+    #[test]
+    fn panic_in_job_propagates_with_payload() {
+        let err = std::panic::catch_unwind(|| {
+            let jobs: Vec<Job> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("job {i} exploded");
+                        }
+                    }) as Job
+                })
+                .collect();
+            global().execute(jobs, 3);
+        })
+        .expect_err("panic must propagate to the submitter");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("exploded"), "{msg}");
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        let outer: Vec<Job> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    let inner: Vec<Job> = (0..4)
+                        .map(|_| {
+                            Box::new(|| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            }) as Job
+                        })
+                        .collect();
+                    global().execute(inner, 3);
+                }) as Job
+            })
+            .collect();
+        global().execute(outer, 3);
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+}

@@ -11,10 +11,14 @@
 //!    gradient-bearing ones are finite-difference checked from the
 //!    `desalign-autodiff` crate.
 //! 2. **Predictable performance** — row-major storage, blocked `ikj` matmul,
-//!    no hidden allocation in hot loops. At the scales this reproduction
-//!    targets (≤ a few thousand rows, feature dims ≤ a few hundred) this is
-//!    within a small factor of BLAS without the dependency.
-//! 3. **No `unsafe`** — the whole workspace forbids unsafe code.
+//!    no hidden allocation in hot loops, and output-row parallelism via
+//!    `desalign-parallel` (results are bit-identical at any thread count; see
+//!    that crate's docs for the determinism argument). At the scales this
+//!    reproduction targets (≤ a few thousand rows, feature dims ≤ a few
+//!    hundred) this is within a small factor of BLAS without the dependency.
+//! 3. **No `unsafe`** — this crate forbids unsafe code; the one audited
+//!    `unsafe` block in the workspace is the scoped-lifetime erasure in
+//!    `desalign-parallel`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +29,6 @@ pub mod random;
 mod rowwise;
 
 pub use matrix::Matrix;
-pub use ops::dot;
+pub use ops::{dot, par_dot};
 pub use random::{glorot_uniform, normal_matrix, rng_from_seed, uniform_matrix, Rng64, SampleRange, SliceRandom};
 pub use rowwise::softmax_slice;

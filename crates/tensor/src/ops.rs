@@ -66,7 +66,11 @@ impl Matrix {
     /// Matrix product `self × other`.
     ///
     /// Uses the `ikj` loop order so the inner loop streams both operands
-    /// row-major, which the compiler auto-vectorizes.
+    /// row-major, which the compiler auto-vectorizes (the inner loop is
+    /// deliberately branch-free: a zero-test on `a_ip` would defeat
+    /// vectorization on the dense inputs this kernel sees). Output rows are
+    /// computed in parallel; each row keeps its exact serial accumulation
+    /// order, so results are bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
@@ -82,23 +86,33 @@ impl Matrix {
         );
         let (n, k, m) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
+        if out.is_empty() {
+            return out;
+        }
+        let cost = n.saturating_mul(k).saturating_mul(m);
+        desalign_parallel::par_rows(out.as_mut_slice(), m, cost, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
+            for (p, &a_ip) in a_row.iter().enumerate() {
                 let b_row = other.row(p);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a_ip * b;
                 }
             }
-        }
+        });
         out
     }
 
     /// `selfᵀ × other` without materializing the transpose.
+    ///
+    /// The reduction runs over the shared row dimension, so it cannot be
+    /// partitioned by output row. Instead the rows are split into blocks of
+    /// a [`fixed_block_len`](desalign_parallel::fixed_block_len) — a pure
+    /// function of the problem size, never of the thread count — each block
+    /// is accumulated serially into its own partial, and the partials are
+    /// merged in block order. The float summation tree is therefore fixed,
+    /// and results are bit-identical at any thread count. The zero-skip
+    /// stays here (unlike [`Matrix::matmul`]) because this kernel's left
+    /// operand is typically a post-ReLU activation with genuine sparsity.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows(),
@@ -110,18 +124,30 @@ impl Matrix {
             other.cols()
         );
         let (k, n, m) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(n, m);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let block = desalign_parallel::fixed_block_len(k, 256);
+        let cost = k.saturating_mul(n).saturating_mul(m);
+        let partials = desalign_parallel::par_blocks(k, block, cost, |_b, range| {
+            let mut part = Matrix::zeros(n, m);
+            for p in range {
+                let a_row = self.row(p);
+                let b_row = other.row(p);
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = part.row_mut(i);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+            }
+            part
+        });
+        let mut parts = partials.into_iter();
+        let mut out = parts.next().unwrap_or_else(|| Matrix::zeros(n, m));
+        for part in parts {
+            for (o, &p) in out.as_mut_slice().iter_mut().zip(part.as_slice()) {
+                *o += p;
             }
         }
         out
@@ -139,14 +165,18 @@ impl Matrix {
             other.cols()
         );
         let (n, m) = (self.rows(), other.rows());
+        let k = self.cols();
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
+        if out.is_empty() {
+            return out;
+        }
+        let cost = n.saturating_mul(k).saturating_mul(m);
+        desalign_parallel::par_rows(out.as_mut_slice(), m, cost, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(m) {
+            for (j, o) in out_row.iter_mut().enumerate() {
                 *o = dot(a_row, other.row(j));
             }
-        }
+        });
         out
     }
 
@@ -307,7 +337,7 @@ impl Matrix {
     /// paper (`⟨ΔX, X̂ − X⟩`).
     pub fn inner(&self, other: &Matrix) -> f32 {
         other.expect_shape(self.rows(), self.cols(), "Matrix::inner");
-        dot(self.as_slice(), other.as_slice())
+        par_dot(self.as_slice(), other.as_slice())
     }
 }
 
@@ -330,6 +360,26 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         s += a[i] * b[i];
     }
     s
+}
+
+/// Parallel dense dot product.
+///
+/// Splits the vectors into blocks of a
+/// [`fixed_block_len`](desalign_parallel::fixed_block_len) (a function of
+/// the length only), reduces each block with [`dot`], and sums the block
+/// partials in order — so the summation tree, and hence every output bit,
+/// is independent of the thread count. Short inputs take the plain [`dot`]
+/// path, which is bit-identical to a single block.
+pub fn par_dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "par_dot: length mismatch ({} vs {})", a.len(), b.len());
+    let n = a.len();
+    let block = desalign_parallel::fixed_block_len(n, 4096);
+    if n <= block {
+        return dot(a, b);
+    }
+    desalign_parallel::par_blocks(n, block, 2 * n, |_i, r| dot(&a[r.clone()], &b[r]))
+        .into_iter()
+        .sum()
 }
 
 #[cfg(test)]

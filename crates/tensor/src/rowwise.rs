@@ -11,29 +11,39 @@ impl Matrix {
     ///
     /// Each row is shifted by its maximum before exponentiation, so the
     /// result is finite for any finite input. Rows sum to exactly 1 up to
-    /// rounding.
+    /// rounding. Rows are independent, so they run in parallel with
+    /// bit-identical results at any thread count.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for i in 0..out.rows() {
-            softmax_slice(out.row_mut(i));
+        let cols = self.cols();
+        if out.is_empty() {
+            return out;
         }
+        // exp dominates: weight the per-element cost accordingly.
+        let cost = out.len().saturating_mul(16);
+        desalign_parallel::par_rows(out.as_mut_slice(), cols, cost, |_i, row| softmax_slice(row));
         out
     }
 
     /// Row-wise ℓ2 normalization. Rows with norm below `eps` are left
     /// untouched (returned as-is) to avoid division blow-ups on missing /
-    /// zeroed features.
+    /// zeroed features. Rows are independent, so they run in parallel with
+    /// bit-identical results at any thread count.
     pub fn l2_normalize_rows(&self, eps: f32) -> Matrix {
         let mut out = self.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
+        let cols = self.cols();
+        if out.is_empty() {
+            return out;
+        }
+        let cost = out.len().saturating_mul(4);
+        desalign_parallel::par_rows(out.as_mut_slice(), cols, cost, |_i, row| {
             let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
             if norm > eps {
                 for v in row {
                     *v /= norm;
                 }
             }
-        }
+        });
         out
     }
 

@@ -1,0 +1,99 @@
+//! Determinism-under-parallelism properties: every parallelized dense
+//! kernel must produce **byte-identical** results at 1, 2, and 7 threads.
+//!
+//! Input sizes are chosen to exceed `desalign_parallel::PAR_MIN_COST`, so
+//! the multi-thread runs genuinely take the parallel path (and, for the
+//! blocked reductions, genuinely split into multiple blocks) rather than
+//! falling back to the serial loop.
+
+use desalign_parallel::with_threads;
+use desalign_tensor::{par_dot, Matrix, Rng64};
+use desalign_testkit::{check, ensure, gen};
+
+const CASES: u64 = 8;
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    gen::matrix(rng, rows, cols, -10.0, 10.0)
+}
+
+/// Zeroes roughly half the entries so the sparsity-skip paths run too.
+fn sparsified(m: &Matrix) -> Matrix {
+    m.map(|v| if v.abs() < 5.0 { 0.0 } else { v })
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn identical_matrix_bits(name: &str, f: impl Fn() -> Matrix) -> Result<(), String> {
+    let reference = with_threads(THREADS[0], &f);
+    for &t in &THREADS[1..] {
+        let got = with_threads(t, &f);
+        ensure!(bits(&got) == bits(&reference), "{name}: {t}-thread bits diverge from serial");
+    }
+    Ok(())
+}
+
+fn identical_scalar_bits(name: &str, f: impl Fn() -> f32) -> Result<(), String> {
+    let reference = with_threads(THREADS[0], &f).to_bits();
+    for &t in &THREADS[1..] {
+        let got = with_threads(t, &f).to_bits();
+        ensure!(got == reference, "{name}: {t}-thread bits {got:#x} vs serial {reference:#x}");
+    }
+    Ok(())
+}
+
+#[test]
+fn matmul_is_thread_count_invariant() {
+    check("matmul_is_thread_count_invariant", CASES, |rng| (matrix(rng, 48, 36), matrix(rng, 36, 40)), |(a, b)| {
+        identical_matrix_bits("matmul", || a.matmul(b))
+    });
+}
+
+#[test]
+fn matmul_tn_is_thread_count_invariant() {
+    // k = 600 splits into 3 fixed blocks of 256, so the ordered partial
+    // merge is exercised, on a half-sparse left operand.
+    check("matmul_tn_is_thread_count_invariant", CASES, |rng| (sparsified(&matrix(rng, 600, 20)), matrix(rng, 600, 24)), |(a, b)| {
+        identical_matrix_bits("matmul_tn", || a.matmul_tn(b))
+    });
+}
+
+#[test]
+fn matmul_nt_is_thread_count_invariant() {
+    check("matmul_nt_is_thread_count_invariant", CASES, |rng| (matrix(rng, 48, 36), matrix(rng, 40, 36)), |(a, b)| {
+        identical_matrix_bits("matmul_nt", || a.matmul_nt(b))
+    });
+}
+
+#[test]
+fn par_dot_is_thread_count_invariant() {
+    // 20 000 elements → five 4096-blocks, merged in order.
+    check("par_dot_is_thread_count_invariant", CASES, |rng| {
+        (gen::f32_vec(rng, 20_000, -1.0, 1.0), gen::f32_vec(rng, 20_000, -1.0, 1.0))
+    }, |(a, b)| {
+        identical_scalar_bits("par_dot", || par_dot(a, b))
+    });
+}
+
+#[test]
+fn inner_is_thread_count_invariant() {
+    check("inner_is_thread_count_invariant", CASES, |rng| (matrix(rng, 150, 150), matrix(rng, 150, 150)), |(a, b)| {
+        identical_scalar_bits("inner", || a.inner(b))
+    });
+}
+
+#[test]
+fn softmax_rows_is_thread_count_invariant() {
+    check("softmax_rows_is_thread_count_invariant", CASES, |rng| matrix(rng, 80, 40), |m| {
+        identical_matrix_bits("softmax_rows", || m.softmax_rows())
+    });
+}
+
+#[test]
+fn l2_normalize_rows_is_thread_count_invariant() {
+    check("l2_normalize_rows_is_thread_count_invariant", CASES, |rng| matrix(rng, 200, 50), |m| {
+        identical_matrix_bits("l2_normalize_rows", || m.l2_normalize_rows(1e-9))
+    });
+}

@@ -18,7 +18,10 @@
 //! - [`core`] — the DESAlign model itself (multi-modal semantic learning +
 //!   semantic propagation);
 //! - [`baselines`] — TransE, GCN-align, EVA, MCLEA, MEAformer;
-//! - [`util`] — zero-dependency JSON serialization.
+//! - [`util`] — zero-dependency JSON serialization;
+//! - [`parallel`] — deterministic thread pool behind every hot kernel
+//!   (`DESALIGN_THREADS` selects the thread count; results are bit-identical
+//!   at any setting).
 //!
 //! ## Quickstart
 //!
@@ -46,5 +49,6 @@ pub use desalign_eval as eval;
 pub use desalign_graph as graph;
 pub use desalign_mmkg as mmkg;
 pub use desalign_nn as nn;
+pub use desalign_parallel as parallel;
 pub use desalign_tensor as tensor;
 pub use desalign_util as util;

@@ -55,3 +55,27 @@ fn one_training_step_is_byte_identical_across_runs() {
     };
     assert_eq!(run(), run(), "one epoch + SP diverged between identical seeded runs");
 }
+
+#[test]
+fn one_training_step_is_byte_identical_across_thread_counts() {
+    // The end-to-end guarantee behind desalign-parallel: training a step and
+    // decoding on 7 threads must reproduce the serial build bit-for-bit,
+    // because every parallelized kernel partitions work so each f32 keeps
+    // its serial summation order.
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(5);
+    let run = |threads: usize| {
+        desalign::parallel::with_threads(threads, || {
+            let mut cfg = DesalignConfig::fast();
+            cfg.hidden_dim = 32;
+            cfg.feature_dims = FeatureDims { relation: 64, attribute: 64, visual: 64 };
+            cfg.epochs = 1;
+            cfg.batch_size = 64;
+            let mut model = DesalignModel::new(cfg, &ds, 31);
+            model.fit(&ds);
+            bits(model.similarity_with_iterations(1).scores())
+        })
+    };
+    let serial = run(1);
+    assert_eq!(run(2), serial, "2-thread training step diverged from the serial build");
+    assert_eq!(run(7), serial, "7-thread training step diverged from the serial build");
+}
