@@ -16,6 +16,15 @@ DESALIGN_THREADS=1 cargo test -q --offline --workspace
 echo "==> cargo test -q --offline (default thread count)"
 cargo test -q --offline --workspace
 
+# Documentation gates: every public item must be documented (each crate sets
+# #![warn(missing_docs)], promoted to an error here) and every intra-doc link
+# must resolve. Doc examples are executable and must pass.
+echo "==> cargo doc --offline (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
+
+echo "==> cargo test --doc --offline"
+cargo test -q --offline --workspace --doc
+
 # Determinism gate for desalign-parallel: an end-to-end pipeline fingerprint
 # (dataset → training → Semantic Propagation → metrics, hashed at the f32
 # bit level) must not depend on the thread count.
@@ -27,6 +36,29 @@ if [ "$fp_serial" != "$fp_default" ]; then
     exit 1
 fi
 echo "    fingerprint $fp_serial (identical)"
+
+# Telemetry must be a pure observer: turning it on may not perturb a single
+# bit of the training pipeline.
+echo "==> determinism fingerprint (telemetry on vs off)"
+fp_telemetry=$(DESALIGN_TELEMETRY=1 cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+if [ "$fp_telemetry" != "$fp_default" ]; then
+    echo "    TELEMETRY PERTURBATION: fingerprint $fp_telemetry with DESALIGN_TELEMETRY=1 != $fp_default without"
+    exit 1
+fi
+echo "    fingerprint $fp_telemetry (identical with telemetry on)"
+
+# Telemetry report smoke: tiny scale — proves the span/counter/sink wiring
+# end to end (trains a few epochs, prints the span tree, writes the JSON and
+# JSONL artifacts to scratch files).
+echo "==> telemetry_report (smoke)"
+telemetry_json=$(mktemp)
+telemetry_jsonl=$(mktemp)
+DESALIGN_SCALE=40 DESALIGN_EPOCHS=3 \
+    DESALIGN_TELEMETRY_OUT="$telemetry_json" DESALIGN_METRICS_OUT="$telemetry_jsonl" \
+    cargo run -q --offline --release -p desalign-bench --bin telemetry_report >/dev/null
+test -s "$telemetry_json" || { echo "    telemetry_report did not write its JSON report"; exit 1; }
+test -s "$telemetry_jsonl" || { echo "    telemetry_report did not stream JSONL metrics"; exit 1; }
+rm -f "$telemetry_json" "$telemetry_jsonl"
 
 # Bench harness smoke: tiny scale and sample count — just proves the bench
 # still compiles, runs, and writes its JSON table. Output is redirected to a

@@ -1,0 +1,92 @@
+//! Observability smoke: trains DESAlign on a synthetic DBP15K-scale pair
+//! with telemetry forced on, pretty-prints the resulting span tree, checks
+//! that the `fit/epoch` total is covered by its child phases, and dumps
+//! `results/TELEMETRY_report.json` (spans + counters + gauges) alongside a
+//! per-epoch JSONL metrics stream.
+//!
+//! Environment knobs:
+//! - the usual harness profile (`DESALIGN_SCALE`, `DESALIGN_EPOCHS`,
+//!   `DESALIGN_DIM`, `DESALIGN_SEED`);
+//! - `DESALIGN_TELEMETRY_OUT` — overrides the span-report JSON path
+//!   (default `results/TELEMETRY_report.json`);
+//! - `DESALIGN_METRICS_OUT` — overrides the JSONL metrics path (default
+//!   `results/metrics_telemetry_report.jsonl`).
+
+use desalign_bench::HarnessConfig;
+use desalign_core::DesalignModel;
+use desalign_mmkg::{DatasetSpec, SynthConfig};
+use desalign_telemetry as telemetry;
+use desalign_util::json;
+
+/// Locates the `fit` root and its `epoch` child in the span forest.
+fn find_epoch(roots: &[telemetry::SpanNode]) -> Option<(u64, u64)> {
+    let fit = roots.iter().find(|n| n.name == "fit")?;
+    let epoch = fit.children.iter().find(|n| n.name == "epoch")?;
+    let child_total: u64 = epoch.children.iter().map(|c| c.total_ns).sum();
+    Some((epoch.total_ns, child_total))
+}
+
+fn main() {
+    telemetry::set_enabled(Some(true));
+    telemetry::set_context(Some("telemetry_report".to_string()));
+    let metrics_path = std::env::var("DESALIGN_METRICS_OUT")
+        .unwrap_or_else(|_| "results/metrics_telemetry_report.jsonl".to_string());
+    std::fs::create_dir_all(std::path::Path::new(&metrics_path).parent().unwrap_or_else(|| std::path::Path::new("."))).ok();
+    match telemetry::MetricsSink::to_file(std::path::Path::new(&metrics_path)) {
+        Ok(sink) => {
+            telemetry::install_sink(sink);
+        }
+        Err(e) => eprintln!("warning: could not open {metrics_path}: {e}"),
+    }
+
+    let h = HarnessConfig::from_env();
+    let ds = SynthConfig::preset(DatasetSpec::Dbp15kFrEn).scaled(h.scale).generate(h.seed);
+    let mut model = DesalignModel::new(h.desalign_cfg(), &ds, h.seed);
+    let report = model.fit(&ds);
+    let metrics = model.evaluate(&ds);
+
+    let roots = telemetry::span_report();
+    println!("=== span tree ===");
+    print!("{}", telemetry::render_span_tree(&roots));
+    println!("=== counters/gauges ===");
+    for (name, v) in telemetry::counters_snapshot() {
+        println!("{name} = {v}");
+    }
+    for (name, v) in telemetry::gauges_snapshot() {
+        println!("{name} = {v}");
+    }
+
+    // Coverage: the per-epoch phases (sample/forward/energy/backward/
+    // optimizer/eval) should account for nearly all of the epoch wall-clock;
+    // a large gap means an uninstrumented hot path crept in.
+    match find_epoch(&roots) {
+        Some((epoch_total, child_total)) => {
+            let covered = child_total as f64 / epoch_total.max(1) as f64;
+            println!(
+                "epoch coverage: children {:.1}% of epoch total ({child_total} / {epoch_total} ns)",
+                covered * 100.0
+            );
+        }
+        None => println!("epoch coverage: fit/epoch span not found"),
+    }
+
+    println!(
+        "trained {} epochs, H@1 {:.3} / H@10 {:.3} / MRR {:.3}",
+        report.epochs_run, metrics.hits_at_1, metrics.hits_at_10, metrics.mrr
+    );
+
+    let out = json!({
+        "spans": telemetry::spans_json(),
+        "metrics": telemetry::metrics_json(),
+        "eval": desalign_bench::metrics_json(&metrics),
+        "epochs_run": report.epochs_run,
+    });
+    let report_path = std::env::var("DESALIGN_TELEMETRY_OUT")
+        .unwrap_or_else(|_| "results/TELEMETRY_report.json".to_string());
+    desalign_bench::dump_json(&report_path, &out);
+    println!("wrote {report_path} and {metrics_path}");
+
+    if let Some(mut sink) = telemetry::take_sink() {
+        sink.flush();
+    }
+}

@@ -32,7 +32,7 @@ pub fn bench<F: FnMut()>(name: &str, samples: usize, f: F) {
     let _ = bench_stats(name, samples, f);
 }
 
-/// Like [`bench`], but also returns the sample statistics so callers can
+/// Like [`bench()`], but also returns the sample statistics so callers can
 /// build machine-readable speedup tables (e.g. `BENCH_kernels.json`).
 pub fn bench_stats<F: FnMut()>(name: &str, samples: usize, mut f: F) -> BenchStats {
     assert!(samples > 0, "benchmark '{name}' needs at least one sample");
@@ -67,7 +67,7 @@ pub fn bench_stats<F: FnMut()>(name: &str, samples: usize, mut f: F) -> BenchSta
     stats
 }
 
-/// Like [`bench`], but rebuilds fresh state before every timed call, so
+/// Like [`bench()`], but rebuilds fresh state before every timed call, so
 /// benchmarks that consume or mutate their input (e.g. training a model)
 /// measure only the work, not the setup.
 pub fn bench_with_setup<T, S: FnMut() -> T, F: FnMut(T)>(name: &str, samples: usize, mut setup: S, mut f: F) {

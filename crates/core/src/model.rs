@@ -69,6 +69,7 @@ impl DesalignModel {
     /// Trains with the MMSL objective (Algorithm 1 lines 3–10). Calling
     /// `fit` again continues training (used by the iterative strategy).
     pub fn fit(&mut self, dataset: &AlignmentDataset) -> TrainReport {
+        let _fit_span = desalign_telemetry::span("fit");
         let t0 = Instant::now();
         let mut report = TrainReport::default();
         let val_frac = if self.cfg.early_stop_patience > 0 { 0.1 } else { 0.0 };
@@ -87,15 +88,25 @@ impl DesalignModel {
         let mut patience_left = self.cfg.early_stop_patience;
 
         for epoch in 0..self.cfg.epochs {
-            let batch = sample_batch(&pool, self.cfg.batch_size, &mut self.rng);
+            let _epoch_span = desalign_telemetry::span("epoch");
+            let batch = {
+                let _span = desalign_telemetry::span("sample");
+                sample_batch(&pool, self.cfg.batch_size, &mut self.rng)
+            };
             let mut sess = Session::new(&self.store);
-            let enc_s = self.encoder.forward(&mut sess, &self.inputs[0], 0);
-            let enc_t = self.encoder.forward(&mut sess, &self.inputs[1], 1);
-            let (loss, breakdown) =
-                mmsl_loss(&mut sess, &self.cfg, &enc_s, &enc_t, &batch, (&self.laplacians[0], &self.laplacians[1]));
+            let (enc_s, enc_t, loss, breakdown) = {
+                let _span = desalign_telemetry::span("forward");
+                let enc_s = self.encoder.forward(&mut sess, &self.inputs[0], 0);
+                let enc_t = self.encoder.forward(&mut sess, &self.inputs[1], 1);
+                let (loss, breakdown) =
+                    mmsl_loss(&mut sess, &self.cfg, &enc_s, &enc_t, &batch, (&self.laplacians[0], &self.laplacians[1]));
+                (enc_s, enc_t, loss, breakdown)
+            };
 
             // Energy trace sampling (Section III instrumentation).
+            let mut epoch_energy: Option<f64> = None;
             if self.cfg.eval_every > 0 && epoch % self.cfg.eval_every == 0 {
+                let _span = desalign_telemetry::span("energy");
                 let trace = EnergyTrace {
                     epoch,
                     source: [
@@ -109,18 +120,39 @@ impl DesalignModel {
                         dirichlet_energy(&self.laplacians[1], sess.tape.value(enc_t.h_fus())),
                     ],
                 };
+                // Fused (post-SA) energies of both graphs — the quantity
+                // Figure 3 tracks.
+                epoch_energy = Some((trace.source[2] + trace.target[2]) as f64);
                 self.energy_traces.push(trace);
                 report.energy_history.push(trace);
             }
 
-            let mut grads = sess.backward(loss);
-            opt.step(&mut self.store, &mut grads, schedule.lr(epoch));
+            let mut grads = {
+                let _span = desalign_telemetry::span("backward");
+                sess.backward(loss)
+            };
+            // Read-only diagnostic; skipped entirely when telemetry is off
+            // so the disabled path does no extra float work.
+            let grad_norm =
+                if desalign_telemetry::enabled() { Some(grads.global_norm()) } else { None };
+            {
+                let _span = desalign_telemetry::span("optimizer");
+                opt.step(&mut self.store, &mut grads, schedule.lr(epoch));
+            }
             report.loss_history.push(breakdown);
             report.epochs_run = epoch + 1;
 
             // Early stopping on the held-out seed split.
+            let mut epoch_eval = None;
+            let mut stop = false;
             if !val_pairs.is_empty() && self.cfg.eval_every > 0 && (epoch + 1) % self.cfg.eval_every == 0 {
+                let _span = desalign_telemetry::span("eval");
                 let metrics = evaluate_ranking(&self.similarity(), &val_pairs);
+                epoch_eval = Some(desalign_telemetry::EvalSnapshot {
+                    hits_at_1: metrics.hits_at_1,
+                    hits_at_10: metrics.hits_at_10,
+                    mrr: metrics.mrr,
+                });
                 if metrics.hits_at_1 > best_val {
                     best_val = metrics.hits_at_1;
                     best_snapshot = Some(self.store.snapshot());
@@ -128,9 +160,34 @@ impl DesalignModel {
                 } else if self.cfg.early_stop_patience > 0 {
                     patience_left -= 1;
                     if patience_left == 0 {
-                        break;
+                        stop = true;
                     }
                 }
+            }
+
+            if desalign_telemetry::enabled() {
+                let record = desalign_telemetry::EpochRecord {
+                    epoch,
+                    loss_total: breakdown.total,
+                    loss_task0: breakdown.task0,
+                    loss_taskk: breakdown.taskk,
+                    loss_modal_k1: breakdown.modal_k1,
+                    loss_modal_k: breakdown.modal_k,
+                    energy_penalty: breakdown.energy_penalty,
+                    dirichlet_energy: epoch_energy,
+                    lr: schedule.lr(epoch),
+                    grad_norm,
+                    sp_iterations: if self.cfg.ablation.use_semantic_propagation {
+                        self.cfg.sp_iterations
+                    } else {
+                        0
+                    },
+                    eval: epoch_eval,
+                };
+                desalign_telemetry::emit(&record.to_json());
+            }
+            if stop {
+                break;
             }
         }
         if let Some(snap) = best_snapshot {

@@ -50,6 +50,7 @@ pub fn semantic_propagation_similarity(
     if iterations == 0 {
         return cosine_similarity(x_s, x_t);
     }
+    let _span = desalign_telemetry::span("semantic_propagation");
     let cfg = PropagationConfig { iterations, step: 1.0, reset_known };
     // The two graphs are independent; run their propagations concurrently
     // (each internally row-parallelizes its SpMM — nested regions are fine).
@@ -90,6 +91,7 @@ pub fn per_modality_propagation_similarity(
     if iterations == 0 {
         return cosine_similarity(x_s, x_t);
     }
+    let _span = desalign_telemetry::span("semantic_propagation");
     let cfg = PropagationConfig { iterations, step: 1.0, reset_known: true };
 
     // Propagate each incomplete block, collecting its per-round states.

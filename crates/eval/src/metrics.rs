@@ -35,6 +35,7 @@ pub fn evaluate_ranking(sim: &SimilarityMatrix, test_pairs: &[(usize, usize)]) -
     if test_pairs.is_empty() {
         return AlignmentMetrics::default();
     }
+    let _span = desalign_telemetry::span("evaluate_ranking");
     let (n_s, n_t) = sim.shape();
     // Candidate pool: the test targets.
     let candidates: Vec<usize> = test_pairs.iter().map(|&(_, t)| t).collect();

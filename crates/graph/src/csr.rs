@@ -10,6 +10,17 @@ use desalign_tensor::Matrix;
 /// - column indices within each row are strictly increasing and `< cols`;
 /// - no explicit zeros are stored by [`Csr::from_coo`] (duplicates are
 ///   summed, exact-zero results kept — they are harmless).
+///
+/// ```
+/// use desalign_graph::Csr;
+/// use desalign_tensor::Matrix;
+///
+/// // [[0, 2], [3, 0]] from COO triplets (duplicates are summed).
+/// let m = Csr::from_coo(2, 2, vec![(0, 1, 2.0), (1, 0, 1.0), (1, 0, 2.0)]);
+/// assert_eq!(m.nnz(), 2);
+/// let x = Matrix::from_rows(&[&[1.0], &[10.0]]);
+/// assert_eq!(m.spmm(&x), Matrix::from_rows(&[&[20.0], &[3.0]]));
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Csr {
     rows: usize,
@@ -113,6 +124,7 @@ impl Csr {
             x.rows(),
             self.cols
         );
+        let _span = desalign_telemetry::span("spmm");
         let d = x.cols();
         let mut out = Matrix::zeros(self.rows, d);
         if out.is_empty() {
@@ -155,6 +167,7 @@ impl Csr {
             x.rows(),
             self.rows
         );
+        let _span = desalign_telemetry::span("spmm_t");
         let cost = self.nnz().saturating_mul(x.cols());
         if desalign_parallel::current_threads() > 1 && cost >= desalign_parallel::PAR_MIN_COST {
             return self.transpose().spmm(x);
@@ -175,6 +188,7 @@ impl Csr {
     /// Sparse × dense-vector product for a flat slice (`cols()`-length).
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "Csr::spmv: vector length {} vs {} cols", x.len(), self.cols);
+        let _span = desalign_telemetry::span("spmv");
         let mut out = vec![0.0; self.rows];
         let cost = self.nnz().saturating_mul(2);
         desalign_parallel::par_rows(&mut out, 1, cost, |i, o| {

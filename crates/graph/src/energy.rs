@@ -9,6 +9,21 @@ use desalign_tensor::Matrix;
 /// `laplacian` must be the (symmetric, PSD) graph Laplacian. The trace is
 /// evaluated without materializing `XᵀΔX`: it equals `⟨X, ΔX⟩`, one SpMM and
 /// one inner product.
+///
+/// ```
+/// use desalign_graph::{dirichlet_energy, UndirectedGraph};
+/// use desalign_tensor::Matrix;
+///
+/// // A 4-ring is regular, so constant features sit in the null space of
+/// // the self-loop-renormalized Laplacian: zero energy.
+/// let g = UndirectedGraph::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let lap = g.laplacian();
+/// let smooth = Matrix::full(4, 2, 1.0);
+/// assert!(dirichlet_energy(&lap, &smooth).abs() < 1e-5);
+/// // Alternating features are rough: strictly positive energy.
+/// let rough = Matrix::from_fn(4, 2, |i, _| if i % 2 == 0 { 1.0 } else { -1.0 });
+/// assert!(dirichlet_energy(&lap, &rough) > 0.1);
+/// ```
 pub fn dirichlet_energy(laplacian: &Csr, x: &Matrix) -> f32 {
     assert_eq!(laplacian.rows(), x.rows(), "dirichlet_energy: Laplacian is {}x{}, features have {} rows", laplacian.rows(), laplacian.cols(), x.rows());
     laplacian.spmm(x).inner(x)

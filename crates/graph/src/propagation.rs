@@ -46,6 +46,22 @@ impl Default for PropagationConfig {
 /// self-loops) and `known[i]` marks boundary entities whose features are
 /// trusted.
 ///
+/// ```
+/// use desalign_graph::{propagate_features, PropagationConfig, UndirectedGraph};
+/// use desalign_tensor::Matrix;
+///
+/// let g = UndirectedGraph::new(3, vec![(0, 1), (1, 2)]);
+/// let adj = g.normalized_adjacency(true);
+/// // Entity 1's feature is missing (zero); its neighbours are known.
+/// let x0 = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
+/// let known = [true, false, true];
+/// let states = propagate_features(&adj, &x0, &known, &PropagationConfig {
+///     iterations: 4, step: 1.0, reset_known: true,
+/// });
+/// assert_eq!(states.len(), 5);                  // input + one state per round
+/// assert!(states.last().unwrap()[(1, 0)] > 0.5); // reconstructed from neighbours
+/// ```
+///
 /// # Panics
 /// Panics if shapes disagree.
 pub fn propagate_features(
@@ -56,6 +72,10 @@ pub fn propagate_features(
 ) -> Vec<Matrix> {
     assert_eq!(adj_norm.rows(), x0.rows(), "propagate_features: Ã is {}x{}, features have {} rows", adj_norm.rows(), adj_norm.cols(), x0.rows());
     assert_eq!(known.len(), x0.rows(), "propagate_features: known mask length mismatch");
+    let _span = desalign_telemetry::span("propagate_features");
+    if desalign_telemetry::enabled() {
+        desalign_telemetry::counter("sp.iterations").add(cfg.iterations as u64);
+    }
     let mut states = Vec::with_capacity(cfg.iterations + 1);
     states.push(x0.clone());
     let mut x = x0.clone();

@@ -29,9 +29,13 @@
 //! patterns, which is safe to do from concurrently running tests precisely
 //! because thread count can never change results.
 //!
-//! The worker pool is spawned once and reused; see [`pool`] for the
+//! The worker pool is spawned once and reused; see `src/pool.rs` for the
 //! deadlock-freedom and panic-propagation story, and for the one audited
-//! `unsafe` block in the workspace (the scoped-lifetime erasure).
+//! `unsafe` block in the workspace (the scoped-lifetime erasure). When
+//! telemetry is enabled (`DESALIGN_TELEMETRY=1`), the pool counts batches,
+//! jobs, inline jobs, and help-while-wait steals, and each `par_*` helper
+//! counts whether it took the serial or the parallel path — see
+//! `docs/OBSERVABILITY.md`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,29 @@ use pool::Job;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// Region-level telemetry: how many `par_*` invocations took the serial
+/// fast path vs dispatched to the pool. Cached handles so the gated hot
+/// path pays one atomic load + one atomic add.
+struct RegionCounters {
+    serial: desalign_telemetry::Counter,
+    parallel: desalign_telemetry::Counter,
+}
+
+fn region_counters() -> &'static RegionCounters {
+    static COUNTERS: OnceLock<RegionCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| RegionCounters {
+        serial: desalign_telemetry::counter("par.regions_serial"),
+        parallel: desalign_telemetry::counter("par.regions_parallel"),
+    })
+}
+
+fn count_region(parallel: bool) {
+    if desalign_telemetry::enabled() {
+        let c = region_counters();
+        if parallel { c.parallel.incr() } else { c.serial.incr() }
+    }
+}
 
 /// Upper bound on the number of fixed reduction blocks produced by
 /// [`fixed_block_len`]. Bounding the block count bounds both the merge cost
@@ -131,11 +158,13 @@ where
     let rows = data.len() / row_width;
     let threads = current_threads().min(rows);
     if threads <= 1 || cost_hint < PAR_MIN_COST {
+        count_region(false);
         for (i, row) in data.chunks_mut(row_width).enumerate() {
             f(i, row);
         }
         return;
     }
+    count_region(true);
     // Over-partition 4× for load balance (CSR rows and ranking queries have
     // skewed per-row cost); the queue evens it out.
     let blocks = (threads * 4).min(rows);
@@ -177,8 +206,10 @@ where
     let range = |b: usize| b * block_len..((b + 1) * block_len).min(n);
     let threads = current_threads().min(blocks);
     if threads <= 1 || cost_hint < PAR_MIN_COST {
+        count_region(false);
         return (0..blocks).map(|b| f(b, range(b))).collect();
     }
+    count_region(true);
     let mut slots: Vec<Option<R>> = (0..blocks).map(|_| None).collect();
     {
         let f = &f;
@@ -208,8 +239,10 @@ where
     FB: FnOnce() -> B + Send,
 {
     if current_threads() <= 1 {
+        count_region(false);
         return (fa(), fb());
     }
+    count_region(true);
     let mut rb: Option<B> = None;
     let pool = pool::global();
     let batch = {

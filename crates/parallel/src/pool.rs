@@ -42,6 +42,33 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
+use desalign_telemetry::Counter;
+
+/// Pool-utilization counters, resolved once and cached so the hot paths
+/// never take the telemetry registry lock. All updates are gated on
+/// [`desalign_telemetry::enabled`], keeping the disabled cost at one
+/// relaxed atomic load.
+struct PoolCounters {
+    /// Batches submitted to the shared queue.
+    batches: Counter,
+    /// Jobs enqueued through [`Pool::submit`].
+    jobs: Counter,
+    /// Jobs run inline on the caller (threads <= 1 or single-job batches).
+    inline_jobs: Counter,
+    /// Jobs a waiting thread stole while helping drain the queue.
+    helped: Counter,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static COUNTERS: OnceLock<PoolCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| PoolCounters {
+        batches: desalign_telemetry::counter("pool.batches"),
+        jobs: desalign_telemetry::counter("pool.jobs"),
+        inline_jobs: desalign_telemetry::counter("pool.inline_jobs"),
+        helped: desalign_telemetry::counter("pool.helped"),
+    })
+}
+
 /// A unit of work with the lifetime of the submitting stack frame.
 pub(crate) type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
 
@@ -94,6 +121,9 @@ impl Batch {
     pub(crate) fn wait(self: &Arc<Self>, pool: &Pool) {
         loop {
             while let Some(task) = pool.try_pop() {
+                if desalign_telemetry::enabled() {
+                    pool_counters().helped.incr();
+                }
                 run_task(task);
             }
             // Short timed wait instead of a bare condvar wait: a nested
@@ -157,6 +187,9 @@ impl Pool {
                 .expect("desalign-parallel: failed to spawn worker thread");
             *n += 1;
         }
+        if desalign_telemetry::enabled() {
+            desalign_telemetry::gauge("pool.workers").set(*n as f64);
+        }
     }
 
     /// Enqueues a batch of jobs and returns its latch. The caller **must**
@@ -164,6 +197,11 @@ impl Pool {
     /// the public wrappers in `lib.rs` uphold this unconditionally.
     pub(crate) fn submit<'a>(&self, jobs: Vec<Job<'a>>, threads: usize) -> Arc<Batch> {
         self.ensure_workers(threads);
+        if desalign_telemetry::enabled() {
+            let counters = pool_counters();
+            counters.batches.incr();
+            counters.jobs.add(jobs.len() as u64);
+        }
         let batch = Batch::new(jobs.len());
         {
             let mut q = self.queue.lock().expect("pool queue lock");
@@ -186,6 +224,9 @@ impl Pool {
     /// participates). Panics from jobs are re-thrown here.
     pub(crate) fn execute<'a>(&self, jobs: Vec<Job<'a>>, threads: usize) {
         if threads <= 1 || jobs.len() <= 1 {
+            if desalign_telemetry::enabled() {
+                pool_counters().inline_jobs.add(jobs.len() as u64);
+            }
             for job in jobs {
                 job();
             }

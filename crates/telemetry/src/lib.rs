@@ -1,0 +1,135 @@
+//! Zero-dependency observability for the DESAlign workspace.
+//!
+//! The paper's core claims are *trajectories*: Dirichlet energy decreasing
+//! under Semantic Propagation (Prop. 3–4, Algorithm 1), loss and H@1 under
+//! weak supervision (Figs. 3–4). Reproducing and debugging them needs
+//! timings and per-epoch metric streams, which this crate provides in three
+//! layers — all `std`-only, consistent with the workspace's zero-dependency
+//! policy:
+//!
+//! 1. **Hierarchical span timers** — [`span`] returns an RAII guard that
+//!    times the enclosing scope on a monotonic clock. Nested guards build a
+//!    per-thread path (`fit/epoch/forward`); a thread-safe global registry
+//!    accumulates call count / total / min / max per path. [`span_report`]
+//!    turns the registry into a tree, [`render_span_tree`] pretty-prints
+//!    it, and [`spans_json`] serializes it.
+//! 2. **Counters and gauges** — [`counter`] / [`gauge`] hand out cheap
+//!    clonable handles onto named atomics ([`Counter`], [`Gauge`]); the
+//!    thread pool uses them for batch-utilization accounting.
+//! 3. **A metrics sink** — [`MetricsSink`] streams one JSON object per line
+//!    (JSONL) through `desalign-util`'s writer; [`EpochRecord`] is the
+//!    fixed per-epoch training schema (losses of Eq. 15–17, Dirichlet
+//!    energy, LR, gradient norm, SP iterations, eval metrics). A global
+//!    sink ([`install_sink`] / [`emit`]) lets the training loop stream
+//!    records without threading a handle through every call site.
+//!
+//! # Enablement and cost
+//!
+//! Telemetry is **off by default** and gated by the `DESALIGN_TELEMETRY`
+//! environment variable (`1`/`true`/`on`) or a programmatic
+//! [`set_enabled`] override. When off, [`span`] returns an inert guard
+//! after a single relaxed atomic load and no registry is touched, so the
+//! instrumented build stays bit-identical and near-zero-cost. Telemetry
+//! never feeds back into computation — enabling it cannot change a single
+//! `f32` bit of any result, which `ci.sh` enforces by diffing the
+//! end-to-end determinism fingerprint with `DESALIGN_TELEMETRY=1` vs
+//! unset.
+//!
+//! # Invariants
+//!
+//! - Span guards must be dropped in LIFO order (automatic with ordinary
+//!   scoping); a guard dropped out of order would mis-attribute children.
+//! - Span paths are **per thread**: work executed on `desalign-parallel`
+//!   pool workers (e.g. the second branch of a `par_join`) roots its own
+//!   subtree rather than nesting under the submitting thread's span.
+//! - Counter handles stay valid across [`reset_metrics`] — resetting
+//!   stores zero into the existing atomics instead of dropping them.
+//!
+//! # Example
+//!
+//! ```
+//! use desalign_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(Some(true));
+//! {
+//!     let _outer = telemetry::span("outer");
+//!     let _inner = telemetry::span("inner");
+//!     telemetry::counter("example.items").add(3);
+//! }
+//! let roots = telemetry::span_report();
+//! let outer = roots.iter().find(|n| n.name == "outer").unwrap();
+//! assert_eq!(outer.calls, 1);
+//! assert_eq!(outer.children[0].name, "inner");
+//! assert_eq!(telemetry::counter("example.items").get(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    counter, counters_snapshot, gauge, gauges_snapshot, metrics_json, reset_metrics, Counter, Gauge,
+};
+pub use sink::{emit, install_sink, set_context, take_sink, EpochRecord, EvalSnapshot, MetricsSink};
+pub use span::{render_span_tree, reset_spans, span, span_report, spans_json, SpanGuard, SpanNode};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// `set_enabled` state: 0 = follow the environment, 1 = forced off,
+/// 2 = forced on.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+/// True when telemetry collection is active.
+///
+/// Resolution order: a [`set_enabled`] override wins; otherwise the
+/// `DESALIGN_TELEMETRY` environment variable (`1` / `true` / `on`, read
+/// once and cached); otherwise off.
+#[inline]
+pub fn enabled() -> bool {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *FROM_ENV.get_or_init(|| {
+            matches!(
+                std::env::var("DESALIGN_TELEMETRY").as_deref().map(str::trim),
+                Ok("1") | Ok("true") | Ok("on")
+            )
+        }),
+    }
+}
+
+/// Overrides telemetry enablement process-wide: `Some(true)` forces on,
+/// `Some(false)` forces off, `None` restores the environment default.
+/// Used by `telemetry_report` and the determinism tests.
+pub fn set_enabled(on: Option<bool>) {
+    FORCED.store(match on { None => 0, Some(false) => 1, Some(true) => 2 }, Ordering::Relaxed);
+}
+
+/// Serializes unit tests that flip the process-global [`set_enabled`]
+/// override, so parallel test threads cannot observe each other's state.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_beats_environment() {
+        let _serial = test_guard();
+        // Whatever the environment says, the override must win both ways.
+        set_enabled(Some(true));
+        assert!(enabled());
+        set_enabled(Some(false));
+        assert!(!enabled());
+        set_enabled(None);
+    }
+}

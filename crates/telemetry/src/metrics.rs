@@ -1,0 +1,168 @@
+//! Named atomic counters and gauges.
+//!
+//! [`counter`] and [`gauge`] look a name up in a global registry and hand
+//! back a clonable handle onto the underlying atomic, so hot paths can
+//! resolve the name once (e.g. in a `OnceLock`) and update lock-free from
+//! any thread afterwards.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use desalign_util::{json, Json};
+
+static COUNTERS: Mutex<BTreeMap<&'static str, Counter>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<&'static str, Gauge>> = Mutex::new(BTreeMap::new());
+
+/// A monotonically increasing `u64` counter. Cloning is cheap (an `Arc`
+/// bump) and all clones share the same atomic.
+///
+/// ```
+/// use desalign_telemetry as telemetry;
+/// let c = telemetry::counter("doc.requests");
+/// c.incr();
+/// c.add(2);
+/// assert_eq!(telemetry::counter("doc.requests").get(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic `u64`).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Returns the counter registered under `name`, creating it (at zero) on
+/// first use. Unlike spans, counters record regardless of
+/// [`crate::enabled`] — callers on hot paths gate on it themselves.
+pub fn counter(name: &'static str) -> Counter {
+    COUNTERS.lock().unwrap().entry(name).or_default().clone()
+}
+
+/// Returns the gauge registered under `name`, creating it (at `0.0`) on
+/// first use.
+pub fn gauge(name: &'static str) -> Gauge {
+    GAUGES.lock().unwrap().entry(name).or_default().clone()
+}
+
+/// Snapshot of every registered counter, sorted by name.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    COUNTERS.lock().unwrap().iter().map(|(name, c)| (*name, c.get())).collect()
+}
+
+/// Snapshot of every registered gauge, sorted by name.
+pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
+    GAUGES.lock().unwrap().iter().map(|(name, g)| (*name, g.get())).collect()
+}
+
+/// Zeroes every registered counter and gauge **in place**: handles already
+/// held by callers keep pointing at the same atomics, so cached
+/// `OnceLock<Counter>` statics survive a reset.
+pub fn reset_metrics() {
+    for (_, c) in COUNTERS.lock().unwrap().iter() {
+        c.0.store(0, Ordering::Relaxed);
+    }
+    for (_, g) in GAUGES.lock().unwrap().iter() {
+        g.0.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// All counters and gauges as one JSON object:
+/// `{"counters": {...}, "gauges": {...}}`.
+pub fn metrics_json() -> Json {
+    let counters = Json::Object(
+        counters_snapshot().into_iter().map(|(k, v)| (k.to_string(), Json::Num(v as f64))).collect(),
+    );
+    let gauges = Json::Object(
+        gauges_snapshot().into_iter().map(|(k, v)| (k.to_string(), Json::Num(v))).collect(),
+    );
+    json!({ "counters": counters, "gauges": gauges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_atomic() {
+        let _serial = crate::test_guard();
+        let a = counter("mt_shared");
+        let b = counter("mt_shared");
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn reset_keeps_handles_live() {
+        let _serial = crate::test_guard();
+        let c = counter("mt_reset");
+        c.add(7);
+        let g = gauge("mt_reset_g");
+        g.set(1.5);
+        reset_metrics();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        // The pre-reset handle still feeds the registry entry.
+        c.incr();
+        assert_eq!(counter("mt_reset").get(), 1);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let _serial = crate::test_guard();
+        let g = gauge("mt_gauge");
+        g.set(-0.125);
+        assert_eq!(g.get(), -0.125);
+        g.set(f64::INFINITY);
+        assert!(g.get().is_infinite());
+    }
+
+    #[test]
+    fn metrics_json_lists_entries() {
+        let _serial = crate::test_guard();
+        counter("mt_json").add(4);
+        let j = metrics_json().to_string();
+        assert!(j.contains("mt_json"));
+    }
+}

@@ -1,0 +1,311 @@
+//! JSONL metrics sink and the per-epoch training record schema.
+//!
+//! A [`MetricsSink`] writes one JSON object per line through
+//! `desalign-util`'s writer, inheriting its non-finite policy: `NaN`,
+//! `Infinity`, and `-Infinity` are written as literals (the Python `json`
+//! extension) rather than silently corrupted — a diverged run's metrics
+//! must say *NaN*, not `null`.
+//!
+//! The training loop streams [`EpochRecord`]s through the process-global
+//! sink ([`install_sink`] / [`emit`]); `DESALIGN_METRICS_OUT=<path>` makes
+//! any binary install a file sink automatically when telemetry is enabled.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use desalign_util::{json, Json};
+
+/// Streams JSON values one-per-line (JSONL) to an arbitrary writer.
+///
+/// ```
+/// use desalign_telemetry::MetricsSink;
+/// use desalign_util::json;
+///
+/// let mut sink = MetricsSink::from_writer(Box::new(std::io::sink()));
+/// sink.emit(&json!({ "epoch": 0, "loss": 1.25 }));
+/// sink.flush();
+/// assert_eq!(sink.emitted(), 1);
+/// ```
+pub struct MetricsSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+    /// Lines successfully queued; exposed for tests and reports.
+    emitted: u64,
+}
+
+impl MetricsSink {
+    /// A sink writing to `path` (truncating any existing file).
+    pub fn to_file(path: &Path) -> std::io::Result<MetricsSink> {
+        let file = File::create(path)?;
+        Ok(MetricsSink::from_writer(Box::new(file)))
+    }
+
+    /// A sink writing to an arbitrary boxed writer (tests use `Vec<u8>`).
+    pub fn from_writer(out: Box<dyn Write + Send>) -> MetricsSink {
+        MetricsSink { out: BufWriter::new(out), emitted: 0 }
+    }
+
+    /// Writes `record` as one line. I/O errors are swallowed: telemetry
+    /// must never abort a training run.
+    pub fn emit(&mut self, record: &Json) {
+        let mut line = record.to_string();
+        line.push('\n');
+        if self.out.write_all(line.as_bytes()).is_ok() {
+            self.emitted += 1;
+        }
+    }
+
+    /// Number of records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for MetricsSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Global sink state: `Uninstalled` means the `DESALIGN_METRICS_OUT`
+/// auto-install has not been attempted yet.
+enum GlobalSink {
+    Uninstalled,
+    None,
+    Some(MetricsSink),
+}
+
+static SINK: Mutex<GlobalSink> = Mutex::new(GlobalSink::Uninstalled);
+
+/// Optional free-form label stamped into every [`EpochRecord`] (e.g. the
+/// bench binary and dataset), set once per process by the caller.
+static CONTEXT: Mutex<Option<String>> = Mutex::new(None);
+
+/// Installs `sink` as the process-global sink, returning the previous one
+/// if any.
+pub fn install_sink(sink: MetricsSink) -> Option<MetricsSink> {
+    match std::mem::replace(&mut *SINK.lock().unwrap(), GlobalSink::Some(sink)) {
+        GlobalSink::Some(prev) => Some(prev),
+        _ => None,
+    }
+}
+
+/// Removes and returns the process-global sink (flushed on drop). Further
+/// [`emit`] calls are no-ops until a sink is installed again —
+/// `DESALIGN_METRICS_OUT` is not re-consulted.
+pub fn take_sink() -> Option<MetricsSink> {
+    match std::mem::replace(&mut *SINK.lock().unwrap(), GlobalSink::None) {
+        GlobalSink::Some(prev) => Some(prev),
+        _ => None,
+    }
+}
+
+/// Sets the context label stamped into subsequent [`EpochRecord`]s.
+pub fn set_context(context: Option<String>) {
+    *CONTEXT.lock().unwrap() = context;
+}
+
+/// Emits `record` through the global sink; returns whether a sink was
+/// present. On first call, if telemetry is enabled and
+/// `DESALIGN_METRICS_OUT` names a path, a file sink is installed
+/// automatically.
+pub fn emit(record: &Json) -> bool {
+    let mut slot = SINK.lock().unwrap();
+    if let GlobalSink::Uninstalled = *slot {
+        *slot = match std::env::var("DESALIGN_METRICS_OUT") {
+            Ok(path) if crate::enabled() && !path.is_empty() => {
+                match MetricsSink::to_file(Path::new(&path)) {
+                    Ok(sink) => GlobalSink::Some(sink),
+                    Err(_) => GlobalSink::None,
+                }
+            }
+            _ => GlobalSink::None,
+        };
+    }
+    match *slot {
+        GlobalSink::Some(ref mut sink) => {
+            sink.emit(record);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Evaluation metrics attached to an [`EpochRecord`] when ranking ran that
+/// epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalSnapshot {
+    /// Hits@1 in `[0, 1]`.
+    pub hits_at_1: f32,
+    /// Hits@10 in `[0, 1]`.
+    pub hits_at_10: f32,
+    /// Mean reciprocal rank in `[0, 1]`.
+    pub mrr: f32,
+}
+
+/// One training epoch's metrics, serialized as a single JSONL object.
+///
+/// Loss fields follow `LossBreakdown` (Eq. 15–17 of the paper): the joint
+/// total, the task-0 and task-k alignment terms, the two modal-consistency
+/// terms, and the Dirichlet energy penalty. `dirichlet_energy` is the fused
+/// source+target graph energy (Eq. 7), sampled only on trace epochs;
+/// `grad_norm` is the pre-clip global gradient norm, computed only when
+/// telemetry is on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Joint loss (Eq. 17).
+    pub loss_total: f32,
+    /// Task-0 alignment loss term.
+    pub loss_task0: f32,
+    /// Task-k alignment loss term.
+    pub loss_taskk: f32,
+    /// Modal consistency term for modality k-1 (Eq. 15).
+    pub loss_modal_k1: f32,
+    /// Modal consistency term for modality k (Eq. 16).
+    pub loss_modal_k: f32,
+    /// Dirichlet energy penalty term in the loss.
+    pub energy_penalty: f32,
+    /// Fused Dirichlet energy of source+target graphs, when sampled.
+    pub dirichlet_energy: Option<f64>,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+    /// Pre-clip global gradient norm, when computed.
+    pub grad_norm: Option<f32>,
+    /// Semantic-propagation iterations configured for inference (Alg. 1).
+    pub sp_iterations: usize,
+    /// Ranking metrics, on epochs where evaluation ran.
+    pub eval: Option<EvalSnapshot>,
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(v) => Json::Num(v),
+        None => Json::Null,
+    }
+}
+
+impl EpochRecord {
+    /// The JSONL object form. Key order is fixed; absent optionals are
+    /// `null`; the process context label (see [`set_context`]) is appended
+    /// when set.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("epoch".to_string(), Json::Num(self.epoch as f64)),
+            ("loss_total".to_string(), Json::Num(self.loss_total as f64)),
+            ("loss_task0".to_string(), Json::Num(self.loss_task0 as f64)),
+            ("loss_taskk".to_string(), Json::Num(self.loss_taskk as f64)),
+            ("loss_modal_k1".to_string(), Json::Num(self.loss_modal_k1 as f64)),
+            ("loss_modal_k".to_string(), Json::Num(self.loss_modal_k as f64)),
+            ("energy_penalty".to_string(), Json::Num(self.energy_penalty as f64)),
+            ("dirichlet_energy".to_string(), opt_num(self.dirichlet_energy)),
+            ("lr".to_string(), Json::Num(self.lr as f64)),
+            ("grad_norm".to_string(), opt_num(self.grad_norm.map(f64::from))),
+            ("sp_iterations".to_string(), Json::Num(self.sp_iterations as f64)),
+            (
+                "eval".to_string(),
+                match self.eval {
+                    Some(e) => json!({
+                        "hits_at_1": e.hits_at_1 as f64,
+                        "hits_at_10": e.hits_at_10 as f64,
+                        "mrr": e.mrr as f64,
+                    }),
+                    None => Json::Null,
+                },
+            ),
+        ];
+        if let Some(ctx) = CONTEXT.lock().unwrap().as_deref() {
+            obj.push(("context".to_string(), Json::Str(ctx.to_string())));
+        }
+        Json::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> EpochRecord {
+        EpochRecord {
+            epoch: 3,
+            loss_total: 1.5,
+            loss_task0: 0.5,
+            loss_taskk: 0.25,
+            loss_modal_k1: 0.25,
+            loss_modal_k: 0.25,
+            energy_penalty: 0.25,
+            dirichlet_energy: Some(12.0),
+            lr: 1e-3,
+            grad_norm: Some(2.0),
+            sp_iterations: 10,
+            eval: Some(EvalSnapshot { hits_at_1: 0.5, hits_at_10: 0.9, mrr: 0.65 }),
+        }
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_record() {
+        let mut sink = MetricsSink::from_writer(Box::new(Vec::new()));
+        sink.emit(&record().to_json());
+        sink.emit(&record().to_json());
+        assert_eq!(sink.emitted(), 2);
+    }
+
+    #[test]
+    fn record_round_trips_through_parser() {
+        let j = record().to_json();
+        let text = j.to_string();
+        let back = Json::parse(&text).expect("record parses");
+        assert_eq!(back.get("epoch").and_then(Json::as_usize), Some(3));
+        assert_eq!(
+            back.get("eval").and_then(|e| e.get("mrr")).and_then(Json::as_f64),
+            Some(0.65f32 as f64)
+        );
+        assert_eq!(back.get("dirichlet_energy").and_then(Json::as_f64), Some(12.0));
+    }
+
+    #[test]
+    fn absent_optionals_are_null() {
+        let mut r = record();
+        r.dirichlet_energy = None;
+        r.grad_norm = None;
+        r.eval = None;
+        let text = r.to_json().to_string();
+        assert!(text.contains("\"dirichlet_energy\":null"));
+        assert!(text.contains("\"grad_norm\":null"));
+        assert!(text.contains("\"eval\":null"));
+    }
+
+    #[test]
+    fn hostile_non_finite_fields_round_trip() {
+        // A diverged run: the sink must emit NaN/Infinity literals (the
+        // util JSON policy), and they must parse back, not corrupt.
+        let mut r = record();
+        r.loss_total = f32::NAN;
+        r.grad_norm = Some(f32::INFINITY);
+        r.dirichlet_energy = Some(f64::NEG_INFINITY);
+        let text = r.to_json().to_string();
+        assert!(text.contains("\"loss_total\":NaN"));
+        assert!(text.contains("\"grad_norm\":Infinity"));
+        assert!(text.contains("\"dirichlet_energy\":-Infinity"));
+        let back = Json::parse(&text).expect("non-finite literals parse back");
+        assert!(back.get("loss_total").and_then(Json::as_f64).unwrap().is_nan());
+    }
+
+    #[test]
+    fn context_label_is_appended() {
+        let _serial = crate::test_guard();
+        set_context(Some("unit-test".to_string()));
+        let text = record().to_json().to_string();
+        assert!(text.contains("\"context\":\"unit-test\""));
+        set_context(None);
+        let text = record().to_json().to_string();
+        assert!(!text.contains("context"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Hierarchical span timers.
+//!
+//! [`span`] opens an RAII-timed scope; nested guards on the same thread
+//! build a `/`-joined path (`fit/epoch/forward`). On drop, the elapsed
+//! monotonic time is folded into a global registry keyed by full path.
+//! [`span_report`] reconstructs the tree from those paths.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use desalign_util::{json, Json};
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug)]
+struct SpanStat {
+    calls: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+static REGISTRY: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// The current thread's span path, e.g. `"fit/epoch/forward"`.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// RAII guard returned by [`span`]; records the elapsed time on drop.
+///
+/// Guards must be dropped in LIFO order — which ordinary lexical scoping
+/// guarantees — because each guard truncates the thread-local path back to
+/// the length it had when the guard was created.
+#[must_use = "a span guard times the scope it lives in; dropping it immediately records ~0ns"]
+pub struct SpanGuard {
+    /// `None` when telemetry is disabled: the guard is inert.
+    armed: Option<ArmedSpan>,
+}
+
+struct ArmedSpan {
+    start: Instant,
+    /// Length of the thread-local path before this span's name was pushed.
+    prev_len: usize,
+}
+
+/// Opens a timed span named `name` nested under the thread's current span.
+///
+/// When telemetry is disabled (see [`crate::enabled`]) this costs one
+/// relaxed atomic load and returns an inert guard.
+///
+/// ```
+/// use desalign_telemetry as telemetry;
+/// telemetry::set_enabled(Some(true));
+/// let _fit = telemetry::span("doc_fit");
+/// for _ in 0..3 {
+///     let _epoch = telemetry::span("doc_epoch");
+/// }
+/// drop(_fit);
+/// let roots = telemetry::span_report();
+/// let fit = roots.iter().find(|n| n.name == "doc_fit").unwrap();
+/// assert_eq!(fit.children[0].calls, 3);
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { armed: None };
+    }
+    let prev_len = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev_len = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        prev_len
+    });
+    SpanGuard { armed: Some(ArmedSpan { start: Instant::now(), prev_len }) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(armed) = self.armed.take() else { return };
+        let elapsed_ns = armed.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let mut reg = REGISTRY.lock().unwrap();
+            let stat = reg.entry(p.clone()).or_insert(SpanStat {
+                calls: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            stat.calls += 1;
+            stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+            stat.min_ns = stat.min_ns.min(elapsed_ns);
+            stat.max_ns = stat.max_ns.max(elapsed_ns);
+            p.truncate(armed.prev_len);
+        });
+    }
+}
+
+/// One node of the span tree produced by [`span_report`].
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Last path segment (`"forward"`, not `"fit/epoch/forward"`).
+    pub name: String,
+    /// Full `/`-joined path from the root.
+    pub path: String,
+    /// Number of times this span was closed.
+    pub calls: u64,
+    /// Total nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Fastest single call, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single call, in nanoseconds.
+    pub max_ns: u64,
+    /// Child spans, ordered by path.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn placeholder(name: &str, path: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            path: path.to_string(),
+            calls: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        json!({
+            "name": self.name.as_str(),
+            "path": self.path.as_str(),
+            "calls": self.calls as f64,
+            "total_ns": self.total_ns as f64,
+            "min_ns": self.min_ns as f64,
+            "max_ns": self.max_ns as f64,
+            "children": Json::Array(self.children.iter().map(SpanNode::to_json).collect()),
+        })
+    }
+}
+
+/// Snapshots the registry and rebuilds the span forest.
+///
+/// A parent that was never closed itself (e.g. a path recorded only through
+/// its children because the process is still inside the parent) appears as
+/// a placeholder node with zero calls.
+pub fn span_report() -> Vec<SpanNode> {
+    let reg = REGISTRY.lock().unwrap();
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, stat) in reg.iter() {
+        let mut level = &mut roots;
+        let mut prefix = String::new();
+        let mut segments = path.split('/').peekable();
+        while let Some(seg) = segments.next() {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(seg);
+            let pos = match level.iter().position(|n| n.name == seg) {
+                Some(pos) => pos,
+                None => {
+                    level.push(SpanNode::placeholder(seg, &prefix));
+                    level.len() - 1
+                }
+            };
+            if segments.peek().is_none() {
+                let node = &mut level[pos];
+                node.calls = stat.calls;
+                node.total_ns = stat.total_ns;
+                node.min_ns = stat.min_ns;
+                node.max_ns = stat.max_ns;
+            }
+            level = &mut level[pos].children;
+        }
+    }
+    roots
+}
+
+/// Clears all recorded spans. Thread-local paths of live guards are
+/// unaffected; only the aggregate registry is emptied.
+pub fn reset_spans() {
+    REGISTRY.lock().unwrap().clear();
+}
+
+/// The span forest as a JSON array (same shape as [`SpanNode`], with
+/// durations in nanoseconds).
+pub fn spans_json() -> Json {
+    Json::Array(span_report().iter().map(SpanNode::to_json).collect())
+}
+
+fn fmt_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_node(node: &SpanNode, depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    if node.calls == 0 {
+        out.push_str(&format!("{}  (open)\n", node.name));
+    } else {
+        out.push_str(&format!(
+            "{}  calls={} total={} mean={} min={} max={}\n",
+            node.name,
+            node.calls,
+            fmt_duration(node.total_ns),
+            fmt_duration(node.total_ns / node.calls.max(1)),
+            fmt_duration(node.min_ns),
+            fmt_duration(node.max_ns),
+        ));
+    }
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// Pretty-prints a span forest as an indented text tree, one line per span
+/// with calls / total / mean / min / max.
+pub fn render_span_tree(roots: &[SpanNode]) -> String {
+    let mut out = String::new();
+    for root in roots {
+        render_node(root, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span names in these tests are prefixed `st_` so they cannot collide
+    // with spans recorded by other tests sharing the global registry.
+
+    #[test]
+    fn nesting_builds_paths_and_ordering_is_lifo() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(Some(true));
+        {
+            let _a = span("st_outer");
+            {
+                let _b = span("st_mid");
+                let _c = span("st_leaf");
+            }
+            let _d = span("st_mid2");
+        }
+        let roots = span_report();
+        let outer = roots.iter().find(|n| n.name == "st_outer").expect("outer recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.path, "st_outer");
+        let names: Vec<&str> = outer.children.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"st_mid") && names.contains(&"st_mid2"));
+        let mid = outer.children.iter().find(|c| c.name == "st_mid").unwrap();
+        assert_eq!(mid.children[0].name, "st_leaf");
+        assert_eq!(mid.children[0].path, "st_outer/st_mid/st_leaf");
+        // The parent's total covers its children (timed on the same clock).
+        assert!(outer.total_ns >= mid.total_ns);
+        crate::set_enabled(None);
+    }
+
+    #[test]
+    fn repeated_calls_accumulate() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(Some(true));
+        for _ in 0..5 {
+            let _g = span("st_repeat");
+        }
+        let roots = span_report();
+        let node = roots.iter().find(|n| n.name == "st_repeat").unwrap();
+        assert_eq!(node.calls, 5);
+        assert!(node.min_ns <= node.max_ns);
+        assert!(node.total_ns >= node.max_ns);
+        crate::set_enabled(None);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(Some(false));
+        {
+            let _g = span("st_disabled_never_appears");
+        }
+        crate::set_enabled(Some(true));
+        let roots = span_report();
+        assert!(roots.iter().all(|n| n.name != "st_disabled_never_appears"));
+        crate::set_enabled(None);
+    }
+
+    #[test]
+    fn render_contains_stats() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(Some(true));
+        {
+            let _g = span("st_render");
+        }
+        let roots = span_report();
+        let text = render_span_tree(&roots);
+        assert!(text.contains("st_render"));
+        assert!(text.contains("calls="));
+        crate::set_enabled(None);
+    }
+}

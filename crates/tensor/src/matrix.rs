@@ -10,6 +10,16 @@ use std::ops::{Index, IndexMut};
 /// mismatches panic with a descriptive message; shapes are part of every
 /// kernel's contract and a mismatch is always a programming error, never a
 /// data error.
+///
+/// ```
+/// use desalign_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+/// assert_eq!(a.matmul(&b), a);           // right-multiply by identity
+/// assert_eq!(a.shape(), (2, 2));
+/// assert_eq!(a[(1, 0)], 3.0);
+/// ```
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,

@@ -72,6 +72,13 @@ impl Matrix {
     /// computed in parallel; each row keeps its exact serial accumulation
     /// order, so results are bit-identical at any thread count.
     ///
+    /// ```
+    /// use desalign_tensor::Matrix;
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0]]);          // 1×2
+    /// let b = Matrix::from_rows(&[&[10.0], &[100.0]]);    // 2×1
+    /// assert_eq!(a.matmul(&b), Matrix::from_rows(&[&[210.0]]));
+    /// ```
+    ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -84,6 +91,7 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        let _span = desalign_telemetry::span("matmul");
         let (n, k, m) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(n, m);
         if out.is_empty() {
@@ -123,6 +131,7 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        let _span = desalign_telemetry::span("matmul_tn");
         let (k, n, m) = (self.rows(), self.cols(), other.cols());
         let block = desalign_parallel::fixed_block_len(k, 256);
         let cost = k.saturating_mul(n).saturating_mul(m);
@@ -164,6 +173,7 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        let _span = desalign_telemetry::span("matmul_nt");
         let (n, m) = (self.rows(), other.rows());
         let k = self.cols();
         let mut out = Matrix::zeros(n, m);

@@ -472,7 +472,7 @@ impl<'a> Parser<'a> {
 // Conversion traits
 // ---------------------------------------------------------------------------
 
-/// Conversion into a [`Json`] value by reference (so the [`json!`] macro
+/// Conversion into a [`Json`] value by reference (so the [`crate::json!`] macro
 /// can serialize borrowed fields without moving them).
 pub trait ToJson {
     /// Builds the JSON representation.

@@ -1,6 +1,6 @@
 //! Zero-dependency utilities for the DESAlign workspace.
 //!
-//! Currently one module: [`json`], a hand-rolled JSON value type with a
+//! Currently one module: [`mod@json`], a hand-rolled JSON value type with a
 //! writer and a recursive-descent parser. It replaces `serde`/`serde_json`
 //! for the workspace's needs — checkpoint files, dataset snapshots, config
 //! and benchmark-result dumps — without pulling any crates.io dependency.

@@ -21,7 +21,10 @@
 //! - [`util`] — zero-dependency JSON serialization;
 //! - [`parallel`] — deterministic thread pool behind every hot kernel
 //!   (`DESALIGN_THREADS` selects the thread count; results are bit-identical
-//!   at any setting).
+//!   at any setting);
+//! - [`telemetry`] — span timers, counters, and the JSONL training-metrics
+//!   sink (`DESALIGN_TELEMETRY=1` turns collection on; results stay
+//!   bit-identical either way — see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +53,6 @@ pub use desalign_graph as graph;
 pub use desalign_mmkg as mmkg;
 pub use desalign_nn as nn;
 pub use desalign_parallel as parallel;
+pub use desalign_telemetry as telemetry;
 pub use desalign_tensor as tensor;
 pub use desalign_util as util;

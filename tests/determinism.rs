@@ -57,6 +57,28 @@ fn one_training_step_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn training_is_byte_identical_with_telemetry_on_and_off() {
+    // Telemetry is strictly read-only: spans, counters, and epoch records
+    // observe the computation but never feed back into it, so forcing
+    // collection on must reproduce the telemetry-off run bit-for-bit.
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(5);
+    let run = |telemetry_on: bool| {
+        desalign::telemetry::set_enabled(Some(telemetry_on));
+        let mut cfg = DesalignConfig::fast();
+        cfg.hidden_dim = 32;
+        cfg.feature_dims = FeatureDims { relation: 64, attribute: 64, visual: 64 };
+        cfg.epochs = 2;
+        cfg.batch_size = 64;
+        let mut model = DesalignModel::new(cfg, &ds, 31);
+        model.fit(&ds);
+        let out = bits(model.similarity_with_iterations(2).scores());
+        desalign::telemetry::set_enabled(None);
+        out
+    };
+    assert_eq!(run(false), run(true), "telemetry collection changed training results");
+}
+
+#[test]
 fn one_training_step_is_byte_identical_across_thread_counts() {
     // The end-to-end guarantee behind desalign-parallel: training a step and
     // decoding on 7 threads must reproduce the serial build bit-for-bit,
