@@ -47,18 +47,38 @@ if [ "$fp_telemetry" != "$fp_default" ]; then
 fi
 echo "    fingerprint $fp_telemetry (identical with telemetry on)"
 
+# Crash-safety gate (docs/RELIABILITY.md): a run that checkpoints, loses a
+# mid-write overwrite to a simulated kill, and resumes in a fresh process
+# must reproduce the straight run bit for bit.
+echo "==> resume fingerprint (straight vs kill-and-resume)"
+resume_ckpt=$(mktemp -u)
+fp_straight=$(DESALIGN_RESUME_MODE=straight cargo run -q --offline --release -p desalign-bench --bin resume_fingerprint)
+fp_resume=$(DESALIGN_RESUME_MODE=resume DESALIGN_CHECKPOINT="$resume_ckpt" \
+    cargo run -q --offline --release -p desalign-bench --bin resume_fingerprint)
+rm -f "$resume_ckpt" "$resume_ckpt.tmp"
+if [ "$fp_straight" != "$fp_resume" ]; then
+    echo "    RESUME DIVERGENCE: straight fingerprint $fp_straight != kill-and-resume $fp_resume"
+    exit 1
+fi
+echo "    fingerprint $fp_straight (identical after kill-and-resume)"
+
 # Telemetry report smoke: tiny scale — proves the span/counter/sink wiring
 # end to end (trains a few epochs, prints the span tree, writes the JSON and
-# JSONL artifacts to scratch files).
+# JSONL artifacts to scratch files). The stdout counter dump must list the
+# reliability counters registered by the trainer.
 echo "==> telemetry_report (smoke)"
 telemetry_json=$(mktemp)
 telemetry_jsonl=$(mktemp)
+telemetry_stdout=$(mktemp)
 DESALIGN_SCALE=40 DESALIGN_EPOCHS=3 \
     DESALIGN_TELEMETRY_OUT="$telemetry_json" DESALIGN_METRICS_OUT="$telemetry_jsonl" \
-    cargo run -q --offline --release -p desalign-bench --bin telemetry_report >/dev/null
+    cargo run -q --offline --release -p desalign-bench --bin telemetry_report >"$telemetry_stdout"
 test -s "$telemetry_json" || { echo "    telemetry_report did not write its JSON report"; exit 1; }
 test -s "$telemetry_jsonl" || { echo "    telemetry_report did not stream JSONL metrics"; exit 1; }
-rm -f "$telemetry_json" "$telemetry_jsonl"
+for counter in train.resumes train.rollbacks; do
+    grep -q "$counter" "$telemetry_stdout" || { echo "    telemetry_report does not list the $counter counter"; exit 1; }
+done
+rm -f "$telemetry_json" "$telemetry_jsonl" "$telemetry_stdout"
 
 # Bench harness smoke: tiny scale and sample count — just proves the bench
 # still compiles, runs, and writes its JSON table. Output is redirected to a

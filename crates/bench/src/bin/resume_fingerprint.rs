@@ -1,0 +1,120 @@
+//! Prints a 64-bit fingerprint of a training run's final state — weights,
+//! per-epoch loss trajectory, and evaluation metrics, all hashed at the
+//! bit level. `ci.sh` runs it twice and diffs the output:
+//!
+//! - `DESALIGN_RESUME_MODE=straight` (default): one uninterrupted run of
+//!   all epochs.
+//! - `DESALIGN_RESUME_MODE=resume`: train a few epochs, write a
+//!   checkpoint, train one epoch more, then *kill* the attempt to
+//!   overwrite the checkpoint mid-frame (via the `desalign-testkit` fault
+//!   harness) — the torn write must be invisible. A fresh model then
+//!   resumes from the surviving checkpoint and finishes the run.
+//!
+//! Any fingerprint difference means the resume path is not bit-identical
+//! to the straight run, which `docs/RELIABILITY.md` forbids.
+//!
+//! `DESALIGN_CHECKPOINT` overrides the checkpoint path (default: a file
+//! under the system temp directory; it is removed on success).
+
+use desalign_core::{DesalignConfig, DesalignModel, TrainReport};
+use desalign_mmkg::{DatasetSpec, FeatureDims, SynthConfig};
+use desalign_testkit::fault::kill_during_atomic_write;
+use desalign_util::read_verified;
+use std::path::PathBuf;
+
+const SEED: u64 = 29;
+const EPOCHS: usize = 6;
+const SPLIT: usize = 2;
+
+/// FNV-1a over a little-endian byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn cfg() -> DesalignConfig {
+    let mut cfg = DesalignConfig::fast();
+    cfg.hidden_dim = 32;
+    cfg.feature_dims = FeatureDims { relation: 64, attribute: 64, visual: 64 };
+    cfg.epochs = EPOCHS;
+    cfg.batch_size = 64;
+    cfg
+}
+
+fn checkpoint_path() -> PathBuf {
+    std::env::var("DESALIGN_CHECKPOINT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("desalign_resume_fingerprint.ckpt"))
+}
+
+fn main() {
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).with_image_ratio(0.6).generate(5);
+    let mode = std::env::var("DESALIGN_RESUME_MODE").unwrap_or_else(|_| "straight".to_string());
+
+    let (model, report) = match mode.as_str() {
+        "straight" => {
+            let mut model = DesalignModel::new(cfg(), &ds, SEED);
+            let report = model.fit(&ds);
+            (model, report)
+        }
+        "resume" => {
+            let path = checkpoint_path();
+            std::fs::remove_file(&path).ok();
+
+            // Process 1: train SPLIT epochs, checkpoint, go one epoch
+            // further, and die mid-way through overwriting the checkpoint.
+            let mut first = DesalignModel::new(cfg(), &ds, SEED);
+            let mut state = first.begin_training(&ds);
+            first.train_epochs(&mut state, SPLIT);
+            first.save_checkpoint(&state, &path).expect("checkpoint");
+            first.train_epochs(&mut state, 1);
+            let newer = first.checkpoint_payload(&state).into_bytes();
+            let killed = kill_during_atomic_write(&path, &newer, newer.len() / 2).expect("simulated kill");
+            assert!(!killed, "kill offset must land inside the frame");
+            drop(first); // the crash
+
+            // The torn overwrite must be invisible: the file still verifies
+            // as the epoch-SPLIT generation.
+            read_verified(&path).expect("checkpoint must survive the torn overwrite");
+
+            // Process 2: fresh model, resume, finish the run.
+            let mut model = DesalignModel::new(cfg(), &ds, SEED);
+            let mut state = model.resume_training(&ds, &path).expect("resume");
+            assert_eq!(state.next_epoch(), SPLIT, "resumed from the wrong generation");
+            model.train_epochs(&mut state, usize::MAX);
+            let report = model.end_training(state);
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(desalign_util::temp_path(&path)).ok();
+            (model, report)
+        }
+        other => {
+            eprintln!("unknown DESALIGN_RESUME_MODE '{other}' (use 'straight' or 'resume')");
+            std::process::exit(2);
+        }
+    };
+
+    let metrics = model.evaluate(&ds);
+    let mut h = Fnv::new();
+    h.update(model.params().weights_to_json_string().as_bytes());
+    // The resumed report only covers post-resume epochs, so hash the final
+    // epoch's loss (identical in both modes) rather than the whole history.
+    let report: &TrainReport = &report;
+    if let Some(l) = report.loss_history.last() {
+        h.update(&l.total.to_bits().to_le_bytes());
+    }
+    for v in [metrics.hits_at_1, metrics.hits_at_10, metrics.mrr] {
+        h.update(&v.to_bits().to_le_bytes());
+    }
+    h.update(&(metrics.num_queries as u64).to_le_bytes());
+    println!("{:016x}", h.0);
+}

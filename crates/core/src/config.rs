@@ -61,6 +61,36 @@ impl Ablation {
     }
 }
 
+/// Training watchdog thresholds (see `docs/RELIABILITY.md`).
+///
+/// The watchdog inspects every epoch *after* the backward pass and
+/// *before* the optimizer step — gradients, loss, and the sampled
+/// Dirichlet energy — so a poisoned update can be rejected while the
+/// weights are still clean. On a trip it rolls the run back to the last
+/// good in-memory snapshot with a deterministically perturbed sampling
+/// stream.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// Master switch; when off, epochs are never checked and no snapshots
+    /// are kept.
+    pub enabled: bool,
+    /// A finite loss larger than `spike_factor ×` the last good loss
+    /// counts as divergence. Keep well above natural epoch-to-epoch noise;
+    /// non-finite values trip regardless of this factor.
+    pub spike_factor: f32,
+    /// Capture a rollback snapshot every this many epochs (≥ 1).
+    pub snapshot_every: usize,
+    /// Give up (stop training on the last good state) after this many
+    /// rollbacks in one run.
+    pub max_rollbacks: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { enabled: true, spike_factor: 100.0, snapshot_every: 1, max_rollbacks: 3 }
+    }
+}
+
 /// Which structure-branch encoder to use (Eq. 7). The paper uses a GAT;
 /// a vanilla GCN is provided for the architecture study (and is stronger
 /// at very small graph scales, where attention heads are data-starved).
@@ -140,6 +170,8 @@ pub struct DesalignConfig {
     /// pair and scrambles the similarity; a small α keeps the adaptive
     /// signal while preserving cross-graph comparability.
     pub confidence_blend: f32,
+    /// Training watchdog (NaN/spike rollback) thresholds.
+    pub watchdog: WatchdogConfig,
     /// Ablation switches.
     pub ablation: Ablation,
 }
@@ -173,6 +205,7 @@ impl DesalignConfig {
             modal_k1_on_branch: false,
             phi_rescale: true,
             confidence_blend: 0.25,
+            watchdog: WatchdogConfig::default(),
             ablation: Ablation::default(),
         }
     }
@@ -206,6 +239,7 @@ impl DesalignConfig {
             modal_k1_on_branch: false,
             phi_rescale: true,
             confidence_blend: 0.25,
+            watchdog: WatchdogConfig::default(),
             ablation: Ablation::default(),
         }
     }
@@ -233,6 +267,14 @@ impl DesalignConfig {
         if !(0.0..=1.0).contains(&self.confidence_blend) {
             return Err(format!("confidence_blend {} must lie in [0,1]", self.confidence_blend));
         }
+        if self.watchdog.enabled {
+            if self.watchdog.spike_factor <= 1.0 {
+                return Err(format!("watchdog.spike_factor {} must exceed 1", self.watchdog.spike_factor));
+            }
+            if self.watchdog.snapshot_every == 0 {
+                return Err("watchdog.snapshot_every must be ≥ 1".into());
+            }
+        }
         Ok(())
     }
 }
@@ -246,6 +288,17 @@ impl ToJson for StructureEncoderKind {
             }
             .to_string(),
         )
+    }
+}
+
+impl ToJson for WatchdogConfig {
+    fn to_json(&self) -> Json {
+        json!({
+            "enabled": self.enabled,
+            "spike_factor": self.spike_factor,
+            "snapshot_every": self.snapshot_every,
+            "max_rollbacks": self.max_rollbacks as usize,
+        })
     }
 }
 
@@ -302,6 +355,7 @@ impl ToJson for DesalignConfig {
             "modal_k1_on_branch": self.modal_k1_on_branch,
             "phi_rescale": self.phi_rescale,
             "confidence_blend": self.confidence_blend,
+            "watchdog": self.watchdog,
             "ablation": self.ablation,
         })
     }
@@ -335,6 +389,19 @@ mod tests {
         c.ablation.use_text = false;
         c.ablation.use_visual = false;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn watchdog_validation() {
+        let mut c = DesalignConfig::fast();
+        c.watchdog.spike_factor = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = DesalignConfig::fast();
+        c.watchdog.snapshot_every = 0;
+        assert!(c.validate().is_err());
+        // A disabled watchdog skips threshold checks entirely.
+        c.watchdog.enabled = false;
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub struct RoundReport {
     /// Of those, how many agree with a gold alignment (diagnostic only —
     /// gold test labels are never used for training).
     pub pseudo_correct: usize,
+    /// Watchdog rollbacks during this round's training stage.
+    pub rollbacks: u64,
     /// Test metrics at the end of the round.
     pub metrics: AlignmentMetrics,
 }
@@ -75,8 +77,14 @@ pub fn iterative_fit(
     let mut model = DesalignModel::new(cfg, dataset, seed);
     let mut rounds = Vec::with_capacity(it_cfg.rounds + 1);
 
-    model.fit(dataset);
-    rounds.push(RoundReport { round: 0, pseudo_pairs: 0, pseudo_correct: 0, metrics: model.evaluate(dataset) });
+    let base = model.fit(dataset);
+    rounds.push(RoundReport {
+        round: 0,
+        pseudo_pairs: 0,
+        pseudo_correct: 0,
+        rollbacks: base.rollbacks,
+        metrics: model.evaluate(dataset),
+    });
 
     // Gold map for the pseudo-pair precision diagnostic.
     let mut gold = std::collections::HashMap::new();
@@ -100,11 +108,12 @@ pub fn iterative_fit(
         model.pseudo_pairs = mined.iter().map(|&(s, t, _)| (s, t)).collect();
         let pseudo_correct = model.pseudo_pairs.iter().filter(|&&(s, t)| gold.get(&s) == Some(&t)).count();
 
-        model.fit(dataset);
+        let stage = model.fit(dataset);
         rounds.push(RoundReport {
             round,
             pseudo_pairs: model.pseudo_pairs.len(),
             pseudo_correct,
+            rollbacks: stage.rollbacks,
             metrics: model.evaluate(dataset),
         });
     }

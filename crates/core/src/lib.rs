@@ -20,11 +20,15 @@
 //!
 //! [`DesalignModel`] wires these together behind a `fit` / `evaluate` API;
 //! [`iterative`] adds the bootstrapping pseudo-seed strategy used for the
-//! "Iterative" table rows.
+//! "Iterative" table rows. The loop itself lives in [`trainer`], split
+//! into begin/epochs/end phases with a divergence watchdog, and
+//! [`checkpoint`] persists the full training state crash-safely with
+//! bit-identical resume (see `docs/RELIABILITY.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod decode;
 pub mod encoder;
@@ -34,8 +38,10 @@ pub mod loss;
 pub mod model;
 pub mod propagate;
 pub mod train;
+pub mod trainer;
 
-pub use config::{Ablation, DesalignConfig, StructureEncoderKind};
+pub use checkpoint::{config_digest, dataset_digest, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
+pub use config::{Ablation, DesalignConfig, StructureEncoderKind, WatchdogConfig};
 pub use decode::{csls_decode, gradient_flow_decode};
 pub use encoder::{EncodedGraph, MultiModalEncoder, Modality};
 pub use energy::{EnergyDiagnostics, EnergyTrace};
@@ -43,4 +49,5 @@ pub use iterative::{iterative_fit, IterativeConfig, IterativeReport};
 pub use loss::LossBreakdown;
 pub use model::DesalignModel;
 pub use train::TrainReport;
+pub use trainer::{ChaosPlan, TrainState};
 pub use propagate::{per_modality_propagation_similarity, semantic_propagation_similarity};

@@ -1,32 +1,41 @@
 //! The `DesalignModel` facade: construct, `fit`, `similarity`, `evaluate`.
+//!
+//! The training loop itself (with its checkpoint/resume split and the
+//! divergence watchdog) lives in the sibling [`crate::trainer`] module;
+//! full-state persistence lives in [`crate::checkpoint`].
 
 use crate::config::DesalignConfig;
 use crate::encoder::{GraphInputs, MultiModalEncoder};
 use crate::energy::{EnergyDiagnostics, EnergyTrace};
-use crate::loss::mmsl_loss;
 use crate::propagate::{consistency_mask, per_modality_propagation_similarity, semantic_propagation_similarity};
-use crate::train::{sample_batch, train_val_split, TrainReport};
+use crate::trainer::ChaosPlan;
 use desalign_eval::{evaluate_ranking, AlignmentMetrics, SimilarityMatrix};
-use desalign_graph::{dirichlet_energy, singular_value_range, Csr};
+use desalign_graph::{singular_value_range, Csr};
 use desalign_mmkg::AlignmentDataset;
-use desalign_nn::{AdamW, CosineWarmup, ParamStore, Session};
+use desalign_nn::{ParamStore, Session};
 use desalign_tensor::{rng_from_seed, Matrix, Rng64};
 use std::rc::Rc;
-use std::time::Instant;
 
 /// A trained (or trainable) DESAlign model bound to one dataset's shape.
 pub struct DesalignModel {
-    cfg: DesalignConfig,
-    store: ParamStore,
-    encoder: MultiModalEncoder,
-    inputs: [GraphInputs; 2],
-    laplacians: [Rc<Csr>; 2],
-    adj_norm: [Rc<Csr>; 2],
-    known: [Vec<bool>; 2],
-    rng: Rng64,
+    pub(crate) cfg: DesalignConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) encoder: MultiModalEncoder,
+    pub(crate) inputs: [GraphInputs; 2],
+    pub(crate) laplacians: [Rc<Csr>; 2],
+    pub(crate) adj_norm: [Rc<Csr>; 2],
+    pub(crate) known: [Vec<bool>; 2],
+    pub(crate) rng: Rng64,
+    /// The construction seed, recorded for checkpoint provenance.
+    pub(crate) seed: u64,
+    /// Digest of the dataset this model was built against (checkpoint
+    /// provenance — see `crate::checkpoint`).
+    pub(crate) dataset_digest: u64,
+    /// Deterministic fault-injection plan, if armed (tests only).
+    pub(crate) chaos: Option<ChaosPlan>,
     /// Extra (pseudo) seed pairs injected by the iterative strategy.
     pub pseudo_pairs: Vec<(usize, usize)>,
-    energy_traces: Vec<EnergyTrace>,
+    pub(crate) energy_traces: Vec<EnergyTrace>,
 }
 
 impl DesalignModel {
@@ -56,6 +65,9 @@ impl DesalignModel {
             adj_norm,
             known,
             rng,
+            seed,
+            dataset_digest: crate::checkpoint::dataset_digest(dataset),
+            chaos: None,
             pseudo_pairs: Vec::new(),
             energy_traces: Vec::new(),
         }
@@ -64,139 +76,6 @@ impl DesalignModel {
     /// The active configuration.
     pub fn config(&self) -> &DesalignConfig {
         &self.cfg
-    }
-
-    /// Trains with the MMSL objective (Algorithm 1 lines 3–10). Calling
-    /// `fit` again continues training (used by the iterative strategy).
-    pub fn fit(&mut self, dataset: &AlignmentDataset) -> TrainReport {
-        let _fit_span = desalign_telemetry::span("fit");
-        let t0 = Instant::now();
-        let mut report = TrainReport::default();
-        let val_frac = if self.cfg.early_stop_patience > 0 { 0.1 } else { 0.0 };
-        let (train_pairs, val_pairs) = train_val_split(&dataset.train_pairs, val_frac, &mut self.rng);
-        let mut pool = train_pairs;
-        pool.extend(self.pseudo_pairs.iter().copied());
-        if pool.is_empty() {
-            report.seconds = t0.elapsed().as_secs_f64();
-            return report;
-        }
-
-        let schedule = CosineWarmup::new(self.cfg.lr, self.cfg.epochs, self.cfg.warmup_frac);
-        let mut opt = AdamW::new(self.cfg.weight_decay);
-        let mut best_val = 0.0f32;
-        let mut best_snapshot: Option<Vec<Matrix>> = None;
-        let mut patience_left = self.cfg.early_stop_patience;
-
-        for epoch in 0..self.cfg.epochs {
-            let _epoch_span = desalign_telemetry::span("epoch");
-            let batch = {
-                let _span = desalign_telemetry::span("sample");
-                sample_batch(&pool, self.cfg.batch_size, &mut self.rng)
-            };
-            let mut sess = Session::new(&self.store);
-            let (enc_s, enc_t, loss, breakdown) = {
-                let _span = desalign_telemetry::span("forward");
-                let enc_s = self.encoder.forward(&mut sess, &self.inputs[0], 0);
-                let enc_t = self.encoder.forward(&mut sess, &self.inputs[1], 1);
-                let (loss, breakdown) =
-                    mmsl_loss(&mut sess, &self.cfg, &enc_s, &enc_t, &batch, (&self.laplacians[0], &self.laplacians[1]));
-                (enc_s, enc_t, loss, breakdown)
-            };
-
-            // Energy trace sampling (Section III instrumentation).
-            let mut epoch_energy: Option<f64> = None;
-            if self.cfg.eval_every > 0 && epoch % self.cfg.eval_every == 0 {
-                let _span = desalign_telemetry::span("energy");
-                let trace = EnergyTrace {
-                    epoch,
-                    source: [
-                        dirichlet_energy(&self.laplacians[0], sess.tape.value(enc_s.h_ori)),
-                        dirichlet_energy(&self.laplacians[0], sess.tape.value(enc_s.h_fus_prev())),
-                        dirichlet_energy(&self.laplacians[0], sess.tape.value(enc_s.h_fus())),
-                    ],
-                    target: [
-                        dirichlet_energy(&self.laplacians[1], sess.tape.value(enc_t.h_ori)),
-                        dirichlet_energy(&self.laplacians[1], sess.tape.value(enc_t.h_fus_prev())),
-                        dirichlet_energy(&self.laplacians[1], sess.tape.value(enc_t.h_fus())),
-                    ],
-                };
-                // Fused (post-SA) energies of both graphs — the quantity
-                // Figure 3 tracks.
-                epoch_energy = Some((trace.source[2] + trace.target[2]) as f64);
-                self.energy_traces.push(trace);
-                report.energy_history.push(trace);
-            }
-
-            let mut grads = {
-                let _span = desalign_telemetry::span("backward");
-                sess.backward(loss)
-            };
-            // Read-only diagnostic; skipped entirely when telemetry is off
-            // so the disabled path does no extra float work.
-            let grad_norm =
-                if desalign_telemetry::enabled() { Some(grads.global_norm()) } else { None };
-            {
-                let _span = desalign_telemetry::span("optimizer");
-                opt.step(&mut self.store, &mut grads, schedule.lr(epoch));
-            }
-            report.loss_history.push(breakdown);
-            report.epochs_run = epoch + 1;
-
-            // Early stopping on the held-out seed split.
-            let mut epoch_eval = None;
-            let mut stop = false;
-            if !val_pairs.is_empty() && self.cfg.eval_every > 0 && (epoch + 1) % self.cfg.eval_every == 0 {
-                let _span = desalign_telemetry::span("eval");
-                let metrics = evaluate_ranking(&self.similarity(), &val_pairs);
-                epoch_eval = Some(desalign_telemetry::EvalSnapshot {
-                    hits_at_1: metrics.hits_at_1,
-                    hits_at_10: metrics.hits_at_10,
-                    mrr: metrics.mrr,
-                });
-                if metrics.hits_at_1 > best_val {
-                    best_val = metrics.hits_at_1;
-                    best_snapshot = Some(self.store.snapshot());
-                    patience_left = self.cfg.early_stop_patience;
-                } else if self.cfg.early_stop_patience > 0 {
-                    patience_left -= 1;
-                    if patience_left == 0 {
-                        stop = true;
-                    }
-                }
-            }
-
-            if desalign_telemetry::enabled() {
-                let record = desalign_telemetry::EpochRecord {
-                    epoch,
-                    loss_total: breakdown.total,
-                    loss_task0: breakdown.task0,
-                    loss_taskk: breakdown.taskk,
-                    loss_modal_k1: breakdown.modal_k1,
-                    loss_modal_k: breakdown.modal_k,
-                    energy_penalty: breakdown.energy_penalty,
-                    dirichlet_energy: epoch_energy,
-                    lr: schedule.lr(epoch),
-                    grad_norm,
-                    sp_iterations: if self.cfg.ablation.use_semantic_propagation {
-                        self.cfg.sp_iterations
-                    } else {
-                        0
-                    },
-                    eval: epoch_eval,
-                };
-                desalign_telemetry::emit(&record.to_json());
-            }
-            if stop {
-                break;
-            }
-        }
-        if let Some(snap) = best_snapshot {
-            self.store.restore(&snap);
-        }
-        report.best_val_h1 = best_val;
-        report.final_loss = report.loss_history.last().copied().unwrap_or_default();
-        report.seconds = t0.elapsed().as_secs_f64();
-        report
     }
 
     /// Final entity semantic embeddings `(X_s, X_t)` — the early-fusion

@@ -17,6 +17,9 @@ pub struct TrainReport {
     pub energy_history: Vec<crate::energy::EnergyTrace>,
     /// Best validation H@1 seen (0 when no validation split is used).
     pub best_val_h1: f32,
+    /// Watchdog rollbacks performed during this run (see
+    /// `crate::trainer` and `docs/RELIABILITY.md`).
+    pub rollbacks: u64,
     /// Wall-clock seconds spent in `fit`.
     pub seconds: f64,
 }

@@ -4,6 +4,25 @@
 //! parameter with name, shape, and row-major data — so checkpoints stay
 //! inspectable and diff-able. Loading validates that the store layout
 //! (count, order, shapes) matches; names are informative only.
+//!
+//! # The `f32` round-trip guarantee
+//!
+//! Weights reload **bit-exactly**. Every finite `f32` (including signed
+//! zero and subnormals) is written with Rust's shortest-round-trip
+//! `Display`, parsed back as `f64` (a lossless superset of `f32`), and
+//! cast down — recovering the identical bit pattern. Non-finite values are
+//! written as the literals `NaN` / `Infinity` / `-Infinity` (the
+//! `desalign-util` JSON policy), so a diverged run's checkpoint says *NaN*
+//! instead of silently corrupting. The single caveat: NaN *payload* bits
+//! are not preserved — any NaN reloads as the canonical quiet NaN. No
+//! trained weight depends on NaN payloads, and the guarantee is pinned by
+//! the `json_round_trip_is_bit_exact_over_the_f32_space` test below and the
+//! checkpoint property suite in `crates/nn/tests/proptest_checkpoint.rs`.
+//!
+//! This module also provides the serialization primitives the full
+//! training checkpoint (`desalign-core::checkpoint`) builds on:
+//! [`write_f32_json`], [`matrix_to_json_string`], and
+//! [`matrix_from_json`].
 
 use crate::{ParamId, ParamStore};
 use desalign_tensor::Matrix;
@@ -13,9 +32,51 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Appends one `f32` to a JSON string under the workspace round-trip
+/// policy: shortest `Display` for finite values, `NaN` / `Infinity` /
+/// `-Infinity` literals otherwise.
+pub fn write_f32_json(out: &mut String, x: f32) {
+    if x.is_finite() {
+        write!(out, "{x}").expect("string write");
+    } else if x.is_nan() {
+        out.push_str("NaN");
+    } else if x > 0.0 {
+        out.push_str("Infinity");
+    } else {
+        out.push_str("-Infinity");
+    }
+}
+
+/// Serializes a matrix as `{"rows":r,"cols":c,"data":[...]}` with the
+/// bit-exact float policy of [`write_f32_json`].
+pub fn matrix_to_json_string(m: &Matrix) -> String {
+    let mut out = String::with_capacity(32 + m.len() * 8);
+    write!(out, "{{\"rows\":{},\"cols\":{},\"data\":[", m.rows(), m.cols()).expect("string write");
+    for (j, &x) in m.as_slice().iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        write_f32_json(&mut out, x);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a matrix written with [`matrix_to_json_string`].
+pub fn matrix_from_json(v: &Json) -> Result<Matrix, JsonError> {
+    let rows: usize = v.field("rows")?;
+    let cols: usize = v.field("cols")?;
+    let data: Vec<f32> = v.field("data")?;
+    if data.len() != rows * cols {
+        return Err(JsonError::schema(format!("matrix {rows}x{cols} needs {} values, found {}", rows * cols, data.len())));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
 impl ParamStore {
-    /// Saves every parameter to `path` as JSON.
-    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+    /// Serializes every parameter as the JSON records array (the
+    /// [`ParamStore::save_json`] file body).
+    pub fn weights_to_json_string(&self) -> String {
         let mut out = String::from("[");
         for (i, id) in self.ids().enumerate() {
             if i > 0 {
@@ -34,31 +95,41 @@ impl ParamStore {
                 if j > 0 {
                     out.push(',');
                 }
-                if x.is_finite() {
-                    write!(out, "{x}").expect("string write");
-                } else if x.is_nan() {
-                    out.push_str("NaN");
-                } else if x > 0.0 {
-                    out.push_str("Infinity");
-                } else {
-                    out.push_str("-Infinity");
-                }
+                write_f32_json(&mut out, x);
             }
             out.push_str("]}");
         }
         out.push(']');
-        fs::write(path, out)
+        out
+    }
+
+    /// Saves every parameter to `path` as JSON.
+    ///
+    /// Note this is a plain (non-atomic) write, for inspectable
+    /// weights-only exports; the crash-safe full training checkpoint
+    /// lives in `desalign-core::checkpoint` and goes through
+    /// `desalign_util::atomic_write`.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.weights_to_json_string())
     }
 
     /// Loads a checkpoint saved with [`ParamStore::save_json`] into this
-    /// store. The store must already have the same layout (same number of
-    /// parameters, same shapes, in the same order) — build the model first,
-    /// then restore.
+    /// store. See [`ParamStore::load_weights_json`] for the validation
+    /// rules.
     pub fn load_json(&mut self, path: &Path) -> io::Result<()> {
         let text = fs::read_to_string(path)?;
         let doc = Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.load_weights_json(&doc)
+    }
+
+    /// Loads a parsed weights document (the array form written by
+    /// [`ParamStore::weights_to_json_string`]) into this store. The store
+    /// must already have the same layout (same number of parameters, same
+    /// shapes, in the same order) — build the model first, then restore.
+    /// The store is untouched on error.
+    pub fn load_weights_json(&mut self, doc: &Json) -> io::Result<()> {
         let records: Vec<CheckpointRecord> =
-            Vec::from_json(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Vec::from_json(doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let ids: Vec<ParamId> = self.ids().collect();
         if records.len() != ids.len() {
             return Err(io::Error::new(
@@ -194,6 +265,71 @@ mod tests {
         assert_eq!(d.as_slice(), &[f32::MIN_POSITIVE, -0.0, f32::MAX, 1e-40]);
         assert_eq!(d[(0, 1)].to_bits(), (-0.0f32).to_bits(), "signed zero must survive");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact_over_the_f32_space() {
+        // Random bit patterns across the whole f32 space, plus the edge
+        // values. Every finite value must reload with the identical bit
+        // pattern; NaNs must reload as NaN (canonical payload is allowed).
+        let mut rng = rng_from_seed(0xF32B_1753);
+        let mut values: Vec<f32> =
+            (0..512).map(|_| f32::from_bits(rng.next_u64() as u32)).collect();
+        values.extend([
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            1e-45, // smallest subnormal
+            f32::EPSILON,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ]);
+        let n = values.len();
+        let mut store = ParamStore::new();
+        store.add("sweep", Matrix::from_vec(1, n, values.clone()));
+        let path = tmp("bitexact.json");
+        store.save_json(&path).expect("save");
+        let mut other = ParamStore::new();
+        other.add("sweep", Matrix::zeros(1, n));
+        other.load_json(&path).expect("load");
+        let got = other.value(ParamId::test_id(0)).as_slice().to_vec();
+        for (i, (&want, &back)) in values.iter().zip(&got).enumerate() {
+            if want.is_nan() {
+                assert!(back.is_nan(), "value {i}: NaN became {back}");
+            } else {
+                assert_eq!(
+                    want.to_bits(),
+                    back.to_bits(),
+                    "value {i}: {want} ({:#010x}) reloaded as {back} ({:#010x})",
+                    want.to_bits(),
+                    back.to_bits()
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matrix_json_helpers_round_trip() {
+        let m = Matrix::from_vec(2, 3, vec![1.5, -0.0, f32::NAN, f32::INFINITY, 3.25e-12, -7.0]);
+        let text = matrix_to_json_string(&m);
+        let doc = Json::parse(&text).expect("parse");
+        let back = matrix_from_json(&doc).expect("decode");
+        assert_eq!((back.rows(), back.cols()), (2, 3));
+        for (&a, &b) in m.as_slice().iter().zip(back.as_slice()) {
+            if a.is_nan() {
+                assert!(b.is_nan());
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Length mismatch is rejected.
+        let bad = Json::parse("{\"rows\":2,\"cols\":3,\"data\":[1,2]}").expect("parse");
+        assert!(matrix_from_json(&bad).is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 #![warn(missing_docs)]
 
 mod attention;
-mod checkpoint;
+pub mod checkpoint;
 mod gat;
 mod linear;
 mod module;
@@ -28,6 +28,7 @@ mod optim;
 mod schedule;
 
 pub use attention::{CawOutput, CrossModalAttention};
+pub use checkpoint::{matrix_from_json, matrix_to_json_string, write_f32_json};
 pub use gat::{GatEncoder, GatLayer, WeightKind};
 pub use linear::{DiagonalLinear, Linear};
 pub use module::{Gradients, ParamId, ParamStore, Session};

@@ -1,11 +1,24 @@
 //! AdamW — Adam with decoupled weight decay (Loshchilov & Hutter), the
 //! optimizer the paper trains with (β₁ = 0.9, β₂ = 0.999, §V-A).
+//!
+//! The full optimizer state — hyper-parameters, step counter, first and
+//! second moments — serializes through [`AdamW::state_to_json_string`] /
+//! [`AdamW::restore_state`] so a resumed run continues the *identical*
+//! update trajectory (bias correction depends on `step`; the moments carry
+//! the gradient history). The step counter is written as a decimal string
+//! (the workspace `u64` JSON policy), and floats use the bit-exact policy
+//! of [`crate::checkpoint`].
 
+use crate::checkpoint::{matrix_from_json, matrix_to_json_string, write_f32_json};
 use crate::{Gradients, ParamId, ParamStore};
 use desalign_tensor::Matrix;
+use desalign_util::{u64_from_json, FromJson, Json};
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
 
 /// AdamW optimizer state.
+#[derive(Clone)]
 pub struct AdamW {
     beta1: f32,
     beta2: f32,
@@ -27,6 +40,121 @@ impl AdamW {
     /// Number of optimizer steps taken so far.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// Serializes the complete optimizer state as a JSON string.
+    ///
+    /// Moments are emitted sorted by parameter id, so the output is a
+    /// deterministic function of the state. Restoring with
+    /// [`AdamW::restore_state`] reproduces the optimizer bit-for-bit:
+    ///
+    /// ```
+    /// use desalign_nn::AdamW;
+    /// use desalign_nn::ParamStore;
+    /// use desalign_util::Json;
+    ///
+    /// let store = ParamStore::new();
+    /// let opt = AdamW::new(0.01);
+    /// let text = opt.state_to_json_string();
+    /// let mut restored = AdamW::new(0.0); // wrong decay, fixed by restore
+    /// restored.restore_state(&Json::parse(&text).unwrap(), &store).unwrap();
+    /// assert_eq!(restored.state_to_json_string(), text);
+    /// ```
+    pub fn state_to_json_string(&self) -> String {
+        let mut out = String::from("{\"beta1\":");
+        write_f32_json(&mut out, self.beta1);
+        out.push_str(",\"beta2\":");
+        write_f32_json(&mut out, self.beta2);
+        out.push_str(",\"eps\":");
+        write_f32_json(&mut out, self.eps);
+        out.push_str(",\"weight_decay\":");
+        write_f32_json(&mut out, self.weight_decay);
+        out.push_str(",\"clip_norm\":");
+        match self.clip_norm {
+            Some(c) => write_f32_json(&mut out, c),
+            None => out.push_str("null"),
+        }
+        write!(out, ",\"step\":\"{}\",\"moments\":[", self.step).expect("string write");
+        let mut ids: Vec<ParamId> = self.moments.keys().copied().collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (m, v) = &self.moments[id];
+            write!(out, "{{\"param\":{},\"m\":{},\"v\":{}}}", id.0, matrix_to_json_string(m), matrix_to_json_string(v))
+                .expect("string write");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Restores state written by [`AdamW::state_to_json_string`].
+    ///
+    /// Every moment entry is validated against `store` — the parameter
+    /// index must be in range and both moment matrices must match the
+    /// parameter's shape — *before* anything is mutated, so the optimizer
+    /// is untouched on error. This matters because [`AdamW::step`] zips
+    /// moments against gradients element-wise; a silently mis-shaped
+    /// moment would corrupt the trajectory instead of failing loudly.
+    pub fn restore_state(&mut self, doc: &Json, store: &ParamStore) -> io::Result<()> {
+        let bad = |e: desalign_util::JsonError| io::Error::new(io::ErrorKind::InvalidData, e);
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let beta1: f32 = doc.field("beta1").map_err(bad)?;
+        let beta2: f32 = doc.field("beta2").map_err(bad)?;
+        let eps: f32 = doc.field("eps").map_err(bad)?;
+        let weight_decay: f32 = doc.field("weight_decay").map_err(bad)?;
+        let clip_norm = match doc.get("clip_norm") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(f32::from_json(v).map_err(bad)?),
+        };
+        let step = doc
+            .get("step")
+            .ok_or_else(|| invalid("missing field 'step'".into()))
+            .and_then(|v| u64_from_json(v).map_err(bad))?;
+        let entries = doc
+            .get("moments")
+            .and_then(Json::as_array)
+            .ok_or_else(|| invalid("missing or non-array field 'moments'".into()))?;
+        let n_params = store.ids().count();
+        let mut moments = HashMap::with_capacity(entries.len());
+        for entry in entries {
+            let idx: usize = entry.field("param").map_err(bad)?;
+            if idx >= n_params {
+                return Err(invalid(format!("moment for parameter {idx}, store has {n_params}")));
+            }
+            let id = ParamId(idx);
+            let shape = {
+                let w = store.value(id);
+                (w.rows(), w.cols())
+            };
+            let m = matrix_from_json(entry.get("m").ok_or_else(|| invalid(format!("moment {idx}: missing 'm'")))?)
+                .map_err(bad)?;
+            let v = matrix_from_json(entry.get("v").ok_or_else(|| invalid(format!("moment {idx}: missing 'v'")))?)
+                .map_err(bad)?;
+            for (which, mat) in [("m", &m), ("v", &v)] {
+                if (mat.rows(), mat.cols()) != shape {
+                    return Err(invalid(format!(
+                        "moment {idx} '{which}' is {}x{}, parameter is {}x{}",
+                        mat.rows(),
+                        mat.cols(),
+                        shape.0,
+                        shape.1
+                    )));
+                }
+            }
+            if moments.insert(id, (m, v)).is_some() {
+                return Err(invalid(format!("duplicate moment entry for parameter {idx}")));
+            }
+        }
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self.eps = eps;
+        self.weight_decay = weight_decay;
+        self.clip_norm = clip_norm;
+        self.step = step;
+        self.moments = moments;
+        Ok(())
     }
 
     /// Applies one update with learning rate `lr`.
@@ -119,6 +247,63 @@ mod tests {
         assert!(norm_before > 1.0);
         opt.step(&mut store, &mut grads, 0.1);
         assert!(grads.global_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identical_trajectory() {
+        // Straight run: 10 steps. Resumed run: 6 steps, serialize/restore,
+        // 4 more. The weights must match bit-for-bit — the restored step
+        // counter and moments reproduce the exact bias correction.
+        let straight = || {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Matrix::from_rows(&[&[3.0, -2.0, 0.5]]));
+            let mut opt = AdamW::new(0.02);
+            for _ in 0..10 {
+                let mut grads = quadratic_grads(&store, id);
+                opt.step(&mut store, &mut grads, 0.05);
+            }
+            store.value(id).clone()
+        };
+        let resumed = || {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Matrix::from_rows(&[&[3.0, -2.0, 0.5]]));
+            let mut opt = AdamW::new(0.02);
+            for _ in 0..6 {
+                let mut grads = quadratic_grads(&store, id);
+                opt.step(&mut store, &mut grads, 0.05);
+            }
+            let text = opt.state_to_json_string();
+            let mut opt2 = AdamW::new(0.9); // deliberately wrong hyper-params
+            opt2.clip_norm = None;
+            opt2.restore_state(&Json::parse(&text).expect("parse"), &store).expect("restore");
+            assert_eq!(opt2.steps(), 6);
+            for _ in 0..4 {
+                let mut grads = quadratic_grads(&store, id);
+                opt2.step(&mut store, &mut grads, 0.05);
+            }
+            store.value(id).clone()
+        };
+        assert_eq!(straight(), resumed());
+    }
+
+    #[test]
+    fn restore_rejects_bad_state_without_mutating() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_rows(&[&[1.0, 2.0]]));
+        let mut opt = AdamW::new(0.01);
+        let mut grads = quadratic_grads(&store, id);
+        opt.step(&mut store, &mut grads, 0.02);
+        let good = opt.state_to_json_string();
+
+        // Out-of-range parameter index.
+        let bad = good.replace("\"param\":0", "\"param\":7");
+        let err = opt.restore_state(&Json::parse(&bad).expect("parse"), &store).expect_err("accepted");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Shape mismatch: moments are 1x2, lie about cols.
+        let bad = good.replace("\"cols\":2", "\"cols\":3");
+        assert!(opt.restore_state(&Json::parse(&bad).expect("parse"), &store).is_err());
+        // The failed restores left the optimizer untouched.
+        assert_eq!(opt.state_to_json_string(), good);
     }
 
     #[test]

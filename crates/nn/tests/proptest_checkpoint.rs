@@ -1,0 +1,178 @@
+//! Property test: a torn checkpoint write never corrupts training state.
+//!
+//! For a random `ParamStore` + `AdamW` pair (moments populated by real
+//! optimizer steps), we save generation A atomically, then attempt to
+//! overwrite it with generation B but kill the writer at a random byte
+//! offset. The contract under test (docs/RELIABILITY.md):
+//!
+//! - the destination always verifies and parses — it holds either all of
+//!   generation A or all of generation B, never a splice;
+//! - restoring from whatever generation survived reproduces that
+//!   generation's weights and optimizer trajectory bit-for-bit;
+//! - a file damaged *at rest* (truncated under the reader) yields a clean
+//!   `InvalidData` error — no panic;
+//! - a malformed payload is rejected by `load_weights_json` without
+//!   mutating the target store.
+
+use desalign_nn::{AdamW, Gradients, ParamId, ParamStore, Session};
+use desalign_testkit as testkit;
+use desalign_testkit::fault::{kill_during_atomic_write, truncate_file};
+use desalign_tensor::{rng_from_seed, Matrix, Rng64};
+use desalign_util::{atomic_write, read_verified, temp_path, Json, FOOTER_LEN};
+
+/// Builds a random store (1..=4 params of random small shapes) and runs a
+/// random number of real AdamW steps so both moments are non-trivial.
+fn random_state(rng: &mut Rng64) -> (ParamStore, AdamW, Vec<ParamId>) {
+    let mut store = ParamStore::new();
+    let n_params = rng.gen_range(1..5usize);
+    let mut ids = Vec::new();
+    for p in 0..n_params {
+        let rows = rng.gen_range(1..4usize);
+        let cols = rng.gen_range(1..5usize);
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = rng.gen_range(-2.0f32..2.0);
+            }
+        }
+        ids.push(store.add(format!("p{p}"), m));
+    }
+    let mut opt = AdamW::new(0.01);
+    for _ in 0..rng.gen_range(1..6usize) {
+        let mut grads = sum_of_squares_grads(&store, &ids);
+        opt.step(&mut store, &mut grads, 0.05);
+    }
+    (store, opt, ids)
+}
+
+/// loss = Σ over all params of Σ w² — touches every parameter.
+fn sum_of_squares_grads(store: &ParamStore, ids: &[ParamId]) -> Gradients {
+    let mut sess = Session::new(store);
+    let mut total = None;
+    for &id in ids {
+        let w = sess.param(id);
+        let sq = sess.tape.square(w);
+        let s = sess.tape.sum_all(sq);
+        total = Some(match total {
+            None => s,
+            Some(t) => sess.tape.add(t, s),
+        });
+    }
+    sess.backward(total.expect("at least one param"))
+}
+
+/// One self-describing checkpoint payload: weights + optimizer state.
+fn payload(store: &ParamStore, opt: &AdamW) -> Vec<u8> {
+    format!("{{\"weights\":{},\"optimizer\":{}}}", store.weights_to_json_string(), opt.state_to_json_string()).into_bytes()
+}
+
+/// A store with the same parameter names and shapes but zeroed values —
+/// the "fresh process" that a resume populates.
+fn blank_architecture(arch: &ParamStore) -> ParamStore {
+    let mut out = ParamStore::new();
+    for id in arch.ids() {
+        out.add(arch.name(id).to_string(), Matrix::zeros(arch.value(id).rows(), arch.value(id).cols()));
+    }
+    out
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> &'a Json {
+    match doc {
+        Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v).expect("field"),
+        _ => panic!("checkpoint root is not an object"),
+    }
+}
+
+/// Restores a (store, opt) pair from checkpoint bytes; `arch` supplies the
+/// architecture (names/shapes), as the model constructor would on resume.
+fn restore(bytes: &[u8], arch: &ParamStore) -> (ParamStore, AdamW) {
+    let doc = Json::parse(std::str::from_utf8(bytes).expect("utf8")).expect("parse");
+    let mut store = blank_architecture(arch);
+    store.load_weights_json(field(&doc, "weights")).expect("weights restore");
+    let mut opt = AdamW::new(0.0);
+    opt.restore_state(field(&doc, "optimizer"), &store).expect("optimizer restore");
+    (store, opt)
+}
+
+#[test]
+fn torn_checkpoint_writes_never_corrupt_state() {
+    let dir = std::env::temp_dir().join("desalign-nn-proptest");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+
+    testkit::check(
+        "torn_checkpoint_writes_never_corrupt_state",
+        48,
+        |rng| rng.next_u64(),
+        |&word| {
+            let mut rng = rng_from_seed(word);
+            // Generation A, then extra steps on a rebuilt copy → generation B
+            // of the same architecture.
+            let (mut store, opt_a, ids) = random_state(&mut rng);
+            let bytes_a = payload(&store, &opt_a);
+            let mut opt_b = opt_a.clone();
+            for _ in 0..rng.gen_range(1..4usize) {
+                let mut grads = sum_of_squares_grads(&store, &ids);
+                opt_b.step(&mut store, &mut grads, 0.05);
+            }
+            let bytes_b = payload(&store, &opt_b);
+
+            let path = dir.join(format!("ckpt-{:04x}.json", word & 0xffff));
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(temp_path(&path)).ok();
+            atomic_write(&path, &bytes_a).expect("seed generation A");
+
+            // Kill the replacement write at a random byte of the frame.
+            let frame_len = bytes_b.len() + FOOTER_LEN;
+            let kill_after = rng.gen_range(0..frame_len + 1);
+            let completed = kill_during_atomic_write(&path, &bytes_b, kill_after).expect("simulated write");
+
+            // 1. The destination always verifies — no splice, no tear.
+            let on_disk = read_verified(&path).expect("destination must verify");
+            let want_bytes = if completed { &bytes_b } else { &bytes_a };
+            testkit::ensure_eq!(&on_disk, want_bytes);
+
+            // 2. Restoring reproduces the surviving generation bit-for-bit
+            //    (canonical serializations use the bit-exact f32 policy, so
+            //    string equality is bit equality).
+            let (restored_store, restored_opt) = restore(&on_disk, &store);
+            testkit::ensure_eq!(payload(&restored_store, &restored_opt), *want_bytes);
+
+            // 3. Damage at rest: any truncation below full length → clean
+            //    InvalidData, never a panic or a half-parsed state.
+            let full = std::fs::metadata(&path).expect("meta").len();
+            let keep = rng.gen_range(0..full);
+            truncate_file(&path, keep).expect("truncate");
+            let err = read_verified(&path).expect_err("torn file must not verify");
+            testkit::ensure_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_file(temp_path(&path)).ok();
+            Ok(())
+        },
+    );
+}
+
+/// Malformed-but-parseable payloads must fail *cleanly*: `load_weights_json`
+/// returns an error without mutating the target store.
+#[test]
+fn malformed_payloads_fail_without_mutating() {
+    let mut rng = rng_from_seed(testkit::case_seed("malformed_payloads_fail_without_mutating", 0));
+    let (store, opt, _) = random_state(&mut rng);
+    let good = payload(&store, &opt);
+    let text = std::str::from_utf8(&good).expect("utf8");
+    let weights_doc = Json::parse(text).expect("parse");
+    let weights_text = field(&weights_doc, "weights").to_string();
+
+    // Corruptions: truncations of the weights document plus a shape lie.
+    let mut corrupt: Vec<String> = (1..weights_text.len()).step_by(11).map(|cut| weights_text[..cut].to_string()).collect();
+    corrupt.push(weights_text.replace("\"rows\":", "\"rows\":9"));
+
+    for (i, candidate) in corrupt.iter().enumerate() {
+        let Ok(doc) = Json::parse(candidate) else { continue };
+        let mut victim = blank_architecture(&store);
+        let before = victim.weights_to_json_string();
+        let outcome = victim.load_weights_json(&doc);
+        assert!(outcome.is_err(), "corruption {i} was accepted");
+        assert_eq!(victim.weights_to_json_string(), before, "corruption {i} mutated the store");
+    }
+}

@@ -183,6 +183,12 @@ pub struct EpochRecord {
     pub sp_iterations: usize,
     /// Ranking metrics, on epochs where evaluation ran.
     pub eval: Option<EvalSnapshot>,
+    /// When this epoch is the first after a checkpoint resume, the epoch
+    /// the restored checkpoint was written at; `None` otherwise.
+    pub resumed_from: Option<usize>,
+    /// Cumulative watchdog rollbacks in this run up to and including this
+    /// epoch (see `docs/RELIABILITY.md`).
+    pub rollbacks: u64,
 }
 
 fn opt_num(v: Option<f64>) -> Json {
@@ -220,6 +226,8 @@ impl EpochRecord {
                     None => Json::Null,
                 },
             ),
+            ("resumed_from".to_string(), opt_num(self.resumed_from.map(|e| e as f64))),
+            ("rollbacks".to_string(), Json::Num(self.rollbacks as f64)),
         ];
         if let Some(ctx) = CONTEXT.lock().unwrap().as_deref() {
             obj.push(("context".to_string(), Json::Str(ctx.to_string())));
@@ -246,6 +254,8 @@ mod tests {
             grad_norm: Some(2.0),
             sp_iterations: 10,
             eval: Some(EvalSnapshot { hits_at_1: 0.5, hits_at_10: 0.9, mrr: 0.65 }),
+            resumed_from: None,
+            rollbacks: 0,
         }
     }
 
@@ -280,6 +290,18 @@ mod tests {
         assert!(text.contains("\"dirichlet_energy\":null"));
         assert!(text.contains("\"grad_norm\":null"));
         assert!(text.contains("\"eval\":null"));
+        assert!(text.contains("\"resumed_from\":null"));
+        assert!(text.contains("\"rollbacks\":0"));
+    }
+
+    #[test]
+    fn resume_and_rollback_fields_serialize() {
+        let mut r = record();
+        r.resumed_from = Some(7);
+        r.rollbacks = 2;
+        let text = r.to_json().to_string();
+        assert!(text.contains("\"resumed_from\":7"));
+        assert!(text.contains("\"rollbacks\":2"));
     }
 
     #[test]

@@ -48,6 +48,41 @@ impl Rng64 {
         Rng64 { s }
     }
 
+    /// Exports the full 256-bit generator state, for checkpointing.
+    ///
+    /// Together with [`Rng64::from_state`] this makes the RNG resumable:
+    /// a training run killed and restarted from a checkpoint continues the
+    /// *exact* random stream it would have produced uninterrupted — the
+    /// keystone of the bit-identical-resume contract
+    /// (`docs/RELIABILITY.md`).
+    ///
+    /// ```
+    /// use desalign_tensor::{rng_from_seed, Rng64};
+    ///
+    /// let mut rng = rng_from_seed(7);
+    /// rng.next_u64(); // advance somewhere mid-stream
+    /// let saved = rng.state();
+    /// let a: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    /// let mut resumed = Rng64::from_state(saved);
+    /// let b: Vec<u64> = (0..4).map(|_| resumed.next_u64()).collect();
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state exported with [`Rng64::state`].
+    ///
+    /// # Panics
+    /// Panics on the all-zero state, which is the single fixed point of
+    /// the xoshiro256++ update (it would emit zeros forever). No state
+    /// reachable from [`Rng64::seed_from_u64`] is all-zero, so hitting
+    /// this indicates a corrupt checkpoint.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "Rng64::from_state: the all-zero state is invalid (xoshiro fixed point)");
+        Rng64 { s }
+    }
+
     /// The raw xoshiro256++ output: uniform over all of `u64`.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -278,6 +313,36 @@ mod tests {
         assert_eq!(ints, vec![866, 876, 31, 613]);
         let float_bits: Vec<u32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0).to_bits()).collect();
         assert_eq!(float_bits, vec![3_179_298_528, 1_057_960_784, 3_188_216_384, 3_206_503_016]);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_every_sampling_mode() {
+        // Checkpoint/resume contract: restoring a mid-stream state must
+        // continue the exact stream across raw output, bounded ints,
+        // floats, bools, and shuffles.
+        let mut rng = rng_from_seed(42);
+        for _ in 0..100 {
+            rng.next_u64();
+        }
+        let saved = rng.state();
+        let drive = |r: &mut Rng64| {
+            let mut v: Vec<usize> = (0..20).collect();
+            v.shuffle(r);
+            (r.next_u64(), r.gen_range(0..1_000_000usize), r.gen_range(-1.0f32..1.0).to_bits(), r.gen_bool(0.5), v)
+        };
+        let a = drive(&mut rng);
+        let mut resumed = Rng64::from_state(saved);
+        assert_eq!(resumed.state(), saved);
+        let b = drive(&mut resumed);
+        assert_eq!(a, b);
+        // And the two generators stay in lockstep afterwards.
+        assert_eq!(rng.state(), resumed.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn all_zero_state_is_rejected() {
+        let _ = Rng64::from_state([0; 4]);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! The central tool is [`kill_during_atomic_write`]: it replays the exact
+//! byte sequence of [`desalign_util::atomic_write`] — same framing, same
+//! temp path, same rename point — but "kills the process" after a chosen
+//! number of payload-stream bytes, leaving the filesystem exactly as a
+//! real kill at that byte would. Sweeping the kill offset over every byte
+//! of a write proves the atomic-replacement guarantee exhaustively:
+//!
+//! ```
+//! use desalign_testkit::fault::kill_during_atomic_write;
+//! use desalign_util::read_verified;
+//!
+//! let path = std::env::temp_dir().join("desalign-fault-doc.bin");
+//! desalign_util::atomic_write(&path, b"generation 1").unwrap();
+//! // Die after 3 bytes of the replacement write: the destination must
+//! // still hold generation 1 in full.
+//! kill_during_atomic_write(&path, b"generation 2", 3).unwrap();
+//! assert_eq!(read_verified(&path).unwrap(), b"generation 1");
+//! std::fs::remove_file(&path).ok();
+//! std::fs::remove_file(desalign_util::temp_path(&path)).ok();
+//! ```
+//!
+//! [`KillAfterWriter`] is the underlying building block — an `io::Write`
+//! adapter that accepts exactly `n` bytes and then fails every further
+//! write, emulating the kernel's view of a process that died mid-`write`.
+//! [`truncate_file`] covers the other half of the threat model: torn
+//! *reads* of files damaged at rest (bit rot, partial copies).
+
+use desalign_util::{frame, temp_path};
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An `io::Write` adapter that accepts at most `budget` bytes, then
+/// reports `BrokenPipe` — byte-exact emulation of a process killed
+/// mid-write.
+///
+/// A partial `write` consumes the remaining budget first, exactly like a
+/// short write racing a kill signal:
+///
+/// ```
+/// use desalign_testkit::fault::KillAfterWriter;
+/// use std::io::Write;
+///
+/// let mut w = KillAfterWriter::new(Vec::new(), 5);
+/// assert_eq!(w.write(b"abc").unwrap(), 3);
+/// assert_eq!(w.write(b"defgh").unwrap(), 2); // short write: budget hit
+/// assert!(w.write(b"i").is_err());           // "process" is dead
+/// assert_eq!(w.into_inner(), b"abcde");
+/// ```
+pub struct KillAfterWriter<W> {
+    inner: W,
+    budget: usize,
+}
+
+impl<W: Write> KillAfterWriter<W> {
+    /// Wraps `inner`, allowing `budget` bytes through before the kill.
+    pub fn new(inner: W, budget: usize) -> Self {
+        Self { inner, budget }
+    }
+
+    /// Remaining byte budget.
+    pub fn remaining(&self) -> usize {
+        self.budget
+    }
+
+    /// Unwraps the inner writer (what actually reached "disk").
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for KillAfterWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "killed: write budget exhausted"));
+        }
+        let n = buf.len().min(self.budget);
+        let written = self.inner.write(&buf[..n])?;
+        self.budget -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Replays `desalign_util::atomic_write(path, payload)` but kills the
+/// writer after `kill_after` bytes of the framed temp-file stream.
+///
+/// Mirrors the real write sequence byte for byte:
+///
+/// 1. the frame (payload + 24-byte footer) is written to
+///    [`desalign_util::temp_path`] — but only the first
+///    `min(kill_after, frame_len)` bytes land, emulating the kill;
+/// 2. the rename over `path` happens **only** when the budget covered
+///    the entire frame (a real kill before `rename(2)` leaves the old
+///    destination untouched; the syscall itself is atomic, so there is
+///    no "half-renamed" state to simulate).
+///
+/// Returns `true` when the write completed (budget ≥ frame length), i.e.
+/// the new generation is now at `path`; `false` when the kill struck
+/// first and `path` still holds its previous contents.
+pub fn kill_during_atomic_write(path: &Path, payload: &[u8], kill_after: usize) -> io::Result<bool> {
+    let framed = frame(payload);
+    let tmp = temp_path(path);
+    let cut = kill_after.min(framed.len());
+    fs::write(&tmp, &framed[..cut])?;
+    if cut < framed.len() {
+        return Ok(false); // died before finishing the temp file: no rename.
+    }
+    fs::rename(&tmp, path)?;
+    Ok(true)
+}
+
+/// Truncates the file at `path` to its first `keep` bytes (no-op when it
+/// is already shorter) — simulating damage at rest. Returns the
+/// resulting length.
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<u64> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    let len = f.metadata()?.len().min(keep);
+    f.set_len(len)?;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_util::{atomic_write, read_verified, FOOTER_LEN};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("desalign-fault-tests");
+        fs::create_dir_all(&dir).expect("tempdir");
+        dir.join(name)
+    }
+
+    fn cleanup(path: &Path) {
+        fs::remove_file(path).ok();
+        fs::remove_file(temp_path(path)).ok();
+    }
+
+    #[test]
+    fn kill_at_every_byte_never_tears_the_destination() {
+        let path = tmp("kill-sweep.bin");
+        let old = b"old generation".as_slice();
+        let new = b"new generation, somewhat longer".as_slice();
+        let frame_len = new.len() + FOOTER_LEN;
+        for kill_after in 0..=frame_len {
+            atomic_write(&path, old).expect("seed old generation");
+            let completed = kill_during_atomic_write(&path, new, kill_after).expect("simulated write");
+            let expect: &[u8] = if completed { new } else { old };
+            assert_eq!(completed, kill_after >= frame_len);
+            assert_eq!(read_verified(&path).expect("destination readable"), expect, "kill_after = {kill_after}");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn kill_with_no_prior_generation_leaves_no_destination() {
+        let path = tmp("kill-fresh.bin");
+        cleanup(&path);
+        let completed = kill_during_atomic_write(&path, b"first", 3).expect("simulated write");
+        assert!(!completed);
+        assert_eq!(read_verified(&path).expect_err("no destination").kind(), io::ErrorKind::NotFound);
+        // The stale temp file is what a real crash leaves; a follow-up
+        // write must succeed over it.
+        atomic_write(&path, b"first").expect("recovery write");
+        assert_eq!(read_verified(&path).expect("read"), b"first");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn completed_simulation_matches_real_atomic_write() {
+        let a = tmp("sim.bin");
+        let b = tmp("real.bin");
+        cleanup(&a);
+        cleanup(&b);
+        assert!(kill_during_atomic_write(&a, b"payload", usize::MAX).expect("sim"));
+        atomic_write(&b, b"payload").expect("real");
+        assert_eq!(fs::read(&a).expect("sim bytes"), fs::read(&b).expect("real bytes"), "simulation must write identical frames");
+        cleanup(&a);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn writer_budget_is_exact() {
+        let mut w = KillAfterWriter::new(Vec::new(), 4);
+        assert_eq!(w.write(b"ab").unwrap(), 2);
+        assert_eq!(w.remaining(), 2);
+        assert_eq!(w.write(b"cdef").unwrap(), 2);
+        assert_eq!(w.remaining(), 0);
+        assert_eq!(w.write(b"g").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(w.into_inner(), b"abcd");
+    }
+
+    #[test]
+    fn truncate_simulates_damage_at_rest() {
+        let path = tmp("truncate.bin");
+        atomic_write(&path, b"some payload").expect("write");
+        let full = fs::metadata(&path).expect("meta").len();
+        let kept = truncate_file(&path, full - 1).expect("truncate");
+        assert_eq!(kept, full - 1);
+        assert_eq!(read_verified(&path).expect_err("torn").kind(), io::ErrorKind::InvalidData);
+        // Truncating longer than the file is a no-op.
+        assert_eq!(truncate_file(&path, u64::MAX).expect("noop"), full - 1);
+        cleanup(&path);
+    }
+}

@@ -32,9 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+
 use std::fmt::Debug;
 
 pub use desalign_tensor::{rng_from_seed, Matrix, Rng64, SliceRandom};
+pub use fault::{kill_during_atomic_write, truncate_file, KillAfterWriter};
 
 /// Workspace-wide base seed; combined with the property name per case.
 pub const BASE_SEED: u64 = 0xDE5A_1167_0000_0001;

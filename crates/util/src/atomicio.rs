@@ -1,0 +1,257 @@
+//! Crash-safe file I/O: a checksummed frame container plus
+//! write-to-temp / fsync / atomic-rename persistence.
+//!
+//! This is the storage substrate of the training-checkpoint subsystem
+//! (see `docs/RELIABILITY.md`). The guarantee it provides is **atomic
+//! replacement**: a process killed at *any* byte boundary during
+//! [`atomic_write`] leaves the destination path holding either the old
+//! complete frame or the new complete frame — never a torn mixture — and
+//! [`read_verified`] detects every torn, truncated, or bit-flipped file as
+//! a clean `InvalidData` error instead of returning corrupt payload bytes.
+//!
+//! # Frame layout
+//!
+//! A frame is the payload followed by a fixed 24-byte footer:
+//!
+//! ```text
+//! ┌────────────────────┬──────────────┬───────────────┬───────────────┐
+//! │ payload (N bytes)  │ len: u64 LE  │ fnv64: u64 LE │ magic (8 B)   │
+//! └────────────────────┴──────────────┴───────────────┴───────────────┘
+//! ```
+//!
+//! - `len` is the payload length `N`; a file whose size is not exactly
+//!   `N + 24` is rejected.
+//! - `fnv64` is the FNV-1a 64-bit checksum of the payload bytes
+//!   ([`checksum64`]).
+//! - `magic` is the ASCII literal `DESACKPT` ([`FOOTER_MAGIC`]).
+//!
+//! The footer sits at the **end** of the file on purpose: any truncation —
+//! the overwhelmingly common torn-write failure — destroys the magic, so
+//! detection does not even need to hash the payload.
+//!
+//! # Write mechanics
+//!
+//! [`atomic_write`] writes the frame to a sibling temp file
+//! ([`temp_path`]), `fsync`s it, atomically `rename`s it over the
+//! destination, then best-effort `fsync`s the parent directory so the
+//! rename itself is durable. POSIX `rename(2)` over an existing file is
+//! atomic; a crash before the rename leaves only a stale `.tmp` (ignored
+//! by readers), a crash after leaves the complete new frame.
+//!
+//! ```
+//! use desalign_util::{atomic_write, read_verified};
+//!
+//! let path = std::env::temp_dir().join("desalign-atomicio-doc.bin");
+//! atomic_write(&path, b"state v1").unwrap();
+//! atomic_write(&path, b"state v2").unwrap(); // replaces atomically
+//! assert_eq!(read_verified(&path).unwrap(), b"state v2");
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// ASCII magic `DESACKPT` closing every frame.
+pub const FOOTER_MAGIC: [u8; 8] = *b"DESACKPT";
+
+/// Total footer size in bytes: `len (8) + checksum (8) + magic (8)`.
+pub const FOOTER_LEN: usize = 24;
+
+/// FNV-1a 64-bit checksum over a byte slice — the frame integrity hash.
+///
+/// Not cryptographic; it guards against torn writes and storage bit rot,
+/// not adversaries.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `payload` in the checksummed frame (payload + 24-byte footer).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    out.extend_from_slice(&FOOTER_MAGIC);
+    out
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Validates a frame and returns the payload slice.
+///
+/// Errors with `InvalidData` when the frame is shorter than a footer, the
+/// magic is wrong (truncation), the recorded length disagrees with the
+/// byte count, or the checksum does not match.
+pub fn unframe(bytes: &[u8]) -> io::Result<&[u8]> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(invalid(format!("frame too short: {} bytes < {FOOTER_LEN}-byte footer", bytes.len())));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if footer[16..24] != FOOTER_MAGIC {
+        return Err(invalid("bad frame magic (file truncated or not a checkpoint)"));
+    }
+    let len = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes")) as usize;
+    if len != body.len() {
+        return Err(invalid(format!("frame length mismatch: footer says {len} payload bytes, file holds {}", body.len())));
+    }
+    let stored = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+    let actual = checksum64(body);
+    if stored != actual {
+        return Err(invalid(format!("frame checksum mismatch: stored {stored:016x}, computed {actual:016x}")));
+    }
+    Ok(body)
+}
+
+/// The sibling temp path [`atomic_write`] stages into: `<path>.tmp`.
+///
+/// Deterministic so a crashed writer's stale temp file is simply
+/// overwritten by the next write — readers never look at it.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with the framed `payload`.
+///
+/// Sequence: write the frame to [`temp_path`], `fsync` the file, `rename`
+/// it over `path`, then best-effort `fsync` the parent directory. A kill
+/// at any point leaves `path` holding either its previous contents or the
+/// complete new frame.
+pub fn atomic_write(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let tmp = temp_path(path);
+    let framed = frame(payload);
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(&framed)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename itself: fsync the directory entry.
+    // Best-effort — some platforms refuse to open directories.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads `path` and returns the verified payload.
+///
+/// I/O errors pass through; torn/truncated/corrupt frames become
+/// `InvalidData` errors (see [`unframe`]). Never panics and never returns
+/// unverified bytes.
+pub fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let payload_len = unframe(&bytes)?.len();
+    bytes.truncate(payload_len);
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("desalign-atomicio-tests");
+        fs::create_dir_all(&dir).expect("tempdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        for payload in [&b""[..], b"x", b"hello checkpoint", &[0u8; 1000][..]] {
+            let framed = frame(payload);
+            assert_eq!(framed.len(), payload.len() + FOOTER_LEN);
+            assert_eq!(unframe(&framed).expect("verifies"), payload);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_detected() {
+        let payload = b"0123456789abcdef";
+        let framed = frame(payload);
+        for cut in 0..framed.len() {
+            assert!(unframe(&framed[..cut]).is_err(), "truncation to {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let framed = frame(b"sensitive payload");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupt = framed.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(unframe(&corrupt).is_err(), "flip at byte {byte} bit {bit} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn appended_garbage_is_detected() {
+        let mut framed = frame(b"payload");
+        framed.extend_from_slice(b"junk");
+        assert!(unframe(&framed).is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_read_verified() {
+        let path = tmp("write-read.bin");
+        atomic_write(&path, b"generation 1").expect("write 1");
+        assert_eq!(read_verified(&path).expect("read 1"), b"generation 1");
+        atomic_write(&path, b"generation 2 is longer").expect("write 2");
+        assert_eq!(read_verified(&path).expect("read 2"), b"generation 2 is longer");
+        assert!(!temp_path(&path).exists(), "temp file left behind after successful write");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_temp_file_is_ignored_and_overwritten() {
+        let path = tmp("stale-tmp.bin");
+        atomic_write(&path, b"good state").expect("write");
+        // A previous writer died mid-write: partial frame at the temp path.
+        fs::write(temp_path(&path), &frame(b"newer state")[..5]).expect("plant stale tmp");
+        assert_eq!(read_verified(&path).expect("reader ignores tmp"), b"good state");
+        atomic_write(&path, b"next state").expect("overwrites stale tmp");
+        assert_eq!(read_verified(&path).expect("read"), b"next state");
+        fs::remove_file(&path).ok();
+        fs::remove_file(temp_path(&path)).ok();
+    }
+
+    #[test]
+    fn torn_final_file_errors_cleanly() {
+        let path = tmp("torn.bin");
+        atomic_write(&path, b"complete").expect("write");
+        let full = fs::read(&path).expect("read raw");
+        for cut in [0usize, 1, full.len() / 2, full.len() - 1] {
+            fs::write(&path, &full[..cut]).expect("truncate");
+            let err = read_verified(&path).expect_err("torn file accepted");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = read_verified(&tmp("never-written.bin")).expect_err("missing file");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // FNV-1a 64 reference: empty input hashes to the offset basis.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum64(b"a"), checksum64(b"b"));
+    }
+}

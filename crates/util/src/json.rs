@@ -634,6 +634,25 @@ impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
     }
 }
 
+/// Serializes a `u64` as a decimal **string**, not a number.
+///
+/// [`Json::Num`] is an `f64`, which is exact only up to 2^53 — RNG states,
+/// optimizer step counters, and checksums need all 64 bits, so the
+/// checkpoint format carries them as strings. Inverse: [`u64_from_json`].
+pub fn u64_to_json(x: u64) -> Json {
+    Json::Str(x.to_string())
+}
+
+/// Parses a `u64` written with [`u64_to_json`] (also accepts small exact
+/// integers written as numbers, for hand-edited files).
+pub fn u64_from_json(v: &Json) -> Result<u64, JsonError> {
+    match v {
+        Json::Str(s) => s.parse::<u64>().map_err(|e| JsonError::schema(format!("bad u64 string '{s}': {e}"))),
+        Json::Num(n) if *n >= 0.0 && *n <= 2f64.powi(53) && n.fract() == 0.0 => Ok(*n as u64),
+        _ => Err(JsonError::schema("expected u64 (decimal string)")),
+    }
+}
+
 /// Builds a [`Json`] value from a literal: `json!(null)`, an object
 /// `json!({"key": expr, ...})` whose values are any `ToJson` expressions
 /// (including nested `json!` calls), an array `json!([a, b, c])`, or a
@@ -655,6 +674,19 @@ macro_rules! json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn u64_round_trips_above_f64_precision() {
+        for x in [0u64, 1, u64::MAX, (1 << 53) + 1, 0xDEAD_BEEF_CAFE_F00D] {
+            let v = u64_to_json(x);
+            assert_eq!(u64_from_json(&v).expect("round trip"), x);
+            let reparsed = Json::parse(&v.to_string()).expect("parses");
+            assert_eq!(u64_from_json(&reparsed).expect("parse round trip"), x);
+        }
+        assert_eq!(u64_from_json(&Json::Num(42.0)).expect("small number accepted"), 42);
+        assert!(u64_from_json(&Json::Num(-1.0)).is_err());
+        assert!(u64_from_json(&Json::Str("not a number".into())).is_err());
+    }
 
     #[test]
     fn parses_scalars() {

@@ -1,13 +1,22 @@
 //! Zero-dependency utilities for the DESAlign workspace.
 //!
-//! Currently one module: [`mod@json`], a hand-rolled JSON value type with a
-//! writer and a recursive-descent parser. It replaces `serde`/`serde_json`
-//! for the workspace's needs — checkpoint files, dataset snapshots, config
-//! and benchmark-result dumps — without pulling any crates.io dependency.
+//! Two modules:
+//!
+//! - [`mod@json`] — a hand-rolled JSON value type with a writer and a
+//!   recursive-descent parser. It replaces `serde`/`serde_json` for the
+//!   workspace's needs — checkpoint files, dataset snapshots, config and
+//!   benchmark-result dumps — without pulling any crates.io dependency.
+//! - [`mod@atomicio`] — crash-safe file persistence: a checksummed frame
+//!   container ([`frame`]/[`unframe`]) and write-to-temp + fsync +
+//!   atomic-rename replacement ([`atomic_write`]/[`read_verified`]). This
+//!   is the storage layer of the training-checkpoint subsystem documented
+//!   in `docs/RELIABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomicio;
 pub mod json;
 
-pub use json::{FromJson, Json, JsonError, ToJson};
+pub use atomicio::{atomic_write, checksum64, frame, read_verified, temp_path, unframe, FOOTER_LEN, FOOTER_MAGIC};
+pub use json::{u64_from_json, u64_to_json, FromJson, Json, JsonError, ToJson};
