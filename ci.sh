@@ -62,6 +62,32 @@ if [ "$fp_straight" != "$fp_resume" ]; then
 fi
 echo "    fingerprint $fp_straight (identical after kill-and-resume)"
 
+# Data-plane robustness gates (docs/RELIABILITY.md, "Data-plane
+# robustness"). First: auditing clean data must be invisible — the
+# end-to-end pipeline fingerprint with DESALIGN_AUDIT=repair must match the
+# no-auditor run bit for bit.
+echo "==> determinism fingerprint (repair audit on clean data is a no-op)"
+fp_audit=$(DESALIGN_AUDIT=repair cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+if [ "$fp_audit" != "$fp_default" ]; then
+    echo "    AUDIT PERTURBATION: fingerprint $fp_audit with DESALIGN_AUDIT=repair != $fp_default without"
+    exit 1
+fi
+echo "    fingerprint $fp_audit (identical with repair audit)"
+
+# Second: the robustness sweep (R_img/R_seed degradation grids plus every
+# injectable corruption class, repaired and trained end to end) must
+# complete and write an artifact free of non-finite metrics.
+echo "==> robustness_sweep (smoke)"
+robustness_out=$(mktemp)
+DESALIGN_SCALE=40 DESALIGN_EPOCHS=2 DESALIGN_ROBUSTNESS_OUT="$robustness_out" \
+    cargo run -q --offline --release -p desalign-bench --bin robustness_sweep >/dev/null
+test -s "$robustness_out" || { echo "    robustness_sweep did not write its JSON artifact"; exit 1; }
+if grep -q "NaN\|Infinity" "$robustness_out"; then
+    echo "    NON-FINITE METRICS: robustness_sweep artifact contains NaN/Infinity"
+    exit 1
+fi
+rm -f "$robustness_out"
+
 # Telemetry report smoke: tiny scale — proves the span/counter/sink wiring
 # end to end (trains a few epochs, prints the span tree, writes the JSON and
 # JSONL artifacts to scratch files). The stdout counter dump must list the

@@ -7,9 +7,16 @@
 //! a kernel's result depends on the thread count, which the
 //! `desalign-parallel` design forbids. Stdout carries exactly one line (the
 //! fingerprint) so a plain `diff` is the whole check.
+//!
+//! `DESALIGN_AUDIT=repair` additionally runs the dataset through a
+//! `Repair` audit before training. The generated data is clean, so the
+//! audit must be a no-op and the fingerprint must match the default run —
+//! `ci.sh` diffs the two to prove that wiring the auditor into a healthy
+//! pipeline cannot perturb training.
 
+use desalign_bench::or_die;
 use desalign_core::{DesalignConfig, DesalignModel};
-use desalign_mmkg::{DatasetSpec, FeatureDims, SynthConfig};
+use desalign_mmkg::{AuditPolicy, DatasetSpec, FeatureDims, SynthConfig};
 
 /// FNV-1a over a little-endian byte stream.
 struct Fnv(u64);
@@ -34,7 +41,21 @@ impl Fnv {
 }
 
 fn main() {
-    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).with_image_ratio(0.6).generate(5);
+    let mut ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).with_image_ratio(0.6).generate(5);
+    match std::env::var("DESALIGN_AUDIT").as_deref() {
+        Ok("repair") => {
+            let report = or_die("repair audit", ds.audit(AuditPolicy::Repair));
+            if !report.is_clean() {
+                eprintln!("error: generated dataset had defects: {}", report.summary());
+                std::process::exit(1);
+            }
+        }
+        Ok("off") | Err(_) => {}
+        Ok(other) => {
+            eprintln!("unknown DESALIGN_AUDIT '{other}' (use 'repair' or 'off')");
+            std::process::exit(2);
+        }
+    }
     let mut cfg = DesalignConfig::fast();
     cfg.hidden_dim = 32;
     cfg.feature_dims = FeatureDims { relation: 64, attribute: 64, visual: 64 };

@@ -16,6 +16,7 @@
 //! `DESALIGN_CHECKPOINT` overrides the checkpoint path (default: a file
 //! under the system temp directory; it is removed on success).
 
+use desalign_bench::or_die;
 use desalign_core::{DesalignConfig, DesalignModel, TrainReport};
 use desalign_mmkg::{DatasetSpec, FeatureDims, SynthConfig};
 use desalign_testkit::fault::kill_during_atomic_write;
@@ -76,20 +77,20 @@ fn main() {
             let mut first = DesalignModel::new(cfg(), &ds, SEED);
             let mut state = first.begin_training(&ds);
             first.train_epochs(&mut state, SPLIT);
-            first.save_checkpoint(&state, &path).expect("checkpoint");
+            or_die(&format!("write checkpoint {}", path.display()), first.save_checkpoint(&state, &path));
             first.train_epochs(&mut state, 1);
             let newer = first.checkpoint_payload(&state).into_bytes();
-            let killed = kill_during_atomic_write(&path, &newer, newer.len() / 2).expect("simulated kill");
+            let killed = or_die("simulated mid-write kill", kill_during_atomic_write(&path, &newer, newer.len() / 2));
             assert!(!killed, "kill offset must land inside the frame");
             drop(first); // the crash
 
             // The torn overwrite must be invisible: the file still verifies
             // as the epoch-SPLIT generation.
-            read_verified(&path).expect("checkpoint must survive the torn overwrite");
+            or_die("checkpoint must survive the torn overwrite", read_verified(&path));
 
             // Process 2: fresh model, resume, finish the run.
             let mut model = DesalignModel::new(cfg(), &ds, SEED);
-            let mut state = model.resume_training(&ds, &path).expect("resume");
+            let mut state = or_die(&format!("resume from {}", path.display()), model.resume_training(&ds, &path));
             assert_eq!(state.next_epoch(), SPLIT, "resumed from the wrong generation");
             model.train_epochs(&mut state, usize::MAX);
             let report = model.end_training(state);

@@ -257,12 +257,31 @@ pub fn print_table(title: &str, conditions: &[String], rows: &[ResultRow]) {
     }
 }
 
-/// Serializes results to JSON next to stdout output so EXPERIMENTS.md can
-/// reference machine-readable artifacts.
-pub fn dump_json(path: &str, value: &desalign_util::Json) {
-    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, value.to_string())) {
-        eprintln!("warning: could not write {path}: {e}");
+/// Unwraps a result in a bench `main`, or prints `error: <what>: <cause>`
+/// to stderr and exits nonzero. The bench bins use this instead of
+/// `unwrap`/`expect` on I/O so a full disk or missing directory produces a
+/// readable one-line failure, not a panic with a backtrace.
+pub fn or_die<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Serializes results to JSON, creating the parent directory; the fallible
+/// core of [`dump_json`].
+pub fn try_dump_json(path: &str, value: &desalign_util::Json) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
     }
+    std::fs::write(path, value.to_string())
+}
+
+/// Serializes results to JSON next to stdout output so EXPERIMENTS.md can
+/// reference machine-readable artifacts. Exits nonzero on I/O failure —
+/// a bench run whose artifact did not land must not look green.
+pub fn dump_json(path: &str, value: &desalign_util::Json) {
+    or_die(&format!("write {path}"), try_dump_json(path, value));
 }
 
 /// Converts metrics to a JSON object.

@@ -2,7 +2,7 @@
 //! profile used by tests and the synthetic benchmarks.
 
 use desalign_mmkg::FeatureDims;
-use desalign_util::{json, Json, ToJson};
+use desalign_util::{json, DesalignError, Json, ToJson};
 
 /// Ablation switches — each corresponds to one bar of Figure 3 (left).
 #[derive(Clone, Copy, Debug)]
@@ -163,6 +163,16 @@ pub struct DesalignConfig {
     pub modal_k1_on_branch: bool,
     /// Rescale φ by |M| so uniform confidence gives unit weight.
     pub phi_rescale: bool,
+    /// Mask absent modalities out of the Eq. 14 weighted fusion. An entity
+    /// with no image (or no text) normally contributes its noise-filled
+    /// feature row to the joint embedding; with masking on, that block's
+    /// fusion weight is zeroed and the remaining modality weights are
+    /// renormalized so the present modalities carry the entity's full
+    /// representation. This is the true missing-modality degradation path
+    /// (Prop. 3 robustness): noise rows stop polluting the joint embedding
+    /// and the Dirichlet energy stays finite under arbitrary modality
+    /// drop. Off by default to preserve the historical fusion exactly.
+    pub mask_missing_modalities: bool,
     /// Blend factor α for the fusion weights of Eq. 14:
     /// `w_eff = α·w̃^m + (1−α)/|M|`. The modal confidences are estimated
     /// independently per graph, so fully trusting them (α = 1) makes the
@@ -204,6 +214,7 @@ impl DesalignConfig {
             fusion_normalize: false,
             modal_k1_on_branch: false,
             phi_rescale: true,
+            mask_missing_modalities: false,
             confidence_blend: 0.25,
             watchdog: WatchdogConfig::default(),
             ablation: Ablation::default(),
@@ -238,41 +249,50 @@ impl DesalignConfig {
             fusion_normalize: false,
             modal_k1_on_branch: false,
             phi_rescale: true,
+            mask_missing_modalities: false,
             confidence_blend: 0.25,
             watchdog: WatchdogConfig::default(),
             ablation: Ablation::default(),
         }
     }
 
-    /// Validates hyperparameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates hyperparameter ranges. Each violation is reported as a
+    /// typed [`DesalignError`] with class `config` and the offending
+    /// field name as the location.
+    pub fn validate(&self) -> Result<(), DesalignError> {
         if self.hidden_dim == 0 || !self.hidden_dim.is_multiple_of(self.caw_heads) {
-            return Err(format!("hidden_dim {} must be a positive multiple of caw_heads {}", self.hidden_dim, self.caw_heads));
+            return Err(DesalignError::config(
+                "hidden_dim",
+                format!("{} must be a positive multiple of caw_heads {}", self.hidden_dim, self.caw_heads),
+            ));
         }
         if !(0.0..1.0).contains(&self.c_min) {
-            return Err(format!("c_min {} must lie in (0,1) (Proposition 3)", self.c_min));
+            return Err(DesalignError::config("c_min", format!("{} must lie in (0,1) (Proposition 3)", self.c_min)));
         }
         if self.c_max <= 0.0 {
-            return Err(format!("c_max {} must be positive", self.c_max));
+            return Err(DesalignError::config("c_max", format!("{} must be positive", self.c_max)));
         }
         if self.tau <= 0.0 {
-            return Err(format!("tau {} must be positive", self.tau));
+            return Err(DesalignError::config("tau", format!("{} must be positive", self.tau)));
         }
         if self.ablation.num_modalities() == 0 {
-            return Err("at least one modality must stay enabled".into());
+            return Err(DesalignError::config("ablation", "at least one modality must stay enabled"));
         }
         if self.caw_layers == 0 {
-            return Err("caw_layers must be ≥ 1".into());
+            return Err(DesalignError::config("caw_layers", "must be ≥ 1"));
         }
         if !(0.0..=1.0).contains(&self.confidence_blend) {
-            return Err(format!("confidence_blend {} must lie in [0,1]", self.confidence_blend));
+            return Err(DesalignError::config("confidence_blend", format!("{} must lie in [0,1]", self.confidence_blend)));
         }
         if self.watchdog.enabled {
             if self.watchdog.spike_factor <= 1.0 {
-                return Err(format!("watchdog.spike_factor {} must exceed 1", self.watchdog.spike_factor));
+                return Err(DesalignError::config(
+                    "watchdog.spike_factor",
+                    format!("{} must exceed 1", self.watchdog.spike_factor),
+                ));
             }
             if self.watchdog.snapshot_every == 0 {
-                return Err("watchdog.snapshot_every must be ≥ 1".into());
+                return Err(DesalignError::config("watchdog.snapshot_every", "must be ≥ 1"));
             }
         }
         Ok(())
@@ -354,6 +374,7 @@ impl ToJson for DesalignConfig {
             "fusion_normalize": self.fusion_normalize,
             "modal_k1_on_branch": self.modal_k1_on_branch,
             "phi_rescale": self.phi_rescale,
+            "mask_missing_modalities": self.mask_missing_modalities,
             "confidence_blend": self.confidence_blend,
             "watchdog": self.watchdog,
             "ablation": self.ablation,

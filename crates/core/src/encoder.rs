@@ -120,6 +120,7 @@ pub struct MultiModalEncoder {
     confidence_fusion: bool,
     fusion_normalize: bool,
     confidence_blend: f32,
+    mask_missing: bool,
     x_g: [ParamId; 2], // learnable structure embeddings per side
     structure: StructureBranch,
     fc_r: Linear,
@@ -170,6 +171,7 @@ impl MultiModalEncoder {
             confidence_fusion: cfg.ablation.use_confidence_fusion,
             fusion_normalize: cfg.fusion_normalize,
             confidence_blend: cfg.confidence_blend,
+            mask_missing: cfg.mask_missing_modalities,
             x_g,
             structure,
             fc_r,
@@ -255,16 +257,87 @@ impl MultiModalEncoder {
         // branch dominates the concatenation by norm alone — the standard
         // practice in the EVA/MCLEA/MEAformer implementations), weight by
         // the confidence, and concatenate.
+        //
+        // With `mask_missing_modalities` on, absent modalities are masked
+        // out of the fusion and the remaining weights renormalized per
+        // entity, so noise-filled rows never reach the joint embedding:
+        //   w^m ← (b^m · 1[m present]) / Σ_{m'} b^{m'} · 1[m' present]
+        // where b^m is the blended confidence weight (or 1/|M| uniform).
+        // The uniform path is rescaled by |M| so a fully-present entity
+        // keeps weight 1 per block, matching the unmasked concatenation.
         let normalize = self.fusion_normalize;
         let alpha = self.confidence_blend;
         let m_count = self.modalities.len() as f32;
+        let masks: Option<Vec<Var>> = if self.mask_missing {
+            Some(
+                self.modalities
+                    .iter()
+                    .map(|m| {
+                        let to_bits = |has: &[bool]| has.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+                        let bits: Vec<f32> = match m {
+                            // Structure embeddings are learnable — never absent.
+                            Modality::Structure => vec![1.0; inputs.n],
+                            Modality::Relation => to_bits(&inputs.features.has_relation),
+                            Modality::Text => to_bits(&inputs.features.has_attribute),
+                            Modality::Visual => to_bits(&inputs.features.has_visual),
+                        };
+                        sess.input(Matrix::column(bits))
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
         let fuse = |sess: &mut Session<'_>, parts: &[Var], confidence: &[Var], weighted: bool| {
+            let use_w = weighted && alpha > 0.0;
+            if let Some(masks) = &masks {
+                // Masked path: per-modality base weights ⊙ presence, then
+                // per-entity renormalization.
+                let masked_w: Vec<Var> = masks
+                    .iter()
+                    .zip(confidence)
+                    .map(|(&mask, &w)| {
+                        if use_w {
+                            // w_eff = α·w̃ + (1−α)/|M| (see DesalignConfig).
+                            let scaled = sess.tape.scale(w, alpha);
+                            let w_eff = sess.tape.add_const(scaled, (1.0 - alpha) / m_count);
+                            sess.tape.mul(w_eff, mask)
+                        } else {
+                            sess.tape.scale(mask, 1.0 / m_count)
+                        }
+                    })
+                    .collect();
+                let mut denom = masked_w[0];
+                for &v in &masked_w[1..] {
+                    denom = sess.tape.add(denom, v);
+                }
+                // ε keeps an all-modalities-absent entity at weight 0
+                // instead of 0/0 = NaN.
+                let denom = sess.tape.add_const(denom, 1e-12);
+                let blocks: Vec<Var> = parts
+                    .iter()
+                    .zip(&masked_w)
+                    .map(|(&h, &mw)| {
+                        let n = if normalize { sess.tape.l2_normalize_rows(h, 1e-6) } else { h };
+                        let mut wf = sess.tape.div(mw, denom);
+                        if !use_w {
+                            // Restore the unmasked uniform scale (weight 1
+                            // per block when everything is present).
+                            wf = sess.tape.scale(wf, m_count);
+                        }
+                        sess.tape.mul_broadcast_col(n, wf)
+                    })
+                    .collect();
+                return sess.tape.concat_cols(&blocks);
+            }
+            // Unmasked path — kept byte-for-byte identical to the
+            // historical fusion so existing fingerprints are preserved.
             let blocks: Vec<Var> = parts
                 .iter()
                 .zip(confidence)
                 .map(|(&h, &w)| {
                     let n = if normalize { sess.tape.l2_normalize_rows(h, 1e-6) } else { h };
-                    if weighted && alpha > 0.0 {
+                    if use_w {
                         // w_eff = α·w̃ + (1−α)/|M| (see DesalignConfig).
                         let scaled = sess.tape.scale(w, alpha);
                         let w_eff = sess.tape.add_const(scaled, (1.0 - alpha) / m_count);
@@ -349,6 +422,68 @@ mod tests {
         let mut sess = Session::new(&store);
         let out = enc.forward(&mut sess, &inputs, 0);
         assert_eq!(out.h_fus_prev(), out.h_ori);
+    }
+
+    #[test]
+    fn masked_fusion_zeroes_absent_modality_blocks() {
+        let (ds, mut cfg) = tiny_setup();
+        cfg.mask_missing_modalities = true;
+        cfg.ablation.use_confidence_fusion = false; // uniform weights: exact zeros
+        let mut rng = rng_from_seed(7);
+        let mut store = ParamStore::new();
+        let enc = MultiModalEncoder::new(&mut store, &mut rng, &cfg, &ds);
+        let inputs = GraphInputs::prepare(&ds.source, &cfg, &mut rng);
+        let mut sess = Session::new(&store);
+        let out = enc.forward(&mut sess, &inputs, 0);
+        let h = sess.tape.value(out.h_ori);
+        let d = cfg.hidden_dim;
+        let vis_block = 3 * d..4 * d; // modality order: g, r, t, v
+        let missing = (0..inputs.n).find(|&i| !inputs.features.has_visual[i]).expect("synth data has entities without images");
+        let present = (0..inputs.n)
+            .find(|&i| inputs.features.has_visual[i] && inputs.features.has_attribute[i] && inputs.features.has_relation[i])
+            .expect("some entity has every modality");
+        assert!(
+            h.row(missing)[vis_block.clone()].iter().all(|&v| v == 0.0),
+            "noise-filled visual row must be masked out of the joint embedding"
+        );
+        assert!(h.row(missing).iter().any(|&v| v != 0.0), "present modalities still carry the entity");
+        assert!(h.as_slice().iter().all(|v| v.is_finite()), "masked fusion must stay finite");
+
+        // A fully-present entity matches the unmasked fusion (up to the ε
+        // in the renormalization denominator).
+        let mut cfg2 = cfg.clone();
+        cfg2.mask_missing_modalities = false;
+        let mut rng2 = rng_from_seed(7);
+        let mut store2 = ParamStore::new();
+        let enc2 = MultiModalEncoder::new(&mut store2, &mut rng2, &cfg2, &ds);
+        let inputs2 = GraphInputs::prepare(&ds.source, &cfg2, &mut rng2);
+        let mut sess2 = Session::new(&store2);
+        let out2 = enc2.forward(&mut sess2, &inputs2, 0);
+        let h2 = sess2.tape.value(out2.h_ori);
+        for (a, b) in h.row(present).iter().zip(h2.row(present)) {
+            assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "fully-present rows must agree: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn masked_fusion_survives_total_modality_drop() {
+        // Every image and every attribute removed: masking must keep the
+        // joint embedding finite (structure + relation carry everything).
+        let (mut ds, mut cfg) = tiny_setup();
+        for img in ds.source.images.iter_mut() {
+            *img = None;
+        }
+        ds.source.attr_triples.clear();
+        cfg.mask_missing_modalities = true;
+        let mut rng = rng_from_seed(11);
+        let mut store = ParamStore::new();
+        let enc = MultiModalEncoder::new(&mut store, &mut rng, &cfg, &ds);
+        let inputs = GraphInputs::prepare(&ds.source, &cfg, &mut rng);
+        let mut sess = Session::new(&store);
+        let out = enc.forward(&mut sess, &inputs, 0);
+        let h = sess.tape.value(out.h_ori);
+        assert!(h.as_slice().iter().all(|v| v.is_finite()), "total modality drop must not produce NaN");
+        assert!(h.as_slice().iter().any(|&v| v != 0.0));
     }
 
     #[test]

@@ -43,9 +43,33 @@ impl DesalignModel {
     /// `seed`.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid for this dataset.
+    /// Panics if the configuration is invalid for this dataset. Use
+    /// [`DesalignModel::try_new`] for a typed error instead.
     pub fn new(cfg: DesalignConfig, dataset: &AlignmentDataset, seed: u64) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid DesalignConfig: {e}"));
+        Self::try_new(cfg, dataset, seed).unwrap_or_else(|e| panic!("invalid DESAlign setup: {e}"))
+    }
+
+    /// Fallible counterpart of [`DesalignModel::new`]: reports an invalid
+    /// configuration or a structurally broken dataset as a typed
+    /// [`desalign_util::DesalignError`] instead of panicking. Run the
+    /// dataset through [`desalign_mmkg::DatasetAuditor`] first when the
+    /// data comes from outside the process.
+    pub fn try_new(
+        cfg: DesalignConfig,
+        dataset: &AlignmentDataset,
+        seed: u64,
+    ) -> Result<Self, desalign_util::DesalignError> {
+        cfg.validate()?;
+        dataset.validate().map_err(|e| {
+            let class = e.class;
+            e.wrap(class, dataset.name.clone(), "dataset failed validation during model setup")
+        })?;
+        Ok(Self::new_unchecked(cfg, dataset, seed))
+    }
+
+    /// The construction body shared by `new`/`try_new`; assumes `cfg` and
+    /// `dataset` were already validated.
+    fn new_unchecked(cfg: DesalignConfig, dataset: &AlignmentDataset, seed: u64) -> Self {
         let mut rng = rng_from_seed(seed);
         let mut store = ParamStore::new();
         let encoder = MultiModalEncoder::new(&mut store, &mut rng, &cfg, dataset);

@@ -1,0 +1,82 @@
+//! End-to-end corruption tolerance (docs/RELIABILITY.md, "Data-plane
+//! robustness"): for **every** corruption class the testkit can inject,
+//! the full `Repair`-audit → train → evaluate pipeline must complete
+//! without panicking and with finite loss, Dirichlet energy, and ranking
+//! metrics. Missing-modality degradations additionally run with
+//! `mask_missing_modalities` on, exercising the masked-fusion path under
+//! the exact conditions it exists for.
+
+use desalign_core::{DesalignConfig, DesalignModel, TrainReport};
+use desalign_eval::AlignmentMetrics;
+use desalign_mmkg::{AlignmentDataset, AuditPolicy, DatasetSpec, SynthConfig};
+use desalign_testkit::{corrupt_dataset, CorruptionKind};
+
+fn tiny_cfg() -> DesalignConfig {
+    let mut cfg = DesalignConfig::fast();
+    cfg.hidden_dim = 16;
+    cfg.feature_dims = desalign_mmkg::FeatureDims { relation: 32, attribute: 32, visual: 64 };
+    cfg.epochs = 3;
+    cfg.eval_every = 2;
+    cfg.batch_size = 64;
+    cfg.mask_missing_modalities = true;
+    cfg
+}
+
+fn dataset() -> AlignmentDataset {
+    SynthConfig::preset(DatasetSpec::FbDb15k).scaled(50).generate(17)
+}
+
+fn assert_finite_run(kind: CorruptionKind, report: &TrainReport, metrics: &AlignmentMetrics) {
+    let name = kind.name();
+    assert!(report.epochs_run > 0, "{name}: no epochs ran");
+    for (i, l) in report.loss_history.iter().enumerate() {
+        assert!(l.total.is_finite(), "{name}: non-finite loss {} at epoch {i}", l.total);
+    }
+    for trace in &report.energy_history {
+        for &e in trace.source.iter().chain(&trace.target) {
+            assert!(e.is_finite(), "{name}: non-finite Dirichlet energy at epoch {}", trace.epoch);
+        }
+    }
+    assert!(metrics.hits_at_1.is_finite() && (0.0..=1.0).contains(&metrics.hits_at_1), "{name}: H@1 = {}", metrics.hits_at_1);
+    assert!(metrics.hits_at_10.is_finite() && (0.0..=1.0).contains(&metrics.hits_at_10), "{name}: H@10 = {}", metrics.hits_at_10);
+    assert!(metrics.mrr.is_finite() && (0.0..=1.0).contains(&metrics.mrr), "{name}: MRR = {}", metrics.mrr);
+    assert!(metrics.num_queries > 0, "{name}: evaluated nothing");
+}
+
+#[test]
+fn every_corruption_class_trains_and_evaluates_finite_after_repair() {
+    for kind in CorruptionKind::ALL {
+        let mut ds = dataset();
+        let applied = corrupt_dataset(&mut ds, kind, 0.3, 23);
+        assert!(applied > 0, "{}: corruptor applied nothing", kind.name());
+
+        let report = ds
+            .audit(AuditPolicy::Repair)
+            .unwrap_or_else(|e| panic!("{}: repair audit refused the dataset: {e}", kind.name()));
+        if !kind.is_degradation() {
+            assert!(report.total_defects() > 0, "{}: repair found nothing to fix", kind.name());
+        }
+
+        let mut model = DesalignModel::try_new(tiny_cfg(), &ds, 5)
+            .unwrap_or_else(|e| panic!("{}: repaired dataset rejected by model setup: {e}", kind.name()));
+        let train = model.fit(&ds);
+        let metrics = model.evaluate(&ds);
+        assert_finite_run(kind, &train, &metrics);
+    }
+}
+
+#[test]
+fn heavy_modality_drop_stays_finite_with_masking() {
+    // The paper's R_img sweep taken to the edge: drop 90% of images and
+    // most attribute text, keep training. Masked fusion must renormalize
+    // around the holes rather than propagate zeros or NaNs.
+    let mut ds = dataset();
+    corrupt_dataset(&mut ds, CorruptionKind::VisualDrop, 0.9, 31);
+    corrupt_dataset(&mut ds, CorruptionKind::TextDrop, 0.7, 31);
+    ds.audit(AuditPolicy::Repair).expect("degraded dataset is structurally clean");
+
+    let mut model = DesalignModel::try_new(tiny_cfg(), &ds, 5).expect("setup");
+    let train = model.fit(&ds);
+    let metrics = model.evaluate(&ds);
+    assert_finite_run(CorruptionKind::VisualDrop, &train, &metrics);
+}

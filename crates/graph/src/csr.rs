@@ -1,6 +1,7 @@
 //! Compressed sparse row matrices.
 
 use desalign_tensor::Matrix;
+use desalign_util::{DefectClass, DesalignError};
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -63,6 +64,122 @@ impl Csr {
             }
         }
         Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix from raw parts, checking every structural
+    /// invariant and reporting the first violation as a typed
+    /// [`DesalignError`] instead of panicking.
+    ///
+    /// This is the untrusted-input counterpart of [`Csr::from_coo`]: use it
+    /// when the parts come from outside the process (a loader, a network
+    /// peer, a fuzzer) rather than from workspace code. The checks are:
+    ///
+    /// - `indptr` has `rows + 1` entries, starts at `0`, is monotonically
+    ///   non-decreasing, and ends at `indices.len()`;
+    /// - `indices.len() == values.len()`;
+    /// - within each row, column indices are strictly increasing and
+    ///   `< cols`;
+    /// - every stored value is finite.
+    ///
+    /// ```
+    /// use desalign_graph::Csr;
+    ///
+    /// let ok = Csr::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0, 3.0]);
+    /// assert!(ok.is_ok());
+    /// let bad = Csr::try_new(2, 2, vec![0, 1, 2], vec![5, 0], vec![2.0, 3.0]);
+    /// assert!(bad.is_err());
+    /// ```
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, DesalignError> {
+        if indptr.len() != rows + 1 {
+            return Err(DesalignError::new(
+                DefectClass::Schema,
+                "csr.indptr",
+                format!("expected {} entries for {rows} rows, got {}", rows + 1, indptr.len()),
+            ));
+        }
+        if indptr[0] != 0 {
+            return Err(DesalignError::new(DefectClass::Schema, "csr.indptr[0]", format!("must be 0, got {}", indptr[0])));
+        }
+        if indices.len() != values.len() {
+            return Err(DesalignError::new(
+                DefectClass::Schema,
+                "csr.values",
+                format!("{} values for {} column indices", values.len(), indices.len()),
+            ));
+        }
+        if indptr[rows] != indices.len() {
+            return Err(DesalignError::new(
+                DefectClass::Schema,
+                format!("csr.indptr[{rows}]"),
+                format!("must equal nnz {}, got {}", indices.len(), indptr[rows]),
+            ));
+        }
+        for r in 0..rows {
+            let (s, e) = (indptr[r], indptr[r + 1]);
+            if e < s {
+                return Err(DesalignError::new(
+                    DefectClass::Schema,
+                    format!("csr.indptr[{}]", r + 1),
+                    format!("decreases from {s} to {e}"),
+                ));
+            }
+            let mut prev: Option<usize> = None;
+            for k in s..e {
+                let c = indices[k];
+                if c >= cols {
+                    return Err(DesalignError::new(
+                        DefectClass::DanglingEndpoint,
+                        format!("csr.indices[{k}]"),
+                        format!("column {c} out of bounds for {cols} columns (row {r})"),
+                    ));
+                }
+                if prev.is_some_and(|p| c <= p) {
+                    return Err(DesalignError::new(
+                        DefectClass::Schema,
+                        format!("csr.indices[{k}]"),
+                        format!("column {c} not strictly increasing within row {r}"),
+                    ));
+                }
+                prev = Some(c);
+            }
+        }
+        if let Some(k) = values.iter().position(|v| !v.is_finite()) {
+            return Err(DesalignError::new(
+                DefectClass::NonFiniteFeature,
+                format!("csr.values[{k}]"),
+                format!("stored value {} is not finite", values[k]),
+            ));
+        }
+        Ok(Self { rows, cols, indptr, indices, values })
+    }
+
+    /// Fallible counterpart of [`Csr::from_coo`]: reports out-of-bounds
+    /// coordinates and non-finite values as typed errors instead of
+    /// panicking. Duplicate coordinates are summed, as in `from_coo`.
+    pub fn try_from_coo(rows: usize, cols: usize, triplets: Vec<(usize, usize, f32)>) -> Result<Self, DesalignError> {
+        for (k, &(r, c, v)) in triplets.iter().enumerate() {
+            if r >= rows || c >= cols {
+                return Err(DesalignError::new(
+                    DefectClass::DanglingEndpoint,
+                    format!("coo[{k}]"),
+                    format!("entry ({r},{c}) out of bounds for {rows}x{cols}"),
+                ));
+            }
+            if !v.is_finite() {
+                return Err(DesalignError::new(
+                    DefectClass::NonFiniteFeature,
+                    format!("coo[{k}]"),
+                    format!("value {v} at ({r},{c}) is not finite"),
+                ));
+            }
+        }
+        Ok(Self::from_coo(rows, cols, triplets))
     }
 
     /// Sparse identity matrix.
@@ -459,5 +576,53 @@ mod tests {
     #[should_panic(expected = "CSR invariant (indices < cols) is broken")]
     fn spmv_catches_out_of_range_column_index() {
         let _ = corrupt_csr().spmv(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_new_accepts_what_from_coo_builds() {
+        let m = Csr::from_coo(3, 4, vec![(0, 1, 2.0), (1, 0, 1.0), (2, 3, -0.5), (0, 3, 4.0)]);
+        let rebuilt =
+            Csr::try_new(3, 4, m.indptr.clone(), m.indices.clone(), m.values.clone()).expect("round-trip is valid");
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn try_new_reports_each_invariant_violation() {
+        use desalign_util::DefectClass;
+        // Wrong indptr length.
+        let e = Csr::try_new(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e.class, DefectClass::Schema);
+        // indptr not starting at zero.
+        let e = Csr::try_new(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e.class, DefectClass::Schema);
+        // indices/values length mismatch.
+        let e = Csr::try_new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0]).unwrap_err();
+        assert_eq!(e.class, DefectClass::Schema);
+        // Decreasing indptr.
+        let e = Csr::try_new(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert!(e.is_ok(), "monotone indptr is fine");
+        let e = Csr::try_new(3, 2, vec![0, 2, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e.class, DefectClass::Schema);
+        // Column out of range.
+        let e = Csr::try_new(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e.class, DefectClass::DanglingEndpoint);
+        assert!(e.to_string().contains("column 5"), "{e}");
+        // Columns not strictly increasing within a row.
+        let e = Csr::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(e.class, DefectClass::Schema);
+        // Non-finite stored value.
+        let e = Csr::try_new(1, 2, vec![0, 1], vec![0], vec![f32::NAN]).unwrap_err();
+        assert_eq!(e.class, DefectClass::NonFiniteFeature);
+    }
+
+    #[test]
+    fn try_from_coo_reports_typed_errors() {
+        use desalign_util::DefectClass;
+        let e = Csr::try_from_coo(2, 2, vec![(2, 0, 1.0)]).unwrap_err();
+        assert_eq!(e.class, DefectClass::DanglingEndpoint);
+        let e = Csr::try_from_coo(2, 2, vec![(0, 0, f32::INFINITY)]).unwrap_err();
+        assert_eq!(e.class, DefectClass::NonFiniteFeature);
+        let m = Csr::try_from_coo(2, 2, vec![(0, 1, 2.0), (1, 0, 3.0)]).expect("clean triplets");
+        assert_eq!(m, Csr::from_coo(2, 2, vec![(0, 1, 2.0), (1, 0, 3.0)]));
     }
 }

@@ -1,0 +1,561 @@
+//! The dataset auditor: defect census, strict rejection, deterministic
+//! repair.
+//!
+//! Real MMKG pipelines break on corrupt inputs long before the model does:
+//! a dangling triple endpoint panics graph construction, a NaN image row
+//! silently poisons fusion, a duplicated seed pair skews supervision. The
+//! [`DatasetAuditor`] scans an [`AlignmentDataset`] for every defect class
+//! of the [`DefectClass`] taxonomy and either rejects it with a full
+//! census ([`AuditPolicy::Strict`]) or quarantines/repairs the defects
+//! deterministically ([`AuditPolicy::Repair`]):
+//!
+//! | defect | repair |
+//! |---|---|
+//! | dangling triple endpoint | drop the triple |
+//! | unknown relation / attribute id | drop the triple |
+//! | self-loop relation triple | drop the triple |
+//! | duplicate relation triple | keep the first occurrence |
+//! | out-of-range alignment pair | drop the pair |
+//! | duplicate alignment pair (one-to-one violation) | keep the first (train scanned before test) |
+//! | non-finite image feature row | quarantine to `None` (missing image) |
+//! | zero-norm image feature row | quarantine to `None` |
+//! | image row with the wrong dimension | quarantine to `None` (majority dim wins) |
+//! | `images` length ≠ entity count | truncate / pad with `None` |
+//!
+//! Duplicate **attribute** triples are *not* defects: the Bag-of-Words
+//! encoder uses multiplicity as term frequency. Missing modalities are
+//! counted informationally ([`DefectClass::MissingModality`]) but never
+//! rejected — real MMKGs are incomplete by nature; the model handles them
+//! via masked fusion (`mask_missing_modalities`).
+//!
+//! Repair is **idempotent** (repairing twice equals repairing once) and
+//! **sound** (a repaired dataset passes `Strict`); on an already-clean
+//! dataset it is a bit-identical no-op, checked by
+//! [`dataset_fingerprint`]. These properties are enforced by property
+//! tests and the CI robustness gate.
+//!
+//! ```
+//! use desalign_mmkg::{AuditPolicy, DatasetSpec, SynthConfig};
+//!
+//! let mut ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(1);
+//! ds.source.images[0] = Some(vec![f32::NAN; 4]); // corrupt one feature row
+//! let report = ds.audit(AuditPolicy::Repair).expect("repair always succeeds");
+//! assert!(report.repairs >= 1);
+//! assert!(ds.audit(AuditPolicy::Strict).is_ok(), "repaired data passes strict");
+//! ```
+
+use crate::{AlignmentDataset, Mmkg};
+use desalign_util::{json, DefectClass, DesalignError, Json};
+
+/// What the auditor does when it finds a defect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditPolicy {
+    /// Reject: the dataset is left untouched and the audit fails with a
+    /// [`DesalignError`] carrying the full defect census.
+    Strict,
+    /// Quarantine + deterministic fix: defects are repaired in place and
+    /// the audit succeeds with a report of what was done.
+    Repair,
+}
+
+impl AuditPolicy {
+    /// Stable lowercase name (JSON reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AuditPolicy::Strict => "strict",
+            AuditPolicy::Repair => "repair",
+        }
+    }
+}
+
+/// Structured result of one audit pass: per-class defect counts plus the
+/// number of repairs applied.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditReport {
+    /// Policy the audit ran under.
+    pub policy: AuditPolicy,
+    /// Defect counts, indexed in [`DefectClass::ALL`] order.
+    counts: [usize; DefectClass::ALL.len()],
+    /// Repairs applied (0 under [`AuditPolicy::Strict`]).
+    pub repairs: usize,
+}
+
+impl AuditReport {
+    fn new(policy: AuditPolicy) -> Self {
+        Self { policy, counts: [0; DefectClass::ALL.len()], repairs: 0 }
+    }
+
+    fn record(&mut self, class: DefectClass) {
+        let idx = DefectClass::ALL.iter().position(|c| *c == class).expect("class is in ALL");
+        self.counts[idx] += 1;
+    }
+
+    /// Number of defects of `class` found.
+    pub fn count(&self, class: DefectClass) -> usize {
+        let idx = DefectClass::ALL.iter().position(|c| *c == class).expect("class is in ALL");
+        self.counts[idx]
+    }
+
+    /// Total *hard* defects — everything except the informational
+    /// [`DefectClass::MissingModality`] census.
+    pub fn total_defects(&self) -> usize {
+        DefectClass::ALL
+            .iter()
+            .filter(|c| **c != DefectClass::MissingModality)
+            .map(|c| self.count(*c))
+            .sum()
+    }
+
+    /// True when no hard defect was found.
+    pub fn is_clean(&self) -> bool {
+        self.total_defects() == 0
+    }
+
+    /// One-line census, e.g. `self-loop-triple=3, duplicate-pair=1`.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = DefectClass::ALL
+            .iter()
+            .filter(|c| self.count(**c) > 0)
+            .map(|c| format!("{}={}", c.name(), self.count(*c)))
+            .collect();
+        if parts.is_empty() {
+            "clean".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+
+    /// The report as JSON: `{"kind": "audit_report", "policy": …,
+    /// "defects": {"<class>": n, …}, "repairs": n, "clean": bool}`.
+    /// All classes are present (zeros included) so the schema is stable.
+    pub fn to_json(&self) -> Json {
+        let mut defects = Vec::with_capacity(DefectClass::ALL.len());
+        for c in DefectClass::ALL {
+            defects.push((c.name().to_string(), Json::Num(self.count(c) as f64)));
+        }
+        json!({
+            "kind": "audit_report",
+            "policy": self.policy.name(),
+            "defects": Json::Object(defects),
+            "repairs": self.repairs,
+            "clean": self.is_clean(),
+        })
+    }
+}
+
+/// The auditor itself; see the [module docs](self) for semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetAuditor {
+    policy: AuditPolicy,
+}
+
+impl DatasetAuditor {
+    /// An auditor applying `policy`.
+    pub fn new(policy: AuditPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// Audits `ds`. Under [`AuditPolicy::Repair`] defects are fixed in
+    /// place; under [`AuditPolicy::Strict`] the dataset is never mutated
+    /// and any hard defect fails the audit with a census-carrying error.
+    ///
+    /// Either way the per-class counts are bumped on the
+    /// `desalign-telemetry` counters (`audit.<class>`) and, when a
+    /// metrics sink is installed, the [`AuditReport`] JSON is emitted.
+    pub fn audit(&self, ds: &mut AlignmentDataset) -> Result<AuditReport, DesalignError> {
+        let repair = self.policy == AuditPolicy::Repair;
+        let mut report = AuditReport::new(self.policy);
+        let mut first: Option<DesalignError> = None;
+
+        // A defect sighting: count it, remember the first for the Strict
+        // error message.
+        macro_rules! defect {
+            ($class:expr, $loc:expr, $ctx:expr) => {{
+                report.record($class);
+                if first.is_none() {
+                    first = Some(DesalignError::new($class, $loc, $ctx));
+                }
+                if repair {
+                    report.repairs += 1;
+                }
+            }};
+        }
+
+        audit_kg(&mut ds.source, "source", repair, &mut |class, loc, ctx| defect!(class, loc, ctx));
+        audit_kg(&mut ds.target, "target", repair, &mut |class, loc, ctx| defect!(class, loc, ctx));
+
+        // Alignment pairs: bounds + one-to-one, train scanned before test
+        // so under Repair the supervision pairs win ties.
+        let (n_s, n_t) = (ds.source.num_entities, ds.target.num_entities);
+        let mut seen_s = vec![false; n_s];
+        let mut seen_t = vec![false; n_t];
+        for (pairs, label) in [(&mut ds.train_pairs, "train_pairs"), (&mut ds.test_pairs, "test_pairs")] {
+            let mut keep = Vec::with_capacity(pairs.len());
+            for (i, &(s, t)) in pairs.iter().enumerate() {
+                if s >= n_s || t >= n_t {
+                    defect!(
+                        DefectClass::PairOutOfRange,
+                        format!("{label}[{i}]"),
+                        format!("({s},{t}) out of bounds for {n_s}x{n_t} entities")
+                    );
+                    continue;
+                }
+                if seen_s[s] || seen_t[t] {
+                    defect!(
+                        DefectClass::DuplicatePair,
+                        format!("{label}[{i}]"),
+                        format!("({s},{t}) violates one-to-one mapping")
+                    );
+                    continue;
+                }
+                seen_s[s] = true;
+                seen_t[t] = true;
+                keep.push((s, t));
+            }
+            if repair && keep.len() != pairs.len() {
+                *pairs = keep;
+            }
+        }
+
+        // Informational missing-modality census (post-repair state).
+        for kg in [&ds.source, &ds.target] {
+            let has_text = kg.entities_with_attributes();
+            for e in 0..kg.num_entities {
+                if kg.images.get(e).is_none_or(|img| img.is_none()) {
+                    report.record(DefectClass::MissingModality);
+                }
+                if !has_text.get(e).copied().unwrap_or(false) {
+                    report.record(DefectClass::MissingModality);
+                }
+            }
+        }
+
+        for class in DefectClass::ALL {
+            let n = report.count(class);
+            if n > 0 {
+                desalign_telemetry::counter(class.counter_name()).add(n as u64);
+            }
+        }
+        desalign_telemetry::emit(&report.to_json());
+
+        if !repair && !report.is_clean() {
+            let summary = report.summary();
+            let total = report.total_defects();
+            let err = first.expect("defects imply a first sighting").wrap(
+                DefectClass::Schema,
+                ds.name.clone(),
+                format!("strict audit found {total} defect(s): {summary}"),
+            );
+            return Err(err);
+        }
+        Ok(report)
+    }
+}
+
+impl AlignmentDataset {
+    /// Runs a [`DatasetAuditor`] with `policy` over this dataset; see the
+    /// [audit module docs](crate::audit) for defect and repair semantics.
+    pub fn audit(&mut self, policy: AuditPolicy) -> Result<AuditReport, DesalignError> {
+        DatasetAuditor::new(policy).audit(self)
+    }
+}
+
+/// Audits one side graph, reporting defects through `sink` and repairing
+/// in place when `repair` is set.
+fn audit_kg(
+    kg: &mut Mmkg,
+    side: &str,
+    repair: bool,
+    sink: &mut dyn FnMut(DefectClass, String, String),
+) {
+    let n = kg.num_entities;
+
+    // Container shape: images vector must have one slot per entity.
+    if kg.images.len() != n {
+        sink(
+            DefectClass::Schema,
+            format!("{side}.images"),
+            format!("{} entries for {n} entities", kg.images.len()),
+        );
+        if repair {
+            kg.images.resize(n, None);
+        }
+    }
+
+    // Relation triples: bounds, vocabulary, self-loops, duplicates.
+    let mut seen = std::collections::HashSet::with_capacity(kg.rel_triples.len());
+    let mut keep = Vec::with_capacity(kg.rel_triples.len());
+    for (i, &(h, r, t)) in kg.rel_triples.iter().enumerate() {
+        let loc = || format!("{side}.rel_triples[{i}]");
+        if h >= n || t >= n {
+            sink(DefectClass::DanglingEndpoint, loc(), format!("({h},{r},{t}) references a missing entity (have {n})"));
+        } else if r >= kg.num_relations {
+            sink(DefectClass::UnknownRelation, loc(), format!("({h},{r},{t}) uses unknown relation {r} (have {})", kg.num_relations));
+        } else if h == t {
+            sink(DefectClass::SelfLoopTriple, loc(), format!("({h},{r},{t}) is a self-loop"));
+        } else if !seen.insert((h, r, t)) {
+            sink(DefectClass::DuplicateTriple, loc(), format!("({h},{r},{t}) repeats an earlier triple"));
+        } else {
+            keep.push((h, r, t));
+        }
+    }
+    if repair && keep.len() != kg.rel_triples.len() {
+        kg.rel_triples = keep;
+    }
+
+    // Attribute triples: bounds + vocabulary only — duplicates are term
+    // frequency for the BoW encoder, never defects.
+    let mut keep = Vec::with_capacity(kg.attr_triples.len());
+    for (i, &(e, a)) in kg.attr_triples.iter().enumerate() {
+        let loc = || format!("{side}.attr_triples[{i}]");
+        if e >= n {
+            sink(DefectClass::DanglingEndpoint, loc(), format!("({e},{a}) references a missing entity (have {n})"));
+        } else if a >= kg.num_attributes {
+            sink(DefectClass::UnknownAttribute, loc(), format!("({e},{a}) uses unknown attribute {a} (have {})", kg.num_attributes));
+        } else {
+            keep.push((e, a));
+        }
+    }
+    if repair && keep.len() != kg.attr_triples.len() {
+        kg.attr_triples = keep;
+    }
+
+    // Image rows. The reference dimension is the majority dimension over
+    // present rows (ties break to the smaller), so one bad row cannot
+    // outvote the rest of the graph.
+    let expected_dim = majority_dim(&kg.images);
+    for i in 0..kg.images.len().min(n) {
+        let Some(row) = kg.images[i].as_ref() else { continue };
+        let verdict = if let Some(k) = row.iter().position(|v| !v.is_finite()) {
+            Some((DefectClass::NonFiniteFeature, format!("row value [{k}] = {} is not finite", row[k])))
+        } else if expected_dim.is_some_and(|d| row.len() != d) {
+            Some((DefectClass::DimensionMismatch, format!("row has {} dims, majority is {}", row.len(), expected_dim.unwrap_or(0))))
+        } else if row.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>() == 0.0 {
+            Some((DefectClass::ZeroNormFeature, "row has zero norm".to_string()))
+        } else {
+            None
+        };
+        if let Some((class, ctx)) = verdict {
+            sink(class, format!("{side}.images[{i}]"), ctx);
+            if repair {
+                kg.images[i] = None; // quarantine: entity loses its image
+            }
+        }
+    }
+}
+
+/// The most common feature-row dimension (ties break to the smaller);
+/// `None` when no image is present.
+fn majority_dim(images: &[Option<Vec<f32>>]) -> Option<usize> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for row in images.iter().flatten() {
+        *counts.entry(row.len()).or_insert(0) += 1;
+    }
+    // BTreeMap iterates in ascending key order, so `>` keeps the smaller
+    // dimension on a tie.
+    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1)).map(|(d, _)| d)
+}
+
+/// A structural FNV-1a fingerprint of the full dataset — name, sizes,
+/// triples, attribute triples, image presence and exact f32 bit patterns,
+/// train and test pairs. Two datasets fingerprint equal iff they are
+/// bit-identical, which is how the "repairing clean data is a no-op"
+/// guarantee is checked.
+pub fn dataset_fingerprint(ds: &AlignmentDataset) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(ds.name.as_bytes());
+    for kg in [&ds.source, &ds.target] {
+        for v in [kg.num_entities, kg.num_relations, kg.num_attributes, kg.rel_triples.len(), kg.attr_triples.len(), kg.images.len()] {
+            eat(&(v as u64).to_le_bytes());
+        }
+        for &(a, b, c) in &kg.rel_triples {
+            eat(&(a as u64).to_le_bytes());
+            eat(&(b as u64).to_le_bytes());
+            eat(&(c as u64).to_le_bytes());
+        }
+        for &(a, b) in &kg.attr_triples {
+            eat(&(a as u64).to_le_bytes());
+            eat(&(b as u64).to_le_bytes());
+        }
+        for img in &kg.images {
+            match img {
+                None => eat(&[0]),
+                Some(row) => {
+                    eat(&[1]);
+                    eat(&(row.len() as u64).to_le_bytes());
+                    for &v in row {
+                        eat(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    for pairs in [&ds.train_pairs, &ds.test_pairs] {
+        eat(&(pairs.len() as u64).to_le_bytes());
+        for &(a, b) in pairs.iter() {
+            eat(&(a as u64).to_le_bytes());
+            eat(&(b as u64).to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, SynthConfig};
+
+    fn small() -> AlignmentDataset {
+        SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(3)
+    }
+
+    #[test]
+    fn clean_synth_data_passes_strict() {
+        let mut ds = small();
+        let report = ds.audit(AuditPolicy::Strict).expect("generated data is clean");
+        assert!(report.is_clean(), "{}", report.summary());
+        // Missing modalities are informational, not defects — and synth
+        // data always has some (coverage < 1).
+        assert!(report.count(DefectClass::MissingModality) > 0);
+    }
+
+    #[test]
+    fn strict_never_mutates() {
+        let mut ds = small();
+        ds.source.rel_triples.push((0, 0, 0)); // self-loop
+        ds.source.images[1] = Some(vec![f32::INFINITY; 4]);
+        let before = dataset_fingerprint(&ds);
+        let err = ds.audit(AuditPolicy::Strict).expect_err("defects must fail strict");
+        assert_eq!(dataset_fingerprint(&ds), before, "strict audit mutated the dataset");
+        assert!(err.to_string().contains("self-loop-triple"), "{err}");
+        assert!(err.to_string().contains("non-finite-feature"), "{err}");
+    }
+
+    #[test]
+    fn repair_fixes_every_injected_defect_class() {
+        let mut ds = small();
+        let n_s = ds.source.num_entities;
+        ds.source.rel_triples.push((0, 0, n_s + 5)); // dangling
+        ds.source.rel_triples.push((0, ds.source.num_relations + 2, 1)); // unknown relation
+        ds.source.rel_triples.push((2, 0, 2)); // self-loop
+        let dup = ds.source.rel_triples[0];
+        ds.source.rel_triples.push(dup); // duplicate
+        ds.source.attr_triples.push((n_s + 1, 0)); // dangling attr
+        ds.source.attr_triples.push((0, ds.source.num_attributes + 9)); // unknown attr
+        let dim = ds.source.images.iter().flatten().next().expect("synth data has images").len();
+        ds.source.images[0] = Some(vec![f32::NAN; dim]);
+        ds.source.images[1] = Some(vec![0.0; dim]); // zero norm at the right dim
+        ds.source.images[2] = Some(vec![1.0; dim + 1]); // wrong dim (majority wins)
+        ds.train_pairs.push((n_s + 7, 0)); // out of range
+        let dup_pair = ds.train_pairs[0];
+        ds.test_pairs.push(dup_pair); // duplicate pair
+
+        let report = ds.audit(AuditPolicy::Repair).expect("repair succeeds");
+        for class in [
+            DefectClass::DanglingEndpoint,
+            DefectClass::UnknownRelation,
+            DefectClass::UnknownAttribute,
+            DefectClass::SelfLoopTriple,
+            DefectClass::DuplicateTriple,
+            DefectClass::PairOutOfRange,
+            DefectClass::DuplicatePair,
+            DefectClass::NonFiniteFeature,
+            DefectClass::ZeroNormFeature,
+            DefectClass::DimensionMismatch,
+        ] {
+            assert!(report.count(class) > 0, "expected {} to be detected; census: {}", class.name(), report.summary());
+        }
+        assert_eq!(report.repairs, report.total_defects());
+
+        // Sound: the repaired dataset passes strict and validate().
+        assert!(ds.audit(AuditPolicy::Strict).is_ok());
+        assert_eq!(ds.validate(), Ok(()));
+        // Quarantined rows are gone, not zeroed.
+        assert!(ds.source.images[0].is_none());
+        assert!(ds.source.images[1].is_none());
+        assert!(ds.source.images[2].is_none());
+    }
+
+    #[test]
+    fn repair_of_clean_data_is_a_noop() {
+        let mut ds = small();
+        let before = dataset_fingerprint(&ds);
+        let report = ds.audit(AuditPolicy::Repair).expect("repair");
+        assert!(report.is_clean());
+        assert_eq!(report.repairs, 0);
+        assert_eq!(dataset_fingerprint(&ds), before, "repairing clean data must be bit-identical");
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let mut ds = small();
+        ds.source.rel_triples.push((1, 0, 1));
+        ds.target.images[0] = Some(vec![f32::NAN; 4]);
+        ds.audit(AuditPolicy::Repair).expect("first repair");
+        let after_one = dataset_fingerprint(&ds);
+        let second = ds.audit(AuditPolicy::Repair).expect("second repair");
+        assert_eq!(second.repairs, 0);
+        assert_eq!(dataset_fingerprint(&ds), after_one);
+    }
+
+    #[test]
+    fn train_pairs_win_one_to_one_ties_over_test_pairs() {
+        let mut ds = small();
+        let (s, t) = ds.train_pairs[0];
+        ds.test_pairs.insert(0, (s, t));
+        ds.audit(AuditPolicy::Repair).expect("repair");
+        assert!(ds.train_pairs.contains(&(s, t)), "train pair must survive");
+        assert!(!ds.test_pairs.contains(&(s, t)), "test duplicate must be dropped");
+    }
+
+    #[test]
+    fn images_length_mismatch_is_repaired() {
+        let mut ds = small();
+        ds.target.images.truncate(ds.target.num_entities - 3);
+        let report = ds.audit(AuditPolicy::Repair).expect("repair");
+        assert!(report.count(DefectClass::Schema) > 0);
+        assert_eq!(ds.target.images.len(), ds.target.num_entities);
+        assert!(ds.audit(AuditPolicy::Strict).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_sees_every_field() {
+        let base = small();
+        let fp = dataset_fingerprint(&base);
+        let mut m = base.clone();
+        m.name.push('x');
+        assert_ne!(dataset_fingerprint(&m), fp);
+        let mut m = base.clone();
+        m.source.rel_triples[0].0 ^= 1;
+        assert_ne!(dataset_fingerprint(&m), fp);
+        let mut m = base.clone();
+        if let Some(row) = m.target.images.iter_mut().flatten().next() {
+            row[0] = f32::from_bits(row[0].to_bits() ^ 1);
+        }
+        assert_ne!(dataset_fingerprint(&m), fp);
+        let mut m = base.clone();
+        m.test_pairs.pop();
+        assert_ne!(dataset_fingerprint(&m), fp);
+    }
+
+    #[test]
+    fn report_json_has_stable_schema() {
+        let mut ds = small();
+        ds.source.rel_triples.push((0, 0, 0));
+        let report = ds.audit(AuditPolicy::Repair).expect("repair");
+        let j = report.to_json();
+        assert_eq!(j.field::<String>("kind").unwrap(), "audit_report");
+        assert_eq!(j.field::<String>("policy").unwrap(), "repair");
+        let defects = match j.get("defects") {
+            Some(Json::Object(pairs)) => pairs.len(),
+            other => panic!("defects must be an object, got {other:?}"),
+        };
+        assert_eq!(defects, DefectClass::ALL.len(), "all classes present, zeros included");
+    }
+}

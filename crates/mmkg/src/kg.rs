@@ -1,6 +1,7 @@
 //! The multi-modal knowledge graph data model.
 
 use desalign_graph::UndirectedGraph;
+use desalign_util::{DefectClass, DesalignError};
 
 /// One multi-modal knowledge graph `G = (ε, R, A, V)` (Section II).
 ///
@@ -26,32 +27,67 @@ pub struct Mmkg {
 }
 
 impl Mmkg {
-    /// Validates internal invariants; returns a description of the first
-    /// violation found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates internal invariants; reports the first violation as a
+    /// typed [`DesalignError`] naming its defect class and location.
+    ///
+    /// This is the cheap structural check (bounds + dimensions) run by
+    /// loaders and debug assertions; the full defect census with repair
+    /// lives in [`crate::DatasetAuditor`].
+    pub fn validate(&self) -> Result<(), DesalignError> {
+        self.validate_at("kg")
+    }
+
+    /// [`Mmkg::validate`] with error locations prefixed by `side`
+    /// (`source` / `target`) so dataset-level reports point at the right
+    /// graph.
+    pub fn validate_at(&self, side: &str) -> Result<(), DesalignError> {
         if self.images.len() != self.num_entities {
-            return Err(format!("images vector has {} entries for {} entities", self.images.len(), self.num_entities));
+            return Err(DesalignError::new(
+                DefectClass::Schema,
+                format!("{side}.images"),
+                format!("{} entries for {} entities", self.images.len(), self.num_entities),
+            ));
         }
-        for &(h, r, t) in &self.rel_triples {
+        for (i, &(h, r, t)) in self.rel_triples.iter().enumerate() {
             if h >= self.num_entities || t >= self.num_entities {
-                return Err(format!("relation triple ({h},{r},{t}) references a missing entity"));
+                return Err(DesalignError::new(
+                    DefectClass::DanglingEndpoint,
+                    format!("{side}.rel_triples[{i}]"),
+                    format!("({h},{r},{t}) references a missing entity (have {})", self.num_entities),
+                ));
             }
             if r >= self.num_relations {
-                return Err(format!("relation triple ({h},{r},{t}) uses unknown relation {r}"));
+                return Err(DesalignError::new(
+                    DefectClass::UnknownRelation,
+                    format!("{side}.rel_triples[{i}]"),
+                    format!("({h},{r},{t}) uses unknown relation {r} (have {})", self.num_relations),
+                ));
             }
         }
-        for &(e, a) in &self.attr_triples {
+        for (i, &(e, a)) in self.attr_triples.iter().enumerate() {
             if e >= self.num_entities {
-                return Err(format!("attribute triple ({e},{a}) references a missing entity"));
+                return Err(DesalignError::new(
+                    DefectClass::DanglingEndpoint,
+                    format!("{side}.attr_triples[{i}]"),
+                    format!("({e},{a}) references a missing entity (have {})", self.num_entities),
+                ));
             }
             if a >= self.num_attributes {
-                return Err(format!("attribute triple ({e},{a}) uses unknown attribute {a}"));
+                return Err(DesalignError::new(
+                    DefectClass::UnknownAttribute,
+                    format!("{side}.attr_triples[{i}]"),
+                    format!("({e},{a}) uses unknown attribute {a} (have {})", self.num_attributes),
+                ));
             }
         }
         let dim = self.images.iter().flatten().map(Vec::len).next();
         if let Some(d) = dim {
-            if self.images.iter().flatten().any(|v| v.len() != d) {
-                return Err("image feature vectors have inconsistent dimensions".into());
+            if let Some(i) = (0..self.images.len()).find(|&i| self.images[i].as_ref().is_some_and(|v| v.len() != d)) {
+                return Err(DesalignError::new(
+                    DefectClass::DimensionMismatch,
+                    format!("{side}.images[{i}]"),
+                    format!("feature row has {} dims, expected {d}", self.images[i].as_ref().map_or(0, Vec::len)),
+                ));
             }
         }
         Ok(())
@@ -137,18 +173,25 @@ impl AlignmentDataset {
         }
     }
 
-    /// Validates both graphs and the alignment lists.
-    pub fn validate(&self) -> Result<(), String> {
-        self.source.validate().map_err(|e| format!("source: {e}"))?;
-        self.target.validate().map_err(|e| format!("target: {e}"))?;
+    /// Validates both graphs and the alignment lists, reporting the first
+    /// violation as a typed [`DesalignError`].
+    pub fn validate(&self) -> Result<(), DesalignError> {
+        self.source.validate_at("source")?;
+        self.target.validate_at("target")?;
         let mut seen_s = vec![false; self.source.num_entities];
         let mut seen_t = vec![false; self.target.num_entities];
-        for &(s, t) in self.train_pairs.iter().chain(&self.test_pairs) {
+        let n_train = self.train_pairs.len();
+        for (i, &(s, t)) in self.train_pairs.iter().chain(&self.test_pairs).enumerate() {
+            let loc = if i < n_train { format!("train_pairs[{i}]") } else { format!("test_pairs[{}]", i - n_train) };
             if s >= self.source.num_entities || t >= self.target.num_entities {
-                return Err(format!("alignment ({s},{t}) out of bounds"));
+                return Err(DesalignError::new(
+                    DefectClass::PairOutOfRange,
+                    loc,
+                    format!("({s},{t}) out of bounds for {}x{} entities", self.source.num_entities, self.target.num_entities),
+                ));
             }
             if seen_s[s] || seen_t[t] {
-                return Err(format!("alignment ({s},{t}) violates one-to-one mapping"));
+                return Err(DesalignError::new(DefectClass::DuplicatePair, loc, format!("({s},{t}) violates one-to-one mapping")));
             }
             seen_s[s] = true;
             seen_t[t] = true;

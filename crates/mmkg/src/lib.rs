@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod features;
 mod kg;
 mod loader;
 mod synth;
 
+pub use audit::{dataset_fingerprint, AuditPolicy, AuditReport, DatasetAuditor};
 pub use features::{fill_missing_with_noise, FeatureDims, ModalFeatures};
 pub use kg::{AlignmentDataset, KgStats, Mmkg};
 pub use loader::{load_dataset_json, save_dataset_json};

@@ -6,7 +6,9 @@
 //! previous builds keep loading.
 
 use crate::{AlignmentDataset, Mmkg};
-use desalign_util::{json, FromJson, Json, JsonError, ToJson};
+use desalign_util::{json, DesalignError, FromJson, Json, JsonError, ToJson};
+#[cfg(test)]
+use desalign_util::DefectClass;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -67,11 +69,25 @@ pub fn save_dataset_json(ds: &AlignmentDataset, path: &Path) -> io::Result<()> {
 }
 
 /// Loads a dataset saved with [`save_dataset_json`], validating it.
-pub fn load_dataset_json(path: &Path) -> io::Result<AlignmentDataset> {
-    let json = fs::read_to_string(path)?;
-    let doc = Json::parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let ds = AlignmentDataset::from_json(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    ds.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid dataset: {e}")))?;
+///
+/// Every failure is a typed [`DesalignError`] whose class names what went
+/// wrong: [`Io`](desalign_util::DefectClass::Io) (unreadable file),
+/// [`Parse`](desalign_util::DefectClass::Parse) (not JSON),
+/// [`Schema`](desalign_util::DefectClass::Schema) (JSON of the wrong shape), or the
+/// structural defect class [`AlignmentDataset::validate`] found (dangling
+/// endpoint, out-of-range pair, …). The file path is attached as the
+/// outermost location.
+pub fn load_dataset_json(path: &Path) -> Result<AlignmentDataset, DesalignError> {
+    // Each failure keeps its own defect class at the outermost level (so
+    // callers can match on it) while the file path becomes the location.
+    let at = |e: DesalignError| {
+        let class = e.class;
+        e.wrap(class, path.display().to_string(), "cannot load dataset")
+    };
+    let json = fs::read_to_string(path).map_err(|e| DesalignError::io(path.display().to_string(), e))?;
+    let doc = Json::parse(&json).map_err(|e| at(DesalignError::parse("json", e)))?;
+    let ds = AlignmentDataset::from_json(&doc).map_err(|e| at(DesalignError::schema("json", e)))?;
+    ds.validate().map_err(at)?;
     Ok(ds)
 }
 
@@ -107,5 +123,41 @@ mod tests {
         assert!(load_dataset_json(&path2).is_err());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn load_errors_carry_the_defect_class() {
+        let dir = std::env::temp_dir().join("desalign-loader-test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+
+        // Missing file → Io.
+        let e = load_dataset_json(&dir.join("no-such-file.json")).unwrap_err();
+        assert_eq!(e.class, DefectClass::Io);
+
+        // Not JSON → Parse.
+        let p = dir.join("notjson.json");
+        std::fs::write(&p, "][").expect("write");
+        let e = load_dataset_json(&p).unwrap_err();
+        assert_eq!(e.class, DefectClass::Parse);
+
+        // Valid JSON, wrong shape → Schema.
+        let p2 = dir.join("wrongshape.json");
+        std::fs::write(&p2, "{\"name\": \"x\"}").expect("write");
+        let e = load_dataset_json(&p2).unwrap_err();
+        assert_eq!(e.class, DefectClass::Schema);
+
+        // Structurally broken dataset → the structural defect class, with
+        // the inner location preserved in the cause chain.
+        let mut ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(40).generate(2);
+        ds.source.rel_triples.push((0, 0, ds.source.num_entities + 7));
+        let p3 = dir.join("dangling.json");
+        std::fs::write(&p3, ds.to_json().to_string()).expect("write");
+        let e = load_dataset_json(&p3).unwrap_err();
+        assert_eq!(e.class, DefectClass::DanglingEndpoint);
+        assert!(e.root_cause().location.contains("source.rel_triples"), "{e}");
+
+        for p in [p, p2, p3] {
+            std::fs::remove_file(&p).ok();
+        }
     }
 }

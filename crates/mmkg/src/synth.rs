@@ -332,11 +332,21 @@ impl SynthConfig {
             if rng.gen_bool(keep_p) {
                 if rng.gen_bool(self.structural_noise as f64) {
                     // Rewire one endpoint: view-specific structural noise.
-                    rel_triples.push((h, r, rng.gen_range(0..n)));
+                    // A rewire that lands back on the head would create a
+                    // self-loop; keep the original edge instead (same
+                    // single RNG draw, so the stream is unchanged).
+                    let t2 = rng.gen_range(0..n);
+                    rel_triples.push((h, r, if t2 == h { t } else { t2 }));
                 } else {
                     rel_triples.push((h, r, t));
                 }
             }
+        }
+        // Rewiring can collide with an existing edge; drop exact duplicates
+        // (first occurrence wins) so generated graphs pass a Strict audit.
+        {
+            let mut seen = std::collections::HashSet::with_capacity(rel_triples.len());
+            rel_triples.retain(|&trip| seen.insert(trip));
         }
 
         // Attributes: only a `text_coverage` fraction of entities carry any

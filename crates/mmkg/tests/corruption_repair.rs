@@ -1,0 +1,77 @@
+//! Repair soundness against the testkit corruptors: whatever
+//! `desalign_testkit::corrupt` breaks, a `Repair` audit must fix, and a
+//! second repair must change nothing.
+//!
+//! Three properties, over random kinds × severities × seeds:
+//!
+//! 1. **Soundness** — a corrupted dataset, once repaired, passes `Strict`.
+//! 2. **Idempotence** — repairing an already-repaired dataset is a
+//!    fingerprint-level no-op.
+//! 3. **Clean no-op** — repairing a dataset that was never corrupted
+//!    leaves it bit-identical (so wiring the auditor into a clean
+//!    pipeline cannot perturb training).
+
+use desalign_mmkg::{dataset_fingerprint, AuditPolicy, DatasetSpec, SynthConfig};
+use desalign_testkit::{check, corrupt_dataset, ensure, ensure_eq, CorruptionKind, SliceRandom};
+
+const CASES: u64 = 36;
+
+#[test]
+fn repaired_corruption_passes_strict_and_repair_is_idempotent() {
+    check(
+        "repaired_corruption_passes_strict",
+        CASES,
+        |rng| {
+            let kind = *CorruptionKind::ALL.choose(rng).expect("non-empty kind list");
+            let spec = *DatasetSpec::ALL.choose(rng).expect("non-empty preset list");
+            (kind, spec, rng.gen_range(30..90usize), rng.gen_range(0.02f32..0.6), rng.gen_range(0..10_000u64))
+        },
+        |&(kind, spec, scale, severity, seed)| {
+            let mut ds = SynthConfig::preset(spec).scaled(scale).generate(seed);
+            let applied = corrupt_dataset(&mut ds, kind, severity, seed);
+            ensure!(applied > 0, "{} applied no corruption at scale {scale}", kind.name());
+
+            // A structural corruption must be visible to Strict before repair.
+            if !kind.is_degradation() {
+                ensure!(ds.clone().audit(AuditPolicy::Strict).is_err(), "{} invisible to strict audit", kind.name());
+            }
+
+            // Soundness: repair, then strict passes.
+            let report = ds.audit(AuditPolicy::Repair).map_err(|e| format!("repair refused {}: {e}", kind.name()))?;
+            if !kind.is_degradation() {
+                ensure!(report.total_defects() > 0, "{} repaired zero defects", kind.name());
+            }
+            let fp = dataset_fingerprint(&ds);
+            ds.clone()
+                .audit(AuditPolicy::Strict)
+                .map_err(|e| format!("repaired {} dataset still fails strict: {e}", kind.name()))?;
+
+            // Idempotence: a second repair is a fingerprint no-op.
+            let second = ds.audit(AuditPolicy::Repair).map_err(|e| format!("second repair refused: {e}"))?;
+            ensure_eq!(second.total_defects(), 0);
+            ensure_eq!(dataset_fingerprint(&ds), fp);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn repairing_clean_data_is_bit_identical() {
+    check(
+        "repairing_clean_data_is_bit_identical",
+        CASES,
+        |rng| {
+            let spec = *DatasetSpec::ALL.choose(rng).expect("non-empty preset list");
+            (spec, rng.gen_range(30..100usize), rng.gen_range(0..10_000u64))
+        },
+        |&(spec, scale, seed)| {
+            let mut ds = SynthConfig::preset(spec).scaled(scale).generate(seed);
+            let before = dataset_fingerprint(&ds);
+            let report = ds.audit(AuditPolicy::Repair).map_err(|e| format!("clean repair refused: {e}"))?;
+            ensure_eq!(report.total_defects(), 0);
+            ensure!(report.is_clean());
+            ensure_eq!(dataset_fingerprint(&ds), before);
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,78 @@
+//! Loader fuzzing: `load_dataset_json` must never panic, no matter how a
+//! serialized dataset is damaged in transit. Every mutated payload either
+//! loads a *valid* dataset or returns a typed [`DesalignError`] — the
+//! corrupted-byte half of the data-plane robustness contract
+//! (docs/RELIABILITY.md).
+//!
+//! The sweep is deterministic: byte mutations come from
+//! [`desalign_testkit::mutate_bytes`] seeded per case, so a failure
+//! reproduces from its case index alone.
+
+use desalign_mmkg::{load_dataset_json, save_dataset_json, DatasetSpec, SynthConfig};
+use desalign_testkit::{case_seed, mutate_bytes};
+use std::fs;
+use std::path::PathBuf;
+
+fn fuzz_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("desalign-loader-fuzz");
+    fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+#[test]
+fn mutated_payloads_load_clean_or_fail_typed_never_panic() {
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(40).generate(3);
+    let path = fuzz_dir().join("seed.json");
+    save_dataset_json(&ds, &path).expect("serialize seed dataset");
+    let clean = fs::read(&path).expect("read seed bytes");
+
+    let mutated_path = fuzz_dir().join("mutated.json");
+    let mut loads = 0usize;
+    let mut typed_errors = 0usize;
+    const SWEEP: u64 = 300;
+    for case in 0..SWEEP {
+        // Light damage early (single bit flips that often stay parseable),
+        // heavier structural damage later in the sweep.
+        let mutations = 1 + (case as usize % 24);
+        let bytes = mutate_bytes(&clean, mutations, case_seed("loader_fuzz", case));
+        fs::write(&mutated_path, &bytes).expect("write mutated payload");
+        match load_dataset_json(&mutated_path) {
+            Ok(loaded) => {
+                // Anything that loads must satisfy the full invariant set.
+                loaded.validate().unwrap_or_else(|e| panic!("case {case}: loader accepted an invalid dataset: {e}"));
+                loads += 1;
+            }
+            Err(e) => {
+                // The error must render and carry a defect class.
+                assert!(!e.to_string().is_empty(), "case {case}: empty error display");
+                let _ = e.class;
+                typed_errors += 1;
+            }
+        }
+    }
+    assert_eq!(loads + typed_errors, SWEEP as usize);
+    // The sweep is only meaningful if mutation actually broke payloads.
+    assert!(typed_errors > 0, "no mutated payload was rejected ({loads} loaded)");
+
+    fs::remove_file(&path).ok();
+    fs::remove_file(&mutated_path).ok();
+}
+
+#[test]
+fn truncation_sweep_never_panics() {
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(30).generate(9);
+    let path = fuzz_dir().join("truncated.json");
+    save_dataset_json(&ds, &path).expect("serialize");
+    let clean = fs::read(&path).expect("read");
+    // Cutting the payload at a spread of offsets (including 0 and just
+    // short of full length) exercises every parser state.
+    for step in 0..64usize {
+        let cut = clean.len() * step / 64;
+        fs::write(&path, &clean[..cut]).expect("write truncated");
+        match load_dataset_json(&path) {
+            Ok(loaded) => assert!(loaded.validate().is_ok()),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+    fs::remove_file(&path).ok();
+}

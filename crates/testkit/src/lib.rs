@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrupt;
 pub mod fault;
 
 use std::fmt::Debug;
 
+pub use corrupt::{corrupt_dataset, mutate_bytes, CorruptionKind};
 pub use desalign_tensor::{rng_from_seed, Matrix, Rng64, SliceRandom};
 pub use fault::{kill_during_atomic_write, truncate_file, KillAfterWriter};
 

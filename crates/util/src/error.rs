@@ -1,0 +1,288 @@
+//! The workspace-wide typed error taxonomy.
+//!
+//! Every fallible public boundary of the data plane — dataset loading,
+//! auditing, graph construction, model setup — reports a
+//! [`DesalignError`]: a defect **class** (what kind of thing went wrong),
+//! a **location** (where in the input it was found, e.g.
+//! `source.rel_triples[42]`), a free-form **context** message, and an
+//! optional **cause** chain. The class is machine-readable (CI and the
+//! auditor aggregate counts per class); the `Display` rendering is the
+//! human-readable diagnostic.
+//!
+//! Hot kernels deliberately keep `debug_assert!`/`assert!` instead: an
+//! invariant violation *inside* the compute graph is a bug, not an input
+//! defect, and the data plane's job is to stop corrupt inputs before they
+//! reach a kernel.
+//!
+//! ```
+//! use desalign_util::{DefectClass, DesalignError};
+//!
+//! let inner = DesalignError::new(DefectClass::DanglingEndpoint, "source.rel_triples[3]", "tail 99 >= 40 entities");
+//! let outer = inner.clone().wrap(DefectClass::Schema, "dataset.json", "dataset failed validation");
+//! assert_eq!(outer.class, DefectClass::Schema);
+//! assert!(outer.to_string().contains("dangling-endpoint"));
+//! assert!(std::error::Error::source(&outer).is_some());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// The defect taxonomy: every way an input can be wrong, as a closed enum.
+///
+/// The first group covers transport and shape failures (I/O, JSON);
+/// the second group is the dataset-level defect classes the
+/// `desalign-mmkg` auditor counts and repairs. [`DefectClass::name`]
+/// gives the stable kebab-case identifier used in JSON reports and
+/// telemetry counter names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// Operating-system I/O failure (file missing, permission, torn read).
+    Io,
+    /// Byte stream is not syntactically valid JSON.
+    Parse,
+    /// JSON is well-formed but does not match the expected schema.
+    Schema,
+    /// A configuration value is out of its documented range.
+    Config,
+    /// A triple endpoint references an entity outside `0..num_entities`.
+    DanglingEndpoint,
+    /// A relation triple uses a relation id outside the vocabulary.
+    UnknownRelation,
+    /// An attribute triple uses an attribute id outside the vocabulary.
+    UnknownAttribute,
+    /// A relation triple with `head == tail`.
+    SelfLoopTriple,
+    /// An exact `(head, relation, tail)` duplicate of an earlier triple.
+    DuplicateTriple,
+    /// An alignment pair references an entity outside either graph.
+    PairOutOfRange,
+    /// An alignment pair reuses a source or target entity (one-to-one
+    /// violation).
+    DuplicatePair,
+    /// A feature row contains `NaN` or `±∞`.
+    NonFiniteFeature,
+    /// A feature row whose ℓ2 norm is (numerically) zero.
+    ZeroNormFeature,
+    /// A feature row whose dimension disagrees with the rest of the graph.
+    DimensionMismatch,
+    /// An entity lacks a modality entirely (informational — real MMKGs
+    /// are incomplete by nature; the auditor counts but never rejects).
+    MissingModality,
+}
+
+impl DefectClass {
+    /// Every class, in taxonomy order (report and counter ordering).
+    pub const ALL: [DefectClass; 15] = [
+        DefectClass::Io,
+        DefectClass::Parse,
+        DefectClass::Schema,
+        DefectClass::Config,
+        DefectClass::DanglingEndpoint,
+        DefectClass::UnknownRelation,
+        DefectClass::UnknownAttribute,
+        DefectClass::SelfLoopTriple,
+        DefectClass::DuplicateTriple,
+        DefectClass::PairOutOfRange,
+        DefectClass::DuplicatePair,
+        DefectClass::NonFiniteFeature,
+        DefectClass::ZeroNormFeature,
+        DefectClass::DimensionMismatch,
+        DefectClass::MissingModality,
+    ];
+
+    /// Stable kebab-case identifier (JSON reports, telemetry counters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefectClass::Io => "io",
+            DefectClass::Parse => "parse",
+            DefectClass::Schema => "schema",
+            DefectClass::Config => "config",
+            DefectClass::DanglingEndpoint => "dangling-endpoint",
+            DefectClass::UnknownRelation => "unknown-relation",
+            DefectClass::UnknownAttribute => "unknown-attribute",
+            DefectClass::SelfLoopTriple => "self-loop-triple",
+            DefectClass::DuplicateTriple => "duplicate-triple",
+            DefectClass::PairOutOfRange => "pair-out-of-range",
+            DefectClass::DuplicatePair => "duplicate-pair",
+            DefectClass::NonFiniteFeature => "non-finite-feature",
+            DefectClass::ZeroNormFeature => "zero-norm-feature",
+            DefectClass::DimensionMismatch => "dimension-mismatch",
+            DefectClass::MissingModality => "missing-modality",
+        }
+    }
+
+    /// The telemetry counter name for this class (static, leak-free:
+    /// the names are compile-time constants).
+    pub fn counter_name(&self) -> &'static str {
+        match self {
+            DefectClass::Io => "audit.io",
+            DefectClass::Parse => "audit.parse",
+            DefectClass::Schema => "audit.schema",
+            DefectClass::Config => "audit.config",
+            DefectClass::DanglingEndpoint => "audit.dangling_endpoint",
+            DefectClass::UnknownRelation => "audit.unknown_relation",
+            DefectClass::UnknownAttribute => "audit.unknown_attribute",
+            DefectClass::SelfLoopTriple => "audit.self_loop_triple",
+            DefectClass::DuplicateTriple => "audit.duplicate_triple",
+            DefectClass::PairOutOfRange => "audit.pair_out_of_range",
+            DefectClass::DuplicatePair => "audit.duplicate_pair",
+            DefectClass::NonFiniteFeature => "audit.non_finite_feature",
+            DefectClass::ZeroNormFeature => "audit.zero_norm_feature",
+            DefectClass::DimensionMismatch => "audit.dimension_mismatch",
+            DefectClass::MissingModality => "audit.missing_modality",
+        }
+    }
+}
+
+impl fmt::Display for DefectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed data-plane error: defect class + location + context, with an
+/// optional cause chain (each link is itself a `DesalignError`, so the
+/// whole chain stays comparable and cloneable — external causes like
+/// `io::Error` are captured as a leaf with their message preserved).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesalignError {
+    /// What kind of defect this is.
+    pub class: DefectClass,
+    /// Where it was found (`source.rel_triples[42]`, a file path, a
+    /// config field name…).
+    pub location: String,
+    /// Human-readable context: the offending values and the constraint
+    /// they broke.
+    pub context: String,
+    /// The underlying error this one wraps, if any.
+    pub cause: Option<Box<DesalignError>>,
+}
+
+impl DesalignError {
+    /// A leaf error.
+    pub fn new(class: DefectClass, location: impl Into<String>, context: impl Into<String>) -> Self {
+        Self { class, location: location.into(), context: context.into(), cause: None }
+    }
+
+    /// Wraps `self` as the cause of a new, higher-level error.
+    pub fn wrap(self, class: DefectClass, location: impl Into<String>, context: impl Into<String>) -> Self {
+        Self { class, location: location.into(), context: context.into(), cause: Some(Box::new(self)) }
+    }
+
+    /// Captures an external error (any `Display`) as an [`DefectClass::Io`]
+    /// leaf at `location`.
+    pub fn io(location: impl Into<String>, err: impl fmt::Display) -> Self {
+        Self::new(DefectClass::Io, location, err.to_string())
+    }
+
+    /// Captures an external error as a [`DefectClass::Parse`] leaf.
+    pub fn parse(location: impl Into<String>, err: impl fmt::Display) -> Self {
+        Self::new(DefectClass::Parse, location, err.to_string())
+    }
+
+    /// Captures an external error as a [`DefectClass::Schema`] leaf.
+    pub fn schema(location: impl Into<String>, err: impl fmt::Display) -> Self {
+        Self::new(DefectClass::Schema, location, err.to_string())
+    }
+
+    /// A [`DefectClass::Config`] leaf for an out-of-range setting.
+    pub fn config(location: impl Into<String>, context: impl Into<String>) -> Self {
+        Self::new(DefectClass::Config, location, context)
+    }
+
+    /// The innermost error of the cause chain (`self` when it is a leaf).
+    pub fn root_cause(&self) -> &DesalignError {
+        let mut e = self;
+        while let Some(c) = &e.cause {
+            e = c;
+        }
+        e
+    }
+
+    /// Iterates over the chain from `self` to the root cause.
+    pub fn chain(&self) -> impl Iterator<Item = &DesalignError> {
+        std::iter::successors(Some(self), |e| e.cause.as_deref())
+    }
+}
+
+impl fmt::Display for DesalignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.class, self.location, self.context)?;
+        if let Some(cause) = &self.cause {
+            write!(f, " (caused by {cause})")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for DesalignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.cause.as_deref().map(|c| c as &(dyn Error + 'static))
+    }
+}
+
+impl From<std::io::Error> for DesalignError {
+    fn from(e: std::io::Error) -> Self {
+        DesalignError::io("io", e)
+    }
+}
+
+impl From<crate::json::JsonError> for DesalignError {
+    fn from(e: crate::json::JsonError) -> Self {
+        // Offset 0 marks extraction (schema) errors; anything else is a
+        // genuine parse failure with a byte position. A parse failure at
+        // the very first byte is misclassified by this heuristic — when
+        // the distinction matters, construct via `DesalignError::parse` /
+        // `DesalignError::schema` at the call site instead.
+        if e.offset == 0 {
+            DesalignError::schema("json", e)
+        } else {
+            DesalignError::parse("json", e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_class_location_context() {
+        let e = DesalignError::new(DefectClass::DuplicateTriple, "target.rel_triples[7]", "(1,0,2) repeats entry 3");
+        let s = e.to_string();
+        assert!(s.contains("duplicate-triple"), "{s}");
+        assert!(s.contains("target.rel_triples[7]"), "{s}");
+        assert!(s.contains("repeats entry 3"), "{s}");
+    }
+
+    #[test]
+    fn wrap_builds_a_source_chain() {
+        let leaf = DesalignError::io("ds.json", "No such file or directory");
+        let top = leaf.clone().wrap(DefectClass::Schema, "load_dataset_json", "cannot load dataset");
+        assert_eq!(top.root_cause(), &leaf);
+        assert_eq!(top.chain().count(), 2);
+        let src = Error::source(&top).expect("has a source");
+        assert!(src.to_string().contains("No such file"));
+        assert!(top.to_string().contains("caused by"));
+    }
+
+    #[test]
+    fn json_error_conversion_distinguishes_parse_from_schema() {
+        let parse = crate::json::Json::parse("{oops").unwrap_err();
+        assert_eq!(DesalignError::from(parse).class, DefectClass::Parse);
+        let schema = crate::json::JsonError::schema("missing field `name`");
+        assert_eq!(DesalignError::from(schema).class, DefectClass::Schema);
+    }
+
+    #[test]
+    fn class_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = DefectClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DefectClass::ALL.len(), "duplicate class names");
+        let mut counters: Vec<&str> = DefectClass::ALL.iter().map(|c| c.counter_name()).collect();
+        counters.sort_unstable();
+        counters.dedup();
+        assert_eq!(counters.len(), DefectClass::ALL.len(), "duplicate counter names");
+    }
+}

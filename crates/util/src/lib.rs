@@ -1,6 +1,6 @@
 //! Zero-dependency utilities for the DESAlign workspace.
 //!
-//! Two modules:
+//! Three modules:
 //!
 //! - [`mod@json`] — a hand-rolled JSON value type with a writer and a
 //!   recursive-descent parser. It replaces `serde`/`serde_json` for the
@@ -11,12 +11,19 @@
 //!   atomic-rename replacement ([`atomic_write`]/[`read_verified`]). This
 //!   is the storage layer of the training-checkpoint subsystem documented
 //!   in `docs/RELIABILITY.md`.
+//! - [`mod@error`] — the workspace's typed error taxonomy:
+//!   [`DesalignError`] carries a [`DefectClass`], a location, a context
+//!   message, and a comparable cause chain. The data-plane boundaries
+//!   (loader, auditor, graph construction, model setup) all report through
+//!   it; see the "Data-plane robustness" section of `docs/RELIABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomicio;
+pub mod error;
 pub mod json;
 
 pub use atomicio::{atomic_write, checksum64, frame, read_verified, temp_path, unframe, FOOTER_LEN, FOOTER_MAGIC};
+pub use error::{DefectClass, DesalignError};
 pub use json::{u64_from_json, u64_to_json, FromJson, Json, JsonError, ToJson};

@@ -126,7 +126,7 @@ fn model_config(flags: &Flags) -> Result<DesalignConfig, String> {
     cfg.hidden_dim = flags.parse("dim", cfg.hidden_dim)?;
     cfg.sp_iterations = flags.parse("sp-iterations", cfg.sp_iterations)?;
     cfg.lr = flags.parse("lr", cfg.lr)?;
-    cfg.validate()?;
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
 
