@@ -1,0 +1,245 @@
+//! Retrieval scaling benchmark: dense cosine vs blocked exact vs IVF.
+//!
+//! For each corpus size the harness builds a clustered synthetic MMKG
+//! embedding table, perturbs item rows into queries, and times three
+//! top-10 retrieval paths:
+//!
+//! - **dense** — materialize the full `queries × n` cosine matrix (the
+//!   historical path) and rank per row;
+//! - **exact** — the blocked `ExactRetriever` scan (bit-identical scores,
+//!   never materializes the matrix);
+//! - **ivf** — the seeded IVF index at the configured `nprobe`.
+//!
+//! Alongside queries/sec it reports IVF recall@1/@10 against the exact
+//! top-k, the scanned-candidate fraction from the `retrieval.*` telemetry
+//! counters, and a dense-vs-exact **bit-identity** verdict over ids and
+//! score bits. The table is written to `BENCH_retrieval.json`.
+//!
+//! Knobs (all env vars):
+//! - `DESALIGN_RETRIEVAL_SIZES` — comma-separated corpus sizes (default
+//!   `1000,10000,100000`; pass `1000000` for the 1M-entity leg — the
+//!   k-means build takes minutes there, so it is opt-in);
+//! - `DESALIGN_RETRIEVAL_QUERIES` — queries per size (default 256);
+//! - `DESALIGN_RETRIEVAL_DIM` — embedding width (default 64);
+//! - `DESALIGN_RETRIEVAL_CLUSTERS` — synthetic cluster count (default 64);
+//! - `DESALIGN_RETRIEVAL_NPROBE` — IVF cells probed per query (default 16);
+//! - `DESALIGN_RETRIEVAL_SAMPLES` — timing samples per path (default 3);
+//! - `DESALIGN_RETRIEVAL_MAX_DENSE` — skip the dense leg above this size
+//!   (default 200000: the materialized matrix is `queries × n` floats);
+//! - `DESALIGN_RETRIEVAL_OUT` — output path (default `BENCH_retrieval.json`);
+//! - `DESALIGN_RETRIEVAL_GATE=1` — exit non-zero unless recall@10 ≥ 0.95,
+//!   dense and exact agree bit-for-bit, and every QPS is finite.
+
+use desalign_bench::timing::bench_stats;
+use desalign_bench::{dump_json, or_die};
+use desalign_eval::{
+    batch_top_k, cosine_similarity, DenseRetriever, ExactRetriever, IvfIndex, IvfParams,
+    IvfRetriever,
+};
+use desalign_tensor::{rng_from_seed, Matrix, Rng64};
+use desalign_util::{json, Json};
+use std::time::Instant;
+
+const K: usize = 10;
+const RECALL_FLOOR: f64 = 0.95;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn env_sizes() -> Vec<usize> {
+    match std::env::var("DESALIGN_RETRIEVAL_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&n| n > 0).collect(),
+        Err(_) => vec![1_000, 10_000, 100_000],
+    }
+}
+
+/// Clustered embedding table: `n` rows scattered around `clusters` anchors
+/// — the regime an IVF index is built for (uniform noise has no cell
+/// structure and needs a far higher `nprobe` for the same recall).
+fn synth_items(rng: &mut Rng64, n: usize, dim: usize, clusters: usize) -> Matrix {
+    let anchors: Vec<f32> = (0..clusters * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut data = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let a = i % clusters;
+        for j in 0..dim {
+            data.push(anchors[a * dim + j] + 0.35 * rng.gen_range(-1.0f32..1.0));
+        }
+    }
+    Matrix::from_vec(n, dim, data)
+}
+
+/// Queries perturb random item rows, mimicking the aligned-entity case.
+fn synth_queries(rng: &mut Rng64, items: &Matrix, nq: usize) -> Matrix {
+    let (n, dim) = (items.rows(), items.cols());
+    let mut data = Vec::with_capacity(nq * dim);
+    for _ in 0..nq {
+        let src = rng.gen_range(0..n);
+        for j in 0..dim {
+            data.push(items[(src, j)] + 0.1 * rng.gen_range(-1.0f32..1.0));
+        }
+    }
+    Matrix::from_vec(nq, dim, data)
+}
+
+fn ids_and_bits(lists: &[Vec<(usize, f32)>]) -> Vec<Vec<(usize, u32)>> {
+    lists.iter().map(|l| l.iter().map(|&(i, s)| (i, s.to_bits())).collect()).collect()
+}
+
+fn mean_recall(approx: &[Vec<(usize, f32)>], exact: &[Vec<(usize, f32)>], k: usize) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (a, e) in approx.iter().zip(exact) {
+        let truth: std::collections::HashSet<usize> = e.iter().take(k).map(|&(i, _)| i).collect();
+        total += truth.len();
+        hit += a.iter().take(k).filter(|&&(i, _)| truth.contains(&i)).count();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+struct SizeReport {
+    row: Json,
+    recall_at_10: f64,
+    bit_identical: bool,
+    qps: Vec<f64>,
+}
+
+fn run_size(n: usize, nq: usize, dim: usize, clusters: usize, nprobe: usize, samples: usize, max_dense: usize) -> SizeReport {
+    let mut rng = rng_from_seed(0xD15A ^ n as u64);
+    let items = synth_items(&mut rng, n, dim, clusters.min(n));
+    let queries = synth_queries(&mut rng, &items, nq.min(n.max(1)));
+    let nq = queries.rows();
+
+    // --- exact blocked scan ------------------------------------------------
+    let exact = or_die("exact retriever", ExactRetriever::new(&queries, &items));
+    let exact_lists = batch_top_k(&exact, K);
+    let exact_stats = bench_stats(&format!("exact/{n}"), samples, || {
+        std::hint::black_box(batch_top_k(&exact, K));
+    });
+    let qps_exact = nq as f64 / exact_stats.median.as_secs_f64();
+
+    // --- dense materialized path (the historical baseline) -----------------
+    let (qps_dense, bit_identical) = if n <= max_dense {
+        let dense_lists = {
+            let sim = cosine_similarity(&queries, &items);
+            let dense = DenseRetriever::new(&sim, (0..nq).collect(), (0..n).collect());
+            batch_top_k(&dense, K)
+        };
+        let dense_stats = bench_stats(&format!("dense/{n}"), samples, || {
+            let sim = cosine_similarity(&queries, &items);
+            let dense = DenseRetriever::new(&sim, (0..nq).collect(), (0..n).collect());
+            std::hint::black_box(batch_top_k(&dense, K));
+        });
+        let identical = ids_and_bits(&dense_lists) == ids_and_bits(&exact_lists);
+        (Some(nq as f64 / dense_stats.median.as_secs_f64()), identical)
+    } else {
+        println!("dense/{n}: skipped (> DESALIGN_RETRIEVAL_MAX_DENSE = {max_dense})");
+        (None, true)
+    };
+
+    // --- IVF ---------------------------------------------------------------
+    let params = IvfParams { nprobe, ..IvfParams::default() };
+    let build_start = Instant::now();
+    let index = or_die("ivf build", IvfIndex::build(&items, &params));
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let num_cells = index.num_cells();
+    let ivf = or_die("ivf retriever", IvfRetriever::new(&queries, index));
+
+    desalign_telemetry::set_enabled(Some(true));
+    desalign_telemetry::reset_metrics();
+    let ivf_lists = batch_top_k(&ivf, K);
+    let probes = desalign_telemetry::counter("retrieval.probes").get();
+    let candidates = desalign_telemetry::counter("retrieval.candidates").get();
+    desalign_telemetry::set_enabled(Some(false));
+
+    let ivf_stats = bench_stats(&format!("ivf/{n}"), samples, || {
+        std::hint::black_box(batch_top_k(&ivf, K));
+    });
+    let qps_ivf = nq as f64 / ivf_stats.median.as_secs_f64();
+
+    let recall_at_1 = mean_recall(&ivf_lists, &exact_lists, 1);
+    let recall_at_10 = mean_recall(&ivf_lists, &exact_lists, K);
+    let scanned_fraction = candidates as f64 / (nq as f64 * n.max(1) as f64);
+
+    println!(
+        "n={n:<8} build {build_secs:>7.3}s cells {num_cells:<5} probes/q {:<5.1} scanned {:>5.1}%  recall@1 {recall_at_1:.3} recall@10 {recall_at_10:.3}  QPS exact {qps_exact:>10.0} ivf {qps_ivf:>10.0} dense {}",
+        probes as f64 / nq.max(1) as f64,
+        scanned_fraction * 100.0,
+        qps_dense.map_or("—".into(), |q| format!("{q:.0}")),
+    );
+
+    let mut qps = vec![qps_exact, qps_ivf];
+    if let Some(q) = qps_dense {
+        qps.push(q);
+    }
+    let row = json!({
+        "n": n,
+        "queries": nq,
+        "dim": dim,
+        "nprobe": nprobe,
+        "num_cells": num_cells,
+        "ivf_build_secs": build_secs,
+        "qps_dense": qps_dense,
+        "qps_exact": qps_exact,
+        "qps_ivf": qps_ivf,
+        "recall_at_1": recall_at_1,
+        "recall_at_10": recall_at_10,
+        "scanned_fraction": scanned_fraction,
+        "exact_bit_identical": bit_identical,
+    });
+    SizeReport { row, recall_at_10, bit_identical, qps }
+}
+
+fn main() {
+    let sizes = env_sizes();
+    let nq = env_usize("DESALIGN_RETRIEVAL_QUERIES", 256);
+    let dim = env_usize("DESALIGN_RETRIEVAL_DIM", 64);
+    let clusters = env_usize("DESALIGN_RETRIEVAL_CLUSTERS", 64);
+    let nprobe = env_usize("DESALIGN_RETRIEVAL_NPROBE", 16);
+    let samples = env_usize("DESALIGN_RETRIEVAL_SAMPLES", 3);
+    let max_dense = env_usize("DESALIGN_RETRIEVAL_MAX_DENSE", 200_000);
+    let gate = std::env::var("DESALIGN_RETRIEVAL_GATE").as_deref() == Ok("1");
+    let out = std::env::var("DESALIGN_RETRIEVAL_OUT").unwrap_or_else(|_| "BENCH_retrieval.json".into());
+
+    println!("retrieval bench: sizes {sizes:?}, {nq} queries, dim {dim}, nprobe {nprobe}");
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &n in &sizes {
+        let report = run_size(n, nq, dim, clusters, nprobe, samples, max_dense);
+        if report.recall_at_10 < RECALL_FLOOR {
+            failures.push(format!("n={n}: recall@10 {:.3} < {RECALL_FLOOR}", report.recall_at_10));
+        }
+        if !report.bit_identical {
+            failures.push(format!("n={n}: dense and exact top-{K} lists are not bit-identical"));
+        }
+        if report.qps.iter().any(|q| !q.is_finite() || *q <= 0.0) {
+            failures.push(format!("n={n}: non-finite or zero QPS {:?}", report.qps));
+        }
+        rows.push(report.row);
+    }
+
+    dump_json(&out, &json!({
+        "k": K,
+        "recall_floor": RECALL_FLOOR,
+        "queries": nq,
+        "dim": dim,
+        "nprobe": nprobe,
+        "sizes": rows,
+    }));
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("retrieval gate FAILED: {f}");
+        }
+        if gate {
+            std::process::exit(1);
+        }
+        println!("(gate not enforced: set DESALIGN_RETRIEVAL_GATE=1 to fail on this)");
+    } else {
+        println!("retrieval gate OK: recall@10 ≥ {RECALL_FLOOR}, dense ≡ exact bit-for-bit");
+    }
+}

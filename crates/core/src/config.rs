@@ -102,6 +102,68 @@ pub enum StructureEncoderKind {
     Gcn,
 }
 
+/// Which retrieval backend evaluation, CSLS decoding, and pseudo-pair
+/// mining run through (ROADMAP item 2: sub-quadratic retrieval).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetrievalBackend {
+    /// Historical path: materialize the dense SP-averaged similarity
+    /// matrix. Bit-for-bit identical to every pre-retrieval release;
+    /// memory is `O(n_s × n_t)`.
+    Dense,
+    /// Blocked exact scan over SP-flattened embeddings — never builds the
+    /// dense matrix; scores are exact cosines of the concatenated
+    /// per-round SP states.
+    Exact,
+    /// Deterministic IVF approximate index over the same embeddings —
+    /// sub-quadratic search, recall-gated by `ci.sh` / `retrieval_bench`.
+    Ivf,
+}
+
+/// Sub-quadratic retrieval settings.
+#[derive(Clone, Copy, Debug)]
+pub struct RetrievalSettings {
+    /// Backend selection (default [`RetrievalBackend::Dense`], preserving
+    /// historical results exactly).
+    pub backend: RetrievalBackend,
+    /// IVF cell count; `0` selects `⌈√n⌉` automatically.
+    pub nlist: usize,
+    /// IVF cells probed per query (recall/speed trade-off knob). Must be
+    /// ≥ 1.
+    pub nprobe: usize,
+    /// IVF k-means refinement rounds.
+    pub kmeans_iters: usize,
+    /// CSLS neighbourhood size `k` used by CSLS decoding. Must be ≥ 1 and
+    /// smaller than either graph's entity count (larger values would be
+    /// silently clamped by the rescaler — see `try_csls_rescale`).
+    pub csls_k: usize,
+}
+
+impl Default for RetrievalSettings {
+    fn default() -> Self {
+        Self { backend: RetrievalBackend::Dense, nlist: 0, nprobe: 16, kmeans_iters: 8, csls_k: 10 }
+    }
+}
+
+impl RetrievalSettings {
+    /// The embedding-level `desalign-eval` configuration this selects.
+    /// [`RetrievalBackend::Dense`] maps to the exact backend (same scores,
+    /// no dense matrix) for APIs that only exist at the embedding level.
+    pub fn eval_config(&self, seed: u64) -> desalign_eval::RetrievalConfig {
+        desalign_eval::RetrievalConfig {
+            kind: match self.backend {
+                RetrievalBackend::Ivf => desalign_eval::IndexKind::Ivf,
+                _ => desalign_eval::IndexKind::Exact,
+            },
+            ivf: desalign_eval::IvfParams {
+                nlist: self.nlist,
+                nprobe: self.nprobe,
+                kmeans_iters: self.kmeans_iters,
+                seed,
+            },
+        }
+    }
+}
+
 /// Full DESAlign configuration.
 #[derive(Clone, Debug)]
 pub struct DesalignConfig {
@@ -182,6 +244,8 @@ pub struct DesalignConfig {
     pub confidence_blend: f32,
     /// Training watchdog (NaN/spike rollback) thresholds.
     pub watchdog: WatchdogConfig,
+    /// Sub-quadratic retrieval backend and its knobs.
+    pub retrieval: RetrievalSettings,
     /// Ablation switches.
     pub ablation: Ablation,
 }
@@ -217,6 +281,7 @@ impl DesalignConfig {
             mask_missing_modalities: false,
             confidence_blend: 0.25,
             watchdog: WatchdogConfig::default(),
+            retrieval: RetrievalSettings::default(),
             ablation: Ablation::default(),
         }
     }
@@ -252,6 +317,7 @@ impl DesalignConfig {
             mask_missing_modalities: false,
             confidence_blend: 0.25,
             watchdog: WatchdogConfig::default(),
+            retrieval: RetrievalSettings::default(),
             ablation: Ablation::default(),
         }
     }
@@ -295,6 +361,15 @@ impl DesalignConfig {
                 return Err(DesalignError::config("watchdog.snapshot_every", "must be ≥ 1"));
             }
         }
+        if self.retrieval.csls_k == 0 {
+            return Err(DesalignError::config(
+                "retrieval.csls_k",
+                "CSLS neighbourhood k must be ≥ 1 (0 would be silently clamped to 1 by the rescaler)",
+            ));
+        }
+        if self.retrieval.nprobe == 0 {
+            return Err(DesalignError::config("retrieval.nprobe", "must be ≥ 1 (0 cells probed would return nothing)"));
+        }
         Ok(())
     }
 }
@@ -308,6 +383,22 @@ impl ToJson for StructureEncoderKind {
             }
             .to_string(),
         )
+    }
+}
+
+impl ToJson for RetrievalSettings {
+    fn to_json(&self) -> Json {
+        json!({
+            "backend": match self.backend {
+                RetrievalBackend::Dense => "Dense",
+                RetrievalBackend::Exact => "Exact",
+                RetrievalBackend::Ivf => "Ivf",
+            },
+            "nlist": self.nlist,
+            "nprobe": self.nprobe,
+            "kmeans_iters": self.kmeans_iters,
+            "csls_k": self.csls_k,
+        })
     }
 }
 
@@ -377,6 +468,7 @@ impl ToJson for DesalignConfig {
             "mask_missing_modalities": self.mask_missing_modalities,
             "confidence_blend": self.confidence_blend,
             "watchdog": self.watchdog,
+            "retrieval": self.retrieval,
             "ablation": self.ablation,
         })
     }
@@ -423,6 +515,20 @@ mod tests {
         // A disabled watchdog skips threshold checks entirely.
         c.watchdog.enabled = false;
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn retrieval_validation_rejects_degenerate_knobs() {
+        // Hostile input: a zero CSLS neighbourhood used to be silently
+        // clamped; it must now fail validation with a Config defect.
+        let mut c = DesalignConfig::fast();
+        c.retrieval.csls_k = 0;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.class, desalign_util::DefectClass::Config);
+        assert_eq!(err.location, "retrieval.csls_k");
+        let mut c = DesalignConfig::fast();
+        c.retrieval.nprobe = 0;
+        assert_eq!(c.validate().unwrap_err().location, "retrieval.nprobe");
     }
 
     #[test]

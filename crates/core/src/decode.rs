@@ -13,12 +13,24 @@
 //!   Semantic Propagation, mixing neighbourhood consensus into the
 //!   pairwise scores.
 
-use desalign_eval::{csls_rescale, SimilarityMatrix};
+use desalign_eval::{csls_rescale, try_csls_rescale, SimilarityMatrix};
 use desalign_graph::{propagate_features, Csr, PropagationConfig};
 
-/// CSLS re-scoring with the standard `k = 10` neighbourhood.
+/// CSLS re-scoring with the standard `k = 10` neighbourhood. The
+/// neighbourhood is silently clamped on matrices smaller than 10×10; use
+/// [`csls_decode_with`] to reject degenerate sizes instead.
 pub fn csls_decode(sim: &SimilarityMatrix) -> SimilarityMatrix {
     csls_rescale(sim, 10)
+}
+
+/// CSLS re-scoring with an explicit, validated neighbourhood size (wire
+/// `DesalignConfig::retrieval.csls_k` here).
+///
+/// # Errors
+/// `DefectClass::Config` when `k` is zero or exceeds either side of the
+/// matrix — the cases [`csls_decode`] silently clamps.
+pub fn csls_decode_with(sim: &SimilarityMatrix, k: usize) -> Result<SimilarityMatrix, desalign_util::DesalignError> {
+    try_csls_rescale(sim, k)
 }
 
 /// Gradient-flow decoding: evolves the similarity matrix `Ω` along both

@@ -9,7 +9,7 @@
 
 use crate::config::DesalignConfig;
 use crate::model::DesalignModel;
-use desalign_eval::{mutual_nearest_neighbours, AlignmentMetrics};
+use desalign_eval::AlignmentMetrics;
 use desalign_mmkg::AlignmentDataset;
 
 /// Knobs of the iterative strategy.
@@ -99,8 +99,7 @@ pub fn iterative_fit(
         let cand_s: Vec<usize> = (0..dataset.source.num_entities).filter(|s| !seeded_s.contains(s)).collect();
         let cand_t: Vec<usize> = (0..dataset.target.num_entities).filter(|t| !seeded_t.contains(t)).collect();
 
-        let sim = model.similarity();
-        let mut mined = mutual_nearest_neighbours(&sim, &cand_s, &cand_t, it_cfg.min_score);
+        let mut mined = model.mine_pseudo_pairs(&cand_s, &cand_t, it_cfg.min_score);
         if it_cfg.max_new_pairs > 0 {
             mined.truncate(it_cfg.max_new_pairs);
         }

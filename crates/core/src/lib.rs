@@ -41,8 +41,8 @@ pub mod train;
 pub mod trainer;
 
 pub use checkpoint::{config_digest, dataset_digest, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
-pub use config::{Ablation, DesalignConfig, StructureEncoderKind, WatchdogConfig};
-pub use decode::{csls_decode, gradient_flow_decode};
+pub use config::{Ablation, DesalignConfig, RetrievalBackend, RetrievalSettings, StructureEncoderKind, WatchdogConfig};
+pub use decode::{csls_decode, csls_decode_with, gradient_flow_decode};
 pub use encoder::{EncodedGraph, MultiModalEncoder, Modality};
 pub use energy::{EnergyDiagnostics, EnergyTrace};
 pub use iterative::{iterative_fit, IterativeConfig, IterativeReport};

@@ -4,10 +4,13 @@
 //! divergence watchdog) lives in the sibling [`crate::trainer`] module;
 //! full-state persistence lives in [`crate::checkpoint`].
 
-use crate::config::DesalignConfig;
+use crate::config::{DesalignConfig, RetrievalBackend};
 use crate::encoder::{GraphInputs, MultiModalEncoder};
 use crate::energy::{EnergyDiagnostics, EnergyTrace};
-use crate::propagate::{consistency_mask, per_modality_propagation_similarity, semantic_propagation_similarity};
+use crate::propagate::{
+    consistency_mask, per_modality_propagation_similarity, per_modality_propagation_states,
+    semantic_propagation_similarity, semantic_propagation_states,
+};
 use crate::trainer::ChaosPlan;
 use desalign_eval::{evaluate_ranking, AlignmentMetrics, SimilarityMatrix};
 use desalign_graph::{singular_value_range, Csr};
@@ -64,6 +67,19 @@ impl DesalignModel {
             let class = e.class;
             e.wrap(class, dataset.name.clone(), "dataset failed validation during model setup")
         })?;
+        // Cross-check config against dataset scale: a CSLS neighbourhood
+        // as large as the candidate pool would be silently clamped by the
+        // rescaler and degenerate to a global mean.
+        let pool = dataset.source.num_entities.min(dataset.target.num_entities);
+        if cfg.retrieval.csls_k >= pool {
+            return Err(desalign_util::DesalignError::config(
+                "retrieval.csls_k",
+                format!(
+                    "CSLS neighbourhood k = {} must be smaller than the {}-entity candidate pool of {}",
+                    cfg.retrieval.csls_k, pool, dataset.name
+                ),
+            ));
+        }
         Ok(Self::new_unchecked(cfg, dataset, seed))
     }
 
@@ -122,27 +138,14 @@ impl DesalignModel {
     pub fn similarity_with_iterations(&self, iterations: usize) -> SimilarityMatrix {
         let (x_s, x_t) = self.embeddings();
         if self.cfg.sp_per_modality {
-            let masks = |side: usize| -> Vec<Vec<bool>> {
-                let f = &self.inputs[side].features;
-                self.encoder
-                    .modalities()
-                    .iter()
-                    .map(|m| match m {
-                        crate::encoder::Modality::Structure => vec![true; f.num_entities()],
-                        crate::encoder::Modality::Relation => f.has_relation.clone(),
-                        crate::encoder::Modality::Text => f.has_attribute.clone(),
-                        crate::encoder::Modality::Visual => f.has_visual.clone(),
-                    })
-                    .collect()
-            };
             let blocks = vec![self.encoder.hidden_dim(); self.encoder.modalities().len()];
             per_modality_propagation_similarity(
                 &x_s,
                 &x_t,
                 &self.adj_norm[0],
                 &self.adj_norm[1],
-                &masks(0),
-                &masks(1),
+                &self.modality_masks(0),
+                &self.modality_masks(1),
                 &blocks,
                 iterations,
             )
@@ -160,9 +163,149 @@ impl DesalignModel {
         }
     }
 
-    /// Evaluates H@k / MRR on the dataset's test pairs.
+    /// Evaluates H@k / MRR on the dataset's test pairs through the
+    /// configured retrieval backend ([`RetrievalBackend::Dense`] by
+    /// default, which reproduces the historical dense path bit-for-bit).
     pub fn evaluate(&self, dataset: &AlignmentDataset) -> AlignmentMetrics {
-        evaluate_ranking(&self.similarity(), &dataset.test_pairs)
+        self.evaluate_pairs(&dataset.test_pairs)
+    }
+
+    /// Backend-dispatched evaluation over arbitrary gold pairs (the
+    /// trainer uses this for the validation split). Non-dense backends
+    /// search the SP-flattened [`Self::retrieval_embeddings`]; if the
+    /// retrieval build fails (e.g. non-finite embeddings mid-divergence),
+    /// the dense path is used as a fallback and
+    /// `retrieval.fallback_dense` is counted.
+    pub fn evaluate_pairs(&self, pairs: &[(usize, usize)]) -> AlignmentMetrics {
+        if self.cfg.retrieval.backend == RetrievalBackend::Dense {
+            return evaluate_ranking(&self.similarity(), pairs);
+        }
+        let (z_s, z_t) = self.retrieval_embeddings();
+        match desalign_eval::evaluate_ranking_embeddings(&z_s, &z_t, pairs, &self.cfg.retrieval.eval_config(self.seed)) {
+            Ok(m) => m,
+            Err(_) => {
+                if desalign_telemetry::enabled() {
+                    desalign_telemetry::counter("retrieval.fallback_dense").incr();
+                }
+                evaluate_ranking(&self.similarity(), pairs)
+            }
+        }
+    }
+
+    /// Mines mutual-nearest-neighbour pseudo pairs among the candidate
+    /// entities through the configured backend. Dense reproduces the
+    /// historical `mutual_nearest_neighbours` over the SP-averaged matrix;
+    /// Exact/Ivf search the SP-flattened embeddings without materializing
+    /// it (dense fallback on retrieval errors, as in
+    /// [`Self::evaluate_pairs`]).
+    pub fn mine_pseudo_pairs(
+        &self,
+        source_candidates: &[usize],
+        target_candidates: &[usize],
+        min_score: f32,
+    ) -> Vec<(usize, usize, f32)> {
+        if self.cfg.retrieval.backend != RetrievalBackend::Dense {
+            let (z_s, z_t) = self.retrieval_embeddings();
+            match desalign_eval::mine_mutual_nn(
+                &z_s,
+                &z_t,
+                source_candidates,
+                target_candidates,
+                min_score,
+                &self.cfg.retrieval.eval_config(self.seed),
+            ) {
+                Ok(pairs) => return pairs,
+                Err(_) => {
+                    if desalign_telemetry::enabled() {
+                        desalign_telemetry::counter("retrieval.fallback_dense").incr();
+                    }
+                }
+            }
+        }
+        desalign_eval::mutual_nearest_neighbours(&self.similarity(), source_candidates, target_candidates, min_score)
+    }
+
+    /// CSLS-rescored top-`topk` alignment candidates per source entity,
+    /// searched through the configured backend with the configured
+    /// `retrieval.csls_k` neighbourhood (Dense maps to the exact scan).
+    ///
+    /// # Errors
+    /// Propagates `csls_retrieve_top_k`'s typed errors (degenerate `k`,
+    /// non-finite embeddings).
+    pub fn csls_candidates(&self, topk: usize) -> Result<Vec<Vec<(usize, f32)>>, desalign_util::DesalignError> {
+        let (z_s, z_t) = self.retrieval_embeddings();
+        desalign_eval::csls_retrieve_top_k(
+            &z_s,
+            &z_t,
+            self.cfg.retrieval.csls_k,
+            topk,
+            &self.cfg.retrieval.eval_config(self.seed),
+        )
+    }
+
+    /// SP-flattened retrieval embeddings `(Z_s, Z_t)`: every Semantic
+    /// Propagation round's state, ℓ2-normalized per round and concatenated
+    /// along the feature axis. After the retriever's own row
+    /// normalization, the inner product of two flattened rows equals the
+    /// *mean* of the per-round cosines — the same quantity the dense
+    /// SP-averaged [`Self::similarity`] matrix holds (exactly when all
+    /// rounds are non-degenerate, up to float associativity) — so
+    /// index-based search ranks by the paper's decision rule without ever
+    /// forming the `n_s × n_t` matrix.
+    pub fn retrieval_embeddings(&self) -> (Matrix, Matrix) {
+        let iterations = if self.cfg.ablation.use_semantic_propagation { self.cfg.sp_iterations } else { 0 };
+        let (states_s, states_t) = self.sp_states(iterations);
+        let flatten = |states: &[Matrix]| -> Matrix {
+            let normed: Vec<Matrix> = states.iter().map(|m| m.l2_normalize_rows(1e-9)).collect();
+            let refs: Vec<&Matrix> = normed.iter().collect();
+            Matrix::hcat_all(&refs)
+        };
+        (flatten(&states_s), flatten(&states_t))
+    }
+
+    /// The per-round SP states both similarity and retrieval embeddings
+    /// derive from.
+    fn sp_states(&self, iterations: usize) -> (Vec<Matrix>, Vec<Matrix>) {
+        let (x_s, x_t) = self.embeddings();
+        if self.cfg.sp_per_modality {
+            let blocks = vec![self.encoder.hidden_dim(); self.encoder.modalities().len()];
+            per_modality_propagation_states(
+                &x_s,
+                &x_t,
+                &self.adj_norm[0],
+                &self.adj_norm[1],
+                &self.modality_masks(0),
+                &self.modality_masks(1),
+                &blocks,
+                iterations,
+            )
+        } else {
+            semantic_propagation_states(
+                &x_s,
+                &x_t,
+                &self.adj_norm[0],
+                &self.adj_norm[1],
+                &self.known[0],
+                &self.known[1],
+                iterations,
+                self.cfg.sp_reset_known,
+            )
+        }
+    }
+
+    /// Per-modality presence masks in encoder concatenation order.
+    fn modality_masks(&self, side: usize) -> Vec<Vec<bool>> {
+        let f = &self.inputs[side].features;
+        self.encoder
+            .modalities()
+            .iter()
+            .map(|m| match m {
+                crate::encoder::Modality::Structure => vec![true; f.num_entities()],
+                crate::encoder::Modality::Relation => f.has_relation.clone(),
+                crate::encoder::Modality::Text => f.has_attribute.clone(),
+                crate::encoder::Modality::Visual => f.has_visual.clone(),
+            })
+            .collect()
     }
 
     /// Energy diagnostics accumulated during training, plus the current

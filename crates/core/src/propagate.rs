@@ -50,17 +50,40 @@ pub fn semantic_propagation_similarity(
     if iterations == 0 {
         return cosine_similarity(x_s, x_t);
     }
+    let (states_s, states_t) =
+        semantic_propagation_states(x_s, x_t, adj_s, adj_t, known_s, known_t, iterations, reset_known);
+    let rounds: Vec<SimilarityMatrix> =
+        states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
+    SimilarityMatrix::average(&rounds)
+}
+
+/// The per-round SP states behind [`semantic_propagation_similarity`]:
+/// `iterations + 1` matrices per side (round 0 is the input). Exposed so
+/// the retrieval layer can search over SP-refined embeddings without ever
+/// forming the dense similarity matrix. `iterations == 0` returns the
+/// inputs unchanged as a single round.
+#[allow(clippy::too_many_arguments)]
+pub fn semantic_propagation_states(
+    x_s: &Matrix,
+    x_t: &Matrix,
+    adj_s: &Csr,
+    adj_t: &Csr,
+    known_s: &[bool],
+    known_t: &[bool],
+    iterations: usize,
+    reset_known: bool,
+) -> (Vec<Matrix>, Vec<Matrix>) {
+    if iterations == 0 {
+        return (vec![x_s.clone()], vec![x_t.clone()]);
+    }
     let _span = desalign_telemetry::span("semantic_propagation");
     let cfg = PropagationConfig { iterations, step: 1.0, reset_known };
     // The two graphs are independent; run their propagations concurrently
     // (each internally row-parallelizes its SpMM — nested regions are fine).
-    let (states_s, states_t) = desalign_parallel::par_join(
+    desalign_parallel::par_join(
         || propagate_features(adj_s, x_s, known_s, &cfg),
         || propagate_features(adj_t, x_t, known_t, &cfg),
-    );
-    let rounds: Vec<SimilarityMatrix> =
-        states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
-    SimilarityMatrix::average(&rounds)
+    )
 }
 
 /// Per-modality Semantic Propagation: each modality block of the joint
@@ -84,12 +107,42 @@ pub fn per_modality_propagation_similarity(
     blocks: &[usize],
     iterations: usize,
 ) -> SimilarityMatrix {
+    if iterations == 0 {
+        assert_valid_blocks(x_s, masks_s, masks_t, blocks);
+        return cosine_similarity(x_s, x_t);
+    }
+    let (states_s, states_t) =
+        per_modality_propagation_states(x_s, x_t, adj_s, adj_t, masks_s, masks_t, blocks, iterations);
+    let rounds: Vec<SimilarityMatrix> =
+        states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
+    SimilarityMatrix::average(&rounds)
+}
+
+fn assert_valid_blocks(x_s: &Matrix, masks_s: &[Vec<bool>], masks_t: &[Vec<bool>], blocks: &[usize]) {
     assert_eq!(masks_s.len(), blocks.len(), "per_modality_propagation: {} masks for {} blocks", masks_s.len(), blocks.len());
     assert_eq!(masks_t.len(), blocks.len(), "per_modality_propagation: mask/block count mismatch");
     let total: usize = blocks.iter().sum();
     assert_eq!(x_s.cols(), total, "per_modality_propagation: embedding width {} != block sum {total}", x_s.cols());
+}
+
+/// The per-round states behind [`per_modality_propagation_similarity`]:
+/// `iterations + 1` matrices per side with only incomplete modality blocks
+/// rewritten per round. Exposed for the retrieval layer. `iterations == 0`
+/// returns the inputs unchanged as a single round.
+#[allow(clippy::too_many_arguments)]
+pub fn per_modality_propagation_states(
+    x_s: &Matrix,
+    x_t: &Matrix,
+    adj_s: &Csr,
+    adj_t: &Csr,
+    masks_s: &[Vec<bool>],
+    masks_t: &[Vec<bool>],
+    blocks: &[usize],
+    iterations: usize,
+) -> (Vec<Matrix>, Vec<Matrix>) {
+    assert_valid_blocks(x_s, masks_s, masks_t, blocks);
     if iterations == 0 {
-        return cosine_similarity(x_s, x_t);
+        return (vec![x_s.clone()], vec![x_t.clone()]);
     }
     let _span = desalign_telemetry::span("semantic_propagation");
     let cfg = PropagationConfig { iterations, step: 1.0, reset_known: true };
@@ -113,13 +166,10 @@ pub fn per_modality_propagation_similarity(
         }
         round_states
     };
-    let (states_s, states_t) = desalign_parallel::par_join(
+    desalign_parallel::par_join(
         || propagate_side(x_s, adj_s, masks_s),
         || propagate_side(x_t, adj_t, masks_t),
-    );
-    let rounds: Vec<SimilarityMatrix> =
-        states_s.iter().zip(&states_t).map(|(a, b)| cosine_similarity(a, b)).collect();
-    SimilarityMatrix::average(&rounds)
+    )
 }
 
 #[cfg(test)]

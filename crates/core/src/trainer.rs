@@ -35,7 +35,6 @@ use crate::energy::EnergyTrace;
 use crate::loss::mmsl_loss;
 use crate::model::DesalignModel;
 use crate::train::{sample_batch, train_val_split, TrainReport};
-use desalign_eval::evaluate_ranking;
 use desalign_graph::dirichlet_energy;
 use desalign_mmkg::AlignmentDataset;
 use desalign_nn::{AdamW, CosineWarmup, Session};
@@ -270,7 +269,7 @@ impl DesalignModel {
             let mut epoch_eval = None;
             if !state.val_pairs.is_empty() && self.cfg.eval_every > 0 && (epoch + 1) % self.cfg.eval_every == 0 {
                 let _span = desalign_telemetry::span("eval");
-                let metrics = evaluate_ranking(&self.similarity(), &state.val_pairs);
+                let metrics = self.evaluate_pairs(&state.val_pairs);
                 epoch_eval = Some(desalign_telemetry::EvalSnapshot {
                     hits_at_1: metrics.hits_at_1,
                     hits_at_10: metrics.hits_at_10,

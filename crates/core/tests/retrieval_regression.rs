@@ -1,0 +1,122 @@
+//! Regression pins for the retrieval refactor.
+//!
+//! The H@k / MRR bit patterns below were captured on the seed synthetic
+//! dataset **before** `evaluate_ranking` was rewired through the
+//! `Retriever` trait. They pin, to the bit, that the refactor is
+//! behaviour-preserving on the default (dense) backend, that the exact
+//! blocked backend reproduces the same bits, and that the model-level
+//! CSLS-k validation rejects the silently-clamping configurations.
+
+use desalign_core::{DesalignConfig, DesalignModel, RetrievalBackend};
+use desalign_mmkg::{DatasetSpec, FeatureDims, SynthConfig};
+use desalign_util::DefectClass;
+
+fn tiny_cfg() -> DesalignConfig {
+    let mut cfg = DesalignConfig::fast();
+    cfg.hidden_dim = 16;
+    cfg.feature_dims = FeatureDims { relation: 32, attribute: 32, visual: 64 };
+    cfg.epochs = 8;
+    cfg.batch_size = 64;
+    cfg
+}
+
+fn seed_dataset() -> desalign_mmkg::AlignmentDataset {
+    SynthConfig::preset(DatasetSpec::FbDb15k).scaled(80).generate(1)
+}
+
+/// (H@1, H@10, MRR) f32 bit patterns of the untrained model at seed 7.
+const UNTRAINED_BITS: (u32, u32, u32) = (1040498081, 1061003567, 1050537162);
+/// Same model after `fit` (8 epochs).
+const TRAINED_BITS: (u32, u32, u32) = (1041740838, 1061935635, 1052147726);
+const NUM_QUERIES: usize = 54;
+
+fn metric_bits(m: &desalign_eval::AlignmentMetrics) -> (u32, u32, u32) {
+    (m.hits_at_1.to_bits(), m.hits_at_10.to_bits(), m.mrr.to_bits())
+}
+
+#[test]
+fn dense_backend_reproduces_pre_refactor_bits() {
+    let ds = seed_dataset();
+    let mut model = DesalignModel::new(tiny_cfg(), &ds, 7);
+
+    let before = model.evaluate(&ds);
+    assert_eq!(before.num_queries, NUM_QUERIES);
+    assert_eq!(
+        metric_bits(&before),
+        UNTRAINED_BITS,
+        "untrained metrics moved: got {before:?} — the evaluate_ranking refactor is no longer behaviour-preserving"
+    );
+
+    model.fit(&ds);
+    let after = model.evaluate(&ds);
+    assert_eq!(after.num_queries, NUM_QUERIES);
+    assert_eq!(
+        metric_bits(&after),
+        TRAINED_BITS,
+        "trained metrics moved: got {after:?} — training or evaluation drifted from the pinned seed run"
+    );
+}
+
+#[test]
+fn exact_backend_matches_dense_bit_for_bit() {
+    let ds = seed_dataset();
+    let mut cfg = tiny_cfg();
+    cfg.retrieval.backend = RetrievalBackend::Exact;
+    let model = DesalignModel::new(cfg, &ds, 7);
+    let exact = model.evaluate(&ds);
+    assert_eq!(exact.num_queries, NUM_QUERIES);
+    assert_eq!(
+        metric_bits(&exact),
+        UNTRAINED_BITS,
+        "exact blocked backend diverged from the dense pin: got {exact:?}"
+    );
+}
+
+#[test]
+fn ivf_backend_stays_close_on_the_seed_workload() {
+    // IVF is approximate: no bit pin, but on the 54-pair seed workload its
+    // metrics must stay within a few candidates of exact, and the pipeline
+    // must not fall back to dense silently producing the exact bits plus
+    // drift elsewhere.
+    let ds = seed_dataset();
+    let mut cfg = tiny_cfg();
+    cfg.retrieval.backend = RetrievalBackend::Ivf;
+    cfg.retrieval.nprobe = 8; // ⌈√54⌉ = 8 cells → full probe on this size
+    let model = DesalignModel::new(cfg, &ds, 7);
+    let ivf = model.evaluate(&ds);
+    assert_eq!(ivf.num_queries, NUM_QUERIES);
+    let exact = f32::from_bits(UNTRAINED_BITS.1);
+    assert!(
+        (ivf.hits_at_10 - exact).abs() <= 4.0 / NUM_QUERIES as f32 + 1e-6,
+        "IVF H@10 {} strayed > 4 candidates from exact {exact}",
+        ivf.hits_at_10
+    );
+}
+
+#[test]
+fn model_rejects_csls_k_larger_than_the_candidate_pool() {
+    let ds = seed_dataset();
+    let mut cfg = tiny_cfg();
+    cfg.retrieval.csls_k = ds.source.num_entities.max(ds.target.num_entities) + 10;
+    let Err(err) = DesalignModel::try_new(cfg, &ds, 7) else {
+        panic!("csls_k beyond the pool must be rejected");
+    };
+    assert_eq!(err.class, DefectClass::Config);
+    assert!(err.to_string().contains("csls_k"), "error should name the knob: {err}");
+}
+
+#[test]
+fn csls_decode_with_rejects_what_csls_decode_clamps() {
+    // The historical defect: csls_decode silently clamps k = 10 on a 4×6
+    // matrix. The validated variant refuses the same input.
+    use desalign_eval::SimilarityMatrix;
+    use desalign_tensor::{normal_matrix, rng_from_seed};
+    let mut rng = rng_from_seed(2);
+    let sim = SimilarityMatrix::new(normal_matrix(&mut rng, 4, 6, 0.0, 1.0));
+    let clamped = desalign_core::csls_decode(&sim); // legacy path still works
+    assert_eq!(clamped.shape(), (4, 6));
+    let err = desalign_core::csls_decode_with(&sim, 10).expect_err("k = 10 > 4 rows must be rejected");
+    assert_eq!(err.class, DefectClass::Config);
+    let ok = desalign_core::csls_decode_with(&sim, 3).expect("k = 3 fits both sides");
+    assert_eq!(ok.shape(), (4, 6));
+}

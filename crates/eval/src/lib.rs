@@ -5,14 +5,27 @@
 //! between entity embeddings, `H@k` (Eq. 23) and `MRR` (Eq. 24) over the
 //! test alignments, plus CSLS re-scoring and the mutual-nearest-neighbour
 //! mining used by the iterative training strategy.
+//!
+//! The [`index`] module provides the sub-quadratic retrieval layer: a
+//! [`Retriever`] trait over a blocked exact scanner ([`ExactRetriever`],
+//! bit-identical to the dense cosine path) and a deterministic IVF
+//! approximate index ([`IvfRetriever`]), plus embedding-level engines for
+//! evaluation, mutual-NN mining, and candidate-set CSLS that never
+//! materialize the full `n_s × n_t` similarity matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod index;
 mod metrics;
 mod mining;
 mod similarity;
 
+pub use index::{
+    batch_top_k, build_retriever, csls_rescale_candidates, csls_retrieve_top_k, evaluate_ranking_embeddings,
+    evaluate_retriever, mine_mutual_nn, mutual_top1, DenseRetriever, ExactRetriever, IndexKind, IvfIndex, IvfParams,
+    IvfRetriever, RetrievalConfig, Retriever, DEFAULT_BLOCK_LEN,
+};
 pub use metrics::{evaluate_ranking, AlignmentMetrics};
 pub use mining::mutual_nearest_neighbours;
-pub use similarity::{cosine_similarity, csls_rescale, SimilarityMatrix};
+pub use similarity::{cosine_similarity, csls_rescale, try_csls_rescale, SimilarityMatrix};

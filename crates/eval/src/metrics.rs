@@ -29,47 +29,27 @@ impl AlignmentMetrics {
 /// entity ranks **the test-set target entities only** (the standard MMEA
 /// evaluation where train pairs are excluded from the candidate pool).
 ///
+/// Implemented as a [`DenseRetriever`](crate::DenseRetriever) view run
+/// through the shared retrieval engine — per-query ranks in parallel, the
+/// float MRR accumulation serial in pair order — so the metrics are
+/// bit-identical to the historical dense loop at any thread count.
+///
 /// # Panics
 /// Panics if a pair is out of bounds.
 pub fn evaluate_ranking(sim: &SimilarityMatrix, test_pairs: &[(usize, usize)]) -> AlignmentMetrics {
     if test_pairs.is_empty() {
         return AlignmentMetrics::default();
     }
-    let _span = desalign_telemetry::span("evaluate_ranking");
     let (n_s, n_t) = sim.shape();
-    // Candidate pool: the test targets.
-    let candidates: Vec<usize> = test_pairs.iter().map(|&(_, t)| t).collect();
-    // Per-query ranks are independent integer computations, so they run in
-    // parallel; the float MRR accumulation below stays serial in pair order,
-    // keeping the metrics bit-identical at any thread count.
-    let mut ranks = vec![0usize; test_pairs.len()];
-    let cost = test_pairs.len().saturating_mul(candidates.len());
-    desalign_parallel::par_rows(&mut ranks, 1, cost, |q, slot| {
-        let (s, gold) = test_pairs[q];
+    for &(s, gold) in test_pairs {
         assert!(s < n_s && gold < n_t, "evaluate_ranking: pair ({s},{gold}) out of bounds for {n_s}x{n_t}");
-        let row = sim.scores().row(s);
-        let gold_score = row[gold];
-        slot[0] = 1 + candidates.iter().filter(|&&c| row[c] > gold_score).count();
-    });
-    let mut h1 = 0usize;
-    let mut h10 = 0usize;
-    let mut mrr = 0.0f64;
-    for &rank in &ranks {
-        if rank <= 1 {
-            h1 += 1;
-        }
-        if rank <= 10 {
-            h10 += 1;
-        }
-        mrr += 1.0 / rank as f64;
     }
-    let n = test_pairs.len();
-    AlignmentMetrics {
-        hits_at_1: h1 as f32 / n as f32,
-        hits_at_10: h10 as f32 / n as f32,
-        mrr: (mrr / n as f64) as f32,
-        num_queries: n,
-    }
+    // Queries: the pair sources; candidate pool: the test targets.
+    let queries: Vec<usize> = test_pairs.iter().map(|&(s, _)| s).collect();
+    let candidates: Vec<usize> = test_pairs.iter().map(|&(_, t)| t).collect();
+    let r = crate::DenseRetriever::new(sim, queries, candidates);
+    let gold: Vec<(usize, usize)> = (0..test_pairs.len()).map(|i| (i, i)).collect();
+    crate::evaluate_retriever(&r, &gold)
 }
 
 #[cfg(test)]

@@ -8,8 +8,13 @@ use crate::SimilarityMatrix;
 
 /// Finds mutual nearest neighbours: pairs `(s, t)` where `t` is `s`'s best
 /// target **and** `s` is `t`'s best source, restricted to the given
-/// candidate sets (pass the unaligned entities). Pairs whose similarity is
-/// below `min_score` are dropped.
+/// candidate sets (pass the unaligned entities, each entity at most once).
+/// Pairs whose similarity is below `min_score` are dropped.
+///
+/// Implemented as two [`DenseRetriever`](crate::DenseRetriever) views
+/// (forward and transposed) run through the shared
+/// [`mutual_top1`](crate::mutual_top1) engine; argmax ties break to the
+/// earliest candidate, matching the historical strict-`>` scan.
 ///
 /// Returns pairs sorted by descending similarity.
 pub fn mutual_nearest_neighbours(
@@ -18,41 +23,15 @@ pub fn mutual_nearest_neighbours(
     target_candidates: &[usize],
     min_score: f32,
 ) -> Vec<(usize, usize, f32)> {
-    let m = sim.scores();
     if source_candidates.is_empty() || target_candidates.is_empty() {
         return Vec::new();
     }
-    // Best target per candidate source (within target candidates).
-    let mut best_t = Vec::with_capacity(source_candidates.len());
-    for &s in source_candidates {
-        let row = m.row(s);
-        let (mut arg, mut best) = (target_candidates[0], f32::NEG_INFINITY);
-        for &t in target_candidates {
-            if row[t] > best {
-                best = row[t];
-                arg = t;
-            }
-        }
-        best_t.push((s, arg, best));
-    }
-    // Best source per candidate target.
-    let mut best_s = std::collections::HashMap::with_capacity(target_candidates.len());
-    for &t in target_candidates {
-        let (mut arg, mut best) = (source_candidates[0], f32::NEG_INFINITY);
-        for &s in source_candidates {
-            if m[(s, t)] > best {
-                best = m[(s, t)];
-                arg = s;
-            }
-        }
-        best_s.insert(t, arg);
-    }
-    let mut pairs: Vec<(usize, usize, f32)> = best_t
+    let forward = crate::DenseRetriever::new(sim, source_candidates.to_vec(), target_candidates.to_vec());
+    let reverse = crate::DenseRetriever::transposed(sim, target_candidates.to_vec(), source_candidates.to_vec());
+    crate::mutual_top1(&forward, &reverse, min_score)
         .into_iter()
-        .filter(|&(s, t, score)| score >= min_score && best_s.get(&t) == Some(&s))
-        .collect();
-    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-    pairs
+        .map(|(q, t, score)| (source_candidates[q], target_candidates[t], score))
+        .collect()
 }
 
 #[cfg(test)]

@@ -83,6 +83,11 @@ pub fn cosine_similarity(source: &Matrix, target: &Matrix) -> SimilarityMatrix {
 ///
 /// where `r_s(i)` is the mean similarity of `i` to its `k` nearest targets
 /// and `r_t(j)` symmetric.
+///
+/// Degenerate `k` is **silently clamped** here (`0 → 1`, `k > n` → `n`) for
+/// backward compatibility; use [`try_csls_rescale`] to reject such `k` with
+/// a typed error instead, and `DesalignConfig::validate` to catch it at
+/// configuration time.
 pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
     let m = sim.scores();
     let (n_s, n_t) = m.shape();
@@ -114,6 +119,27 @@ pub fn csls_rescale(sim: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
         });
     }
     SimilarityMatrix::new(out)
+}
+
+/// Validating [`csls_rescale`]: rejects neighbourhood sizes the clamping
+/// variant would silently shrink.
+///
+/// # Errors
+/// [`DefectClass::Config`](desalign_util::DefectClass::Config) when
+/// `k == 0` or `k` exceeds either side of the matrix (`r_s` means over
+/// `n_t` targets, `r_t` over `n_s` sources).
+pub fn try_csls_rescale(sim: &SimilarityMatrix, k: usize) -> Result<SimilarityMatrix, desalign_util::DesalignError> {
+    let (n_s, n_t) = sim.shape();
+    if k == 0 {
+        return Err(desalign_util::DesalignError::config("csls.k", "CSLS neighbourhood k must be ≥ 1"));
+    }
+    if k > n_s || k > n_t {
+        return Err(desalign_util::DesalignError::config(
+            "csls.k",
+            format!("CSLS neighbourhood k = {k} exceeds the {n_s}×{n_t} similarity matrix; the top-k mean would silently clamp"),
+        ));
+    }
+    Ok(csls_rescale(sim, k))
 }
 
 #[cfg(test)]

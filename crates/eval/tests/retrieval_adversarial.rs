@@ -1,0 +1,164 @@
+//! Adversarial inputs for the retrieval subsystem: the index must degrade
+//! into **typed errors or well-defined answers**, never panics or
+//! nondeterminism, on the corruption shapes the data plane lets through.
+
+use desalign_eval::{
+    batch_top_k, build_retriever, csls_retrieve_top_k, evaluate_ranking_embeddings, ExactRetriever,
+    IndexKind, IvfIndex, IvfParams, IvfRetriever, RetrievalConfig, Retriever,
+};
+use desalign_tensor::Matrix;
+use desalign_util::DefectClass;
+
+fn ivf_cfg(nprobe: usize) -> RetrievalConfig {
+    RetrievalConfig { kind: IndexKind::Ivf, ivf: IvfParams { nprobe, ..IvfParams::default() } }
+}
+
+fn both_backends() -> Vec<RetrievalConfig> {
+    vec![RetrievalConfig { kind: IndexKind::Exact, ..RetrievalConfig::default() }, ivf_cfg(4)]
+}
+
+#[test]
+fn duplicate_embeddings_break_ties_by_lowest_id() {
+    // Four identical items: every score ties, so the deterministic
+    // (score desc, id asc) order must return ids in ascending order.
+    let row = vec![0.3f32, -0.7, 0.2];
+    let items = Matrix::from_vec(4, 3, row.iter().cloned().cycle().take(12).collect());
+    let queries = Matrix::from_vec(1, 3, row.clone());
+    for cfg in both_backends() {
+        let r = build_retriever(&queries, &items, &cfg).expect("duplicates are legal input");
+        let ids: Vec<usize> = r.top_k(0, 3).iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2], "{:?} must tie-break by entity id", cfg.kind);
+        assert_eq!(r.rank_of(0, 2), 1, "ties never count as strictly greater");
+    }
+}
+
+#[test]
+fn all_zero_rows_are_tolerated_and_rank_last() {
+    // A zero row cannot be normalized; the shared 1e-9-eps normalization
+    // leaves it untouched, so it scores 0 against everything and loses to
+    // any positively-correlated candidate — without poisoning the rest.
+    let items = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 0.0, 0.9, 0.1]);
+    let queries = Matrix::from_vec(1, 2, vec![1.0, 0.05]);
+    for cfg in both_backends() {
+        let r = build_retriever(&queries, &items, &cfg).expect("zero rows are legal input");
+        let top = r.top_k(0, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 0, "{:?}: unit x-axis item must win", cfg.kind);
+        assert_eq!(top[2].0, 1, "{:?}: the zero row must rank last", cfg.kind);
+        assert!(top.iter().all(|&(_, s)| s.is_finite()), "no NaN/inf may leak out");
+    }
+}
+
+#[test]
+fn nan_poisoned_rows_are_rejected_with_typed_errors() {
+    let mut bad = Matrix::from_vec(3, 2, vec![1.0, 0.0, f32::NAN, 1.0, 0.0, 1.0]);
+    let good = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+
+    let err = ExactRetriever::new(&good, &bad).expect_err("NaN items must be rejected");
+    assert_eq!(err.class, DefectClass::NonFiniteFeature);
+    let err = ExactRetriever::new(&bad, &good).expect_err("NaN queries must be rejected");
+    assert_eq!(err.class, DefectClass::NonFiniteFeature);
+    let err = IvfIndex::build(&bad, &IvfParams::default()).expect_err("NaN index rows must be rejected");
+    assert_eq!(err.class, DefectClass::NonFiniteFeature);
+
+    bad[(1, 0)] = f32::INFINITY;
+    let err = ExactRetriever::new(&good, &bad).expect_err("inf rows must be rejected");
+    assert_eq!(err.class, DefectClass::NonFiniteFeature);
+
+    // The whole embedding-level evaluation path surfaces the same error
+    // instead of panicking mid-metric (the gather keeps only pair rows, so
+    // the pair must point at the poisoned row).
+    bad[(1, 0)] = f32::NAN;
+    let err = evaluate_ranking_embeddings(&bad, &good, &[(1, 0)], &RetrievalConfig::default())
+        .expect_err("poisoned queries must fail evaluation");
+    assert_eq!(err.class, DefectClass::NonFiniteFeature);
+}
+
+#[test]
+fn dimension_mismatch_is_a_typed_error_not_a_panic() {
+    let q = Matrix::from_vec(2, 3, vec![0.0; 6]);
+    let t = Matrix::from_vec(2, 4, vec![0.0; 8]);
+    for cfg in both_backends() {
+        let Err(err) = build_retriever(&q, &t, &cfg) else {
+            panic!("dimension mismatch must be a typed error, not a retriever");
+        };
+        assert_eq!(err.class, DefectClass::DimensionMismatch);
+    }
+}
+
+#[test]
+fn k_larger_than_n_returns_everything_in_order() {
+    let items = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+    let queries = Matrix::from_vec(1, 2, vec![1.0, 0.2]);
+    for cfg in both_backends() {
+        let r = build_retriever(&queries, &items, &cfg).expect("valid input");
+        let top = r.top_k(0, 100);
+        assert_eq!(top.len(), 2, "{:?}: overlong k clamps to n", cfg.kind);
+        assert_eq!(top[0].0, 0);
+        let lists = batch_top_k(r.as_ref(), 100);
+        assert_eq!(lists[0].len(), 2);
+    }
+}
+
+#[test]
+fn empty_index_and_empty_queries_are_benign() {
+    let empty = Matrix::from_vec(0, 3, Vec::new());
+    let queries = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+    for cfg in both_backends() {
+        let r = build_retriever(&queries, &empty, &cfg).expect("empty item set is legal");
+        assert_eq!(r.num_items(), 0);
+        assert!(r.top_k(0, 5).is_empty(), "{:?}: no items → empty top-k", cfg.kind);
+
+        let r = build_retriever(&empty, &queries, &cfg).expect("empty query set is legal");
+        assert_eq!(r.num_queries(), 0);
+        assert!(batch_top_k(r.as_ref(), 3).is_empty());
+    }
+}
+
+#[test]
+fn degenerate_ivf_and_csls_knobs_are_config_errors() {
+    let m = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+
+    let err = IvfIndex::build(&m, &IvfParams { nprobe: 0, ..IvfParams::default() })
+        .expect_err("nprobe = 0 must be rejected");
+    assert_eq!(err.class, DefectClass::Config);
+
+    let cfg = RetrievalConfig::default();
+    let err = csls_retrieve_top_k(&m, &m, 0, 1, &cfg).expect_err("k = 0 must be rejected");
+    assert_eq!(err.class, DefectClass::Config);
+    let err = csls_retrieve_top_k(&m, &m, 4, 1, &cfg).expect_err("k > n must be rejected, not clamped");
+    assert_eq!(err.class, DefectClass::Config);
+}
+
+#[test]
+fn tie_breaks_are_identical_across_backends_and_block_lengths() {
+    // Two clusters of duplicates → heavy score ties. Every backend and
+    // block length must produce the same deterministic list.
+    let a = [0.6f32, 0.8];
+    let b = [-0.8f32, 0.6];
+    let mut data = Vec::new();
+    for i in 0..10 {
+        data.extend_from_slice(if i % 2 == 0 { &a } else { &b });
+    }
+    let items = Matrix::from_vec(10, 2, data);
+    let queries = Matrix::from_vec(1, 2, a.to_vec());
+    let reference: Vec<(usize, u32)> = ExactRetriever::new(&queries, &items)
+        .unwrap()
+        .top_k(0, 7)
+        .iter()
+        .map(|&(i, s)| (i, s.to_bits()))
+        .collect();
+    assert_eq!(
+        reference.iter().take(5).map(|&(i, _)| i).collect::<Vec<_>>(),
+        vec![0, 2, 4, 6, 8],
+        "even ids (the query's own cluster) must come first, ascending"
+    );
+    for block_len in [1usize, 2, 7, 100] {
+        let r = ExactRetriever::new(&queries, &items).unwrap().with_block_len(block_len);
+        let got: Vec<(usize, u32)> = r.top_k(0, 7).iter().map(|&(i, s)| (i, s.to_bits())).collect();
+        assert_eq!(got, reference, "block_len {block_len} changed the tie order");
+    }
+    let ivf = IvfRetriever::new(&queries, IvfIndex::build(&items, &IvfParams { nprobe: 16, ..IvfParams::default() }).unwrap()).unwrap();
+    let got: Vec<(usize, u32)> = ivf.top_k(0, 7).iter().map(|&(i, s)| (i, s.to_bits())).collect();
+    assert_eq!(got, reference, "full-probe IVF changed the tie order");
+}
