@@ -101,20 +101,39 @@ DESALIGN_SCALE=40 DESALIGN_EPOCHS=3 \
     cargo run -q --offline --release -p desalign-bench --bin telemetry_report >"$telemetry_stdout"
 test -s "$telemetry_json" || { echo "    telemetry_report did not write its JSON report"; exit 1; }
 test -s "$telemetry_jsonl" || { echo "    telemetry_report did not stream JSONL metrics"; exit 1; }
-for counter in train.resumes train.rollbacks; do
+for counter in train.resumes train.rollbacks tape.ws_fresh tape.ws_reused; do
     grep -q "$counter" "$telemetry_stdout" || { echo "    telemetry_report does not list the $counter counter"; exit 1; }
 done
 rm -f "$telemetry_json" "$telemetry_jsonl" "$telemetry_stdout"
 
-# Bench harness smoke: tiny scale and sample count — just proves the bench
-# still compiles, runs, and writes its JSON table. Output is redirected to a
-# scratch file so the committed full-scale BENCH_kernels.json is untouched.
-echo "==> cargo bench --bench kernels (smoke)"
+# Kernel bench smoke + gate: tiny scale and sample count, output redirected
+# to a scratch file so the committed full-scale BENCH_kernels.json is
+# untouched. DESALIGN_KERNEL_GATE=1 makes the bench itself assert (mirrors
+# the retrieval gate): naive and shipped matmul/spmm agree bit for bit,
+# every median is a positive finite timing, the tiled matmul/spmm beat
+# their in-bench naive baselines, and the dispatched leg never falls far
+# behind forced-serial (the PAR_MIN_COST calibration). The greps below
+# double-check the artifact so a silent gate regression cannot pass.
+echo "==> cargo bench --bench kernels (smoke + kernel gate)"
 smoke_out=$(mktemp)
 DESALIGN_BENCH_SAMPLES=2 DESALIGN_BENCH_MAX_N=500 DESALIGN_BENCH_OUT="$smoke_out" \
+    DESALIGN_KERNEL_GATE=1 \
     cargo bench -q --offline --bench kernels -p desalign-bench >/dev/null
 test -s "$smoke_out" || { echo "    bench smoke did not write its JSON table"; exit 1; }
+grep -q '"tiled_speedup"' "$smoke_out" || { echo "    bench table lost its tiled_speedup column"; exit 1; }
+grep -q '"cpu_features"' "$smoke_out" || { echo "    bench table lost its cpu_features field"; exit 1; }
+if grep -q "NaN\|Infinity" "$smoke_out"; then
+    echo "    NON-FINITE TIMINGS: kernel bench artifact contains NaN/Infinity"
+    exit 1
+fi
 rm -f "$smoke_out"
+
+# Tape-allocation gate (docs/DESIGN.md "Tape workspace"): once warm, a
+# training step must allocate zero new gradient buffers — every backward
+# matrix comes from the shared workspace pool. The dedicated test trains a
+# model past warmup and asserts the ws_fresh counter goes flat.
+echo "==> tape workspace steady-state (allocation counters)"
+cargo test -q --offline -p desalign-core --test workspace_steady_state
 
 # Retrieval gate (README.md "Sub-quadratic retrieval"): on a seeded
 # clustered workload the IVF index must hold recall@10 ≥ 0.95 against the

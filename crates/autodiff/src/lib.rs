@@ -38,6 +38,8 @@ mod grad_check;
 mod op;
 mod ops_fused;
 mod tape;
+mod workspace;
 
 pub use grad_check::{check_gradient, GradCheckReport};
 pub use tape::{Tape, Var};
+pub use workspace::{shared_workspace, SharedWorkspace, Workspace, WorkspaceStats};

@@ -1,5 +1,6 @@
 //! The operator set and backward rules.
 
+use crate::workspace::Workspace;
 use desalign_graph::Csr;
 use desalign_tensor::Matrix;
 use std::rc::Rc;
@@ -123,31 +124,51 @@ impl Op {
 /// Computes the gradient contributions `(parent_id, ∂L/∂parent)` of one node
 /// given its output value `y`, upstream gradient `g`, and read access to
 /// parent values.
-pub(crate) fn backward_contributions(
+///
+/// Every gradient matrix is allocated through the [`Workspace`] so that
+/// buffers recycled from previous steps are reused; the arithmetic is
+/// bit-identical to the historical allocate-per-matrix implementation
+/// (each workspace helper replicates the corresponding `Matrix` kernel's
+/// element order exactly, and the `_into` product variants run the same
+/// tiled kernels).
+pub(crate) fn backward_contributions<'a>(
     op: &Op,
     y: &Matrix,
     g: &Matrix,
-    value_of: &dyn Fn(usize) -> Matrix,
+    value_of: &impl Fn(usize) -> &'a Matrix,
+    ws: &mut Workspace,
 ) -> Vec<(usize, Matrix)> {
     match op {
         Op::Leaf | Op::Constant => vec![],
-        Op::Add(a, b) => vec![(*a, g.clone()), (*b, g.clone())],
-        Op::Sub(a, b) => vec![(*a, g.clone()), (*b, g.scale(-1.0))],
+        Op::Add(a, b) => vec![(*a, ws.clone_of(g)), (*b, ws.clone_of(g))],
+        Op::Sub(a, b) => vec![(*a, ws.clone_of(g)), (*b, ws.scaled(g, -1.0))],
         Op::Mul(a, b) => {
             let (va, vb) = (value_of(*a), value_of(*b));
-            vec![(*a, g.hadamard(&vb)), (*b, g.hadamard(&va))]
+            vec![(*a, ws.hadamard(g, vb)), (*b, ws.hadamard(g, va))]
         }
-        Op::Scale(a, c) => vec![(*a, g.scale(*c))],
-        Op::AddConst(a, _) => vec![(*a, g.clone())],
+        Op::Scale(a, c) => vec![(*a, ws.scaled(g, *c))],
+        Op::AddConst(a, _) => vec![(*a, ws.clone_of(g))],
         Op::MatMul(a, b) => {
             let (va, vb) = (value_of(*a), value_of(*b));
-            vec![(*a, g.matmul_nt(&vb)), (*b, va.matmul_tn(g))]
+            let mut ga = ws.uninit(g.rows(), vb.rows());
+            g.matmul_nt_into(vb, &mut ga);
+            let mut gb = ws.uninit(va.cols(), g.cols());
+            va.matmul_tn_into(g, &mut gb);
+            vec![(*a, ga), (*b, gb)]
         }
-        Op::SpMM(s, a) => vec![(*a, s.spmm_t(g))],
-        Op::Transpose(a) => vec![(*a, g.transpose())],
+        Op::SpMM(s, a) => {
+            let mut gx = ws.zeros(s.cols(), g.cols());
+            s.spmm_t_into(g, &mut gx);
+            vec![(*a, gx)]
+        }
+        Op::Transpose(a) => {
+            let mut gx = ws.uninit(g.cols(), g.rows());
+            g.transpose_into(&mut gx);
+            vec![(*a, gx)]
+        }
         Op::Relu(a) => {
             let va = value_of(*a);
-            let mut gx = g.clone();
+            let mut gx = ws.clone_of(g);
             for (gv, &xv) in gx.as_mut_slice().iter_mut().zip(va.as_slice()) {
                 if xv <= 0.0 {
                     *gv = 0.0;
@@ -157,7 +178,7 @@ pub(crate) fn backward_contributions(
         }
         Op::LeakyRelu(a, slope) => {
             let va = value_of(*a);
-            let mut gx = g.clone();
+            let mut gx = ws.clone_of(g);
             for (gv, &xv) in gx.as_mut_slice().iter_mut().zip(va.as_slice()) {
                 if xv <= 0.0 {
                     *gv *= slope;
@@ -165,14 +186,14 @@ pub(crate) fn backward_contributions(
             }
             vec![(*a, gx)]
         }
-        Op::Exp(a) => vec![(*a, g.hadamard(y))],
+        Op::Exp(a) => vec![(*a, ws.hadamard(g, y))],
         Op::Div(a, b) => {
             let (va, vb) = (value_of(*a), value_of(*b));
-            let mut ga = g.clone();
+            let mut ga = ws.clone_of(g);
             for (gv, &bv) in ga.as_mut_slice().iter_mut().zip(vb.as_slice()) {
                 *gv /= bv;
             }
-            let mut gb = g.hadamard(&va);
+            let mut gb = ws.hadamard(g, va);
             for (gv, &bv) in gb.as_mut_slice().iter_mut().zip(vb.as_slice()) {
                 *gv /= -(bv * bv);
             }
@@ -180,7 +201,7 @@ pub(crate) fn backward_contributions(
         }
         Op::Sqrt(a) => {
             // y = √x ⇒ dx = g / (2y)
-            let mut gx = g.clone();
+            let mut gx = ws.clone_of(g);
             for (gv, &yv) in gx.as_mut_slice().iter_mut().zip(y.as_slice()) {
                 *gv /= 2.0 * yv.max(1e-12);
             }
@@ -189,7 +210,7 @@ pub(crate) fn backward_contributions(
         Op::Artanh(a) => {
             // d artanh(x)/dx = 1 / (1 − x²)
             let va = value_of(*a);
-            let mut gx = g.clone();
+            let mut gx = ws.clone_of(g);
             for (gv, &xv) in gx.as_mut_slice().iter_mut().zip(va.as_slice()) {
                 *gv /= 1.0 - xv * xv;
             }
@@ -197,7 +218,7 @@ pub(crate) fn backward_contributions(
         }
         Op::Ln(a) => {
             let va = value_of(*a);
-            let mut gx = g.clone();
+            let mut gx = ws.clone_of(g);
             for (gv, &xv) in gx.as_mut_slice().iter_mut().zip(va.as_slice()) {
                 *gv /= xv;
             }
@@ -205,11 +226,15 @@ pub(crate) fn backward_contributions(
         }
         Op::Square(a) => {
             let va = value_of(*a);
-            vec![(*a, g.hadamard(&va).scale(2.0))]
+            let mut gx = ws.hadamard(g, va);
+            for v in gx.as_mut_slice() {
+                *v *= 2.0;
+            }
+            vec![(*a, gx)]
         }
         Op::SoftmaxRows(a) => {
             // dx = y ⊙ (g − ⟨g, y⟩_row · 1)
-            let mut gx = g.hadamard(y);
+            let mut gx = ws.hadamard(g, y);
             for i in 0..gx.rows() {
                 // gx holds g⊙y; finish dx = g⊙y − y·Σ_row(g⊙y) in place.
                 let dot: f32 = gx.row(i).iter().sum();
@@ -224,7 +249,7 @@ pub(crate) fn backward_contributions(
             // dx = (g − mean(g) − y · mean(g ⊙ y)) / σ, per row.
             let va = value_of(*a);
             let cols = va.cols().max(1) as f32;
-            let mut gx = Matrix::zeros(va.rows(), va.cols());
+            let mut gx = ws.uninit(va.rows(), va.cols());
             for i in 0..va.rows() {
                 let xr = va.row(i);
                 let mean = xr.iter().sum::<f32>() / cols;
@@ -242,7 +267,7 @@ pub(crate) fn backward_contributions(
         }
         Op::L2NormalizeRows(a, eps) => {
             let va = value_of(*a);
-            let mut gx = Matrix::zeros(va.rows(), va.cols());
+            let mut gx = ws.uninit(va.rows(), va.cols());
             for i in 0..va.rows() {
                 let xr = va.row(i);
                 let norm = xr.iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -268,24 +293,43 @@ pub(crate) fn backward_contributions(
             let mut off = 0;
             for &p in parts {
                 let w = value_of(p).cols();
-                out.push((p, g.slice_cols(off, off + w)));
+                let mut gp = ws.uninit(g.rows(), w);
+                for i in 0..g.rows() {
+                    gp.row_mut(i).copy_from_slice(&g.row(i)[off..off + w]);
+                }
+                out.push((p, gp));
                 off += w;
             }
             out
         }
         Op::SliceCols(a, start, end) => {
             let va = value_of(*a);
-            let mut gx = Matrix::zeros(va.rows(), va.cols());
+            let mut gx = ws.zeros(va.rows(), va.cols());
             for i in 0..gx.rows() {
                 gx.row_mut(i)[*start..*end].copy_from_slice(g.row(i));
             }
             vec![(*a, gx)]
         }
         Op::GatherRows(a, idx) => {
+            // Scatter-add with a pooled zeroed output — same accumulation
+            // order as `Matrix::scatter_add_rows`.
             let va = value_of(*a);
-            vec![(*a, g.scatter_add_rows(idx, va.rows()))]
+            let mut gx = ws.zeros(va.rows(), g.cols());
+            for (i, &r) in idx.iter().enumerate() {
+                assert!(r < va.rows(), "GatherRows backward: index {r} out of bounds ({} rows)", va.rows());
+                for (o, &s) in gx.row_mut(r).iter_mut().zip(g.row(i)) {
+                    *o += s;
+                }
+            }
+            vec![(*a, gx)]
         }
-        Op::ScatterAddRows(a, idx, _) => vec![(*a, g.gather_rows(idx))],
+        Op::ScatterAddRows(a, idx, _) => {
+            let mut gx = ws.uninit(idx.len(), g.cols());
+            for (i, &r) in idx.iter().enumerate() {
+                gx.row_mut(i).copy_from_slice(g.row(r));
+            }
+            vec![(*a, gx)]
+        }
         Op::EdgeSoftmax(a, dst) => {
             // Per segment s and column c:
             // dx_e = y_e (g_e − Σ_{e'∈s} y_{e'} g_{e'})
@@ -297,7 +341,7 @@ pub(crate) fn backward_contributions(
                     seg_dot[d * cols + c] += y[(e, c)] * g[(e, c)];
                 }
             }
-            let mut gx = Matrix::zeros(y.rows(), cols);
+            let mut gx = ws.uninit(y.rows(), cols);
             for (e, &d) in dst.iter().enumerate() {
                 for c in 0..cols {
                     gx[(e, c)] = y[(e, c)] * (g[(e, c)] - seg_dot[d * cols + c]);
@@ -308,16 +352,16 @@ pub(crate) fn backward_contributions(
         Op::SumAll(a) => {
             let va = value_of(*a);
             let scalar = g[(0, 0)];
-            vec![(*a, Matrix::full(va.rows(), va.cols(), scalar))]
+            vec![(*a, ws.full(va.rows(), va.cols(), scalar))]
         }
         Op::MeanAll(a) => {
             let va = value_of(*a);
             let scalar = g[(0, 0)] / va.len().max(1) as f32;
-            vec![(*a, Matrix::full(va.rows(), va.cols(), scalar))]
+            vec![(*a, ws.full(va.rows(), va.cols(), scalar))]
         }
         Op::RowSum(a) => {
             let va = value_of(*a);
-            let mut gx = Matrix::zeros(va.rows(), va.cols());
+            let mut gx = ws.uninit(va.rows(), va.cols());
             for i in 0..va.rows() {
                 let gv = g[(i, 0)];
                 for out in gx.row_mut(i) {
@@ -328,7 +372,7 @@ pub(crate) fn backward_contributions(
         }
         Op::ColSum(a) => {
             let va = value_of(*a);
-            let mut gx = Matrix::zeros(va.rows(), va.cols());
+            let mut gx = ws.uninit(va.rows(), va.cols());
             for i in 0..va.rows() {
                 gx.row_mut(i).copy_from_slice(g.row(0));
             }
@@ -336,29 +380,28 @@ pub(crate) fn backward_contributions(
         }
         Op::MulBroadcastCol(a, b) => {
             let (va, vb) = (value_of(*a), value_of(*b));
-            let mut ga = g.clone();
+            let mut ga = ws.clone_of(g);
             for i in 0..ga.rows() {
                 let s = vb[(i, 0)];
                 for v in ga.row_mut(i) {
                     *v *= s;
                 }
             }
-            let gb = Matrix::column(
-                (0..va.rows())
-                    .map(|i| g.row(i).iter().zip(va.row(i)).map(|(gv, av)| gv * av).sum())
-                    .collect(),
-            );
+            let mut gb = ws.uninit(va.rows(), 1);
+            for i in 0..va.rows() {
+                gb[(i, 0)] = g.row(i).iter().zip(va.row(i)).map(|(gv, av)| gv * av).sum();
+            }
             vec![(*a, ga), (*b, gb)]
         }
         Op::MulBroadcastRow(a, b) => {
             let (va, vb) = (value_of(*a), value_of(*b));
-            let mut ga = g.clone();
+            let mut ga = ws.clone_of(g);
             for i in 0..ga.rows() {
                 for (v, &s) in ga.row_mut(i).iter_mut().zip(vb.row(0)) {
                     *v *= s;
                 }
             }
-            let mut gb = Matrix::zeros(1, va.cols());
+            let mut gb = ws.zeros(1, va.cols());
             for i in 0..va.rows() {
                 for ((out, gv), av) in gb.row_mut(0).iter_mut().zip(g.row(i)).zip(va.row(i)) {
                     *out += gv * av;
@@ -368,13 +411,13 @@ pub(crate) fn backward_contributions(
         }
         Op::AddBroadcastRow(a, b) => {
             let va = value_of(*a);
-            let mut gb = Matrix::zeros(1, va.cols());
+            let mut gb = ws.zeros(1, va.cols());
             for i in 0..va.rows() {
                 for (out, gv) in gb.row_mut(0).iter_mut().zip(g.row(i)) {
                     *out += gv;
                 }
             }
-            vec![(*a, g.clone()), (*b, gb)]
+            vec![(*a, ws.clone_of(g)), (*b, gb)]
         }
         Op::CrossEntropyRows(a, targets) => {
             // Forward stored loss = mean_i(−log p_{i,t_i}). Backward:
@@ -382,7 +425,7 @@ pub(crate) fn backward_contributions(
             let va = value_of(*a);
             let probs = va.softmax_rows();
             let scale = g[(0, 0)] / va.rows().max(1) as f32;
-            let mut gx = probs.scale(scale);
+            let mut gx = ws.scaled(&probs, scale);
             for (i, &t) in targets.iter().enumerate() {
                 gx[(i, t)] -= scale;
             }

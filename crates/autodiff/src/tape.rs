@@ -1,6 +1,7 @@
 //! The gradient tape and its operator methods.
 
 use crate::op::{backward_contributions, Op};
+use crate::workspace::{shared_workspace, SharedWorkspace};
 use desalign_graph::Csr;
 use desalign_tensor::Matrix;
 use std::rc::Rc;
@@ -19,15 +20,52 @@ struct Node {
 
 /// An append-only arena of computation nodes supporting reverse-mode
 /// differentiation. See the crate docs for a usage example.
-#[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    ws: SharedWorkspace,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Return this step's gradient buffers to the pool so the next
+        // tape's backward pass reuses them instead of allocating. Forward
+        // values are *not* pooled: they are allocated by the tensor kernels
+        // (outside the workspace), so pooling them would grow the pool by
+        // one tape's worth of buffers every step without ever serving a
+        // hit. Grad-only recycling keeps the pool size pinned at one
+        // backward pass's working set.
+        let mut ws = self.ws.borrow_mut();
+        for node in self.nodes.drain(..) {
+            if let Some(g) = node.grad {
+                ws.recycle(g);
+            }
+        }
+    }
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape with its own private gradient workspace.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::with_workspace(shared_workspace())
+    }
+
+    /// Creates an empty tape whose backward pass allocates gradients from
+    /// `ws` and returns them to it on drop. Hand the same handle to every
+    /// per-step tape of a training run and steady-state steps allocate no
+    /// new gradient buffers (see [`crate::Workspace`]).
+    pub fn with_workspace(ws: SharedWorkspace) -> Self {
+        Self { nodes: Vec::new(), ws }
+    }
+
+    /// The workspace backing this tape's gradient allocations.
+    pub fn workspace(&self) -> &SharedWorkspace {
+        &self.ws
     }
 
     /// Number of recorded nodes.
@@ -82,7 +120,7 @@ impl Tape {
     pub fn backward(&mut self, loss: Var) {
         let shape = self.nodes[loss.0].value.shape();
         assert_eq!(shape, (1, 1), "Tape::backward: loss must be 1x1, got {}x{}", shape.0, shape.1);
-        self.nodes[loss.0].grad = Some(Matrix::full(1, 1, 1.0));
+        self.nodes[loss.0].grad = Some(self.ws.borrow_mut().full(1, 1, 1.0));
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].requires_grad {
                 continue;
@@ -91,16 +129,23 @@ impl Tape {
             let op = self.nodes[i].op.clone();
             let contribs = {
                 let nodes = &self.nodes;
-                let value_of = |p: usize| nodes[p].value.clone();
-                backward_contributions(&op, &nodes[i].value, &grad, &value_of)
+                let value_of = |p: usize| &nodes[p].value;
+                let mut ws = self.ws.borrow_mut();
+                backward_contributions(&op, &nodes[i].value, &grad, &value_of, &mut ws)
             };
             self.nodes[i].grad = Some(grad);
             for (pid, g) in contribs {
                 if !self.nodes[pid].requires_grad {
+                    // Contributions into non-trainable parents are merged
+                    // nowhere; hand their buffers straight back.
+                    self.ws.borrow_mut().recycle(g);
                     continue;
                 }
                 match &mut self.nodes[pid].grad {
-                    Some(acc) => acc.axpy(1.0, &g),
+                    Some(acc) => {
+                        acc.axpy(1.0, &g);
+                        self.ws.borrow_mut().recycle(g);
+                    }
                     slot @ None => *slot = Some(g),
                 }
             }
@@ -468,6 +513,42 @@ mod tests {
         let g = t.grad(logits).expect("grad");
         // Row sums of (softmax − onehot) are zero.
         assert!(g.row(0).iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_workspace_reuses_buffers_bit_identically() {
+        // The same step run on a cold private workspace and on a warm
+        // shared one must produce bit-equal gradients, and the warm run
+        // must allocate nothing new.
+        let step = |tape: &mut Tape| -> Vec<u32> {
+            let x = tape.leaf(Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]));
+            let w = tape.leaf(Matrix::from_rows(&[&[0.25, 1.0], &[-1.5, 2.0]]));
+            let y = tape.matmul(x, w);
+            let r = tape.relu(y);
+            let loss = tape.sum_all(r);
+            tape.backward(loss);
+            let mut bits: Vec<u32> = Vec::new();
+            for v in [x, w] {
+                bits.extend(tape.grad(v).expect("grad").as_slice().iter().map(|f| f.to_bits()));
+            }
+            bits
+        };
+        let cold = step(&mut Tape::new());
+
+        let ws = crate::workspace::shared_workspace();
+        {
+            let mut warmup = Tape::with_workspace(Rc::clone(&ws));
+            step(&mut warmup);
+        } // drop recycles the warmup step's gradient buffers
+        let fresh_after_warmup = ws.borrow().stats().fresh;
+        assert!(fresh_after_warmup > 0);
+
+        let mut warm = Tape::with_workspace(Rc::clone(&ws));
+        let warm_bits = step(&mut warm);
+        let stats = ws.borrow().stats();
+        assert_eq!(stats.fresh, fresh_after_warmup, "steady-state step allocated fresh buffers");
+        assert!(stats.reused >= fresh_after_warmup, "pool served too few allocations");
+        assert_eq!(warm_bits, cold, "workspace reuse changed gradient bits");
     }
 
     #[test]

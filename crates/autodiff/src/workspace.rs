@@ -1,0 +1,192 @@
+//! Pooled buffer allocation for backward-pass gradients.
+//!
+//! Every training step rebuilds its [`Tape`](crate::Tape), and every
+//! backward pass allocates one gradient matrix per reached node — the same
+//! shapes, step after step. A [`Workspace`] keeps those buffers alive
+//! between tapes: when a tape is dropped its gradient buffers return to the
+//! pool, and the next backward pass takes them back instead of asking the
+//! system allocator. Shapes are static across a training run, so after a
+//! one-step warmup the pool serves **every** gradient allocation and the
+//! fresh-allocation counter goes flat (asserted by `desalign-core`'s
+//! steady-state test and the CI tape-allocation check).
+//!
+//! The workspace is a plain size-keyed free list, not an arena: buffers are
+//! pooled by exact element count, so a hit always has the right length and
+//! reuse never changes a value, a shape, or a bit of any result. Allocation
+//! behaviour is observable via [`Workspace::stats`] and the
+//! `tape.ws_fresh` / `tape.ws_reused` telemetry counters.
+
+use desalign_tensor::Matrix;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A shareable handle to a [`Workspace`]; clone it into every
+/// [`Tape::with_workspace`](crate::Tape::with_workspace) that should share
+/// one pool. Single-threaded by design, like the tape itself.
+pub type SharedWorkspace = Rc<RefCell<Workspace>>;
+
+/// Creates a fresh shared workspace.
+pub fn shared_workspace() -> SharedWorkspace {
+    Rc::new(RefCell::new(Workspace::new()))
+}
+
+/// Allocation counters of a [`Workspace`] (monotone over its lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Buffers the pool could not serve and had to allocate.
+    pub fresh: u64,
+    /// Buffers served from the pool.
+    pub reused: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled: usize,
+}
+
+/// A size-keyed pool of `f32` buffers backing gradient matrices.
+#[derive(Default)]
+pub struct Workspace {
+    free: BTreeMap<usize, Vec<Vec<f32>>>,
+    fresh: u64,
+    reused: u64,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocation counters and current pool occupancy.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            fresh: self.fresh,
+            reused: self.reused,
+            pooled: self.free.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Returns a buffer of exactly `len` elements, pooled if available.
+    /// Contents are unspecified.
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        if let Some(buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.reused += 1;
+            if desalign_telemetry::enabled() {
+                desalign_telemetry::counter("tape.ws_reused").add(1);
+            }
+            return buf;
+        }
+        self.fresh += 1;
+        if desalign_telemetry::enabled() {
+            desalign_telemetry::counter("tape.ws_fresh").add(1);
+        }
+        vec![0.0; len]
+    }
+
+    /// Returns a matrix's buffer to the pool. Zero-length buffers are
+    /// dropped (nothing to reuse).
+    pub fn recycle(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        if !buf.is_empty() {
+            self.free.entry(buf.len()).or_default().push(buf);
+        }
+    }
+
+    /// A zeroed `rows × cols` matrix.
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.full(rows, cols, 0.0)
+    }
+
+    /// A `rows × cols` matrix filled with `value`.
+    pub fn full(&mut self, rows: usize, cols: usize, value: f32) -> Matrix {
+        let mut buf = self.take(checked_len(rows, cols));
+        buf.fill(value);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// A `rows × cols` matrix with **unspecified contents** (possibly stale
+    /// values from a recycled buffer). Callers must overwrite every element
+    /// before any is read.
+    pub fn uninit(&mut self, rows: usize, cols: usize) -> Matrix {
+        let buf = self.take(checked_len(rows, cols));
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// A pooled copy of `src` — same shape, same bits.
+    pub fn clone_of(&mut self, src: &Matrix) -> Matrix {
+        let mut buf = self.take(src.len());
+        buf.copy_from_slice(src.as_slice());
+        Matrix::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// A pooled `src · c` — element order and rounding identical to
+    /// [`Matrix::scale`].
+    pub fn scaled(&mut self, src: &Matrix, c: f32) -> Matrix {
+        let mut out = self.clone_of(src);
+        for v in out.as_mut_slice() {
+            *v *= c;
+        }
+        out
+    }
+
+    /// A pooled Hadamard product `a ⊙ b` — identical to
+    /// [`Matrix::hadamard`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn hadamard(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        b.expect_shape(a.rows(), a.cols(), "Workspace::hadamard");
+        let mut out = self.uninit(a.rows(), a.cols());
+        for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+            *o = x * y;
+        }
+        out
+    }
+}
+
+fn checked_len(rows: usize, cols: usize) -> usize {
+    rows.checked_mul(cols).expect("Workspace: rows * cols overflows usize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_round_trip_reuses_buffers() {
+        let mut ws = Workspace::new();
+        let a = ws.zeros(3, 4);
+        let b = ws.zeros(2, 2);
+        assert_eq!(ws.stats().fresh, 2);
+        ws.recycle(a);
+        ws.recycle(b);
+        assert_eq!(ws.stats().pooled, 2);
+        // Exact-size hits come from the pool; a new size allocates.
+        let c = ws.uninit(4, 3); // same 12-element buffer, different shape
+        assert_eq!(ws.stats().reused, 1);
+        assert_eq!(c.shape(), (4, 3));
+        let _d = ws.zeros(5, 5);
+        assert_eq!(ws.stats().fresh, 3);
+    }
+
+    #[test]
+    fn helpers_match_tensor_kernels_bitwise() {
+        let mut ws = Workspace::new();
+        let a = Matrix::from_rows(&[&[1.5, -0.0, 3.25], &[-2.0, 0.125, 7.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0, -1.0], &[0.5, -0.0, 3.0]]);
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ws.clone_of(&a)), bits(&a));
+        assert_eq!(bits(&ws.scaled(&a, -1.0)), bits(&a.scale(-1.0)));
+        assert_eq!(bits(&ws.hadamard(&a, &b)), bits(&a.hadamard(&b)));
+        assert_eq!(bits(&ws.full(2, 2, 0.75)), bits(&Matrix::full(2, 2, 0.75)));
+    }
+
+    #[test]
+    fn stale_pool_contents_never_leak_through_zeros() {
+        let mut ws = Workspace::new();
+        let poisoned = ws.full(2, 2, f32::NAN);
+        ws.recycle(poisoned);
+        let z = ws.zeros(2, 2);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(ws.stats().reused, 1);
+    }
+}

@@ -2,12 +2,32 @@
 //! claims (§V-E): dense matmul, sparse-dense products, Dirichlet energy,
 //! one Semantic Propagation step, and a GAT forward pass.
 //!
-//! Every parallelized kernel is timed twice — pinned to one thread and at
-//! the configured thread count — and the speedup table is written to
-//! `BENCH_kernels.json` at the repository root (results are bit-identical
-//! between the two legs; only wall-clock differs). The zero-skip removal in
-//! `Matrix::matmul` is tracked by re-timing the old branchy inner loop
-//! against the shipped branch-free one.
+//! Every kernel is timed three ways:
+//!
+//! 1. **naive** — the pre-optimization reference implementation, kept here
+//!    in-bench (branch-free `ikj` matmul, plain CSR row-loop SpMM, unfused
+//!    energy/propagation). `tiled_speedup` = naive / serial is the direct
+//!    witness for the single-core tiling/bucketing/fusion work;
+//! 2. **serial** — the shipped kernel pinned to one thread;
+//! 3. **parallel** — the shipped kernel at the configured thread count.
+//!    Results are bit-identical between the two legs; only wall-clock
+//!    differs. `speedup` = serial / parallel calibrates the
+//!    `PAR_MIN_COST` dispatch threshold: each row carries its `cost`
+//!    hint and whether it crossed the threshold (`dispatched_parallel`),
+//!    so a dispatch misconfiguration shows up as `speedup` well below 1
+//!    on a row that should not have gone parallel.
+//!
+//! Before timing, the shipped matmul/spmm outputs are compared bit for bit
+//! against their contract references — naive `ikj` for matmul (tiling is
+//! bit-preserving) and a stored-order `f32::mul_add` fold for spmm (the
+//! bucketed kernel's fused contract; the plain mul-then-add naive kernel is
+//! the timing baseline only, its bits differ in the last ulp). Enforced at
+//! bench scale on top of the property suites.
+//!
+//! The table is written to `BENCH_kernels.json` at the repository root.
+//! Each row also carries the frozen serial median of the *seed's* kernels
+//! (`seed_serial_median_ns`, from the artifact committed before tiling)
+//! and `speedup_vs_seed`, the cross-commit improvement.
 //!
 //! Run with `cargo bench --bench kernels`. Knobs:
 //! - `DESALIGN_BENCH_SAMPLES` — samples per benchmark (default 20);
@@ -15,13 +35,17 @@
 //!   smoke run caps it low to keep the harness from rotting unnoticed);
 //! - `DESALIGN_BENCH_OUT` — where to write the JSON (default
 //!   `BENCH_kernels.json` at the repo root; CI's smoke run redirects it so
-//!   a committed full-scale table is never clobbered by a 2-sample run).
+//!   a committed full-scale table is never clobbered by a 2-sample run);
+//! - `DESALIGN_KERNEL_GATE=1` — assertion mode for CI (mirrors
+//!   `DESALIGN_RETRIEVAL_GATE`): every median must be non-zero, the tiled
+//!   matmul/spmm must beat their naive baselines, and the dispatched leg
+//!   must not fall far behind forced-serial.
 
-use desalign_bench::timing::{bench, bench_stats, BenchStats, DEFAULT_SAMPLES};
-use desalign_graph::{dirichlet_energy, propagate_features, PropagationConfig};
+use desalign_bench::timing::{bench, bench_stats, DEFAULT_SAMPLES};
+use desalign_graph::{dirichlet_energy, propagate_features, Csr, PropagationConfig};
 use desalign_mmkg::{DatasetSpec, SynthConfig};
 use desalign_nn::{GatEncoder, ParamStore, Session};
-use desalign_parallel::{configured_threads, with_threads};
+use desalign_parallel::{configured_threads, with_threads, PAR_MIN_COST};
 use desalign_tensor::{normal_matrix, rng_from_seed, Matrix};
 use desalign_util::{json, Json};
 use std::hint::black_box;
@@ -42,22 +66,129 @@ fn scales() -> Vec<usize> {
     SCALES.iter().copied().filter(|&n| n <= max_n()).collect()
 }
 
-/// One serial-vs-parallel row of the speedup table.
-fn compare<F: FnMut()>(rows: &mut Vec<Json>, name: &str, n: usize, threads: usize, mut f: F) {
-    let serial = with_threads(1, || bench_stats(&format!("{name}/{n} (1 thread)"), samples(), &mut f));
-    let parallel = with_threads(threads, || bench_stats(&format!("{name}/{n} ({threads} threads)"), samples(), &mut f));
-    rows.push(row_json(name, n, &serial, &parallel));
+/// Whether `DESALIGN_KERNEL_GATE=1` turned the bench into a CI assertion.
+fn gate_enabled() -> bool {
+    std::env::var("DESALIGN_KERNEL_GATE").map(|v| v == "1").unwrap_or(false)
 }
 
-fn row_json(name: &str, n: usize, serial: &BenchStats, parallel: &BenchStats) -> Json {
-    let (s, p) = (serial.median.as_nanos() as f64, parallel.median.as_nanos() as f64);
-    json!({
+/// Serial medians of the seed's pre-tiling kernels, frozen from the
+/// committed `BENCH_kernels.json` this table replaced (20 samples,
+/// single-core host). Regenerated tables carry `speedup_vs_seed` against
+/// these so the cross-commit improvement is visible without digging
+/// through git history.
+fn seed_serial_median_ns(kernel: &str, n: usize) -> Option<f64> {
+    const SEED: &[(&str, usize, f64)] = &[
+        ("matmul", 500, 301_082.0),
+        ("matmul", 2000, 1_174_613.0),
+        ("matmul", 8000, 4_879_029.0),
+        ("spmm", 500, 58_530.0),
+        ("spmm", 2000, 273_026.0),
+        ("spmm", 8000, 1_850_774.0),
+        ("dirichlet_energy", 500, 75_798.0),
+        ("dirichlet_energy", 2000, 328_541.0),
+        ("dirichlet_energy", 8000, 1_998_576.0),
+        ("semantic_propagation", 500, 205_775.0),
+        ("semantic_propagation", 2000, 1_008_414.0),
+        ("semantic_propagation", 8000, 13_236_644.0),
+    ];
+    SEED.iter().find(|&&(k, m, _)| k == kernel && m == n).map(|&(_, _, ns)| ns)
+}
+
+/// CPU features relevant to the f32 kernels, as detected at runtime. The
+/// workspace compiles with `-C target-cpu=native` (see
+/// `.cargo/config.toml`), so this list records what the committed timings
+/// were actually allowed to use.
+fn cpu_features() -> Vec<Json> {
+    let mut out: Vec<Json> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    for (name, on) in [
+        ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+        ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+        ("avx", std::arch::is_x86_feature_detected!("avx")),
+        ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+        ("fma", std::arch::is_x86_feature_detected!("fma")),
+        ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+    ] {
+        if on {
+            out.push(Json::Str(name.to_string()));
+        }
+    }
+    out
+}
+
+/// `rustc -V` of the toolchain that produced the timings, or `"unknown"`
+/// when the compiler is not on PATH (the bench must not fail over it).
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One naive-vs-serial-vs-parallel row of the speedup table.
+fn compare<F: FnMut(), B: FnMut()>(
+    rows: &mut Vec<Json>,
+    name: &str,
+    n: usize,
+    cost: usize,
+    threads: usize,
+    mut f: F,
+    mut baseline: B,
+) {
+    let naive = with_threads(1, || bench_stats(&format!("{name}/{n} (naive, 1 thread)"), samples(), &mut baseline));
+    let serial = with_threads(1, || bench_stats(&format!("{name}/{n} (1 thread)"), samples(), &mut f));
+    let parallel = with_threads(threads, || bench_stats(&format!("{name}/{n} ({threads} threads)"), samples(), &mut f));
+
+    let (b, s, p) = (naive.median.as_nanos() as f64, serial.median.as_nanos() as f64, parallel.median.as_nanos() as f64);
+    let tiled_speedup = if s > 0.0 { b / s } else { 0.0 };
+    let speedup = if p > 0.0 { s / p } else { 0.0 };
+    if gate_enabled() {
+        for (leg, ns) in [("naive", b), ("serial", s), ("parallel", p)] {
+            assert!(ns > 0.0 && ns.is_finite(), "{name}/{n}: {leg} median {ns} ns is not a positive finite timing");
+        }
+        if matches!(name, "matmul" | "spmm") {
+            assert!(tiled_speedup > 1.0, "{name}/{n}: shipped kernel ({s} ns) does not beat the naive baseline ({b} ns)");
+        }
+        // Dispatch calibration: the legs run bit-identical kernels, so a
+        // parallel leg far behind forced-serial means PAR_MIN_COST let an
+        // unprofitable product go parallel (the seed's matmul n=2000 row
+        // sat at 0.56× for exactly that reason). On a single-thread host
+        // both legs are the same code path and the ratio is pure timer
+        // noise, so the assertion only applies when a real parallel leg
+        // exists.
+        if threads > 1 {
+            assert!(speedup >= 0.5, "{name}/{n}: dispatched leg is {:.2}× slower than forced-serial — PAR_MIN_COST miscalibrated", 1.0 / speedup);
+        }
+    }
+
+    let seed = seed_serial_median_ns(name, n);
+    rows.push(json!({
         "kernel": name,
         "n": n,
+        "cost": cost,
+        "dispatched_parallel": threads > 1 && cost >= PAR_MIN_COST,
+        "naive_median_ns": b,
         "serial_median_ns": s,
         "parallel_median_ns": p,
-        "speedup": if p > 0.0 { s / p } else { 0.0 },
-    })
+        "tiled_speedup": tiled_speedup,
+        "speedup": speedup,
+        "seed_serial_median_ns": seed.map_or(Json::Null, Json::Num),
+        "speedup_vs_seed": seed.filter(|_| s > 0.0).map_or(Json::Null, |ns| Json::Num(ns / s)),
+    }));
+}
+
+/// Asserts two matrices agree bit for bit — the tiled kernels' determinism
+/// contract, spot-checked at bench scale before timing begins.
+fn assert_bits_eq(reference: &Matrix, shipped: &Matrix, what: &str) {
+    assert_eq!(reference.rows(), shipped.rows(), "{what}: row count differs");
+    assert_eq!(reference.cols(), shipped.cols(), "{what}: col count differs");
+    for (i, (r, t)) in reference.as_slice().iter().zip(shipped.as_slice()).enumerate() {
+        assert!(r.to_bits() == t.to_bits(), "{what}: element {i} differs bitwise: {r} vs {t}");
+    }
 }
 
 /// The seed's `matmul` inner loop: zero-skip branch intact. Kept here as
@@ -82,15 +213,117 @@ fn matmul_branchy(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// The pre-tiling dense matmul: branch-free `ikj` with a vectorizable
+/// inner loop, no register tiling, no packed B panels. Each output element
+/// accumulates over `p` in ascending order — the same per-element order
+/// the tiled kernel keeps, so the two agree bit for bit.
+fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for p in 0..k {
+            let a_ip = a_row[p];
+            for (o, &bv) in out_row.iter_mut().zip(b.row(p)) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The pre-bucketing SpMM: one plain scalar loop per nonzero, no nnz
+/// bucketing, no register chunking, mul-then-add accumulation. This is the
+/// *timing* baseline; the shipped kernel's FMA contract means its bits
+/// differ in the last ulp (see [`spmm_fma_reference`]).
+fn spmm_naive(a: &Csr, x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), x.cols());
+    for i in 0..a.rows() {
+        let out_row = out.row_mut(i);
+        for (j, v) in a.row(i) {
+            for (o, &xv) in out_row.iter_mut().zip(x.row(j)) {
+                *o += v * xv;
+            }
+        }
+    }
+    out
+}
+
+/// The shipped SpMM's numeric contract, spelled out with zero cleverness:
+/// per output element, fold the row's products in stored nonzero order via
+/// `f32::mul_add`. The bucketed kernel must match this bit for bit at any
+/// chunk width or thread count (the same reference `proptest_bucketed`
+/// pins, re-checked here at bench scale).
+fn spmm_fma_reference(a: &Csr, x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), x.cols());
+    for i in 0..a.rows() {
+        let out_row = out.row_mut(i);
+        for (j, v) in a.row(i) {
+            for (o, &xv) in out_row.iter_mut().zip(x.row(j)) {
+                *o = v.mul_add(xv, *o);
+            }
+        }
+    }
+    out
+}
+
+/// The pre-fusion Dirichlet energy: materialize `L·X`, then fold
+/// `X ∘ (LX)` — what `dirichlet_energy` computed before the fused
+/// block-at-a-time kernel removed the `n×d` intermediate.
+fn dirichlet_naive(lap: &Csr, x: &Matrix) -> f32 {
+    let lx = spmm_naive(lap, x);
+    let mut acc = 0.0f32;
+    for (a, b) in x.as_slice().iter().zip(lx.as_slice()) {
+        acc += a * b;
+    }
+    0.5 * acc
+}
+
+/// The pre-fusion Semantic Propagation loop: a full SpMM every round with
+/// known rows overwritten afterwards — the work `spmm_skip_into` now
+/// avoids. Like the shipped API it returns every round's state (Algorithm
+/// 1 averages similarities over all rounds), so both sides pay the same
+/// per-round state allocation and the ratio isolates the kernel work.
+fn propagate_naive(a: &Csr, x: &Matrix, known: &[bool], cfg: &PropagationConfig) -> Vec<Matrix> {
+    assert_eq!(cfg.step, 1.0, "naive baseline models the full-step path only");
+    let mut states = vec![x.clone()];
+    for _ in 0..cfg.iterations {
+        let mut next = spmm_naive(a, states.last().expect("states non-empty"));
+        if cfg.reset_known {
+            for (i, &keep) in known.iter().enumerate() {
+                if keep {
+                    next.row_mut(i).copy_from_slice(x.row(i));
+                }
+            }
+        }
+        states.push(next);
+    }
+    states
+}
+
 fn bench_matmul(rows: &mut Vec<Json>, zero_skip_rows: &mut Vec<Json>, threads: usize) {
     for n in scales() {
         // The workload shape: entity embeddings (n × 64) times a layer
         // weight (64 × 64), dense on both sides.
         let a = normal_matrix(&mut rng_from_seed(1), n, 64, 0.0, 1.0);
         let b = normal_matrix(&mut rng_from_seed(2), 64, 64, 0.0, 1.0);
-        compare(rows, "matmul", n, threads, || {
-            black_box(a.matmul(&b));
-        });
+        assert_bits_eq(&matmul_naive(&a, &b), &a.matmul(&b), "matmul (tiled vs naive)");
+        compare(
+            rows,
+            "matmul",
+            n,
+            n * 64 * 64,
+            threads,
+            || {
+                black_box(a.matmul(&b));
+            },
+            || {
+                black_box(matmul_naive(&a, &b));
+            },
+        );
+        // Zero-skip satellite, isolated from tiling: the seed's branchy
+        // loop vs the same loop with only the branch removed.
         let branchy = with_threads(1, || {
             bench_stats(&format!("matmul_seed/{n} (branchy, 1 thread)"), samples(), || {
                 black_box(matmul_branchy(&a, &b));
@@ -98,7 +331,7 @@ fn bench_matmul(rows: &mut Vec<Json>, zero_skip_rows: &mut Vec<Json>, threads: u
         });
         let branchless = with_threads(1, || {
             bench_stats(&format!("matmul_fixed/{n} (branch-free, 1 thread)"), samples(), || {
-                black_box(a.matmul(&b));
+                black_box(matmul_naive(&a, &b));
             })
         });
         let (old, new) = (branchy.median.as_nanos() as f64, branchless.median.as_nanos() as f64);
@@ -116,9 +349,20 @@ fn bench_spmm(rows: &mut Vec<Json>, threads: usize) {
         let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
         let a = ds.source.graph().normalized_adjacency(true);
         let x = normal_matrix(&mut rng_from_seed(3), ds.source.num_entities, 64, 0.0, 1.0);
-        compare(rows, "spmm", n, threads, || {
-            black_box(a.spmm(&x));
-        });
+        assert_bits_eq(&spmm_fma_reference(&a, &x), &a.spmm(&x), "spmm (bucketed vs stored-order fma fold)");
+        compare(
+            rows,
+            "spmm",
+            n,
+            a.nnz() * 64,
+            threads,
+            || {
+                black_box(a.spmm(&x));
+            },
+            || {
+                black_box(spmm_naive(&a, &x));
+            },
+        );
     }
 }
 
@@ -127,9 +371,19 @@ fn bench_dirichlet_energy(rows: &mut Vec<Json>, threads: usize) {
         let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(n).generate(1);
         let lap = ds.source.graph().laplacian();
         let x = normal_matrix(&mut rng_from_seed(2), ds.source.num_entities, 64, 0.0, 1.0);
-        compare(rows, "dirichlet_energy", n, threads, || {
-            black_box(dirichlet_energy(&lap, &x));
-        });
+        compare(
+            rows,
+            "dirichlet_energy",
+            n,
+            lap.nnz() * 64,
+            threads,
+            || {
+                black_box(dirichlet_energy(&lap, &x));
+            },
+            || {
+                black_box(dirichlet_naive(&lap, &x));
+            },
+        );
     }
 }
 
@@ -143,9 +397,19 @@ fn bench_semantic_propagation(rows: &mut Vec<Json>, threads: usize) {
         let x = normal_matrix(&mut rng_from_seed(4), nn, 64, 0.0, 1.0);
         let known: Vec<bool> = (0..nn).map(|i| i % 3 != 0).collect();
         let cfg = PropagationConfig { iterations: 3, step: 1.0, reset_known: true };
-        compare(rows, "semantic_propagation", n, threads, || {
-            black_box(propagate_features(&a, &x, &known, &cfg));
-        });
+        compare(
+            rows,
+            "semantic_propagation",
+            n,
+            a.nnz() * 64,
+            threads,
+            || {
+                black_box(propagate_features(&a, &x, &known, &cfg));
+            },
+            || {
+                black_box(propagate_naive(&a, &x, &known, &cfg));
+            },
+        );
     }
 }
 
@@ -168,7 +432,11 @@ fn bench_gat_forward() {
 fn main() {
     let host = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let threads = configured_threads();
-    println!("host parallelism: {host}, parallel leg runs {threads} thread(s)\n");
+    println!("host parallelism: {host}, parallel leg runs {threads} thread(s)");
+    if gate_enabled() {
+        println!("DESALIGN_KERNEL_GATE=1: timing sanity / tiled-beats-naive / dispatch assertions on");
+    }
+    println!();
 
     let mut rows: Vec<Json> = Vec::new();
     let mut zero_skip_rows: Vec<Json> = Vec::new();
@@ -179,10 +447,14 @@ fn main() {
     bench_gat_forward();
 
     let out = json!({
+        "schema_version": 2,
         "host_threads": host,
         "parallel_threads": threads,
         "samples": samples(),
         "max_n": max_n(),
+        "par_min_cost": PAR_MIN_COST,
+        "rustc": rustc_version(),
+        "cpu_features": Json::Array(cpu_features()),
         "kernels": Json::Array(rows),
         "matmul_zero_skip_fix": Json::Array(zero_skip_rows),
     });

@@ -39,6 +39,10 @@ pub struct DesalignModel {
     /// Extra (pseudo) seed pairs injected by the iterative strategy.
     pub pseudo_pairs: Vec<(usize, usize)>,
     pub(crate) energy_traces: Vec<EnergyTrace>,
+    /// Gradient-buffer pool shared by every per-step tape of this model.
+    /// After a one-step warmup, training epochs allocate no new gradient
+    /// buffers (see `desalign_nn::Workspace`).
+    pub(crate) ws: desalign_nn::SharedWorkspace,
 }
 
 impl DesalignModel {
@@ -110,7 +114,15 @@ impl DesalignModel {
             chaos: None,
             pseudo_pairs: Vec::new(),
             energy_traces: Vec::new(),
+            ws: desalign_nn::shared_workspace(),
         }
+    }
+
+    /// Allocation counters of the shared gradient workspace — `fresh` goes
+    /// flat once training reaches its steady state (asserted in tests and
+    /// the CI tape-allocation check).
+    pub fn workspace_stats(&self) -> desalign_nn::WorkspaceStats {
+        self.ws.borrow().stats()
     }
 
     /// The active configuration.

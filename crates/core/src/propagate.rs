@@ -145,20 +145,36 @@ pub fn per_modality_propagation_states(
         return (vec![x_s.clone()], vec![x_t.clone()]);
     }
     let _span = desalign_telemetry::span("semantic_propagation");
-    let cfg = PropagationConfig { iterations, step: 1.0, reset_known: true };
 
-    // Propagate each incomplete block, collecting its per-round states.
+    // Fused gather→propagate→scatter per incomplete block: the block's
+    // columns are gathered once, each round runs the full-step boundary
+    // kernel (`Ã·x` with known rows replaced by their originals — see
+    // `Csr::spmm_skip_into`) into a ping-pong buffer, and the new state is
+    // scattered straight into that round's output columns. Equivalent to
+    // `propagate_features` with `step: 1.0, reset_known: true` bit-for-bit,
+    // but without materializing a per-round state vector per block.
     let propagate_side = |x: &Matrix, adj: &Csr, masks: &[Vec<bool>]| -> Vec<Matrix> {
         let mut round_states: Vec<Matrix> = vec![x.clone(); iterations + 1];
+        let n = x.rows();
         let mut off = 0;
         for (m, &w) in blocks.iter().enumerate() {
             let complete = masks[m].iter().all(|&b| b);
             if !complete {
-                let block = x.slice_cols(off, off + w);
-                let states = propagate_features(adj, &block, &masks[m], &cfg);
-                for (j, st) in states.iter().enumerate() {
-                    for i in 0..x.rows() {
-                        round_states[j].row_mut(i)[off..off + w].copy_from_slice(st.row(i));
+                if desalign_telemetry::enabled() {
+                    desalign_telemetry::counter("sp.iterations").add(iterations as u64);
+                    let skipped = masks[m].iter().filter(|&&k| k).count();
+                    desalign_telemetry::counter("sp.rows_skipped").add((skipped * iterations) as u64);
+                }
+                let x0_block = x.slice_cols(off, off + w);
+                let mut cur = x0_block.clone();
+                let mut next = Matrix::zeros(n, w);
+                // Round 0 is the input itself — `round_states[0]` already
+                // holds the block's columns, so scattering starts at 1.
+                for state in round_states.iter_mut().skip(1) {
+                    adj.spmm_skip_into(&cur, &masks[m], &x0_block, &mut next);
+                    std::mem::swap(&mut cur, &mut next);
+                    for i in 0..n {
+                        state.row_mut(i)[off..off + w].copy_from_slice(cur.row(i));
                     }
                 }
             }

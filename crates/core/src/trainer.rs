@@ -39,6 +39,7 @@ use desalign_graph::dirichlet_energy;
 use desalign_mmkg::AlignmentDataset;
 use desalign_nn::{AdamW, CosineWarmup, Session};
 use desalign_tensor::{rng_from_seed, Matrix, Rng64, SliceRandom};
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Deterministic fault-injection plan for resilience tests (armed with
@@ -183,7 +184,7 @@ impl DesalignModel {
                 let _span = desalign_telemetry::span("sample");
                 sample_batch(&state.pool, self.cfg.batch_size, &mut self.rng)
             };
-            let mut sess = Session::new(&self.store);
+            let mut sess = Session::with_workspace(&self.store, Rc::clone(&self.ws));
             let (enc_s, enc_t, loss, breakdown) = {
                 let _span = desalign_telemetry::span("forward");
                 let enc_s = self.encoder.forward(&mut sess, &self.inputs[0], 0);

@@ -1,0 +1,37 @@
+//! Steady-state allocation contract of the shared gradient workspace:
+//! after a short warmup, further training epochs allocate **zero** new
+//! gradient buffers — every backward-pass matrix is served from the pool
+//! the previous step returned its buffers to. This is the live check behind
+//! the `tape.ws_fresh` telemetry counter and the CI tape-allocation gate.
+
+use desalign_core::{DesalignConfig, DesalignModel};
+use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+#[test]
+fn steady_state_epochs_allocate_no_new_gradient_buffers() {
+    let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(7);
+    let mut cfg = DesalignConfig::fast();
+    cfg.hidden_dim = 16;
+    cfg.feature_dims = desalign_mmkg::FeatureDims { relation: 32, attribute: 32, visual: 64 };
+    cfg.epochs = 6;
+    cfg.batch_size = 64;
+    // Interleave an energy-instrumented (eval) epoch so the steady-state
+    // claim covers both epoch flavours.
+    cfg.eval_every = 2;
+    let mut model = DesalignModel::new(cfg, &ds, 3);
+
+    let mut state = model.begin_training(&ds);
+    model.train_epochs(&mut state, 2);
+    let warm = model.workspace_stats();
+    assert!(warm.fresh > 0, "warmup epochs should have populated the pool");
+
+    model.train_epochs(&mut state, 4);
+    let steady = model.workspace_stats();
+    assert_eq!(
+        steady.fresh, warm.fresh,
+        "steady-state epochs allocated {} new gradient buffers",
+        steady.fresh - warm.fresh
+    );
+    assert!(steady.reused > warm.reused, "steady-state epochs should reuse pooled buffers");
+    model.end_training(state);
+}

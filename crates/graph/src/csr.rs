@@ -223,17 +223,133 @@ impl Csr {
         (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
     }
 
+    /// Computes row `i` of `self × x` into `out_row`, overwriting it.
+    ///
+    /// This is the single-row microkernel behind [`Csr::spmm`] and the
+    /// fused [`dirichlet_energy`](crate::dirichlet_energy): rows are
+    /// bucketed by nnz (empty / one / two / many), and the many-entry path
+    /// holds a register-wide output chunk across **all** of the row's
+    /// nonzeros — the old kernel round-tripped the whole output row
+    /// through memory once per nonzero.
+    ///
+    /// **Numeric contract** (pinned by `tests/proptest_bucketed.rs`):
+    /// each output element is `fma(vₜ, xₜ, ·)` folded over the row's
+    /// nonzeros in stored (ascending-column) order from a `+0.0`
+    /// accumulator — one rounding per product-add via [`f32::mul_add`],
+    /// identical at every nnz bucket, chunk width, and thread count. The
+    /// fused form halves the ALU work (the spmm ≥2× line in
+    /// `BENCH_kernels.json` depends on it) and is the one deliberate
+    /// fingerprint migration of the kernel-speed PR: results differ from
+    /// the historical mul-then-add fold in the last bit, and the pinned
+    /// regression metrics were regenerated once to match. Requires
+    /// hardware FMA (`-C target-cpu=native`, `.cargo/config.toml`) to be
+    /// fast — without it `mul_add` is a libm call.
+    pub(crate) fn spmm_row_into(&self, i: usize, x: &Matrix, out_row: &mut [f32]) {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        let idx = &self.indices[s..e];
+        let val = &self.values[s..e];
+        let d = x.cols();
+        let xs = x.as_slice();
+        debug_assert!(
+            idx.iter().all(|&j| j < x.rows()),
+            "Csr::spmm: row {i} stores a column index past the dense operand's {} rows — the CSR invariant (indices < cols) is broken",
+            x.rows()
+        );
+        match idx.len() {
+            0 => out_row.fill(0.0),
+            1 => {
+                let (v, xr) = (val[0], &xs[idx[0] * d..idx[0] * d + d]);
+                for (o, &xv) in out_row.iter_mut().zip(xr) {
+                    *o = v.mul_add(xv, 0.0); // the +0.0 addend matches the
+                                             // zeroed-accumulator bits
+                                             // (-0.0 product → +0.0)
+                }
+            }
+            2 => {
+                let (v0, x0) = (val[0], &xs[idx[0] * d..idx[0] * d + d]);
+                let (v1, x1) = (val[1], &xs[idx[1] * d..idx[1] * d + d]);
+                for ((o, &a), &b) in out_row.iter_mut().zip(x0).zip(x1) {
+                    *o = v1.mul_add(b, v0.mul_add(a, 0.0));
+                }
+            }
+            nnz => {
+                // Register-chunked: a wide slice of the output row stays in
+                // registers while every nonzero streams past. The chunk is
+                // 64 floats — 8 independent 8-lane FMA dependency chains,
+                // enough to hide the fused multiply-add latency (a 16-float
+                // chunk leaves the FMA ports idle 4× over). Chunk width
+                // never affects bits: each output element still folds the
+                // row's products in stored order. Full chunks use the
+                // compile-time width so the loops lower to straight vector
+                // code with no bounds checks; only the tail (d not a
+                // multiple of 16) pays a runtime width.
+                const DC: usize = 64;
+                const DC_SMALL: usize = 16;
+                let mut j0 = 0;
+                while j0 + DC <= d {
+                    let mut acc = [0.0f32; DC];
+                    for t in 0..nnz {
+                        let a = idx[t] * d + j0;
+                        let (xr, v) = (&xs[a..a + DC], val[t]);
+                        for jj in 0..DC {
+                            acc[jj] = v.mul_add(xr[jj], acc[jj]);
+                        }
+                    }
+                    out_row[j0..j0 + DC].copy_from_slice(&acc);
+                    j0 += DC;
+                }
+                while j0 + DC_SMALL <= d {
+                    let mut acc = [0.0f32; DC_SMALL];
+                    for t in 0..nnz {
+                        let a = idx[t] * d + j0;
+                        let (xr, v) = (&xs[a..a + DC_SMALL], val[t]);
+                        for jj in 0..DC_SMALL {
+                            acc[jj] = v.mul_add(xr[jj], acc[jj]);
+                        }
+                    }
+                    out_row[j0..j0 + DC_SMALL].copy_from_slice(&acc);
+                    j0 += DC_SMALL;
+                }
+                if j0 < d {
+                    let w = d - j0;
+                    let mut acc = [0.0f32; DC_SMALL];
+                    for t in 0..nnz {
+                        let xr = &xs[idx[t] * d + j0..idx[t] * d + j0 + w];
+                        let v = val[t];
+                        for jj in 0..w {
+                            acc[jj] = v.mul_add(xr[jj], acc[jj]);
+                        }
+                    }
+                    out_row[j0..j0 + w].copy_from_slice(&acc[..w]);
+                }
+            }
+        }
+    }
+
     /// Sparse × dense product `self × x`.
     ///
     /// This is the kernel Semantic Propagation runs once per iteration; its
     /// cost is `O(nnz · d)`, linear in the number of edges, matching the
     /// paper's `O(|E| d)` complexity claim (§V-E). Output rows are computed
-    /// in parallel; each row keeps its exact serial accumulation order, so
-    /// results are bit-identical at any thread count.
+    /// in parallel via the nnz-bucketed `spmm_row_into` microkernel;
+    /// each row keeps its exact serial accumulation order, so results are
+    /// bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics if `x.rows() != self.cols()`.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_into(x, &mut out);
+        out
+    }
+
+    /// [`Csr::spmm`] into a caller-provided buffer, overwriting it — the
+    /// allocation-free variant the propagation loop ping-pongs between two
+    /// buffers.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != self.cols()` or `out` has the wrong shape.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             x.rows(),
             self.cols,
@@ -241,29 +357,54 @@ impl Csr {
             x.rows(),
             self.cols
         );
+        out.expect_shape(self.rows, x.cols(), "Csr::spmm_into");
         let _span = desalign_telemetry::span("spmm");
         let d = x.cols();
-        let mut out = Matrix::zeros(self.rows, d);
         if out.is_empty() {
-            return out;
+            return;
         }
         let cost = self.nnz().saturating_mul(d);
         desalign_parallel::par_rows(out.as_mut_slice(), d, cost, |i, out_row| {
-            for (j, v) in
-                self.indices[self.indptr[i]..self.indptr[i + 1]].iter().zip(&self.values[self.indptr[i]..self.indptr[i + 1]])
-            {
-                debug_assert!(
-                    *j < x.rows(),
-                    "Csr::spmm: row {i} stores column index {j} but the dense operand has only {} rows — the CSR invariant (indices < cols) is broken",
-                    x.rows()
-                );
-                let x_row = x.row(*j);
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
-                }
+            self.spmm_row_into(i, x, out_row);
+        });
+    }
+
+    /// Fused propagation step: `out[i] = x0[i]` where `skip[i]`, else
+    /// `out[i] = (self × x)[i]`.
+    ///
+    /// With the boundary reset of Semantic Propagation (`x_c(t) = x_c`),
+    /// a known row's SpMM output is overwritten immediately — so this
+    /// kernel never computes it. On the datasets this repo benches, two
+    /// thirds of the rows are known: that SpMM work simply disappears.
+    /// Bit-identical to `spmm` followed by the reset, since skipped rows
+    /// receive an exact copy and the rest run the same row microkernel.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn spmm_skip_into(&self, x: &Matrix, skip: &[bool], x0: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            x.rows(),
+            self.cols,
+            "Csr::spmm_skip_into: dense operand has {} rows, sparse has {} cols",
+            x.rows(),
+            self.cols
+        );
+        assert_eq!(skip.len(), self.rows, "Csr::spmm_skip_into: skip mask length mismatch");
+        x0.expect_shape(self.rows, x.cols(), "Csr::spmm_skip_into (x0)");
+        out.expect_shape(self.rows, x.cols(), "Csr::spmm_skip_into (out)");
+        let _span = desalign_telemetry::span("spmm");
+        let d = x.cols();
+        if out.is_empty() {
+            return;
+        }
+        let cost = self.nnz().saturating_mul(d);
+        desalign_parallel::par_rows(out.as_mut_slice(), d, cost, |i, out_row| {
+            if skip[i] {
+                out_row.copy_from_slice(x0.row(i));
+            } else {
+                self.spmm_row_into(i, x, out_row);
             }
         });
-        out
     }
 
     /// `selfᵀ × x` without materializing the transpose.
@@ -273,10 +414,24 @@ impl Csr {
     /// the product is large enough to benefit, the kernel switches to
     /// `self.transpose().spmm(x)`, which IS row-partitionable and
     /// **bit-identical** to the serial loop: both accumulate output row `j`
-    /// as `Σᵢ v·x[i]` over ascending `i` (the serial loop visits `i` in
-    /// order; the transposed row `j` stores its entries sorted by `i`), so
-    /// every output element sees the same additions in the same order.
+    /// as stored-order fused multiply-adds over ascending `i` (the serial
+    /// loop visits `i` in order; the transposed row `j` stores its entries
+    /// sorted by `i`), so every output element sees the same fma chain.
     pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, x.cols());
+        self.spmm_t_into(x, &mut out);
+        out
+    }
+
+    /// [`Csr::spmm_t`] accumulating into a caller-provided **zeroed**
+    /// output — same kernel, same bits. Unlike the `_into` variants that
+    /// overwrite, the scatter accumulation reads `out`, so the caller must
+    /// hand in zeros (gradient code reuses pooled buffers via
+    /// `Workspace::zeros`).
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn spmm_t_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             x.rows(),
             self.rows,
@@ -285,41 +440,68 @@ impl Csr {
             self.rows
         );
         let _span = desalign_telemetry::span("spmm_t");
+        out.expect_shape(self.cols, x.cols(), "Csr::spmm_t_into: out");
         let cost = self.nnz().saturating_mul(x.cols());
         if desalign_parallel::current_threads() > 1 && cost >= desalign_parallel::PAR_MIN_COST {
-            return self.transpose().spmm(x);
+            self.transpose().spmm_into(x, out);
+            return;
         }
-        let mut out = Matrix::zeros(self.cols, x.cols());
         for i in 0..self.rows {
             let x_row = x.row(i);
             for (j, v) in self.row(i) {
+                // Scatter rows cannot be register-chunked like spmm (each
+                // nonzero targets a different output row), but the inner
+                // loop over the feature dim vectorizes as-is. Must use the
+                // same fused multiply-add as `spmm_row_into`: the parallel
+                // branch above routes through that microkernel, and the two
+                // branches have to agree bit for bit.
                 let out_row = out.row_mut(j);
                 for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
+                    *o = v.mul_add(xv, *o);
                 }
             }
         }
-        out
     }
 
     /// Sparse × dense-vector product for a flat slice (`cols()`-length).
+    ///
+    /// Each output element is a single sequential fold over the row's
+    /// nonzeros — that fold order is load-bearing (it is what the committed
+    /// training fingerprints were produced with), so the 4-way unroll below
+    /// keeps one accumulator and the exact stored-order adds; it only
+    /// removes iterator/branch overhead, never re-associates.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "Csr::spmv: vector length {} vs {} cols", x.len(), self.cols);
         let _span = desalign_telemetry::span("spmv");
         let mut out = vec![0.0; self.rows];
         let cost = self.nnz().saturating_mul(2);
         desalign_parallel::par_rows(&mut out, 1, cost, |i, o| {
-            o[0] = self
-                .row(i)
-                .map(|(j, v)| {
-                    debug_assert!(
-                        j < x.len(),
-                        "Csr::spmv: row {i} stores column index {j} but the vector has only {} elements — the CSR invariant (indices < cols) is broken",
-                        x.len()
-                    );
-                    v * x[j]
-                })
-                .sum();
+            let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+            let idx = &self.indices[s..e];
+            let val = &self.values[s..e];
+            debug_assert!(
+                idx.iter().all(|&j| j < x.len()),
+                "Csr::spmv: row {i} stores a column index past the vector's {} elements — the CSR invariant (indices < cols) is broken",
+                x.len()
+            );
+            // -0.0 is the additive identity `Iterator::sum` folds from
+            // (`-0.0 + x` preserves every bit of `x`, including `x = -0.0`,
+            // which `+0.0 + x` would not) — the old `.sum()` kernel's bits,
+            // e.g. -0.0 for an empty row, depend on it.
+            let mut acc = -0.0f32;
+            let mut t = 0;
+            while t + 4 <= idx.len() {
+                acc += val[t] * x[idx[t]];
+                acc += val[t + 1] * x[idx[t + 1]];
+                acc += val[t + 2] * x[idx[t + 2]];
+                acc += val[t + 3] * x[idx[t + 3]];
+                t += 4;
+            }
+            while t < idx.len() {
+                acc += val[t] * x[idx[t]];
+                t += 1;
+            }
+            o[0] = acc;
         });
         out
     }

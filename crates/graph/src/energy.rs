@@ -26,7 +26,46 @@ use desalign_tensor::Matrix;
 /// ```
 pub fn dirichlet_energy(laplacian: &Csr, x: &Matrix) -> f32 {
     assert_eq!(laplacian.rows(), x.rows(), "dirichlet_energy: Laplacian is {}x{}, features have {} rows", laplacian.rows(), laplacian.cols(), x.rows());
-    laplacian.spmm(x).inner(x)
+    let _span = desalign_telemetry::span("dirichlet_energy");
+    // Fused ⟨ΔX, X⟩: the naive form `laplacian.spmm(x).inner(x)`
+    // materializes the full n×d product only to reduce it immediately. This
+    // version replicates the inner product's reduction tree exactly —
+    // `par_dot` splits the flattened n·d elements into
+    // `fixed_block_len(n·d, 4096)` blocks, reduces each with `dot`, and
+    // sums partials in block order — but materializes only one block of ΔX
+    // at a time (cache-resident instead of O(n·d)). Each ΔX row is produced
+    // by the same `spmm` row microkernel, so every input bit to the
+    // reduction, and hence the result, is identical to the unfused form.
+    let (n, d) = x.shape();
+    let total = n * d;
+    if total == 0 {
+        return 0.0;
+    }
+    let xs = x.as_slice();
+    let block = desalign_parallel::fixed_block_len(total, 4096);
+    let energy_block = |range: std::ops::Range<usize>| -> f32 {
+        let (s, e) = (range.start, range.end);
+        let mut buf = vec![0.0f32; e - s];
+        let mut row_buf = vec![0.0f32; d];
+        for i in s / d..=(e - 1) / d {
+            let row_start = i * d;
+            let (rs, re) = (row_start.max(s), (row_start + d).min(e));
+            if rs == row_start && re == row_start + d {
+                laplacian.spmm_row_into(i, x, &mut buf[rs - s..re - s]);
+            } else {
+                // Row straddles the block boundary: compute it whole, copy
+                // the overlap. At most two rows per block take this path.
+                laplacian.spmm_row_into(i, x, &mut row_buf);
+                buf[rs - s..re - s].copy_from_slice(&row_buf[rs - row_start..re - row_start]);
+            }
+        }
+        desalign_tensor::dot(&buf, &xs[s..e])
+    };
+    if total <= block {
+        return energy_block(0..total);
+    }
+    let cost = laplacian.nnz().saturating_mul(d).saturating_add(2 * total);
+    desalign_parallel::par_blocks(total, block, cost, |_b, range| energy_block(range)).into_iter().sum()
 }
 
 /// Dirichlet energy in the explicit edge-sum form of Definition 3:

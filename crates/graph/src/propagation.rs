@@ -73,29 +73,51 @@ pub fn propagate_features(
     assert_eq!(adj_norm.rows(), x0.rows(), "propagate_features: Ã is {}x{}, features have {} rows", adj_norm.rows(), adj_norm.cols(), x0.rows());
     assert_eq!(known.len(), x0.rows(), "propagate_features: known mask length mismatch");
     let _span = desalign_telemetry::span("propagate_features");
+    let full_step = (cfg.step - 1.0).abs() < f32::EPSILON;
     if desalign_telemetry::enabled() {
         desalign_telemetry::counter("sp.iterations").add(cfg.iterations as u64);
+        if full_step && cfg.reset_known {
+            let skipped = known.iter().filter(|&&k| k).count();
+            desalign_telemetry::counter("sp.rows_skipped").add((skipped * cfg.iterations) as u64);
+        }
     }
     let mut states = Vec::with_capacity(cfg.iterations + 1);
     states.push(x0.clone());
-    let mut x = x0.clone();
+    // Every round is returned, so each state is produced directly into its
+    // own `states` slot (alloc-and-move). A ping-pong scratch would not
+    // save the allocation here — it would *add* a full-matrix clone per
+    // round on top of it, which at bench scale costs more than the SpMM
+    // itself (fresh pages fault once either way; the clone pays a second
+    // copy). Callers that never keep intermediate states (the per-block
+    // loop in `desalign-core`) do ping-pong, because there the scratch is
+    // genuinely reused.
     for _ in 0..cfg.iterations {
-        let ax = adj_norm.spmm(&x);
-        if (cfg.step - 1.0).abs() < f32::EPSILON {
-            x = ax;
+        let prev = states.last().expect("states starts non-empty");
+        let mut next = Matrix::zeros(x0.rows(), x0.cols());
+        if full_step && cfg.reset_known {
+            // Fused gather→propagate→reset: boundary rows are about to be
+            // overwritten with x0, so their SpMM work is skipped entirely
+            // (bit-identical — see `Csr::spmm_skip_into`).
+            adj_norm.spmm_skip_into(prev, known, x0, &mut next);
         } else {
-            // x ← x − h·Δx = (1−h)·x + h·Ãx
-            x = x.scale(1.0 - cfg.step);
-            x.axpy(cfg.step, &ax);
-        }
-        if cfg.reset_known {
-            for (i, &k) in known.iter().enumerate() {
-                if k {
-                    x.row_mut(i).copy_from_slice(x0.row(i));
+            adj_norm.spmm_into(prev, &mut next);
+            if !full_step {
+                // x ← x − h·Δx = (1−h)·x + h·Ãx, fused with the exact
+                // `scale`-then-`axpy` operation order of the original.
+                let h = cfg.step;
+                for (nv, &pv) in next.as_mut_slice().iter_mut().zip(prev.as_slice()) {
+                    *nv = pv * (1.0 - h) + h * *nv;
+                }
+            }
+            if cfg.reset_known {
+                for (i, &k) in known.iter().enumerate() {
+                    if k {
+                        next.row_mut(i).copy_from_slice(x0.row(i));
+                    }
                 }
             }
         }
-        states.push(x.clone());
+        states.push(next);
     }
     states
 }

@@ -1,0 +1,155 @@
+//! Bit-exactness suite for the nnz-bucketed sparse kernels.
+//!
+//! Same policy as the dense tile suite (`desalign-tensor`,
+//! `tests/proptest_tiled.rs`): bucketing and register-chunking re-group
+//! work but never re-associate a reduction, so every kernel must match a
+//! simple reference **bit-for-bit** (compared on `f32::to_bits`) across
+//! row-nnz buckets (0, 1, 2, many), feature widths around the register
+//! chunk, and 1/2/7 threads. The fused forms (`dirichlet_energy`,
+//! `spmm_skip_into`) are additionally pinned against their unfused
+//! compositions.
+//!
+//! SpMM's numeric contract (see `Csr::spmm_row_into`): each output element
+//! folds the row's products in stored order via **fused multiply-add** —
+//! one rounding per `v·x + acc`. The reference below therefore uses
+//! `f32::mul_add`; the plain mul-then-add fold is the pre-migration
+//! contract and differs in the last bit.
+
+use desalign_graph::{dirichlet_energy, Csr, UndirectedGraph};
+use desalign_parallel::with_threads;
+use desalign_tensor::{Matrix, Rng64};
+use desalign_testkit::{check, ensure, gen};
+
+const CASES: u64 = 24;
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Random sparse matrix whose row lengths deliberately hit every nnz
+/// bucket: empty rows, singletons, pairs, and long rows.
+fn random_csr(rng: &mut Rng64, rows: usize, cols: usize) -> Csr {
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        let nnz = match rng.gen_range(0..5usize) {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            _ => rng.gen_range(3..cols.max(4)).min(cols),
+        };
+        let mut cols_seen = gen::usize_vec(rng, nnz, cols);
+        cols_seen.sort_unstable();
+        cols_seen.dedup();
+        for c in cols_seen {
+            triplets.push((r, c, gen::f32_vec(rng, 1, -3.0, 3.0)[0]));
+        }
+    }
+    Csr::from_coo(rows, cols, triplets)
+}
+
+/// The canonical spmm fold: zeroed output, `out_row = fma(v, x_row,
+/// out_row)` per nonzero in stored order, serial, no chunking.
+fn naive_spmm(m: &Csr, x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), x.cols());
+    for i in 0..m.rows() {
+        for (j, v) in m.row(i) {
+            for (o, &xv) in out.row_mut(i).iter_mut().zip(x.row(j)) {
+                *o = v.mul_add(xv, *o);
+            }
+        }
+    }
+    out
+}
+
+/// The pre-unroll spmv: sequential `sum()` fold per row.
+fn naive_spmv(m: &Csr, x: &[f32]) -> Vec<f32> {
+    (0..m.rows()).map(|i| m.row(i).map(|(j, v)| v * x[j]).sum()).collect()
+}
+
+#[test]
+fn bucketed_spmm_bit_matches_naive_reference() {
+    // Widths straddle the 16-wide register chunk: below, at, above, and
+    // non-multiple; plus empty operands.
+    for &(rows, cols, d) in &[(7usize, 5usize, 1usize), (9, 9, 15), (8, 8, 16), (11, 6, 37), (5, 4, 0), (0, 3, 4), (1, 1, 1)] {
+        check(&format!("bucketed_spmm_{rows}x{cols}x{d}"), CASES, |rng| (random_csr(rng, rows, cols), gen::matrix(rng, cols, d, -4.0, 4.0)), |(m, x)| {
+            let want = bits(&naive_spmm(m, x));
+            for threads in [1usize, 2, 7] {
+                let got = with_threads(threads, || m.spmm(x));
+                ensure!(bits(&got) == want, "spmm {rows}x{cols}x{d} diverged at {threads} threads");
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn spmm_t_serial_scatter_bit_matches_transposed_spmm() {
+    // `spmm_t` picks between a serial scatter and `transpose().spmm(x)` by
+    // cost and thread count — the two must agree bit for bit (both fold
+    // output elements as stored-order fused multiply-adds over ascending
+    // source rows), or results would depend on the dispatch decision.
+    check("spmm_t_branches", CASES, |rng| (random_csr(rng, 12, 9), gen::matrix(rng, 12, 17, -4.0, 4.0)), |(m, x)| {
+        let want = bits(&m.transpose().spmm(x));
+        for threads in [1usize, 2, 7] {
+            let got = with_threads(threads, || m.spmm_t(x));
+            ensure!(bits(&got) == want, "spmm_t diverged from transposed spmm at {threads} threads");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn unrolled_spmv_bit_matches_sequential_fold() {
+    check("unrolled_spmv", CASES, |rng| (random_csr(rng, 23, 17), gen::f32_vec(rng, 17, -4.0, 4.0)), |(m, x)| {
+        let want: Vec<u32> = naive_spmv(m, x).iter().map(|v| v.to_bits()).collect();
+        for threads in [1usize, 2, 7] {
+            let got: Vec<u32> = with_threads(threads, || m.spmv(x)).iter().map(|v| v.to_bits()).collect();
+            ensure!(got == want, "spmv diverged at {threads} threads");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn fused_dirichlet_energy_bit_matches_unfused() {
+    // Sizes on both sides of the par_dot single-block threshold (4096
+    // flattened elements) so both the inline and the block-merge reduction
+    // paths are exercised.
+    for &(n, d) in &[(12usize, 3usize), (200, 32), (96, 64)] {
+        check(&format!("fused_dirichlet_{n}x{d}"), 12, |rng| {
+            let g = UndirectedGraph::new(n, (0..n).map(|i| (i, (i + 1) % n)));
+            (g.laplacian(), gen::matrix(rng, n, d, -2.0, 2.0))
+        }, |(lap, x)| {
+            let want = lap.spmm(x).inner(x).to_bits();
+            for threads in [1usize, 2, 7] {
+                let got = with_threads(threads, || dirichlet_energy(lap, x)).to_bits();
+                ensure!(got == want, "fused energy {n}x{d} diverged at {threads} threads");
+            }
+            Ok(())
+        });
+    }
+}
+
+#[test]
+fn spmm_skip_into_matches_spmm_then_reset() {
+    check("spmm_skip_into", CASES, |rng| {
+        let m = random_csr(rng, 10, 10);
+        let x = gen::matrix(rng, 10, 19, -4.0, 4.0);
+        let x0 = gen::matrix(rng, 10, 19, -4.0, 4.0);
+        let skip = gen::bool_vec(rng, 10);
+        (m, x, x0, skip)
+    }, |(m, x, x0, skip)| {
+        let mut want = m.spmm(x);
+        for (i, &k) in skip.iter().enumerate() {
+            if k {
+                want.row_mut(i).copy_from_slice(x0.row(i));
+            }
+        }
+        for threads in [1usize, 2, 7] {
+            let mut got = Matrix::zeros(10, 19);
+            with_threads(threads, || m.spmm_skip_into(x, skip, x0, &mut got));
+            ensure!(bits(&got) == bits(&want), "spmm_skip_into diverged at {threads} threads");
+        }
+        Ok(())
+    });
+}

@@ -31,6 +31,7 @@ pub use attention::{CawOutput, CrossModalAttention};
 pub use checkpoint::{matrix_from_json, matrix_to_json_string, write_f32_json};
 pub use gat::{GatEncoder, GatLayer, WeightKind};
 pub use linear::{DiagonalLinear, Linear};
+pub use desalign_autodiff::{shared_workspace, SharedWorkspace, Workspace, WorkspaceStats};
 pub use module::{Gradients, ParamId, ParamStore, Session};
 pub use optim::AdamW;
 pub use schedule::CosineWarmup;

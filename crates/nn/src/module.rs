@@ -137,7 +137,7 @@ impl Gradients {
     /// Scales every gradient in place (used for clipping).
     pub fn scale_all(&mut self, factor: f32) {
         for g in self.grads.values_mut() {
-            *g = g.scale(factor);
+            g.map_inplace(|v| v * factor);
         }
     }
 
@@ -160,6 +160,15 @@ impl<'s> Session<'s> {
     /// Starts a session over the given store.
     pub fn new(store: &'s ParamStore) -> Self {
         Self { tape: Tape::new(), store, bound: HashMap::new() }
+    }
+
+    /// Starts a session whose tape draws gradient buffers from a shared
+    /// [`Workspace`](desalign_autodiff::Workspace). Trainers hold one
+    /// workspace for the whole run so that steady-state steps reuse every
+    /// gradient buffer instead of reallocating (results are bit-identical
+    /// either way).
+    pub fn with_workspace(store: &'s ParamStore, ws: desalign_autodiff::SharedWorkspace) -> Self {
+        Self { tape: Tape::with_workspace(ws), store, bound: HashMap::new() }
     }
 
     /// Binds a parameter as a trainable leaf (cached: binding the same id

@@ -78,7 +78,17 @@ pub const MAX_REDUCTION_BLOCKS: usize = 64;
 /// Minimum estimated scalar-op count before a helper bothers going
 /// parallel; below this, dispatch overhead dominates and the serial path
 /// (which produces the same bits) is used.
-pub const PAR_MIN_COST: usize = 32_000;
+///
+/// Retuned from the original 32 000 after `BENCH_kernels.json` showed
+/// parallel dispatch *losing* to serial near the old threshold (matmul
+/// n = 2000 ran 0.56× serial): boxing jobs, waking workers, and the
+/// help-while-wait join cost tens of microseconds, while 32 000 scalar ops
+/// of vectorized serial work finish in ~10 µs. Dispatch only pays once the
+/// serial work dwarfs that fixed overhead, so the floor is now 400 000
+/// estimated scalar ops (~100–400 µs serial). The kernel bench emits
+/// `dispatch_calibration` rows straddling this value so the trade-off stays
+/// a measured artifact; see `crates/bench/benches/kernels.rs`.
+pub const PAR_MIN_COST: usize = 400_000;
 
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static CONFIGURED: OnceLock<usize> = OnceLock::new();
@@ -178,6 +188,67 @@ where
             Box::new(move || {
                 for (r, row) in chunk.chunks_mut(row_width).enumerate() {
                     f(start + r, row);
+                }
+            }) as Job
+        })
+        .collect();
+    pool::global().execute(jobs, threads);
+}
+
+/// Like [`par_rows`], but hands `f` **groups** of up to `rows_per_group`
+/// consecutive rows at a time: `f(first_row, chunk)` where `chunk` holds
+/// whole rows and every group except possibly the last has exactly
+/// `rows_per_group` rows.
+///
+/// This is the register-tiling primitive: a matmul microkernel wants to
+/// accumulate several output rows at once in registers, and the parallel
+/// split must never cut through a group (a group is computed by exactly one
+/// thread with its exact serial instruction sequence, so results stay
+/// bit-identical at any thread count). The serial path produces the
+/// identical group layout.
+///
+/// # Panics
+/// Panics if `row_width` or `rows_per_group` is zero, or if `row_width`
+/// does not divide `data.len()`.
+pub fn par_row_groups<T, F>(data: &mut [T], row_width: usize, rows_per_group: usize, cost_hint: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_width > 0, "par_row_groups: row_width must be positive");
+    assert!(rows_per_group > 0, "par_row_groups: rows_per_group must be positive");
+    assert_eq!(
+        data.len() % row_width,
+        0,
+        "par_row_groups: data length {} not a multiple of row width {row_width}",
+        data.len()
+    );
+    let rows = data.len() / row_width;
+    let groups = rows.div_ceil(rows_per_group.min(rows.max(1)));
+    let group_len = rows_per_group * row_width;
+    let threads = current_threads().min(groups);
+    if threads <= 1 || cost_hint < PAR_MIN_COST {
+        count_region(false);
+        for (g, chunk) in data.chunks_mut(group_len).enumerate() {
+            f(g * rows_per_group, chunk);
+        }
+        return;
+    }
+    count_region(true);
+    // Jobs cover whole groups: the block size is a multiple of the group
+    // stride, so group boundaries — and with them each group's serial
+    // instruction sequence — are identical to the serial path.
+    let blocks = (threads * 4).min(groups);
+    let groups_per_block = groups.div_ceil(blocks);
+    let f = &f;
+    let jobs: Vec<Job> = data
+        .chunks_mut(groups_per_block * group_len)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let start = b * groups_per_block * rows_per_group;
+            Box::new(move || {
+                for (g, group) in chunk.chunks_mut(group_len).enumerate() {
+                    f(start + g * rows_per_group, group);
                 }
             }) as Job
         })
@@ -288,6 +359,41 @@ mod tests {
         let mut data = vec![0u64; 16];
         with_threads(4, || par_rows(&mut data, 1, 10, |i, row| row[0] = i as u64));
         assert_eq!(data, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_row_groups_matches_serial_layout() {
+        let width = 5;
+        let rows = 103; // deliberately not a multiple of the group size
+        let fill = |first: usize, chunk: &mut [u64]| {
+            for (r, row) in chunk.chunks_mut(width).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = ((first + r) * 1000 + j) as u64;
+                }
+            }
+        };
+        let mut serial = vec![0u64; rows * width];
+        for (g, chunk) in serial.chunks_mut(4 * width).enumerate() {
+            fill(g * 4, chunk);
+        }
+        for threads in [1, 2, 7] {
+            let mut parallel = vec![0u64; rows * width];
+            with_threads(threads, || par_row_groups(&mut parallel, width, 4, usize::MAX, fill));
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_row_groups_group_sizes() {
+        // Every group except the last has exactly `rows_per_group` rows.
+        let mut data = vec![0u8; 10];
+        let seen = std::sync::Mutex::new(Vec::new());
+        with_threads(1, || {
+            par_row_groups(&mut data, 1, 4, 0, |first, chunk| {
+                seen.lock().unwrap().push((first, chunk.len()));
+            });
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 4), (4, 4), (8, 2)]);
     }
 
     #[test]

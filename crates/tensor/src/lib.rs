@@ -27,6 +27,7 @@ mod matrix;
 mod ops;
 pub mod random;
 mod rowwise;
+mod tile;
 
 pub use matrix::Matrix;
 pub use ops::{dot, par_dot};

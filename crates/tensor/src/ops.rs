@@ -5,7 +5,7 @@
 //! workspace knows its shapes statically, and silent broadcasting is a
 //! classic source of numeric bugs).
 
-use crate::Matrix;
+use crate::{tile, Matrix};
 
 impl Matrix {
     /// Element-wise sum `self + other`.
@@ -65,12 +65,15 @@ impl Matrix {
 
     /// Matrix product `self × other`.
     ///
-    /// Uses the `ikj` loop order so the inner loop streams both operands
-    /// row-major, which the compiler auto-vectorizes (the inner loop is
-    /// deliberately branch-free: a zero-test on `a_ip` would defeat
-    /// vectorization on the dense inputs this kernel sees). Output rows are
-    /// computed in parallel; each row keeps its exact serial accumulation
-    /// order, so results are bit-identical at any thread count.
+    /// Register-tiled: `other` is packed into `NR`-wide column panels and a
+    /// microkernel accumulates `MR × NR` output tiles entirely in registers,
+    /// touching each output element exactly once (the old `ikj` kernel
+    /// round-tripped every output row through memory once per inner step).
+    /// The reduction over the shared dimension is never split or reordered
+    /// — each output element receives the same ascending multiply-add
+    /// sequence as the naive kernel, so results are **bit-identical** to the
+    /// pre-tile implementation and thread-count independent (tile groups are
+    /// handed whole to one thread; see `tile.rs` for the full argument).
     ///
     /// ```
     /// use desalign_tensor::Matrix;
@@ -94,18 +97,14 @@ impl Matrix {
         let _span = desalign_telemetry::span("matmul");
         let (n, k, m) = (self.rows(), self.cols(), other.cols());
         let mut out = Matrix::zeros(n, m);
-        if out.is_empty() {
+        if out.is_empty() || k == 0 {
             return out;
         }
+        let b_panels = tile::pack_cols(other, tile::NR);
+        let a = self.as_slice();
         let cost = n.saturating_mul(k).saturating_mul(m);
-        desalign_parallel::par_rows(out.as_mut_slice(), m, cost, |i, out_row| {
-            let a_row = self.row(i);
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                let b_row = other.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b;
-                }
-            }
+        desalign_parallel::par_row_groups(out.as_mut_slice(), m, tile::MR, cost, |i0, chunk| {
+            tile::gemm_nn_block(a, k, m, i0, chunk, &b_panels);
         });
         out
     }
@@ -118,10 +117,29 @@ impl Matrix {
     /// function of the problem size, never of the thread count — each block
     /// is accumulated serially into its own partial, and the partials are
     /// merged in block order. The float summation tree is therefore fixed,
-    /// and results are bit-identical at any thread count. The zero-skip
-    /// stays here (unlike [`Matrix::matmul`]) because this kernel's left
-    /// operand is typically a post-ReLU activation with genuine sparsity.
+    /// and results are bit-identical at any thread count.
+    ///
+    /// Within a block the kernel is register-tiled like [`Matrix::matmul`]:
+    /// both operands are packed once (panels index by the shared row, so one
+    /// packing serves every block) and an `MR × NR` tile is accumulated in
+    /// registers over the block's row range, ascending. The historical
+    /// zero-skip on the left operand is gone: starting from `+0.0` an
+    /// accumulator can never become `-0.0`, so the skipped `±0.0` products
+    /// could never change a bit for finite operands — the branch only cost
+    /// vectorization (see `tile.rs`).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] writing into a caller-provided output — same
+    /// kernel, same bits. `out`'s prior contents are ignored (every element
+    /// is written), which lets gradient code reuse pooled buffers.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -133,37 +151,52 @@ impl Matrix {
         );
         let _span = desalign_telemetry::span("matmul_tn");
         let (k, n, m) = (self.rows(), self.cols(), other.cols());
+        out.expect_shape(n, m, "Matrix::matmul_tn_into: out");
+        if k == 0 || n == 0 || m == 0 {
+            out.as_mut_slice().fill(0.0);
+            return;
+        }
+        let a_panels = tile::pack_cols(self, tile::MR);
+        let b_panels = tile::pack_cols(other, tile::NR);
         let block = desalign_parallel::fixed_block_len(k, 256);
         let cost = k.saturating_mul(n).saturating_mul(m);
         let partials = desalign_parallel::par_blocks(k, block, cost, |_b, range| {
             let mut part = Matrix::zeros(n, m);
-            for p in range {
-                let a_row = self.row(p);
-                let b_row = other.row(p);
-                for (i, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = part.row_mut(i);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            tile::gemm_tn_block(&a_panels, &b_panels, range, k, n, m, &mut part);
             part
         });
         let mut parts = partials.into_iter();
-        let mut out = parts.next().unwrap_or_else(|| Matrix::zeros(n, m));
+        match parts.next() {
+            Some(first) => out.as_mut_slice().copy_from_slice(first.as_slice()),
+            None => out.as_mut_slice().fill(0.0),
+        }
         for part in parts {
             for (o, &p) in out.as_mut_slice().iter_mut().zip(part.as_slice()) {
                 *o += p;
             }
         }
-        out
     }
 
     /// `self × otherᵀ` without materializing the transpose.
+    ///
+    /// Register-tiled over `NT_MR × NT_NR` output tiles so each left-operand
+    /// row chunk is loaded once per several outputs; every element keeps
+    /// [`dot`]'s exact 4-lane accumulation tree (lane merge order and
+    /// sequential tail included), so results are bit-identical to the
+    /// per-element `dot` kernel at any thread count.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided output — same
+    /// kernel, same bits. `out`'s prior contents are ignored (every element
+    /// is written, including `+0.0` when the shared dimension is empty).
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -176,30 +209,37 @@ impl Matrix {
         let _span = desalign_telemetry::span("matmul_nt");
         let (n, m) = (self.rows(), other.rows());
         let k = self.cols();
-        let mut out = Matrix::zeros(n, m);
+        out.expect_shape(n, m, "Matrix::matmul_nt_into: out");
         if out.is_empty() {
-            return out;
+            return;
         }
+        let a = self.as_slice();
+        let b = other.as_slice();
         let cost = n.saturating_mul(k).saturating_mul(m);
-        desalign_parallel::par_rows(out.as_mut_slice(), m, cost, |i, out_row| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = dot(a_row, other.row(j));
-            }
+        desalign_parallel::par_row_groups(out.as_mut_slice(), m, tile::NT_MR, cost, |i0, chunk| {
+            tile::gemm_nt_block(a, b, k, m, i0, chunk);
         });
-        out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), self.rows());
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-provided output (every element is written).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
         let (n, m) = self.shape();
-        let mut out = Matrix::zeros(m, n);
+        out.expect_shape(m, n, "Matrix::transpose_into: out");
         for i in 0..n {
             for j in 0..m {
                 out[(j, i)] = self[(i, j)];
             }
         }
-        out
     }
 
     /// Sum of all elements.

@@ -1,0 +1,226 @@
+//! Register-tiled dense matmul microkernels with packed operand panels.
+//!
+//! The three product kernels (`matmul`, `matmul_tn`, `matmul_nt`) share one
+//! design: the right operand is packed into `NR`-wide column panels so the
+//! inner loop streams contiguous memory, and a microkernel accumulates an
+//! `MR × NR` output tile entirely in registers before touching the output
+//! matrix once. The old kernels round-tripped every output row through
+//! memory once per shared-dimension step; the tile versions do it once per
+//! tile, which is where the single-core win comes from.
+//!
+//! **Bit-exactness invariant.** Tiling here only re-groups *which* output
+//! elements are computed together — it never splits or reorders the
+//! reduction over the shared dimension. Every accumulator starts at `+0.0`
+//! and receives exactly the same multiply-adds, in exactly the same
+//! (ascending) order, as the pre-tile kernels:
+//!
+//! - `matmul` / `matmul_tn` accumulated one scalar per output element over
+//!   the shared index ascending; the `MR × NR` register tile keeps one
+//!   scalar accumulator per element with the same ascending loop.
+//! - `matmul_nt` computed each element with [`dot`](crate::dot)'s fixed
+//!   4-lane tree; the `NT` tile keeps all four lanes per element and merges
+//!   them with the identical `(l0 + l1) + l2) + l3` expression and the same
+//!   sequential tail.
+//! - `matmul_tn`'s old zero-skip (`if a == 0.0 { continue }`) is dropped:
+//!   starting from `+0.0` an accumulator can never become `-0.0`
+//!   (`x + (-x)` rounds to `+0.0`, and `+0.0 + -0.0 = +0.0`), so adding the
+//!   `±0.0` products the skip avoided cannot change any bit for finite
+//!   operands — and skipping the branch is what lets the loop vectorize.
+//!
+//! Panel zero-padding is equally inert: padded lanes are computed but never
+//! stored. The property suite (`tests/proptest_tiled.rs`) pins all of this
+//! by comparing against the naive loop orders bit-for-bit across shapes,
+//! including empty, 1×1, and non-multiple-of-tile sizes.
+//!
+//! Tile sizes are pure compile-time constants — never a function of the
+//! thread count — and the parallel split ([`par_row_groups`]
+//! (desalign_parallel::par_row_groups), `par_blocks`) hands whole tiles to
+//! one thread, so results are bit-identical at any thread count.
+
+use crate::Matrix;
+use std::ops::Range;
+
+/// Output-tile height (rows accumulated per microkernel invocation).
+/// With [`NR`] = 16 this is 64 `f32` accumulators — 8 AVX2 `ymm` registers
+/// (the workspace builds with `target-cpu=native`; see `.cargo/config.toml`)
+/// — leaving room for the operand loads.
+pub(crate) const MR: usize = 4;
+
+/// Output-tile width. A multiple of every SIMD width we care about; two
+/// 256-bit vectors per tile row keeps eight independent accumulator chains
+/// per microkernel, enough to hide FP-add latency.
+pub(crate) const NR: usize = 16;
+
+/// Output-tile height for the `NT` (dot-tree) microkernel, which needs four
+/// accumulator lanes per element to replicate [`dot`](crate::dot) exactly.
+pub(crate) const NT_MR: usize = 2;
+
+/// Output-tile width for the `NT` microkernel.
+pub(crate) const NT_NR: usize = 4;
+
+/// Packs `src` into `width`-wide column panels.
+///
+/// Panel `q` covers columns `q*width .. (q+1)*width`, stored row-major and
+/// zero-padded to `width` on the right edge: element `(p, jj)` of panel `q`
+/// lives at `q*rows*width + p*width + jj`. The packed layout makes the
+/// microkernel's B-loads contiguous regardless of the source stride, and a
+/// reduction over any row range `p0..p1` indexes the same panels — so one
+/// packing is shared by all `par_blocks` partials.
+pub(crate) fn pack_cols(src: &Matrix, width: usize) -> Vec<f32> {
+    let (rows, cols) = src.shape();
+    let panels = cols.div_ceil(width).max(1);
+    let mut out = vec![0.0f32; panels * rows * width];
+    for q in 0..panels {
+        let j0 = q * width;
+        let w = width.min(cols.saturating_sub(j0));
+        let base = q * rows * width;
+        for p in 0..rows {
+            let row = src.row(p);
+            out[base + p * width..base + p * width + w].copy_from_slice(&row[j0..j0 + w]);
+        }
+    }
+    out
+}
+
+/// `matmul` (NN) on one group of up to [`MR`] output rows.
+///
+/// `a` is the full row-major left operand (`? × k`), `out_chunk` holds the
+/// group's rows of the `? × m` output, `b_panels` is [`pack_cols`]`(b, NR)`.
+pub(crate) fn gemm_nn_block(a: &[f32], k: usize, m: usize, i0: usize, out_chunk: &mut [f32], b_panels: &[f32]) {
+    debug_assert!(m > 0 && k > 0);
+    match out_chunk.len() / m {
+        1 => nn_rows::<1>(a, k, m, i0, out_chunk, b_panels),
+        2 => nn_rows::<2>(a, k, m, i0, out_chunk, b_panels),
+        3 => nn_rows::<3>(a, k, m, i0, out_chunk, b_panels),
+        _ => nn_rows::<4>(a, k, m, i0, out_chunk, b_panels),
+    }
+}
+
+fn nn_rows<const M: usize>(a: &[f32], k: usize, m: usize, i0: usize, out_chunk: &mut [f32], b_panels: &[f32]) {
+    let arows: [&[f32]; M] = std::array::from_fn(|mi| &a[(i0 + mi) * k..(i0 + mi + 1) * k]);
+    for q in 0..m.div_ceil(NR) {
+        let j0 = q * NR;
+        let width = NR.min(m - j0);
+        let panel = &b_panels[q * k * NR..(q + 1) * k * NR];
+        let mut acc = [[0.0f32; NR]; M];
+        for p in 0..k {
+            let bp = &panel[p * NR..p * NR + NR];
+            for mi in 0..M {
+                let av = arows[mi][p];
+                for jj in 0..NR {
+                    acc[mi][jj] += av * bp[jj];
+                }
+            }
+        }
+        for mi in 0..M {
+            out_chunk[mi * m + j0..mi * m + j0 + width].copy_from_slice(&acc[mi][..width]);
+        }
+    }
+}
+
+/// `matmul_tn` on one `par_blocks` row range: accumulates
+/// `aᵀ[·, range] × b[range, ·]` into `part` (which arrives zeroed).
+///
+/// `a_panels` is [`pack_cols`]`(a, MR)` (panels over the `n` output rows),
+/// `b_panels` is [`pack_cols`]`(b, NR)`; both are packed once for the whole
+/// `k` and shared read-only across blocks.
+pub(crate) fn gemm_tn_block(
+    a_panels: &[f32],
+    b_panels: &[f32],
+    range: Range<usize>,
+    k: usize,
+    n: usize,
+    m: usize,
+    part: &mut Matrix,
+) {
+    if n == 0 || m == 0 {
+        return;
+    }
+    for ip in 0..n.div_ceil(MR) {
+        let i0 = ip * MR;
+        let ap = &a_panels[ip * k * MR..(ip + 1) * k * MR];
+        match MR.min(n - i0) {
+            1 => tn_rows::<1>(ap, b_panels, range.clone(), k, m, i0, part),
+            2 => tn_rows::<2>(ap, b_panels, range.clone(), k, m, i0, part),
+            3 => tn_rows::<3>(ap, b_panels, range.clone(), k, m, i0, part),
+            _ => tn_rows::<4>(ap, b_panels, range.clone(), k, m, i0, part),
+        }
+    }
+}
+
+fn tn_rows<const M: usize>(ap: &[f32], b_panels: &[f32], range: Range<usize>, k: usize, m: usize, i0: usize, part: &mut Matrix) {
+    for q in 0..m.div_ceil(NR) {
+        let j0 = q * NR;
+        let width = NR.min(m - j0);
+        let panel = &b_panels[q * k * NR..(q + 1) * k * NR];
+        let mut acc = [[0.0f32; NR]; M];
+        for p in range.clone() {
+            let av = &ap[p * MR..p * MR + MR];
+            let bp = &panel[p * NR..p * NR + NR];
+            for mi in 0..M {
+                let a = av[mi];
+                for jj in 0..NR {
+                    acc[mi][jj] += a * bp[jj];
+                }
+            }
+        }
+        for mi in 0..M {
+            part.row_mut(i0 + mi)[j0..j0 + width].copy_from_slice(&acc[mi][..width]);
+        }
+    }
+}
+
+/// `matmul_nt` on one group of up to [`NT_MR`] output rows.
+///
+/// `a` (`? × k`) and `b` (`m × k`) are both row-major; no packing is needed
+/// because the dot-product reduction already streams both operands'
+/// contiguous rows.
+pub(crate) fn gemm_nt_block(a: &[f32], b: &[f32], k: usize, m: usize, i0: usize, out_chunk: &mut [f32]) {
+    debug_assert!(m > 0);
+    match out_chunk.len() / m {
+        1 => nt_rows::<1>(a, b, k, m, i0, out_chunk),
+        _ => nt_rows::<2>(a, b, k, m, i0, out_chunk),
+    }
+}
+
+fn nt_rows<const M: usize>(a: &[f32], b: &[f32], k: usize, m: usize, i0: usize, out_chunk: &mut [f32]) {
+    let quads = m / NT_NR;
+    for q in 0..quads {
+        nt_tile::<M, { NT_NR }>(a, b, k, m, i0, q * NT_NR, out_chunk);
+    }
+    match m - quads * NT_NR {
+        1 => nt_tile::<M, 1>(a, b, k, m, i0, quads * NT_NR, out_chunk),
+        2 => nt_tile::<M, 2>(a, b, k, m, i0, quads * NT_NR, out_chunk),
+        3 => nt_tile::<M, 3>(a, b, k, m, i0, quads * NT_NR, out_chunk),
+        _ => {}
+    }
+}
+
+/// One `M × N` tile of `a × bᵀ`, each element replicating
+/// [`dot`](crate::dot)'s exact 4-lane accumulation tree.
+fn nt_tile<const M: usize, const N: usize>(a: &[f32], b: &[f32], k: usize, m: usize, i0: usize, j0: usize, out_chunk: &mut [f32]) {
+    let arows: [&[f32]; M] = std::array::from_fn(|mi| &a[(i0 + mi) * k..(i0 + mi + 1) * k]);
+    let brows: [&[f32]; N] = std::array::from_fn(|nj| &b[(j0 + nj) * k..(j0 + nj + 1) * k]);
+    let chunks = k / 4;
+    let mut acc = [[[0.0f32; 4]; N]; M];
+    for c in 0..chunks {
+        let i = c * 4;
+        for mi in 0..M {
+            for nj in 0..N {
+                for l in 0..4 {
+                    acc[mi][nj][l] += arows[mi][i + l] * brows[nj][i + l];
+                }
+            }
+        }
+    }
+    for mi in 0..M {
+        for nj in 0..N {
+            let lanes = acc[mi][nj];
+            let mut s = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for i in chunks * 4..k {
+                s += arows[mi][i] * brows[nj][i];
+            }
+            out_chunk[mi * m + j0 + nj] = s;
+        }
+    }
+}
