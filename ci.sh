@@ -10,6 +10,10 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
+# Examples are documentation that compiles; keep them compiling.
+echo "==> cargo build --examples --offline"
+cargo build -q --offline --workspace --examples
+
 echo "==> cargo test -q --offline (DESALIGN_THREADS=1, forced serial)"
 DESALIGN_THREADS=1 cargo test -q --offline --workspace
 
@@ -157,6 +161,65 @@ if grep -q "NaN\|Infinity" "$retrieval_out"; then
     exit 1
 fi
 rm -f "$retrieval_out"
+
+# Serving gate (docs/SERVING.md "Determinism at the edge"): bring the
+# server up on an ephemeral port, train + checkpoint, probe a fixed query
+# through the loadgen smoke client (which also checks /healthz fields,
+# /metrics JSON, and a malformed-body 400), drain gracefully, then restart
+# from the same checkpoint under DESALIGN_THREADS=2 and probe again. The
+# two probe bodies must be bit-identical: restarts and thread counts may
+# not change a single response byte.
+echo "==> desalign-serve smoke (restart + thread-count bit-identity)"
+serve_ckpt=$(mktemp -u)
+serve_probe1=$(mktemp)
+serve_probe2=$(mktemp)
+for leg in 1 2; do
+    serve_log=$(mktemp)
+    env DESALIGN_SERVE_CHECKPOINT="$serve_ckpt" DESALIGN_SCALE=40 DESALIGN_EPOCHS=2 \
+        DESALIGN_THREADS=$leg \
+        cargo run -q --offline --release -p desalign-serve --bin serve >"$serve_log" 2>/dev/null &
+    serve_pid=$!
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "$serve_log" && break
+        sleep 0.5
+    done
+    grep -q "listening on" "$serve_log" || { echo "    serve (leg $leg) did not come up"; kill "$serve_pid" 2>/dev/null; exit 1; }
+    serve_addr=$(grep "listening on" "$serve_log" | awk '{print $NF}')
+    probe_var=serve_probe$leg
+    env DESALIGN_SERVE_ADDR="$serve_addr" DESALIGN_LOADGEN_PROBE="${!probe_var}" \
+        DESALIGN_LOADGEN_SHUTDOWN=1 \
+        cargo run -q --offline --release -p desalign-serve --bin loadgen >/dev/null
+    wait "$serve_pid"
+    grep -q "drained" "$serve_log" || { echo "    serve (leg $leg) did not drain gracefully"; exit 1; }
+    rm -f "$serve_log"
+done
+test -s "$serve_probe1" || { echo "    loadgen wrote no probe"; exit 1; }
+if ! cmp -s "$serve_probe1" "$serve_probe2"; then
+    echo "    SERVING DIVERGENCE: restart/thread-count changed response bytes"
+    diff "$serve_probe1" "$serve_probe2" || true
+    exit 1
+fi
+echo "    probe bit-identical across restart and DESALIGN_THREADS=2"
+rm -f "$serve_probe1" "$serve_probe2" "$serve_ckpt" "$serve_ckpt.tmp"
+
+# Serving latency bench smoke + gate: in-process servers, every
+# (max_batch × thread-count) leg must report finite positive p50/p99/QPS
+# with zero failed requests (DESALIGN_SERVE_GATE=1 makes the bench assert
+# this itself). Scratch output so the committed BENCH_serve.json is the
+# full-scale run.
+echo "==> loadgen serve bench (latency gate)"
+serve_bench_out=$(mktemp)
+DESALIGN_LOADGEN_CLIENTS=2 DESALIGN_LOADGEN_REQUESTS=40 \
+    DESALIGN_BENCH_OUT="$serve_bench_out" DESALIGN_SERVE_GATE=1 \
+    cargo run -q --offline --release -p desalign-serve --bin loadgen >/dev/null
+test -s "$serve_bench_out" || { echo "    loadgen did not write its JSON artifact"; exit 1; }
+grep -q '"p50_us"' "$serve_bench_out" || { echo "    serve bench artifact lost its p50_us column"; exit 1; }
+grep -q '"p99_us"' "$serve_bench_out" || { echo "    serve bench artifact lost its p99_us column"; exit 1; }
+if grep -q "NaN\|Infinity" "$serve_bench_out"; then
+    echo "    NON-FINITE LATENCIES: serve bench artifact contains NaN/Infinity"
+    exit 1
+fi
+rm -f "$serve_bench_out"
 
 # Formatting is checked only when a rustfmt binary is installed — it is not
 # part of the zero-dependency contract. The check is advisory: the codebase

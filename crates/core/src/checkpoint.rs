@@ -193,30 +193,7 @@ impl DesalignModel {
         let text = String::from_utf8(bytes).map_err(|e| invalid(format!("checkpoint is not UTF-8: {e}")))?;
         let doc = Json::parse(&text).map_err(jerr)?;
 
-        let format: String = doc.field("format").map_err(jerr)?;
-        if format != CHECKPOINT_FORMAT {
-            return Err(invalid(format!("not a training checkpoint (format '{format}')")));
-        }
-        let version: u64 = read_u64_field(&doc, "version")?;
-        if version != CHECKPOINT_VERSION {
-            return Err(invalid(format!("unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})")));
-        }
-        let seed = read_u64_field(&doc, "seed")?;
-        if seed != self.seed {
-            return Err(invalid(format!("checkpoint was written by a run seeded {seed}, this model is seeded {}", self.seed)));
-        }
-        let read_digest = |key: &str| -> io::Result<u64> {
-            let s: String = doc.field(key).map_err(jerr)?;
-            u64::from_str_radix(&s, 16).map_err(|e| invalid(format!("bad {key} '{s}': {e}")))
-        };
-        let cfg_digest = read_digest("config_digest")?;
-        if cfg_digest != config_digest(&self.cfg) {
-            return Err(invalid("checkpoint configuration digest mismatch — was the config changed?"));
-        }
-        let ds_digest = read_digest("dataset_digest")?;
-        if ds_digest != dataset_digest(dataset) {
-            return Err(invalid("checkpoint dataset digest mismatch — resuming against a different dataset"));
-        }
+        self.check_checkpoint_header(&doc, dataset)?;
 
         // Parse everything into locals first; mutate the model only after
         // the whole document has validated.
@@ -274,6 +251,63 @@ impl DesalignModel {
             report: TrainReport::default(),
             good: None,
         })
+    }
+
+    /// Validates the identity header every checkpoint carries: format tag,
+    /// schema version, and the seed / configuration / dataset digests that
+    /// pin which run wrote it.
+    fn check_checkpoint_header(&self, doc: &Json, dataset: &AlignmentDataset) -> io::Result<()> {
+        let format: String = doc.field("format").map_err(jerr)?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(invalid(format!("not a training checkpoint (format '{format}')")));
+        }
+        let version: u64 = read_u64_field(doc, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(invalid(format!("unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})")));
+        }
+        let seed = read_u64_field(doc, "seed")?;
+        if seed != self.seed {
+            return Err(invalid(format!("checkpoint was written by a run seeded {seed}, this model is seeded {}", self.seed)));
+        }
+        let read_digest = |key: &str| -> io::Result<u64> {
+            let s: String = doc.field(key).map_err(jerr)?;
+            u64::from_str_radix(&s, 16).map_err(|e| invalid(format!("bad {key} '{s}': {e}")))
+        };
+        let cfg_digest = read_digest("config_digest")?;
+        if cfg_digest != config_digest(&self.cfg) {
+            return Err(invalid("checkpoint configuration digest mismatch — was the config changed?"));
+        }
+        let ds_digest = read_digest("dataset_digest")?;
+        if ds_digest != dataset_digest(dataset) {
+            return Err(invalid("checkpoint dataset digest mismatch — resuming against a different dataset"));
+        }
+        Ok(())
+    }
+
+    /// Loads only what **inference** needs from a checkpoint — weights and
+    /// the mined pseudo-pair pool — skipping the optimizer moments, RNG
+    /// words, and early-stop tracker that exist to continue a training
+    /// trajectory. The identity header (seed / config digest / dataset
+    /// digest) is verified exactly as in
+    /// [`DesalignModel::resume_training`], so a server can never silently
+    /// serve weights trained under a different run. Restart determinism
+    /// follows: two loads of the same file leave byte-identical weights,
+    /// so `desalign-serve` answers bit-identically across restarts.
+    ///
+    /// The model is untouched on any error.
+    pub fn load_checkpoint_inference(&mut self, dataset: &AlignmentDataset, path: &Path) -> io::Result<()> {
+        let bytes = read_verified(path)?;
+        let text = String::from_utf8(bytes).map_err(|e| invalid(format!("checkpoint is not UTF-8: {e}")))?;
+        let doc = Json::parse(&text).map_err(jerr)?;
+        self.check_checkpoint_header(&doc, dataset)?;
+        let pseudo_pairs = read_pairs(&doc, "pseudo_pairs")?;
+        // Weights validate the full layout before touching the store, so
+        // the all-or-nothing contract holds here too.
+        let weights = doc.get("weights").ok_or_else(|| invalid("missing field 'weights'"))?;
+        self.store.load_weights_json(weights)?;
+        self.pseudo_pairs = pseudo_pairs;
+        desalign_telemetry::counter("checkpoint.inference_loads").incr();
+        Ok(())
     }
 
     /// Resumes from `path` when a valid checkpoint exists there, or

@@ -130,6 +130,12 @@ impl DesalignModel {
         &self.cfg
     }
 
+    /// The seed this model was constructed with (checkpoints are
+    /// digest-checked against it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Final entity semantic embeddings `(X_s, X_t)` — the early-fusion
     /// `h^Ori` the paper selects for evaluation (§IV-A).
     pub fn embeddings(&self) -> (Matrix, Matrix) {

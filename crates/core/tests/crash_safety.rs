@@ -90,6 +90,42 @@ fn resume_is_bit_identical_to_straight_run() {
 }
 
 #[test]
+fn inference_load_restores_weights_bit_identically() {
+    let ds = dataset(47);
+    let path = ckpt_path("inference-load.ckpt");
+    let (cfg, seed) = (tiny_cfg(3), 13u64);
+
+    let mut trained = DesalignModel::new(cfg.clone(), &ds, seed);
+    let mut state = trained.begin_training(&ds);
+    trained.train_epochs(&mut state, usize::MAX);
+    trained.save_checkpoint(&state, &path).expect("checkpoint");
+    trained.end_training(state);
+
+    // Two independent "server processes" load the same file: both must
+    // hold byte-identical weights and produce bit-identical retrieval
+    // embeddings (the restart-determinism contract desalign-serve rests
+    // on).
+    let mut served_a = DesalignModel::new(cfg.clone(), &ds, seed);
+    served_a.load_checkpoint_inference(&ds, &path).expect("inference load");
+    let mut served_b = DesalignModel::new(cfg.clone(), &ds, seed);
+    served_b.load_checkpoint_inference(&ds, &path).expect("inference load");
+    assert_eq!(weights_fingerprint(&trained), weights_fingerprint(&served_a));
+    assert_eq!(weights_fingerprint(&served_a), weights_fingerprint(&served_b));
+    let (xs_a, _) = served_a.retrieval_embeddings();
+    let (xs_b, _) = served_b.retrieval_embeddings();
+    assert_eq!(
+        xs_a.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        xs_b.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "retrieval embeddings diverged across inference loads"
+    );
+
+    // The identity header is still enforced: a wrong-seed model refuses.
+    let mut wrong = DesalignModel::new(cfg, &ds, seed + 1);
+    assert!(wrong.load_checkpoint_inference(&ds, &path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn killed_checkpoint_overwrite_resumes_as_exactly_one_generation() {
     let ds = dataset(42);
     let path = ckpt_path("killed-overwrite.ckpt");

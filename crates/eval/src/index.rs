@@ -327,20 +327,26 @@ impl Retriever for ExactRetriever {
     }
 
     fn top_k(&self, q: usize, k: usize) -> Vec<(usize, f32)> {
-        let qrow = self.queries.row(q);
-        let n = self.items.rows();
-        count_search(1, n as u64);
-        let mut buf = TopK::new(k);
-        let mut start = 0;
-        while start < n {
-            let end = (start + self.block_len).min(n);
-            for j in start..end {
-                buf.offer(j, dot(qrow, self.items.row(j)));
-            }
-            start = end;
-        }
-        buf.into_sorted()
+        exact_scan_top_k(self.queries.row(q), &self.items, self.block_len, k)
     }
+}
+
+/// The blocked exact top-k scan, shared by [`ExactRetriever::top_k`] and
+/// [`ItemIndex::search`] so the two entry points are bit-identical by
+/// construction. `qrow` and `items` must already be ℓ2-normalized.
+fn exact_scan_top_k(qrow: &[f32], items: &Matrix, block_len: usize, k: usize) -> Vec<(usize, f32)> {
+    let n = items.rows();
+    count_search(1, n as u64);
+    let mut buf = TopK::new(k);
+    let mut start = 0;
+    while start < n {
+        let end = (start + block_len).min(n);
+        for j in start..end {
+            buf.offer(j, dot(qrow, items.row(j)));
+        }
+        start = end;
+    }
+    buf.into_sorted()
 }
 
 // ---------------------------------------------------------------------------
@@ -552,19 +558,24 @@ impl Retriever for IvfRetriever {
     }
 
     fn top_k(&self, q: usize, k: usize) -> Vec<(usize, f32)> {
-        let qrow = self.queries.row(q);
-        let probes = self.index.probe_order(qrow);
-        let mut buf = TopK::new(k);
-        let mut scanned = 0u64;
-        for &(cell, _) in &probes {
-            for &i in &self.index.lists[cell] {
-                scanned += 1;
-                buf.offer(i as usize, dot(qrow, self.index.items.row(i as usize)));
-            }
-        }
-        count_search(probes.len() as u64, scanned);
-        buf.into_sorted()
+        ivf_scan_top_k(self.queries.row(q), &self.index, k)
     }
+}
+
+/// The nprobe-bounded IVF top-k scan, shared by [`IvfRetriever::top_k`]
+/// and [`ItemIndex::search`]. `qrow` must already be ℓ2-normalized.
+fn ivf_scan_top_k(qrow: &[f32], index: &IvfIndex, k: usize) -> Vec<(usize, f32)> {
+    let probes = index.probe_order(qrow);
+    let mut buf = TopK::new(k);
+    let mut scanned = 0u64;
+    for &(cell, _) in &probes {
+        for &i in &index.lists[cell] {
+            scanned += 1;
+            buf.offer(i as usize, dot(qrow, index.items.row(i as usize)));
+        }
+    }
+    count_search(probes.len() as u64, scanned);
+    buf.into_sorted()
 }
 
 // ---------------------------------------------------------------------------
@@ -607,6 +618,152 @@ pub fn build_retriever(queries: &Matrix, items: &Matrix, cfg: &RetrievalConfig) 
             let index = IvfIndex::build(items, &cfg.ivf)?;
             Ok(Box::new(IvfRetriever::new(queries, index)?))
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving-side index: fixed items, queries arriving one (or a batch) at a
+// time.
+// ---------------------------------------------------------------------------
+
+/// A query-at-a-time nearest-neighbour index over one fixed item set —
+/// the serving-side counterpart of [`Retriever`], whose query set is bound
+/// at construction. `desalign-serve` builds one `ItemIndex` over the
+/// precomputed entity embeddings at startup and feeds it request rows as
+/// they arrive.
+///
+/// Searches go through the same scan helpers as [`ExactRetriever`] /
+/// [`IvfRetriever`] and the same per-row `1e-9`-eps normalization as
+/// `l2_normalize_rows`, so a query row produces **bit-identical** scores
+/// to binding it in a retriever up front — and, because every query is
+/// scored independently, identical bits whether it arrives alone, inside
+/// any batch composition, or at any `DESALIGN_THREADS` setting.
+#[derive(Debug)]
+pub struct ItemIndex {
+    backend: ItemBackend,
+    dim: usize,
+}
+
+#[derive(Debug)]
+enum ItemBackend {
+    Exact { items: Matrix, block_len: usize },
+    Ivf(IvfIndex),
+}
+
+/// Per-row ℓ2 normalization matching `l2_normalize_rows(1e-9)` bit-for-bit
+/// (same in-order sum-of-squares, same `> eps` guard, same division).
+fn normalized_query(query: &[f32]) -> Vec<f32> {
+    let mut row = query.to_vec();
+    let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 1e-9 {
+        for v in &mut row {
+            *v /= norm;
+        }
+    }
+    row
+}
+
+impl ItemIndex {
+    /// Builds the configured backend over `items` only.
+    ///
+    /// # Errors
+    /// Propagates the backend constructors' typed errors (non-finite rows,
+    /// bad `nprobe`).
+    pub fn build(items: &Matrix, cfg: &RetrievalConfig) -> Result<Self, DesalignError> {
+        let dim = items.cols();
+        let backend = match cfg.kind {
+            IndexKind::Exact => {
+                ensure_finite(items, "retrieval.items")?;
+                ItemBackend::Exact { items: items.l2_normalize_rows(1e-9), block_len: DEFAULT_BLOCK_LEN }
+            }
+            IndexKind::Ivf => ItemBackend::Ivf(IvfIndex::build(items, &cfg.ivf)?),
+        };
+        Ok(Self { backend, dim })
+    }
+
+    /// Number of indexed items.
+    pub fn num_items(&self) -> usize {
+        match &self.backend {
+            ItemBackend::Exact { items, .. } => items.rows(),
+            ItemBackend::Ivf(index) => index.num_items(),
+        }
+    }
+
+    /// Embedding width every query must match.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Which backend this index was built with.
+    pub fn kind(&self) -> IndexKind {
+        match &self.backend {
+            ItemBackend::Exact { .. } => IndexKind::Exact,
+            ItemBackend::Ivf(_) => IndexKind::Ivf,
+        }
+    }
+
+    /// Validates one query row: width must match the index, values must be
+    /// finite.
+    fn check_query(&self, query: &[f32], location: &str) -> Result<(), DesalignError> {
+        if query.len() != self.dim {
+            return Err(DesalignError::new(
+                DefectClass::DimensionMismatch,
+                location,
+                format!("query dim {} != index dim {}", query.len(), self.dim),
+            ));
+        }
+        if query.iter().any(|v| !v.is_finite()) {
+            return Err(DesalignError::new(
+                DefectClass::NonFiniteFeature,
+                location,
+                "query row contains NaN or ±inf",
+            ));
+        }
+        Ok(())
+    }
+
+    fn scan(&self, qrow: &[f32], k: usize) -> Vec<(usize, f32)> {
+        match &self.backend {
+            ItemBackend::Exact { items, block_len } => exact_scan_top_k(qrow, items, *block_len, k),
+            ItemBackend::Ivf(index) => ivf_scan_top_k(qrow, index, k),
+        }
+    }
+
+    /// The `k` best items for one raw (un-normalized) query row, sorted by
+    /// descending score with ties broken by ascending item position.
+    ///
+    /// # Errors
+    /// [`DefectClass::DimensionMismatch`] on a wrong-width query,
+    /// [`DefectClass::NonFiniteFeature`] on NaN/±∞ values.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<(usize, f32)>, DesalignError> {
+        self.check_query(query, "ItemIndex::search")?;
+        Ok(self.scan(&normalized_query(query), k))
+    }
+
+    /// [`search`](Self::search) over every row of `queries`, parallel per
+    /// row over `desalign-parallel`. Each row is normalized and scanned
+    /// independently, so the result is bit-identical to calling `search`
+    /// row by row, regardless of batch composition or thread count.
+    ///
+    /// # Errors
+    /// Validates every row **before** scanning any, so a poisoned row in a
+    /// batch fails the whole call instead of half-answering.
+    pub fn search_batch(&self, queries: &Matrix, k: usize) -> Result<Vec<Vec<(usize, f32)>>, DesalignError> {
+        if queries.cols() != self.dim && queries.rows() > 0 {
+            return Err(DesalignError::new(
+                DefectClass::DimensionMismatch,
+                "ItemIndex::search_batch",
+                format!("query dim {} != index dim {}", queries.cols(), self.dim),
+            ));
+        }
+        ensure_finite(queries, "ItemIndex::search_batch")?;
+        let nq = queries.rows();
+        let mut lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); nq];
+        let cost = nq.saturating_mul(self.num_items()).saturating_mul(self.dim.max(1));
+        desalign_parallel::par_rows(&mut lists, 1, cost, |q, slot| {
+            slot[0] = self.scan(&normalized_query(queries.row(q)), k);
+        });
+        Ok(lists)
     }
 }
 
@@ -944,6 +1101,58 @@ mod tests {
         assert_eq!(err.class, DefectClass::NonFiniteFeature);
         let err = IvfIndex::build(&bad, &IvfParams::default()).unwrap_err();
         assert_eq!(err.class, DefectClass::NonFiniteFeature);
+    }
+
+    #[test]
+    fn item_index_matches_bound_retrievers_bitwise() {
+        let (q, t) = rand_pair(17, 6, 30, 5);
+        // Exact: same bits as an ExactRetriever with the queries bound up
+        // front.
+        let exact_cfg = RetrievalConfig::default();
+        let idx = ItemIndex::build(&t, &exact_cfg).unwrap();
+        let bound = ExactRetriever::new(&q, &t).unwrap();
+        for i in 0..q.rows() {
+            assert_eq!(idx.search(q.row(i), 4).unwrap(), bound.top_k(i, 4), "exact query {i}");
+        }
+        // IVF: same bits as an IvfRetriever over the same built index
+        // parameters.
+        let ivf_cfg = RetrievalConfig {
+            kind: IndexKind::Ivf,
+            ivf: IvfParams { nlist: 4, nprobe: 2, kmeans_iters: 3, seed: 21 },
+        };
+        let idx = ItemIndex::build(&t, &ivf_cfg).unwrap();
+        assert_eq!(idx.kind(), IndexKind::Ivf);
+        let bound = build_retriever(&q, &t, &ivf_cfg).unwrap();
+        for i in 0..q.rows() {
+            assert_eq!(idx.search(q.row(i), 4).unwrap(), bound.top_k(i, 4), "ivf query {i}");
+        }
+    }
+
+    #[test]
+    fn item_index_batch_matches_single_search() {
+        let (q, t) = rand_pair(19, 9, 25, 6);
+        let idx = ItemIndex::build(&t, &RetrievalConfig::default()).unwrap();
+        let batch = idx.search_batch(&q, 3).unwrap();
+        assert_eq!(batch.len(), q.rows());
+        for i in 0..q.rows() {
+            assert_eq!(batch[i], idx.search(q.row(i), 3).unwrap(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn item_index_rejects_hostile_queries() {
+        let (_, t) = rand_pair(23, 1, 10, 4);
+        let idx = ItemIndex::build(&t, &RetrievalConfig::default()).unwrap();
+        assert_eq!(idx.num_items(), 10);
+        assert_eq!(idx.dim(), 4);
+        let err = idx.search(&[1.0, 2.0], 3).unwrap_err();
+        assert_eq!(err.class, DefectClass::DimensionMismatch);
+        let err = idx.search(&[1.0, f32::NAN, 0.0, 0.0], 3).unwrap_err();
+        assert_eq!(err.class, DefectClass::NonFiniteFeature);
+        let bad = Matrix::from_rows(&[&[1.0, f32::INFINITY, 0.0, 0.0]]);
+        assert!(idx.search_batch(&bad, 3).is_err());
+        // A zero query is benign (normalization leaves it untouched).
+        assert_eq!(idx.search(&[0.0; 4], 2).unwrap().len(), 2);
     }
 
     #[test]

@@ -23,8 +23,8 @@ mod similarity;
 
 pub use index::{
     batch_top_k, build_retriever, csls_rescale_candidates, csls_retrieve_top_k, evaluate_ranking_embeddings,
-    evaluate_retriever, mine_mutual_nn, mutual_top1, DenseRetriever, ExactRetriever, IndexKind, IvfIndex, IvfParams,
-    IvfRetriever, RetrievalConfig, Retriever, DEFAULT_BLOCK_LEN,
+    evaluate_retriever, mine_mutual_nn, mutual_top1, DenseRetriever, ExactRetriever, IndexKind, ItemIndex, IvfIndex,
+    IvfParams, IvfRetriever, RetrievalConfig, Retriever, DEFAULT_BLOCK_LEN,
 };
 pub use metrics::{evaluate_ranking, AlignmentMetrics};
 pub use mining::mutual_nearest_neighbours;

@@ -1,0 +1,152 @@
+//! Time/size-windowed request batching.
+//!
+//! Concurrent connections each hold a [`Batcher`] handle; queries funnel
+//! into one dedicated batching thread that coalesces everything arriving
+//! within a small window (or until `max_batch`) into **one**
+//! [`AlignEngine::answer_batch`] call — one `desalign-parallel` region
+//! instead of per-request scans. Because every query row is scored
+//! independently, coalescing is invisible in the response bytes; it only
+//! changes throughput.
+
+use crate::engine::{AlignAnswer, AlignEngine, AlignQuery};
+use desalign_util::{DefectClass, DesalignError};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct BatchItem {
+    query: AlignQuery,
+    k: usize,
+    reply: mpsc::Sender<Result<AlignAnswer, DesalignError>>,
+}
+
+/// A clonable handle submitting queries to the batching thread. The
+/// thread exits when the last handle is dropped, so batcher lifetime
+/// follows the workers that hold the handles.
+#[derive(Clone)]
+pub struct Batcher {
+    tx: mpsc::Sender<BatchItem>,
+}
+
+struct BatchCounters {
+    batches: desalign_telemetry::Counter,
+    queries: desalign_telemetry::Counter,
+    last_batch: desalign_telemetry::Gauge,
+}
+
+fn batch_counters() -> &'static BatchCounters {
+    static C: OnceLock<BatchCounters> = OnceLock::new();
+    C.get_or_init(|| BatchCounters {
+        batches: desalign_telemetry::counter("serve.batches"),
+        queries: desalign_telemetry::counter("serve.batched_queries"),
+        last_batch: desalign_telemetry::gauge("serve.last_batch"),
+    })
+}
+
+impl Batcher {
+    /// Spawns the batching thread over `engine`. `max_batch` bounds how
+    /// many queries one engine call may coalesce; `window` is how long the
+    /// thread waits for stragglers after the first query of a batch
+    /// arrives (ignored when `max_batch <= 1` — nothing to wait for).
+    pub fn spawn(engine: Arc<AlignEngine>, max_batch: usize, window: Duration) -> (Self, JoinHandle<()>) {
+        let (tx, rx) = mpsc::channel::<BatchItem>();
+        let max_batch = max_batch.max(1);
+        let handle = std::thread::Builder::new()
+            .name("desalign-serve-batcher".into())
+            .spawn(move || run_batcher(engine, rx, max_batch, window))
+            .expect("spawn batcher thread");
+        (Self { tx }, handle)
+    }
+
+    /// Submits one query and blocks until its answer arrives (typically
+    /// one batching window plus the engine call).
+    ///
+    /// # Errors
+    /// The query's own typed error, or [`DefectClass::Io`] when the
+    /// batching thread is gone (server shutting down).
+    pub fn submit(&self, query: AlignQuery, k: usize) -> Result<AlignAnswer, DesalignError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let unavailable = || DesalignError::new(DefectClass::Io, "serve.batcher", "batching thread is gone (server draining)");
+        self.tx.send(BatchItem { query, k, reply: reply_tx }).map_err(|_| unavailable())?;
+        reply_rx.recv().map_err(|_| unavailable())?
+    }
+}
+
+fn run_batcher(engine: Arc<AlignEngine>, rx: mpsc::Receiver<BatchItem>, max_batch: usize, window: Duration) {
+    loop {
+        // Block for the first query of the next batch; a closed channel
+        // means every handle (worker) is gone → drain complete.
+        let first = match rx.recv() {
+            Ok(item) => item,
+            Err(_) => return,
+        };
+        let mut batch = vec![first];
+        if max_batch > 1 {
+            let deadline = Instant::now() + window;
+            while batch.len() < max_batch {
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                    break;
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(item) => batch.push(item),
+                    Err(_) => break, // window elapsed or channel closed
+                }
+            }
+        }
+        let c = batch_counters();
+        c.batches.incr();
+        c.queries.add(batch.len() as u64);
+        c.last_batch.set(batch.len() as f64);
+        let queries: Vec<(AlignQuery, usize)> = batch.iter().map(|i| (i.query.clone(), i.k)).collect();
+        let answers = engine.answer_batch(&queries);
+        for (item, answer) in batch.into_iter().zip(answers) {
+            // A reply send fails only when the submitter gave up
+            // (connection died); the batch itself is unaffected.
+            let _ = item.reply.send(answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desalign_eval::RetrievalConfig;
+    use desalign_tensor::Matrix;
+
+    fn tiny_engine() -> Arc<AlignEngine> {
+        let queries = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let items = Matrix::from_rows(&[&[1.0, 0.0], &[0.7, 0.7], &[0.0, 1.0]]);
+        Arc::new(AlignEngine::from_embeddings(queries, items, &RetrievalConfig::default(), 8).unwrap())
+    }
+
+    #[test]
+    fn concurrent_submissions_match_direct_answers() {
+        let engine = tiny_engine();
+        let (batcher, handle) = Batcher::spawn(engine.clone(), 4, Duration::from_millis(5));
+        let mut joins = Vec::new();
+        for i in 0..8usize {
+            let b = batcher.clone();
+            joins.push(std::thread::spawn(move || (i, b.submit(AlignQuery::Entity(i % 2), 2).unwrap())));
+        }
+        for j in joins {
+            let (i, got) = j.join().unwrap();
+            assert_eq!(got, engine.answer(&AlignQuery::Entity(i % 2), 2).unwrap(), "query {i}");
+        }
+        drop(batcher);
+        handle.join().unwrap(); // thread drains once every handle is gone
+    }
+
+    #[test]
+    fn bad_queries_fail_alone_through_the_batcher() {
+        let engine = tiny_engine();
+        let (batcher, handle) = Batcher::spawn(engine, 4, Duration::from_millis(2));
+        let err = batcher.submit(AlignQuery::Entity(42), 2).unwrap_err();
+        assert_eq!(err.class, DefectClass::PairOutOfRange);
+        let ok = batcher.submit(AlignQuery::Entity(0), 2).unwrap();
+        assert_eq!(ok.candidates.len(), 2);
+        drop(batcher);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,347 @@
+//! Load generator + smoke client for `desalign-serve`.
+//!
+//! Two modes, selected by the environment:
+//!
+//! - **Smoke client** (`DESALIGN_SERVE_ADDR` set): drives a running server
+//!   over one keep-alive connection — `/healthz`, `/metrics`, a fixed
+//!   `/v1/align` query, and a deliberately malformed body. With
+//!   `DESALIGN_LOADGEN_PROBE=<file>` the raw align response body is
+//!   written there (ci.sh diffs probes across restarts and thread counts
+//!   to enforce bit-identity); `DESALIGN_LOADGEN_SHUTDOWN=1` finishes by
+//!   draining the server via `POST /admin/shutdown`.
+//!
+//! - **Bench** (no `DESALIGN_SERVE_ADDR`): starts in-process servers over
+//!   a deterministic synthetic engine and measures closed-loop latency
+//!   for every (max_batch × thread-count) leg, writing exact p50/p99/QPS
+//!   to `BENCH_serve.json`. `DESALIGN_SERVE_GATE=1` turns the sanity
+//!   conditions (≥ 3 legs, finite positive percentiles, zero errors) into
+//!   hard failures for ci.sh.
+
+use desalign_serve::{AlignEngine, ServeConfig, Server};
+use desalign_tensor::Matrix;
+use desalign_util::{json, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn or_die<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loadgen: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal HTTP/1.1 client (keep-alive aware)
+// ---------------------------------------------------------------------
+
+/// One keep-alive client connection with its own read buffer, so bytes of
+/// the next pipelined response are never lost between round-trips.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self { stream, buf: Vec::new() })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed the connection"));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Sends one request and reads one `Content-Length`-framed response.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: desalign\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.stream.flush()?;
+
+        let header_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad status line in {head:?}")))?;
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(|v| v.trim().to_string()))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        while self.buf.len() < header_end + content_length {
+            self.fill()?;
+        }
+        let body = String::from_utf8_lossy(&self.buf[header_end..header_end + content_length]).into_owned();
+        self.buf.drain(..header_end + content_length);
+        Ok((status, body))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Smoke-client mode
+// ---------------------------------------------------------------------
+
+fn expect(status: u16, want: u16, what: &str, body: &str) {
+    if status != want {
+        eprintln!("loadgen: {what}: expected HTTP {want}, got {status}: {body}");
+        std::process::exit(1);
+    }
+}
+
+fn smoke(addr: &str) {
+    let mut client = or_die(&format!("connect {addr}"), Client::connect(addr));
+
+    let (status, body) = or_die("GET /healthz", client.request("GET", "/healthz", ""));
+    expect(status, 200, "healthz", &body);
+    let health = or_die("parse healthz", Json::parse(&body));
+    for field in ["status", "source_entities", "target_entities", "dim", "backend", "threads", "workers"] {
+        if health.get(field).is_none() {
+            eprintln!("loadgen: healthz is missing '{field}': {body}");
+            std::process::exit(1);
+        }
+    }
+    println!("loadgen: healthz ok: {body}");
+
+    let (status, body) = or_die("GET /metrics", client.request("GET", "/metrics", ""));
+    expect(status, 200, "metrics", &body);
+    or_die("parse metrics", Json::parse(&body));
+    println!("loadgen: metrics ok ({} bytes)", body.len());
+
+    // The fixed probe query: ci.sh diffs this body bit-for-bit across
+    // server restarts and DESALIGN_THREADS settings.
+    let probe_query = r#"{"entity": 0, "k": 5}"#;
+    let (status, probe_body) = or_die("POST /v1/align", client.request("POST", "/v1/align", probe_query));
+    expect(status, 200, "align", &probe_body);
+    let answer = or_die("parse align response", Json::parse(&probe_body));
+    let n = answer.get("candidates").and_then(|c| c.as_array()).map_or(0, |c| c.len());
+    if n == 0 {
+        eprintln!("loadgen: align returned no candidates: {probe_body}");
+        std::process::exit(1);
+    }
+    println!("loadgen: align ok ({n} candidates)");
+
+    let (status, body) = or_die("POST bad align", client.request("POST", "/v1/align", r#"{"entity": "x"}"#));
+    expect(status, 400, "malformed align must be a 400", &body);
+    println!("loadgen: malformed query rejected with 400");
+
+    if let Ok(path) = std::env::var("DESALIGN_LOADGEN_PROBE") {
+        or_die(&format!("write probe {path}"), std::fs::write(&path, &probe_body));
+        println!("loadgen: probe written to {path}");
+    }
+
+    if std::env::var("DESALIGN_LOADGEN_SHUTDOWN").as_deref() == Ok("1") {
+        let (status, body) = or_die("POST /admin/shutdown", client.request("POST", "/admin/shutdown", ""));
+        expect(status, 200, "shutdown", &body);
+        if !body.contains("draining") {
+            eprintln!("loadgen: unexpected shutdown response: {body}");
+            std::process::exit(1);
+        }
+        println!("loadgen: server draining");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bench mode
+// ---------------------------------------------------------------------
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic pseudo-random embeddings in `[-1, 1)`.
+fn synth_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| ((splitmix(seed.wrapping_add(i as u64)) >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64
+}
+
+struct Leg {
+    max_batch: usize,
+    threads: usize,
+    requests: usize,
+    errors: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    qps: f64,
+}
+
+fn run_leg(max_batch: usize, threads: usize, clients: usize, per_client: usize) -> Leg {
+    desalign_parallel::set_thread_override(Some(threads));
+    let engine = or_die(
+        "build bench engine",
+        AlignEngine::from_embeddings(
+            synth_matrix(256, 32, 11),
+            synth_matrix(512, 32, 23),
+            &desalign_eval::RetrievalConfig::default(),
+            256,
+        ),
+    );
+    let cfg = ServeConfig {
+        max_batch,
+        batch_window: Duration::from_micros(200),
+        workers: clients, // one worker per closed-loop client
+        ..ServeConfig::default()
+    };
+    let server = or_die("start bench server", Server::start(engine, &cfg));
+    let addr = server.addr().to_string();
+
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || -> (Vec<u64>, usize) {
+            let mut client = match Client::connect(&addr) {
+                Ok(cl) => cl,
+                Err(_) => return (Vec::new(), per_client),
+            };
+            let mut lat = Vec::with_capacity(per_client);
+            let mut errors = 0usize;
+            for i in 0..per_client {
+                let body = format!("{{\"entity\": {}, \"k\": 10}}", (c * per_client + i) % 256);
+                let t = Instant::now();
+                match client.request("POST", "/v1/align", &body) {
+                    Ok((200, _)) => lat.push(t.elapsed().as_micros() as u64),
+                    _ => errors += 1,
+                }
+            }
+            (lat, errors)
+        }));
+    }
+    let mut all = Vec::new();
+    let mut errors = 0usize;
+    for j in joins {
+        let (lat, e) = j.join().expect("client thread");
+        all.extend(lat);
+        errors += e;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    desalign_parallel::set_thread_override(None);
+
+    all.sort_unstable();
+    let mean = if all.is_empty() { f64::NAN } else { all.iter().sum::<u64>() as f64 / all.len() as f64 };
+    Leg {
+        max_batch,
+        threads,
+        requests: all.len(),
+        errors,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+        mean_us: mean,
+        qps: if wall > 0.0 { all.len() as f64 / wall } else { f64::NAN },
+    }
+}
+
+fn bench() {
+    let clients = env_usize("DESALIGN_LOADGEN_CLIENTS", 4);
+    let per_client = env_usize("DESALIGN_LOADGEN_REQUESTS", 150);
+    let out_path = std::env::var("DESALIGN_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    let mut legs = Vec::new();
+    for &threads in &[1usize, 2] {
+        for &max_batch in &[1usize, 4, 16] {
+            let leg = run_leg(max_batch, threads, clients, per_client);
+            println!(
+                "loadgen: batch={:<2} threads={} → p50 {:>7.0}µs  p99 {:>7.0}µs  {:>7.0} qps  ({} req, {} errors)",
+                leg.max_batch, leg.threads, leg.p50_us, leg.p99_us, leg.qps, leg.requests, leg.errors
+            );
+            legs.push(leg);
+        }
+    }
+
+    let legs_json: Vec<Json> = legs
+        .iter()
+        .map(|l| {
+            json!({
+                "max_batch": l.max_batch,
+                "threads": l.threads,
+                "requests": l.requests,
+                "errors": l.errors,
+                "p50_us": l.p50_us,
+                "p99_us": l.p99_us,
+                "mean_us": l.mean_us,
+                "qps": l.qps,
+            })
+        })
+        .collect();
+    let doc = json!({
+        "schema": "serve-bench-v1",
+        "clients": clients,
+        "requests_per_client": per_client,
+        "legs": Json::Array(legs_json),
+    });
+    or_die(&format!("write {out_path}"), std::fs::write(&out_path, format!("{doc}\n")));
+    println!("loadgen: wrote {out_path}");
+
+    if std::env::var("DESALIGN_SERVE_GATE").as_deref() == Ok("1") {
+        let mut failures = Vec::new();
+        if legs.len() < 3 {
+            failures.push(format!("only {} legs measured (need ≥ 3)", legs.len()));
+        }
+        for l in &legs {
+            let tag = format!("batch={} threads={}", l.max_batch, l.threads);
+            if !(l.p50_us.is_finite() && l.p50_us > 0.0 && l.p99_us.is_finite() && l.p99_us > 0.0) {
+                failures.push(format!("{tag}: non-finite or zero percentile (p50 {}, p99 {})", l.p50_us, l.p99_us));
+            }
+            if !(l.qps.is_finite() && l.qps > 0.0) {
+                failures.push(format!("{tag}: bogus throughput {}", l.qps));
+            }
+            if l.errors > 0 {
+                failures.push(format!("{tag}: {} failed requests", l.errors));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("loadgen: serve gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("loadgen: serve gate passed ({} legs)", legs.len());
+    }
+}
+
+fn main() {
+    match std::env::var("DESALIGN_SERVE_ADDR") {
+        Ok(addr) => smoke(&addr),
+        Err(_) => bench(),
+    }
+}

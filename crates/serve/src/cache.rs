@@ -1,0 +1,128 @@
+//! A bounded LRU cache for query-side featurizations.
+//!
+//! The serving engine featurizes every `{"entity": id}` query into an
+//! embedding row before searching. Rows are pure functions of the loaded
+//! checkpoint, so caching them can never change response bits — the cache
+//! trades a row copy for a map lookup on hot entities and, more
+//! importantly, establishes the eviction discipline the out-of-core
+//! roadmap item will need when featurization stops being a table lookup.
+
+use std::collections::HashMap;
+
+/// A least-recently-used cache from entity id to featurized row.
+///
+/// Recency is tracked with a monotone access tick per entry; eviction
+/// scans for the minimum tick (O(len), fine at the few-thousand-entry
+/// capacities serving uses) and breaks ties on the smaller key, so the
+/// eviction order is deterministic. A `capacity` of 0 disables the cache
+/// (every `get` misses, `insert` is a no-op).
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<usize, (Vec<f32>, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` rows.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, tick: 0, map: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Maximum number of rows retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime `(hits, misses)` counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: usize) -> Option<&[f32]> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some((row, tick)) => {
+                *tick = self.tick;
+                self.hits += 1;
+                Some(row.as_slice())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: usize, row: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .map(|(&k, &(_, t))| (t, k))
+                .min() // oldest tick, then smallest key — deterministic
+                .map(|(_, k)| k)
+                .expect("non-empty at capacity");
+            self.map.remove(&victim);
+        }
+        self.map.insert(key, (row, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        assert!(c.get(1).is_some()); // 1 is now fresher than 2
+        c.insert(3, vec![3.0]); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        c.insert(1, vec![1.5]); // refresh in place
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap(), &[1.5]);
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, vec![1.0]);
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (0, 1));
+    }
+}

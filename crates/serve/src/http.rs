@@ -1,0 +1,330 @@
+//! A minimal, std-only HTTP/1.1 server-side codec.
+//!
+//! Implements exactly what the serving contract (docs/SERVING.md) needs:
+//! request-line + header parsing, `Content-Length`-framed bodies,
+//! keep-alive and pipelining (leftover buffered bytes feed the next
+//! request), and fixed-layout responses. Chunked transfer encoding is
+//! rejected, not implemented. Every malformed input degrades to a typed
+//! [`ReadOutcome::Bad`] with an HTTP status — never a panic — which the
+//! hostile-input integration tests drive byte by byte.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on request-line + header bytes (anti-slowloris).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request path (query strings are not split off; the serving API
+    /// does not use them).
+    pub path: String,
+    /// The `Content-Length`-framed body.
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after responding
+    /// (HTTP/1.1 default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// What reading one request produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(HttpRequest),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out; `mid_request` tells whether bytes of an
+    /// unfinished request had already arrived (408 material) or the
+    /// connection was simply idle.
+    Timeout {
+        /// True when a partial request was already buffered.
+        mid_request: bool,
+    },
+    /// A malformed or oversized request; respond with `status` and close.
+    Bad {
+        /// HTTP status to answer with (400, 405, 413, …).
+        status: u16,
+        /// One-line diagnostic for the error body.
+        detail: String,
+    },
+    /// A transport error other than timeout; drop the connection.
+    Io(io::Error),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// A buffered connection reader. Unlike `BufReader`, partial reads
+/// interrupted by a timeout stay in the internal buffer, so a slow client
+/// can resume mid-request, and bytes of a pipelined second request are
+/// preserved for the next [`Conn::read_request`] call.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Conn {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self { stream, buf: Vec::new(), pos: 0 }
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Reads more bytes from the socket into the buffer. `Ok(0)` is EOF.
+    fn fill(&mut self) -> io::Result<usize> {
+        self.compact();
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Finds `\r\n` (or a bare `\n`) in the buffered bytes, returning the
+    /// line without its terminator and consuming through it.
+    fn take_line(&mut self) -> Option<String> {
+        let hay = self.buffered();
+        let nl = hay.iter().position(|&b| b == b'\n')?;
+        let line = &hay[..nl];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let text = String::from_utf8_lossy(line).into_owned();
+        self.pos += nl + 1;
+        Some(text)
+    }
+
+    /// Reads and parses one request. `max_body` bounds `Content-Length`.
+    pub fn read_request(&mut self, max_body: usize) -> ReadOutcome {
+        // --- request line + headers -----------------------------------
+        let mut lines: Vec<String> = Vec::new();
+        let mut header_bytes = 0usize;
+        loop {
+            match self.take_line() {
+                Some(line) => {
+                    header_bytes += line.len() + 2;
+                    if header_bytes > MAX_HEADER_BYTES {
+                        return ReadOutcome::Bad { status: 431, detail: "request headers exceed 16KiB".into() };
+                    }
+                    if line.is_empty() {
+                        if lines.is_empty() {
+                            // Tolerate stray blank lines between requests.
+                            continue;
+                        }
+                        break;
+                    }
+                    lines.push(line);
+                }
+                None => match self.fill() {
+                    Ok(0) => {
+                        return if lines.is_empty() && self.buffered().is_empty() {
+                            ReadOutcome::Closed
+                        } else {
+                            ReadOutcome::Bad { status: 400, detail: "connection closed mid-headers".into() }
+                        };
+                    }
+                    Ok(_) => {}
+                    Err(e) if is_timeout(&e) => {
+                        return ReadOutcome::Timeout { mid_request: !lines.is_empty() || !self.buffered().is_empty() };
+                    }
+                    Err(e) => return ReadOutcome::Io(e),
+                },
+            }
+        }
+
+        // --- request line ---------------------------------------------
+        let mut parts = lines[0].split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v),
+            _ => return ReadOutcome::Bad { status: 400, detail: format!("malformed request line '{}'", lines[0]) },
+        };
+        if !version.starts_with("HTTP/1.") {
+            return ReadOutcome::Bad { status: 400, detail: format!("unsupported protocol '{version}'") };
+        }
+        let mut keep_alive = version != "HTTP/1.0";
+
+        // --- headers ---------------------------------------------------
+        let mut content_length = 0usize;
+        for line in &lines[1..] {
+            let Some((name, value)) = line.split_once(':') else {
+                return ReadOutcome::Bad { status: 400, detail: format!("malformed header '{line}'") };
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => match value.parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => return ReadOutcome::Bad { status: 400, detail: format!("bad Content-Length '{value}'") },
+                },
+                "transfer-encoding" => {
+                    return ReadOutcome::Bad { status: 400, detail: "chunked transfer encoding is not supported".into() };
+                }
+                "connection" => {
+                    let v = value.to_ascii_lowercase();
+                    if v.contains("close") {
+                        keep_alive = false;
+                    } else if v.contains("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if content_length > max_body {
+            return ReadOutcome::Bad {
+                status: 413,
+                detail: format!("Content-Length {content_length} exceeds the {max_body}-byte limit"),
+            };
+        }
+
+        // --- body -------------------------------------------------------
+        while self.buffered().len() < content_length {
+            match self.fill() {
+                Ok(0) => {
+                    return ReadOutcome::Bad {
+                        status: 400,
+                        detail: format!(
+                            "connection closed after {} of {content_length} body bytes",
+                            self.buffered().len()
+                        ),
+                    };
+                }
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return ReadOutcome::Timeout { mid_request: true },
+                Err(e) => return ReadOutcome::Io(e),
+            }
+        }
+        let body = self.buffered()[..content_length].to_vec();
+        self.pos += content_length;
+        ReadOutcome::Request(HttpRequest { method, path, body, keep_alive })
+    }
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response with explicit framing. `keep_alive: false`
+/// adds `Connection: close` so well-behaved clients stop pipelining.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str, keep_alive: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "" } else { "Connection: close\r\n" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(payload: &[u8]) -> ReadOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload = payload.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&payload).unwrap();
+            // Drop closes the socket → EOF on the server side.
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(stream);
+        let out = conn.read_request(1024);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_complete_request() {
+        let out = roundtrip(b"POST /v1/align HTTP/1.1\r\nContent-Length: 4\r\n\r\nhej!");
+        match out {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.method, "POST");
+                assert_eq!(r.path, "/v1/align");
+                assert_eq!(r.body, b"hej!");
+                assert!(r.keep_alive);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_a_400() {
+        let out = roundtrip(b"POST /v1/align HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort");
+        match out {
+            ReadOutcome::Bad { status: 400, detail } => assert!(detail.contains("5 of 100")),
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_content_length_is_a_413() {
+        let out = roundtrip(b"POST /v1/align HTTP/1.1\r\nContent-Length: 999999\r\n\r\n");
+        assert!(matches!(out, ReadOutcome::Bad { status: 413, .. }));
+    }
+
+    #[test]
+    fn garbage_request_line_is_a_400_and_eof_is_closed() {
+        assert!(matches!(roundtrip(b"\xff\xfe garbage\r\n\r\n"), ReadOutcome::Bad { status: 400, .. }));
+        assert!(matches!(roundtrip(b""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(stream);
+        let first = match conn.read_request(1024) {
+            ReadOutcome::Request(r) => r.path,
+            other => panic!("expected request, got {other:?}"),
+        };
+        let second = match conn.read_request(1024) {
+            ReadOutcome::Request(r) => r.path,
+            other => panic!("expected request, got {other:?}"),
+        };
+        assert_eq!((first.as_str(), second.as_str()), ("/healthz", "/metrics"));
+        client.join().unwrap();
+    }
+}

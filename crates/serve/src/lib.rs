@@ -1,0 +1,79 @@
+//! # desalign-serve — alignment-as-a-service
+//!
+//! An online inference server for trained DESAlign models: load a
+//! digest-checked checkpoint once, precompute the per-round L2-normalized
+//! SP-state retrieval embeddings once, then answer top-k alignment
+//! queries over plain HTTP/1.1 — std-only, like everything else in this
+//! workspace. The wire protocol, configuration knobs, and operational
+//! runbook are specified in `docs/SERVING.md`; this crate is the
+//! implementation of that contract.
+//!
+//! ## Shape
+//!
+//! - [`AlignEngine`] — the read-only core: a query-side embedding table,
+//!   an `ItemIndex` over the target corpus (exact or IVF, per the
+//!   checkpoint's retrieval settings), and an [`LruCache`] for
+//!   entity-id featurizations.
+//! - [`Batcher`] — time/size-windowed coalescing: concurrent requests
+//!   merge into one `search_batch` call without changing a single
+//!   response bit (each row is scored independently).
+//! - [`Server`] — the TCP front: worker threads, `POST /v1/align`,
+//!   `GET /healthz`, `GET /metrics`, `POST /admin/shutdown`, typed
+//!   errors mapped to 4xx/5xx, graceful drain.
+//!
+//! ## Determinism at the edge
+//!
+//! The same query against the same checkpoint returns bit-identical
+//! scores regardless of `DESALIGN_THREADS`, batch composition, cache
+//! state, or server restarts — the serving path reuses the exact scan
+//! kernels and normalization the evaluation harness uses, and every
+//! source of nondeterminism (batching, caching, concurrency) is
+//! confined to scheduling, never arithmetic.
+//!
+//! ## One query, end to end
+//!
+//! ```
+//! use desalign_serve::{AlignEngine, ServeConfig, Server};
+//! use desalign_eval::RetrievalConfig;
+//! use desalign_tensor::Matrix;
+//! use std::io::{Read, Write};
+//! use std::net::TcpStream;
+//!
+//! // Serving embeddings normally come from a checkpoint
+//! // (`AlignEngine::from_model`); explicit matrices keep this example
+//! // self-contained.
+//! let queries = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+//! let items = Matrix::from_rows(&[&[1.0, 0.0], &[0.7, 0.7], &[0.0, 1.0]]);
+//! let engine = AlignEngine::from_embeddings(queries, items, &RetrievalConfig::default(), 16).unwrap();
+//!
+//! // Port 0 → the OS picks an ephemeral port; `addr()` reports it.
+//! let server = Server::start(engine, &ServeConfig::default()).unwrap();
+//!
+//! let mut conn = TcpStream::connect(server.addr()).unwrap();
+//! let body = r#"{"entity": 0, "k": 2}"#;
+//! write!(
+//!     conn,
+//!     "POST /v1/align HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+//! assert!(response.contains("\"candidates\""), "{response}");
+//!
+//! server.shutdown(); // graceful drain: in-flight requests finish first
+//! ```
+
+mod batch;
+mod cache;
+mod engine;
+mod http;
+mod server;
+
+pub use batch::Batcher;
+pub use cache::LruCache;
+pub use engine::{AlignAnswer, AlignEngine, AlignQuery};
+pub use http::{write_response, Conn, HttpRequest, ReadOutcome, MAX_HEADER_BYTES};
+pub use server::{ServeConfig, Server};

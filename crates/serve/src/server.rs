@@ -1,0 +1,398 @@
+//! The TCP/HTTP server: worker threads, routing, error mapping, graceful
+//! drain.
+//!
+//! Connections are handled by dedicated OS worker threads (blocking socket
+//! reads must not occupy the `desalign-parallel` pool, whose workers are
+//! batch-synchronous); the *compute* still runs through the pool, because
+//! every `/v1/align` query funnels into the [`Batcher`]'s single
+//! `search_batch` call. Shutdown is cooperative and std-only: a drain flag
+//! plus one self-connect "poke" per worker unblocks `accept`, workers
+//! finish their in-flight requests (bounded by the read timeout), and the
+//! batching thread exits when the last worker drops its handle.
+
+use crate::batch::Batcher;
+use crate::engine::{AlignEngine, AlignQuery};
+use crate::http::{write_response, Conn, HttpRequest, ReadOutcome};
+use desalign_eval::IndexKind;
+use desalign_util::{json, DefectClass, DesalignError, Json};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the server's behaviour is parameterized by. Every knob is
+/// documented in docs/SERVING.md and exercised by a test or the ci.sh
+/// smoke.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port `0` selects an ephemeral port (the bound
+    /// address is reported by [`Server::addr`]).
+    pub addr: String,
+    /// Connection worker threads (concurrent connections served; further
+    /// connections queue in the OS accept backlog).
+    pub workers: usize,
+    /// Maximum queries coalesced into one engine call.
+    pub max_batch: usize,
+    /// How long the batcher waits for stragglers after a batch opens.
+    pub batch_window: Duration,
+    /// LRU featurization-cache capacity (entries); 0 disables.
+    pub cache_capacity: usize,
+    /// Maximum accepted `Content-Length` in bytes.
+    pub max_body: usize,
+    /// `k` used when a query omits it.
+    pub default_k: usize,
+    /// Socket read timeout — bounds how long a stalled client can hold a
+    /// worker, and therefore the drain latency of [`Server::shutdown`].
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_batch: 16,
+            batch_window: Duration::from_micros(500),
+            cache_capacity: 1024,
+            max_body: 1 << 20,
+            default_k: 10,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+impl ServeConfig {
+    /// Reads every knob from `DESALIGN_SERVE_*` environment variables,
+    /// falling back to the defaults above. Documented in docs/SERVING.md.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            addr: std::env::var("DESALIGN_SERVE_ADDR").unwrap_or(d.addr),
+            workers: env_usize("DESALIGN_SERVE_WORKERS", d.workers).max(1),
+            max_batch: env_usize("DESALIGN_SERVE_BATCH", d.max_batch).max(1),
+            batch_window: Duration::from_micros(env_usize("DESALIGN_SERVE_WINDOW_US", 500) as u64),
+            cache_capacity: env_usize("DESALIGN_SERVE_CACHE", d.cache_capacity),
+            max_body: env_usize("DESALIGN_SERVE_MAX_BODY", d.max_body),
+            default_k: env_usize("DESALIGN_SERVE_K", d.default_k),
+            read_timeout: Duration::from_millis(env_usize("DESALIGN_SERVE_TIMEOUT_MS", 5000) as u64),
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<AlignEngine>,
+    draining: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+    max_body: usize,
+    default_k: usize,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the drain flag and unblocks every worker's `accept` with one
+    /// self-connect per worker. Idempotent and non-blocking, so request
+    /// handlers can call it (`POST /admin/shutdown`) without deadlocking
+    /// the worker they run on.
+    fn initiate(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for _ in 0..self.workers {
+            // A refused poke means the worker already stopped accepting.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or have a client POST `/admin/shutdown` and then
+/// [`Server::wait`]).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the batching thread and `cfg.workers`
+    /// connection workers, and returns immediately.
+    pub fn start(engine: AlignEngine, cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let (batcher, batcher_handle) = Batcher::spawn(engine.clone(), cfg.max_batch, cfg.batch_window);
+        let shared = Arc::new(Shared {
+            engine,
+            draining: AtomicBool::new(false),
+            addr,
+            workers: cfg.workers.max(1),
+            max_body: cfg.max_body,
+            default_k: cfg.default_k.max(1),
+        });
+        let mut workers = Vec::with_capacity(shared.workers);
+        for w in 0..shared.workers {
+            let listener = listener.try_clone()?;
+            let shared = shared.clone();
+            let batcher = batcher.clone();
+            let timeout = cfg.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("desalign-serve-worker-{w}"))
+                    .spawn(move || worker_loop(listener, shared, batcher, timeout))?,
+            );
+        }
+        // Only workers hold batcher handles now: when they exit, the
+        // batching thread drains and exits too.
+        drop(batcher);
+        Ok(Server { addr, shared, workers, batcher: batcher_handle })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain without blocking: no new connections are
+    /// accepted, in-flight requests finish (bounded by the read timeout).
+    pub fn initiate_shutdown(&self) {
+        self.shared.initiate();
+    }
+
+    /// Blocks until every worker and the batching thread have exited —
+    /// i.e. until someone (this process or a client's `/admin/shutdown`)
+    /// initiated a drain and it completed.
+    pub fn wait(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let _ = self.batcher.join();
+    }
+
+    /// Graceful shutdown: initiate the drain and wait for it.
+    pub fn shutdown(self) {
+        self.initiate_shutdown();
+        self.wait();
+    }
+}
+
+struct ServeMetrics {
+    requests: desalign_telemetry::Counter,
+    errors: desalign_telemetry::Counter,
+    align_queries: desalign_telemetry::Counter,
+    connections: desalign_telemetry::Counter,
+    request_us: desalign_telemetry::Histogram,
+    align_us: desalign_telemetry::Histogram,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| ServeMetrics {
+        requests: desalign_telemetry::counter("serve.requests"),
+        errors: desalign_telemetry::counter("serve.errors"),
+        align_queries: desalign_telemetry::counter("serve.align_queries"),
+        connections: desalign_telemetry::counter("serve.connections"),
+        request_us: desalign_telemetry::histogram("serve.request_us"),
+        align_us: desalign_telemetry::histogram("serve.align_us"),
+    })
+}
+
+fn worker_loop(listener: TcpListener, shared: Arc<Shared>, batcher: Batcher, timeout: Duration) {
+    loop {
+        if shared.draining() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue,
+        };
+        if shared.draining() {
+            return; // the poke connection itself lands here
+        }
+        serve_metrics().connections.incr();
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_nodelay(true);
+        handle_connection(Conn::new(stream), &shared, &batcher);
+    }
+}
+
+fn handle_connection(mut conn: Conn, shared: &Shared, batcher: &Batcher) {
+    loop {
+        match conn.read_request(shared.max_body) {
+            ReadOutcome::Request(req) => {
+                let t0 = Instant::now();
+                let _span = desalign_telemetry::span("serve.request");
+                let (status, body, shutdown) = route(&req, shared, batcher);
+                let m = serve_metrics();
+                m.requests.incr();
+                if status >= 400 {
+                    m.errors.incr();
+                }
+                m.request_us.record(t0.elapsed().as_micros() as u64);
+                let keep = req.keep_alive && !shutdown && !shared.draining();
+                let write_ok = write_response(conn.stream(), status, &body, keep).is_ok();
+                if shutdown {
+                    shared.initiate();
+                }
+                if !write_ok || !keep {
+                    return;
+                }
+            }
+            ReadOutcome::Closed | ReadOutcome::Io(_) => return,
+            ReadOutcome::Timeout { mid_request } => {
+                if mid_request {
+                    serve_metrics().errors.incr();
+                    let _ = write_response(conn.stream(), 408, &error_body_raw("io", "serve.read", "request timed out"), false);
+                    return;
+                }
+                if shared.draining() {
+                    return; // idle keep-alive connection during a drain
+                }
+            }
+            ReadOutcome::Bad { status, detail } => {
+                serve_metrics().errors.incr();
+                let class = if status == 413 { "schema" } else { "parse" };
+                let _ = write_response(conn.stream(), status, &error_body_raw(class, "serve.http", &detail), false);
+                return;
+            }
+        }
+    }
+}
+
+/// Maps a typed error to its HTTP status: unknown entities are 404,
+/// server-side unavailability 503, and every other data defect a 400.
+fn status_for(class: DefectClass) -> u16 {
+    match class {
+        DefectClass::PairOutOfRange => 404,
+        DefectClass::Io => 503,
+        _ => 400,
+    }
+}
+
+fn error_body(err: &DesalignError) -> String {
+    json!({
+        "error": json!({
+            "class": err.class.name(),
+            "location": err.location.as_str(),
+            "context": err.context.as_str(),
+        })
+    })
+    .to_string()
+}
+
+fn error_body_raw(class: &str, location: &str, context: &str) -> String {
+    json!({ "error": json!({ "class": class, "location": location, "context": context }) }).to_string()
+}
+
+fn route(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> (u16, String, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, health_body(shared), false),
+        ("GET", "/metrics") => (200, desalign_telemetry::metrics_json().to_string(), false),
+        ("POST", "/v1/align") => {
+            let (status, body) = align(req, shared, batcher);
+            (status, body, false)
+        }
+        ("POST", "/admin/shutdown") => (200, json!({ "status": "draining" }).to_string(), true),
+        (_, "/healthz" | "/metrics" | "/v1/align" | "/admin/shutdown") => {
+            (405, error_body_raw("schema", "serve.route", &format!("method {} not allowed here", req.method)), false)
+        }
+        (_, path) => (404, error_body_raw("schema", "serve.route", &format!("unknown path '{path}'")), false),
+    }
+}
+
+fn health_body(shared: &Shared) -> String {
+    let e = &shared.engine;
+    let (hits, misses) = e.cache_stats();
+    json!({
+        "status": if shared.draining() { "draining" } else { "ok" },
+        "source_entities": e.num_queries(),
+        "target_entities": e.num_items(),
+        "dim": e.dim(),
+        "backend": match e.backend() {
+            IndexKind::Exact => "exact",
+            IndexKind::Ivf => "ivf",
+        },
+        "threads": desalign_parallel::current_threads(),
+        "workers": shared.workers,
+        "cache_hits": hits as f64,
+        "cache_misses": misses as f64,
+    })
+    .to_string()
+}
+
+/// Parses the `/v1/align` body. Schema (docs/SERVING.md): exactly one of
+/// `"entity"` (source entity id) or `"vector"` (embedding row), plus an
+/// optional `"k"`.
+fn parse_align(body: &[u8], default_k: usize) -> Result<(AlignQuery, usize), DesalignError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| DesalignError::parse("align.body", format!("body is not UTF-8: {e}")))?;
+    let doc = Json::parse(text).map_err(|e| DesalignError::parse("align.body", e.to_string()))?;
+    if doc.as_object().is_none() {
+        return Err(DesalignError::schema("align.body", "body must be a JSON object"));
+    }
+    let k = match doc.get("k") {
+        None => default_k,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| DesalignError::schema("align.k", "'k' must be a non-negative integer"))?,
+    };
+    let query = match (doc.get("entity"), doc.get("vector")) {
+        (Some(e), None) => AlignQuery::Entity(
+            e.as_usize()
+                .ok_or_else(|| DesalignError::schema("align.entity", "'entity' must be a non-negative integer"))?,
+        ),
+        (None, Some(v)) => {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| DesalignError::schema("align.vector", "'vector' must be an array of numbers"))?;
+            let mut row = Vec::with_capacity(arr.len());
+            for (i, x) in arr.iter().enumerate() {
+                let Some(f) = x.as_f64() else {
+                    return Err(DesalignError::schema("align.vector", format!("'vector[{i}]' is not a number")));
+                };
+                row.push(f as f32);
+            }
+            AlignQuery::Vector(row)
+        }
+        _ => {
+            return Err(DesalignError::schema(
+                "align.body",
+                "provide exactly one of 'entity' (source id) or 'vector' (embedding row)",
+            ))
+        }
+    };
+    Ok((query, k))
+}
+
+fn align(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> (u16, String) {
+    let t0 = Instant::now();
+    let (query, k) = match parse_align(&req.body, shared.default_k) {
+        Ok(parsed) => parsed,
+        Err(e) => return (status_for(e.class), error_body(&e)),
+    };
+    let m = serve_metrics();
+    m.align_queries.incr();
+    let result = batcher.submit(query, k);
+    m.align_us.record(t0.elapsed().as_micros() as u64);
+    match result {
+        Ok(answer) => {
+            let cands: Vec<Json> = answer
+                .candidates
+                .iter()
+                .map(|&(id, score)| json!({ "id": id, "score": score }))
+                .collect();
+            (200, json!({ "k": k, "candidates": Json::Array(cands) }).to_string())
+        }
+        Err(e) => (status_for(e.class), error_body(&e)),
+    }
+}

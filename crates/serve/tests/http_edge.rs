@@ -1,0 +1,162 @@
+//! Hostile-input integration tests: every malformed, truncated, or
+//! abusive request a client can send must come back as a typed 4xx over
+//! the wire — never a panic, never a hung connection. Each test drives a
+//! real in-process server through raw sockets, byte by byte.
+
+use desalign_serve::{AlignEngine, ServeConfig, Server};
+use desalign_tensor::Matrix;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn test_server(read_timeout: Duration) -> Server {
+    let queries = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+    let items = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+    let engine =
+        AlignEngine::from_embeddings(queries, items, &desalign_eval::RetrievalConfig::default(), 8).unwrap();
+    let cfg = ServeConfig {
+        workers: 2,
+        max_body: 4096,
+        read_timeout,
+        batch_window: Duration::from_micros(100),
+        ..ServeConfig::default()
+    };
+    Server::start(engine, &cfg).unwrap()
+}
+
+/// Sends raw bytes, shuts down the write side, and returns everything the
+/// server answers before closing.
+fn send_raw(server: &Server, payload: &[u8]) -> String {
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.write_all(payload).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn post_align(server: &Server, body: &str) -> String {
+    send_raw(
+        server,
+        format!("POST /v1/align HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}", body.len(), body).as_bytes(),
+    )
+}
+
+#[test]
+fn hostile_requests_get_typed_4xx_never_panics() {
+    let server = test_server(Duration::from_secs(5));
+
+    // Truncated body: Content-Length promises more bytes than arrive.
+    let r = send_raw(&server, b"POST /v1/align HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"entity\"");
+    assert!(r.starts_with("HTTP/1.1 400"), "truncated body: {r}");
+
+    // Content-Length beyond the configured limit.
+    let r = send_raw(&server, b"POST /v1/align HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 413"), "oversized: {r}");
+
+    // Body bytes that are not UTF-8.
+    let r = send_raw(&server, b"POST /v1/align HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc");
+    assert!(r.starts_with("HTTP/1.1 400"), "bad utf-8: {r}");
+    assert!(r.contains("\"parse\""), "bad utf-8 should be a parse defect: {r}");
+
+    // Well-formed JSON, wrong embedding width.
+    let r = post_align(&server, r#"{"vector": [1.0, 2.0]}"#);
+    assert!(r.starts_with("HTTP/1.1 400"), "wrong dims: {r}");
+    assert!(r.contains("dimension-mismatch"), "wrong dims class: {r}");
+
+    // Non-finite feature values.
+    let r = post_align(&server, r#"{"vector": [1.0, NaN, 0.0]}"#);
+    assert!(r.starts_with("HTTP/1.1 400"), "NaN vector: {r}");
+    assert!(r.contains("non-finite-feature"), "NaN vector class: {r}");
+
+    // Unknown entity id.
+    let r = post_align(&server, r#"{"entity": 7}"#);
+    assert!(r.starts_with("HTTP/1.1 404"), "unknown entity: {r}");
+    assert!(r.contains("pair-out-of-range"), "unknown entity class: {r}");
+
+    // Both query forms at once.
+    let r = post_align(&server, r#"{"entity": 0, "vector": [1.0, 0.0, 0.0]}"#);
+    assert!(r.starts_with("HTTP/1.1 400"), "ambiguous query: {r}");
+
+    // Garbage request line.
+    let r = send_raw(&server, b"\xff\xfe utter nonsense\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 400"), "garbage line: {r}");
+
+    // Chunked transfer encoding is rejected, not half-implemented.
+    let r = send_raw(&server, b"POST /v1/align HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 400"), "chunked: {r}");
+
+    // Unknown path / wrong method.
+    let r = send_raw(&server, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 404"), "unknown path: {r}");
+    let r = send_raw(&server, b"DELETE /v1/align HTTP/1.1\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 405"), "wrong method: {r}");
+
+    // Headers past the 16KiB cap.
+    let huge = format!("GET /healthz HTTP/1.1\r\nX-Junk: {}\r\n\r\n", "a".repeat(20_000));
+    let r = send_raw(&server, huge.as_bytes());
+    assert!(r.starts_with("HTTP/1.1 431"), "header flood: {r}");
+
+    // After all that abuse the server still answers politely.
+    let r = post_align(&server, r#"{"entity": 0, "k": 2}"#);
+    assert!(r.starts_with("HTTP/1.1 200"), "post-abuse sanity: {r}");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = test_server(Duration::from_secs(5));
+    let q = r#"{"entity": 0, "k": 1}"#;
+    let two = format!(
+        "POST /v1/align HTTP/1.1\r\nContent-Length: {len}\r\n\r\n{q}GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        len = q.len()
+    );
+    let out = send_raw(&server, two.as_bytes());
+    let responses: Vec<_> = out.match_indices("HTTP/1.1 200").collect();
+    assert_eq!(responses.len(), 2, "expected two 200s in order: {out}");
+    let align_at = out.find("\"candidates\"").expect("align body present");
+    let health_at = out.find("\"status\"").expect("health body present");
+    assert!(align_at < health_at, "responses out of order: {out}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_request_gets_408_and_shutdown_drains_anyway() {
+    // Short read timeout so the stalled client bounds the test, not us.
+    let server = test_server(Duration::from_millis(300));
+
+    // A client that sends half a request and goes silent.
+    let mut stalled = TcpStream::connect(server.addr()).unwrap();
+    stalled.write_all(b"POST /v1/align HTTP/1.1\r\nContent-Le").unwrap();
+    stalled.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Meanwhile another worker still serves healthy traffic.
+    let ok = send_raw(&server, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+
+    // The stalled connection is answered with 408 once the timeout fires.
+    let mut out = String::new();
+    stalled.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 408"), "stalled client: {out}");
+
+    // A drain with a freshly-stalled client completes within the read
+    // timeout instead of hanging on the dead connection.
+    let mut zombie = TcpStream::connect(server.addr()).unwrap();
+    zombie.write_all(b"POST /v1/align HTTP/1.1\r\n").unwrap();
+    server.shutdown(); // must return; the join bounds the test
+    drop(zombie);
+}
+
+#[test]
+fn connection_drop_mid_request_does_not_poison_the_server() {
+    let server = test_server(Duration::from_secs(5));
+    // Kill the socket after half a request, repeatedly.
+    for _ in 0..5 {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"POST /v1/align HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"ent").unwrap();
+        drop(s); // RST/EOF mid-body
+    }
+    let r = post_align(&server, r#"{"entity": 1, "k": 3}"#);
+    assert!(r.starts_with("HTTP/1.1 200"), "server poisoned: {r}");
+    server.shutdown();
+}

@@ -1,0 +1,128 @@
+//! Determinism at the edge: the serving contract promises that response
+//! *bytes* for a given query are a pure function of the loaded embeddings
+//! — independent of thread count, server restarts, batch composition,
+//! cache temperature, and connection interleaving. These tests enforce it
+//! on real sockets.
+
+use desalign_serve::{AlignEngine, AlignQuery, Batcher, ServeConfig, Server};
+use desalign_tensor::Matrix;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn synth_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| ((splitmix(seed.wrapping_add(i as u64)) >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn engine(cache: usize) -> AlignEngine {
+    AlignEngine::from_embeddings(
+        synth_matrix(48, 16, 3),
+        synth_matrix(64, 16, 5),
+        &desalign_eval::RetrievalConfig::default(),
+        cache,
+    )
+    .unwrap()
+}
+
+/// One full HTTP round-trip on a fresh connection; returns the body.
+fn query_once(server: &Server, body: &str) -> String {
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    write!(s, "POST /v1/align HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}", body.len(), body)
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let (head, body) = out.split_once("\r\n\r\n").expect("framed response");
+    assert!(head.starts_with("HTTP/1.1 200"), "{out}");
+    body.to_string()
+}
+
+/// Thread overrides are process-wide, so every phase of the sweep lives in
+/// this one test — Rust runs tests in one process.
+#[test]
+fn responses_are_bit_identical_across_threads_restarts_and_batching() {
+    let q = r#"{"entity": 11, "k": 7}"#;
+    let mut bodies = Vec::new();
+
+    for (threads, max_batch) in [(1usize, 1usize), (2, 1), (4, 16), (1, 16)] {
+        desalign_parallel::set_thread_override(Some(threads));
+        // A fresh server per leg doubles as the restart check: same
+        // embeddings, new process-state, same bytes.
+        let cfg = ServeConfig { workers: 2, max_batch, ..ServeConfig::default() };
+        let server = Server::start(engine(8), &cfg).unwrap();
+        bodies.push(query_once(&server, q));
+        server.shutdown();
+    }
+    desalign_parallel::set_thread_override(None);
+
+    for (i, b) in bodies.iter().enumerate().skip(1) {
+        assert_eq!(b, &bodies[0], "leg {i} diverged from leg 0");
+    }
+    assert!(bodies[0].contains("\"candidates\""));
+}
+
+#[test]
+fn cache_temperature_cannot_change_bytes() {
+    let server = Server::start(engine(4), &ServeConfig { workers: 2, ..ServeConfig::default() }).unwrap();
+    let q = r#"{"entity": 3, "k": 5}"#;
+    let cold = query_once(&server, q);
+    // Churn the 4-entry cache past capacity, then re-ask.
+    for id in 0..16 {
+        query_once(&server, &format!("{{\"entity\": {id}, \"k\": 1}}"));
+    }
+    let warm = query_once(&server, q);
+    assert_eq!(cold, warm, "cache state leaked into response bytes");
+    server.shutdown();
+}
+
+#[test]
+fn batch_composition_is_invisible_concurrent_vs_sequential() {
+    let eng = Arc::new(engine(16));
+    // Sequential ground truth straight from the engine.
+    let singles: Vec<_> = (0..12usize)
+        .map(|i| eng.answer(&AlignQuery::Entity(i % 48), 1 + i % 5).unwrap())
+        .collect();
+
+    // The same queries racing through a wide batching window.
+    let (batcher, handle) = Batcher::spawn(eng.clone(), 8, Duration::from_millis(5));
+    let mut joins = Vec::new();
+    for i in 0..12usize {
+        let b = batcher.clone();
+        joins.push(std::thread::spawn(move || b.submit(AlignQuery::Entity(i % 48), 1 + i % 5).unwrap()));
+    }
+    for (i, j) in joins.into_iter().enumerate() {
+        assert_eq!(j.join().unwrap(), singles[i], "query {i} changed under batching");
+    }
+    drop(batcher);
+    handle.join().unwrap();
+}
+
+#[test]
+fn entity_vector_and_wire_roundtrips_agree() {
+    // A query sent as an entity id and the same row sent as an explicit
+    // vector must serialize to identical candidate lists on the wire.
+    let eng = engine(0);
+    let row: Vec<f32> = (0..16).map(|j| eng_row_value(3, j)).collect();
+    let server = Server::start(engine(0), &ServeConfig { workers: 2, ..ServeConfig::default() }).unwrap();
+    let by_id = query_once(&server, r#"{"entity": 3, "k": 6}"#);
+    let vec_json: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+    let by_vec = query_once(&server, &format!("{{\"vector\": [{}], \"k\": 6}}", vec_json.join(", ")));
+    assert_eq!(by_id, by_vec, "entity-id and vector featurization disagree on the wire");
+    drop(eng);
+    server.shutdown();
+}
+
+/// The value `synth_matrix(48, 16, 3)` puts at `(row, col)`.
+fn eng_row_value(row: usize, col: usize) -> f32 {
+    ((splitmix(3u64.wrapping_add((row * 16 + col) as u64)) >> 40) as f32 / (1u64 << 23) as f32) * 2.0 - 1.0
+}

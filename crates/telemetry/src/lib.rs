@@ -13,9 +13,11 @@
 //!    accumulates call count / total / min / max per path. [`span_report`]
 //!    turns the registry into a tree, [`render_span_tree`] pretty-prints
 //!    it, and [`spans_json`] serializes it.
-//! 2. **Counters and gauges** — [`counter`] / [`gauge`] hand out cheap
-//!    clonable handles onto named atomics ([`Counter`], [`Gauge`]); the
-//!    thread pool uses them for batch-utilization accounting.
+//! 2. **Counters, gauges, and histograms** — [`counter`] / [`gauge`] /
+//!    [`histogram`] hand out cheap clonable handles onto named atomics
+//!    ([`Counter`], [`Gauge`], [`Histogram`]); the thread pool uses
+//!    counters for batch-utilization accounting, and `desalign-serve`
+//!    records per-request latency into histograms for `/metrics`.
 //! 3. **A metrics sink** — [`MetricsSink`] streams one JSON object per line
 //!    (JSONL) through `desalign-util`'s writer; [`EpochRecord`] is the
 //!    fixed per-epoch training schema (losses of Eq. 15–17, Dirichlet
@@ -71,7 +73,8 @@ mod sink;
 mod span;
 
 pub use metrics::{
-    counter, counters_snapshot, gauge, gauges_snapshot, metrics_json, reset_metrics, Counter, Gauge,
+    counter, counters_snapshot, gauge, gauges_snapshot, histogram, histograms_snapshot,
+    metrics_json, reset_metrics, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS,
 };
 pub use sink::{emit, install_sink, set_context, take_sink, EpochRecord, EvalSnapshot, MetricsSink};
 pub use span::{render_span_tree, reset_spans, span, span_report, spans_json, SpanGuard, SpanNode};

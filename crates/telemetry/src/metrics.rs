@@ -13,6 +13,7 @@ use desalign_util::{json, Json};
 
 static COUNTERS: Mutex<BTreeMap<&'static str, Counter>> = Mutex::new(BTreeMap::new());
 static GAUGES: Mutex<BTreeMap<&'static str, Gauge>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
 
 /// A monotonically increasing `u64` counter. Cloning is cheap (an `Arc`
 /// bump) and all clones share the same atomic.
@@ -71,6 +72,125 @@ impl Gauge {
     }
 }
 
+/// Number of power-of-two latency buckets in a [`Histogram`]: bucket `i`
+/// counts values `v` (in microseconds) with `2^(i−1) < v ≤ 2^i` (bucket 0
+/// holds `v ≤ 1`), and the last bucket absorbs everything larger —
+/// `2^30 µs ≈ 18 min`, far beyond any request this workspace serves.
+pub const HISTOGRAM_BUCKETS: usize = 31;
+
+/// A lock-free latency histogram over fixed power-of-two microsecond
+/// buckets, plus exact count/sum/max for means and hard tails.
+///
+/// Like [`Counter`], recording is **not** gated on [`crate::enabled`]:
+/// serving metrics must stay live even when span collection is off, and
+/// an atomic add per request is cheap enough to always pay. Quantiles are
+/// read from the bucket upper bounds, so a reported p99 is an upper
+/// estimate within a factor of 2 of the true value.
+///
+/// ```
+/// use desalign_telemetry as telemetry;
+/// let h = telemetry::histogram("doc.latency_us");
+/// h.record(3);
+/// h.record(900);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.quantile(0.5) >= 3.0 && h.quantile(0.99) >= 900.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one observation (intended unit: microseconds).
+    #[inline]
+    pub fn record(&self, value_us: u64) {
+        let bucket = (64 - u64::leading_zeros(value_us.saturating_sub(1)) as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value_us, Ordering::Relaxed);
+        self.0.max.fetch_max(value_us, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (in the recording unit) of the bucket containing
+    /// quantile `q ∈ [0, 1]`; `0.0` when nothing was recorded. The last
+    /// bucket reports the exact observed max instead of its (huge) bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == HISTOGRAM_BUCKETS - 1 { self.max() as f64 } else { (1u64 << i) as f64 };
+            }
+        }
+        self.max() as f64
+    }
+
+    /// Per-bucket counts, index `i` covering `(2^(i−1), 2^i]`.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
+        self.0.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Summary JSON: count, mean, p50/p90/p99 upper estimates, exact max.
+    pub fn summary_json(&self) -> Json {
+        let count = self.count();
+        let mean = if count == 0 { 0.0 } else { self.sum() as f64 / count as f64 };
+        json!({
+            "count": count,
+            "mean_us": mean,
+            "p50_us": self.quantile(0.50),
+            "p90_us": self.quantile(0.90),
+            "p99_us": self.quantile(0.99),
+            "max_us": self.max(),
+        })
+    }
+}
+
 /// Returns the counter registered under `name`, creating it (at zero) on
 /// first use. Unlike spans, counters record regardless of
 /// [`crate::enabled`] — callers on hot paths gate on it themselves.
@@ -84,6 +204,13 @@ pub fn gauge(name: &'static str) -> Gauge {
     GAUGES.lock().unwrap().entry(name).or_default().clone()
 }
 
+/// Returns the histogram registered under `name`, creating it (empty) on
+/// first use. Like counters, histograms record regardless of
+/// [`crate::enabled`].
+pub fn histogram(name: &'static str) -> Histogram {
+    HISTOGRAMS.lock().unwrap().entry(name).or_default().clone()
+}
+
 /// Snapshot of every registered counter, sorted by name.
 pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
     COUNTERS.lock().unwrap().iter().map(|(name, c)| (*name, c.get())).collect()
@@ -94,9 +221,14 @@ pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
     GAUGES.lock().unwrap().iter().map(|(name, g)| (*name, g.get())).collect()
 }
 
-/// Zeroes every registered counter and gauge **in place**: handles already
-/// held by callers keep pointing at the same atomics, so cached
-/// `OnceLock<Counter>` statics survive a reset.
+/// Snapshot handles to every registered histogram, sorted by name.
+pub fn histograms_snapshot() -> Vec<(&'static str, Histogram)> {
+    HISTOGRAMS.lock().unwrap().iter().map(|(name, h)| (*name, h.clone())).collect()
+}
+
+/// Zeroes every registered counter, gauge, and histogram **in place**:
+/// handles already held by callers keep pointing at the same atomics, so
+/// cached `OnceLock<Counter>` statics survive a reset.
 pub fn reset_metrics() {
     for (_, c) in COUNTERS.lock().unwrap().iter() {
         c.0.store(0, Ordering::Relaxed);
@@ -104,10 +236,13 @@ pub fn reset_metrics() {
     for (_, g) in GAUGES.lock().unwrap().iter() {
         g.0.store(0f64.to_bits(), Ordering::Relaxed);
     }
+    for (_, h) in HISTOGRAMS.lock().unwrap().iter() {
+        h.reset();
+    }
 }
 
-/// All counters and gauges as one JSON object:
-/// `{"counters": {...}, "gauges": {...}}`.
+/// All counters, gauges, and histogram summaries as one JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
 pub fn metrics_json() -> Json {
     let counters = Json::Object(
         counters_snapshot().into_iter().map(|(k, v)| (k.to_string(), Json::Num(v as f64))).collect(),
@@ -115,7 +250,10 @@ pub fn metrics_json() -> Json {
     let gauges = Json::Object(
         gauges_snapshot().into_iter().map(|(k, v)| (k.to_string(), Json::Num(v))).collect(),
     );
-    json!({ "counters": counters, "gauges": gauges })
+    let histograms = Json::Object(
+        histograms_snapshot().into_iter().map(|(k, h)| (k.to_string(), h.summary_json())).collect(),
+    );
+    json!({ "counters": counters, "gauges": gauges, "histograms": histograms })
 }
 
 #[cfg(test)]
@@ -156,6 +294,45 @@ mod tests {
         assert_eq!(g.get(), -0.125);
         g.set(f64::INFINITY);
         assert!(g.get().is_infinite());
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _serial = crate::test_guard();
+        let h = histogram("mt_hist");
+        h.reset();
+        h.record(0); // bucket 0 (v <= 1)
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1 (1 < v <= 2)
+        h.record(1000); // bucket 10 (512 < v <= 1024)
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1003);
+        assert_eq!(h.max(), 1000);
+        let b = h.buckets();
+        assert_eq!(b[0], 2);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[10], 1);
+        // p50 lands in bucket 0 (upper bound 1); p99 in the last non-empty
+        // bucket (upper bound 1024).
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.99), 1024.0);
+        // The overflow bucket reports the exact max, not 2^30.
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX as f64);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_survives_reset_metrics() {
+        let _serial = crate::test_guard();
+        let h = histogram("mt_hist_reset");
+        h.record(5);
+        reset_metrics();
+        assert_eq!(h.count(), 0);
+        h.record(7);
+        assert_eq!(histogram("mt_hist_reset").count(), 1);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`core`] — the DESAlign model itself (multi-modal semantic learning +
 //!   semantic propagation);
 //! - [`baselines`] — TransE, GCN-align, EVA, MCLEA, MEAformer;
+//! - [`serve`] — alignment-as-a-service: the std-only HTTP inference
+//!   server over a checkpointed model, with request batching and a
+//!   featurization cache (contract in `docs/SERVING.md`);
 //! - [`util`] — zero-dependency JSON serialization;
 //! - [`parallel`] — deterministic thread pool behind every hot kernel
 //!   (`DESALIGN_THREADS` selects the thread count; results are bit-identical
@@ -53,6 +56,7 @@ pub use desalign_graph as graph;
 pub use desalign_mmkg as mmkg;
 pub use desalign_nn as nn;
 pub use desalign_parallel as parallel;
+pub use desalign_serve as serve;
 pub use desalign_telemetry as telemetry;
 pub use desalign_tensor as tensor;
 pub use desalign_util as util;
