@@ -221,6 +221,64 @@ if grep -q "NaN\|Infinity" "$serve_bench_out"; then
 fi
 rm -f "$serve_bench_out"
 
+# Streaming data-plane gates (docs/DATA_FORMAT.md). First: byte-identity —
+# the sharded layout must be a lossless encoding. Generate a split straight
+# to shards through the CLI, export it back to JSON, and cmp against the
+# same split generated in memory: a single differing byte fails.
+echo "==> streaming data plane (shard round-trip byte-identity)"
+stream_dir=$(mktemp -d)
+cargo run -q --offline --release --bin desalign-cli -- \
+    generate --preset fbdb15k --scale 80 --seed 11 --out "$stream_dir/direct.json" >/dev/null
+cargo run -q --offline --release --bin desalign-cli -- \
+    shard --preset fbdb15k --scale 80 --seed 11 --out "$stream_dir/shards" --shard-entities 30 >/dev/null
+cargo run -q --offline --release --bin desalign-cli -- \
+    shard-audit --dir "$stream_dir/shards" --policy strict >/dev/null
+cargo run -q --offline --release --bin desalign-cli -- \
+    shard-export --dir "$stream_dir/shards" --out "$stream_dir/roundtrip.json" >/dev/null
+if ! cmp -s "$stream_dir/direct.json" "$stream_dir/roundtrip.json"; then
+    echo "    STREAMING DIVERGENCE: shard round-trip JSON differs from the in-memory split"
+    exit 1
+fi
+echo "    shard round-trip is byte-identical to the in-memory JSON path"
+rm -rf "$stream_dir"
+
+# Second: the hostile-shard sweep — truncations, bit flips, and semantic
+# corruption against the streaming auditor (Strict must reject, Repair must
+# quarantine/rewrite and converge to the in-memory auditor's fingerprint).
+echo "==> hostile-shard sweep (streaming auditor)"
+cargo test -q --offline -p desalign-mmkg --test shard_stream
+
+# Third: the streaming bench smoke with its gate — streamed fingerprints
+# must match the in-memory dataset at every scale, and the audit's peak
+# payload must stay bounded by the largest shard while the JSON artifact
+# grows with scale (the out-of-core claim). Scratch output so the committed
+# BENCH_streaming.json stays the full-scale run.
+echo "==> streaming_bench (peak-memory + fingerprint gate)"
+streaming_out=$(mktemp)
+DESALIGN_STREAMING_SIZES=500,2000 DESALIGN_STREAMING_SHARD_ENTITIES=200 \
+    DESALIGN_STREAMING_SAMPLES=2 DESALIGN_STREAMING_GATE=1 DESALIGN_STREAMING_OUT="$streaming_out" \
+    cargo run -q --offline --release -p desalign-bench --bin streaming_bench >/dev/null
+test -s "$streaming_out" || { echo "    streaming_bench did not write its JSON artifact"; exit 1; }
+grep -q '"fingerprints_match":true' "$streaming_out" || { echo "    streaming bench artifact lost its fingerprint column"; exit 1; }
+if grep -q '"fingerprints_match":false' "$streaming_out"; then
+    echo "    STREAMING FINGERPRINT MISMATCH: see $streaming_out"
+    exit 1
+fi
+rm -f "$streaming_out"
+
+# Fourth: the neighborhood-sampled training path must be as thread-count
+# independent as the full-graph trainer — same cross-process fingerprint
+# diff as above, with DESALIGN_SAMPLED=1 flipping the trainer to the
+# block-sampled loop.
+echo "==> determinism fingerprint (sampled path, serial vs default threads)"
+fp_sampled_serial=$(DESALIGN_SAMPLED=1 DESALIGN_THREADS=1 cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+fp_sampled_default=$(DESALIGN_SAMPLED=1 cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+if [ "$fp_sampled_serial" != "$fp_sampled_default" ]; then
+    echo "    SAMPLED DETERMINISM FAILURE: serial fingerprint $fp_sampled_serial != default $fp_sampled_default"
+    exit 1
+fi
+echo "    fingerprint $fp_sampled_serial (identical)"
+
 # Formatting is checked only when a rustfmt binary is installed — it is not
 # part of the zero-dependency contract. The check is advisory: the codebase
 # predates rustfmt enforcement and deliberately keeps a denser style than

@@ -13,6 +13,12 @@
 //! audit must be a no-op and the fingerprint must match the default run —
 //! `ci.sh` diffs the two to prove that wiring the auditor into a healthy
 //! pipeline cannot perturb training.
+//!
+//! `DESALIGN_SAMPLED=1` trains through the neighborhood-sampled block
+//! path instead of the full-graph trainer (a *different* trajectory, so a
+//! different fingerprint). `ci.sh` runs that variant at two thread counts
+//! and diffs: the sampled path must be as thread-count-independent as the
+//! full-graph one.
 
 use desalign_bench::or_die;
 use desalign_core::{DesalignConfig, DesalignModel};
@@ -61,6 +67,11 @@ fn main() {
     cfg.feature_dims = FeatureDims { relation: 64, attribute: 64, visual: 64 };
     cfg.epochs = 2;
     cfg.batch_size = 64;
+    if std::env::var("DESALIGN_SAMPLED").as_deref() == Ok("1") {
+        cfg.sampled.enabled = true;
+        cfg.sampled.block_entities = 32;
+        cfg.sampled.halo_per_node = 4;
+    }
     let mut model = DesalignModel::new(cfg, &ds, 31);
     model.fit(&ds);
     let sim = model.similarity_with_iterations(2);

@@ -164,6 +164,32 @@ impl RetrievalSettings {
     }
 }
 
+/// Out-of-core neighborhood-sampled training (streaming data plane).
+///
+/// When enabled, [`DesalignModel::fit`](crate::DesalignModel::fit) trains
+/// by iterating contiguous source-entity blocks — the same blocking the
+/// shard format uses (`docs/DATA_FORMAT.md`) — encoding only each block's
+/// [`sample_neighborhood`](desalign_graph::sample_neighborhood) subgraph
+/// per step instead of the full graphs. Off by default: the full-graph
+/// path (and every fingerprint gated on it) is untouched.
+#[derive(Clone, Copy, Debug)]
+pub struct SampledTrainingSettings {
+    /// Route training through the block-sampled mini-batch loop.
+    pub enabled: bool,
+    /// Source entities per block (mirrors `shard_entities`; must be ≥ 1
+    /// when enabled).
+    pub block_entities: usize,
+    /// Maximum sampled out-of-block neighbors (halo) per core entity.
+    /// `0` trains each block as an isolated induced subgraph.
+    pub halo_per_node: usize,
+}
+
+impl Default for SampledTrainingSettings {
+    fn default() -> Self {
+        Self { enabled: false, block_entities: 512, halo_per_node: 8 }
+    }
+}
+
 /// Full DESAlign configuration.
 #[derive(Clone, Debug)]
 pub struct DesalignConfig {
@@ -246,6 +272,8 @@ pub struct DesalignConfig {
     pub watchdog: WatchdogConfig,
     /// Sub-quadratic retrieval backend and its knobs.
     pub retrieval: RetrievalSettings,
+    /// Out-of-core neighborhood-sampled training (off by default).
+    pub sampled: SampledTrainingSettings,
     /// Ablation switches.
     pub ablation: Ablation,
 }
@@ -282,6 +310,7 @@ impl DesalignConfig {
             confidence_blend: 0.25,
             watchdog: WatchdogConfig::default(),
             retrieval: RetrievalSettings::default(),
+            sampled: SampledTrainingSettings::default(),
             ablation: Ablation::default(),
         }
     }
@@ -318,6 +347,7 @@ impl DesalignConfig {
             confidence_blend: 0.25,
             watchdog: WatchdogConfig::default(),
             retrieval: RetrievalSettings::default(),
+            sampled: SampledTrainingSettings::default(),
             ablation: Ablation::default(),
         }
     }
@@ -370,6 +400,9 @@ impl DesalignConfig {
         if self.retrieval.nprobe == 0 {
             return Err(DesalignError::config("retrieval.nprobe", "must be ≥ 1 (0 cells probed would return nothing)"));
         }
+        if self.sampled.enabled && self.sampled.block_entities == 0 {
+            return Err(DesalignError::config("sampled.block_entities", "must be ≥ 1 when sampled training is enabled"));
+        }
         Ok(())
     }
 }
@@ -398,6 +431,16 @@ impl ToJson for RetrievalSettings {
             "nprobe": self.nprobe,
             "kmeans_iters": self.kmeans_iters,
             "csls_k": self.csls_k,
+        })
+    }
+}
+
+impl ToJson for SampledTrainingSettings {
+    fn to_json(&self) -> Json {
+        json!({
+            "enabled": self.enabled,
+            "block_entities": self.block_entities,
+            "halo_per_node": self.halo_per_node,
         })
     }
 }
@@ -469,6 +512,7 @@ impl ToJson for DesalignConfig {
             "confidence_blend": self.confidence_blend,
             "watchdog": self.watchdog,
             "retrieval": self.retrieval,
+            "sampled": self.sampled,
             "ablation": self.ablation,
         })
     }

@@ -253,18 +253,146 @@ impl MultiModalEncoder {
             }
         }
 
-        // Joint embeddings (Eq. 14): ℓ2-normalize each modality block (so no
-        // branch dominates the concatenation by norm alone — the standard
-        // practice in the EVA/MCLEA/MEAformer implementations), weight by
-        // the confidence, and concatenate.
-        //
-        // With `mask_missing_modalities` on, absent modalities are masked
-        // out of the fusion and the remaining weights renormalized per
-        // entity, so noise-filled rows never reach the joint embedding:
-        //   w^m ← (b^m · 1[m present]) / Σ_{m'} b^{m'} · 1[m' present]
-        // where b^m is the blended confidence weight (or 1/|M| uniform).
-        // The uniform path is rescaled by |M| so a fully-present entity
-        // keeps weight 1 per block, matching the unmasked concatenation.
+        let (h_ori, h_fus_layers) =
+            self.fuse_outputs(sess, &modal, &fused_layers, &confidence, inputs.n, &inputs.features, None);
+
+        EncodedGraph { modalities: self.modalities.clone(), modal, fused_layers, confidence, h_ori, h_fus_layers }
+    }
+
+    /// Encodes a sampled neighborhood of one side: the same shared weights
+    /// as [`forward`](Self::forward), applied to the `sub.nodes` rows only.
+    ///
+    /// - Structure embeddings are row-gathered **differentiably** from
+    ///   `x^g`, so gradients flow back to exactly the sampled rows;
+    /// - the GAT/GCN runs on the subgraph's local message edges (both
+    ///   orientations + self-loops, mirroring
+    ///   [`UndirectedGraph::message_edges`](desalign_graph::UndirectedGraph::message_edges));
+    /// - FC branch inputs and presence masks are host-gathered per node.
+    ///
+    /// Peak tape memory is `O(|sub| × d)` instead of `O(n × d)` — this is
+    /// what makes out-of-core training (`docs/DATA_FORMAT.md`) fit in a
+    /// bounded footprint.
+    pub fn forward_sampled(
+        &self,
+        sess: &mut Session<'_>,
+        inputs: &GraphInputs,
+        side: usize,
+        sub: &desalign_graph::SampledSubgraph,
+    ) -> EncodedGraph {
+        assert!(side < 2, "MultiModalEncoder::forward_sampled: side must be 0 or 1");
+        let n_sub = sub.num_nodes();
+        let idx = Rc::new(sub.nodes.clone());
+        // Local message edges, ordered exactly like
+        // `UndirectedGraph::message_edges`: both orientations per edge,
+        // then self-loops at the tail.
+        let mut src = Vec::with_capacity(sub.edges.len() * 2 + n_sub);
+        let mut dst = Vec::with_capacity(sub.edges.len() * 2 + n_sub);
+        for &(u, v) in &sub.edges {
+            src.push(u);
+            dst.push(v);
+            src.push(v);
+            dst.push(u);
+        }
+        for i in 0..n_sub {
+            src.push(i);
+            dst.push(i);
+        }
+        let (src, dst) = (Rc::new(src), Rc::new(dst));
+        let gather_host = |m: &Matrix| -> Matrix {
+            let cols = m.cols();
+            let mut data = Vec::with_capacity(n_sub * cols);
+            for &g in idx.iter() {
+                data.extend_from_slice(m.row(g));
+            }
+            Matrix::from_vec(n_sub, cols, data)
+        };
+
+        let mut modal = Vec::with_capacity(self.modalities.len());
+        for &m in &self.modalities {
+            let h = match m {
+                Modality::Structure => {
+                    let xg = sess.param(self.x_g[side]);
+                    let xg = sess.tape.gather_rows(xg, Rc::clone(&idx));
+                    match &self.structure {
+                        StructureBranch::Gat(gat) => gat.forward(sess, xg, &src, &dst),
+                        StructureBranch::Gcn { w1, w2 } => {
+                            let adj = Rc::new(
+                                desalign_graph::UndirectedGraph::new(n_sub, sub.edges.iter().copied())
+                                    .normalized_adjacency(true),
+                            );
+                            let w1 = sess.param(*w1);
+                            let w2 = sess.param(*w2);
+                            let h = sess.tape.matmul(xg, w1);
+                            let h = sess.tape.spmm(Rc::clone(&adj), h);
+                            let h = sess.tape.relu(h);
+                            let h = sess.tape.matmul(h, w2);
+                            sess.tape.spmm(adj, h)
+                        }
+                    }
+                }
+                Modality::Relation => {
+                    let x = sess.input(gather_host(&inputs.relation));
+                    self.fc_r.forward(sess, x)
+                }
+                Modality::Text => {
+                    let x = sess.input(gather_host(&inputs.attribute));
+                    self.fc_t.forward(sess, x)
+                }
+                Modality::Visual => {
+                    let x = sess.input(gather_host(&inputs.visual));
+                    self.fc_v.forward(sess, x)
+                }
+            };
+            modal.push(h);
+        }
+
+        // Stacked CAW blocks — identical to the full-graph pass.
+        let mut fused_layers = Vec::with_capacity(self.caw.len());
+        let mut confidence = Vec::new();
+        let mut current = modal.clone();
+        for (l, block) in self.caw.iter().enumerate() {
+            let out = block.forward(sess, &current);
+            current = out.fused.clone();
+            fused_layers.push(out.fused);
+            if l + 1 == self.caw.len() {
+                confidence = out.confidence;
+            }
+        }
+
+        let (h_ori, h_fus_layers) =
+            self.fuse_outputs(sess, &modal, &fused_layers, &confidence, n_sub, &inputs.features, Some(&sub.nodes));
+
+        EncodedGraph { modalities: self.modalities.clone(), modal, fused_layers, confidence, h_ori, h_fus_layers }
+    }
+
+    /// The fusion tail shared by the full-graph and sampled passes: builds
+    /// the joint embeddings `h^Ori` and `X^(1..k)` from the branch and CAW
+    /// outputs. `rows` selects which global entities the `n` local rows
+    /// correspond to (`None` = identity, the full graph).
+    ///
+    /// Joint embeddings (Eq. 14): ℓ2-normalize each modality block (so no
+    /// branch dominates the concatenation by norm alone — the standard
+    /// practice in the EVA/MCLEA/MEAformer implementations), weight by
+    /// the confidence, and concatenate.
+    ///
+    /// With `mask_missing_modalities` on, absent modalities are masked
+    /// out of the fusion and the remaining weights renormalized per
+    /// entity, so noise-filled rows never reach the joint embedding:
+    ///   `w^m ← (b^m · 1[m present]) / Σ_{m'} b^{m'} · 1[m' present]`
+    /// where `b^m` is the blended confidence weight (or 1/|M| uniform).
+    /// The uniform path is rescaled by |M| so a fully-present entity
+    /// keeps weight 1 per block, matching the unmasked concatenation.
+    #[allow(clippy::too_many_arguments)]
+    fn fuse_outputs(
+        &self,
+        sess: &mut Session<'_>,
+        modal: &[Var],
+        fused_layers: &[Vec<Var>],
+        confidence: &[Var],
+        n: usize,
+        features: &ModalFeatures,
+        rows: Option<&[usize]>,
+    ) -> (Var, Vec<Var>) {
         let normalize = self.fusion_normalize;
         let alpha = self.confidence_blend;
         let m_count = self.modalities.len() as f32;
@@ -273,13 +401,18 @@ impl MultiModalEncoder {
                 self.modalities
                     .iter()
                     .map(|m| {
-                        let to_bits = |has: &[bool]| has.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+                        let to_bits = |has: &[bool]| -> Vec<f32> {
+                            match rows {
+                                None => has.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+                                Some(r) => r.iter().map(|&g| if has[g] { 1.0 } else { 0.0 }).collect(),
+                            }
+                        };
                         let bits: Vec<f32> = match m {
                             // Structure embeddings are learnable — never absent.
-                            Modality::Structure => vec![1.0; inputs.n],
-                            Modality::Relation => to_bits(&inputs.features.has_relation),
-                            Modality::Text => to_bits(&inputs.features.has_attribute),
-                            Modality::Visual => to_bits(&inputs.features.has_visual),
+                            Modality::Structure => vec![1.0; n],
+                            Modality::Relation => to_bits(&features.has_relation),
+                            Modality::Text => to_bits(&features.has_attribute),
+                            Modality::Visual => to_bits(&features.has_visual),
                         };
                         sess.input(Matrix::column(bits))
                     })
@@ -349,13 +482,13 @@ impl MultiModalEncoder {
                 .collect();
             sess.tape.concat_cols(&blocks)
         };
-        let h_ori = fuse(sess, &modal, &confidence, self.confidence_fusion);
+        let h_ori = fuse(sess, modal, confidence, self.confidence_fusion);
         let h_fus_layers: Vec<Var> = fused_layers
             .iter()
-            .map(|layer| fuse(sess, layer, &confidence, self.confidence_fusion))
+            .map(|layer| fuse(sess, layer, confidence, self.confidence_fusion))
             .collect();
 
-        EncodedGraph { modalities: self.modalities.clone(), modal, fused_layers, confidence, h_ori, h_fus_layers }
+        (h_ori, h_fus_layers)
     }
 }
 

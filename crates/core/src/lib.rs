@@ -37,11 +37,15 @@ pub mod iterative;
 pub mod loss;
 pub mod model;
 pub mod propagate;
+pub mod sampled;
 pub mod train;
 pub mod trainer;
 
 pub use checkpoint::{config_digest, dataset_digest, CHECKPOINT_FORMAT, CHECKPOINT_VERSION};
-pub use config::{Ablation, DesalignConfig, RetrievalBackend, RetrievalSettings, StructureEncoderKind, WatchdogConfig};
+pub use config::{
+    Ablation, DesalignConfig, RetrievalBackend, RetrievalSettings, SampledTrainingSettings, StructureEncoderKind,
+    WatchdogConfig,
+};
 pub use decode::{csls_decode, csls_decode_with, gradient_flow_decode};
 pub use encoder::{EncodedGraph, MultiModalEncoder, Modality};
 pub use energy::{EnergyDiagnostics, EnergyTrace};

@@ -1,0 +1,238 @@
+//! Out-of-core neighborhood-sampled training (the streaming data plane's
+//! compute side — see `docs/DATA_FORMAT.md` for the storage side).
+//!
+//! The full-graph trainer ([`crate::trainer`]) encodes both entire
+//! knowledge graphs every epoch, so its peak tape memory scales with the
+//! larger graph. This module trains instead over contiguous
+//! **source-entity blocks** — the same blocking the shard format uses —
+//! encoding only each block's sampled neighborhood per optimizer step:
+//!
+//! 1. source core = the block's entity range; target core = the targets
+//!    of the block's seed pairs;
+//! 2. each core is extended with a bounded halo of sampled cross-block
+//!    neighbors ([`desalign_graph::sample_neighborhood`]), so the GAT
+//!    sees real message-passing context at the block boundary;
+//! 3. [`MultiModalEncoder::forward_sampled`](crate::MultiModalEncoder::forward_sampled)
+//!    encodes the subgraphs with the same shared weights, and the MMSL
+//!    loss — including the Dirichlet-energy constraint, evaluated on the
+//!    subgraph Laplacians — is applied with block-local indices.
+//!
+//! This is a **first-cut** loop: no watchdog, no early stopping, no
+//! validation split; every seed pair in a block forms that block's batch.
+//! It is gated behind [`SampledTrainingSettings::enabled`], which
+//! defaults to off — the full-graph trajectory (and every fingerprint
+//! gate built on it) is untouched unless a caller opts in.
+//!
+//! [`SampledTrainingSettings::enabled`]: crate::config::SampledTrainingSettings
+
+use crate::loss::{mmsl_loss, LossBreakdown};
+use crate::model::DesalignModel;
+use crate::train::TrainReport;
+use desalign_graph::{sample_neighborhood, Csr, SampledSubgraph, UndirectedGraph};
+use desalign_mmkg::AlignmentDataset;
+use desalign_nn::{AdamW, CosineWarmup, Session};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One precomputed training block: the two sampled subgraphs, their
+/// Laplacians (for the energy constraint), and the block's seed pairs in
+/// local subgraph indices.
+struct Block {
+    sub_s: SampledSubgraph,
+    sub_t: SampledSubgraph,
+    lap_s: Rc<Csr>,
+    lap_t: Rc<Csr>,
+    /// `(local_source, local_target)` — indices into the sampled
+    /// encodings, always within the core prefix of each subgraph.
+    batch: Vec<(usize, usize)>,
+}
+
+fn local_laplacian(sub: &SampledSubgraph) -> Csr {
+    UndirectedGraph::new(sub.num_nodes(), sub.edges.iter().copied()).laplacian()
+}
+
+impl DesalignModel {
+    /// Trains with the MMSL objective over sampled per-block subgraphs.
+    ///
+    /// Called by [`DesalignModel::fit`] when
+    /// `cfg.sampled.enabled` is set; callable directly for tests. The
+    /// trajectory is a pure function of `(dataset, config, seed)` — block
+    /// subgraphs are sampled from the model seed, not the model RNG, so
+    /// this path never perturbs the full-graph RNG stream.
+    pub fn fit_sampled(&mut self, dataset: &AlignmentDataset) -> TrainReport {
+        let _span = desalign_telemetry::span("fit_sampled");
+        let t0 = Instant::now();
+        let s = self.cfg.sampled;
+        let g_s = dataset.source.graph();
+        let g_t = dataset.target.graph();
+        let n_s = dataset.source.num_entities;
+        let block_size = s.block_entities.max(1);
+        let num_blocks = n_s.div_ceil(block_size);
+
+        // Training pool: gold seeds + any pseudo pairs mined so far.
+        let mut pool: Vec<(usize, usize)> = dataset.train_pairs.clone();
+        pool.extend(self.pseudo_pairs.iter().copied());
+
+        let mut blocks = Vec::new();
+        for k in 0..num_blocks {
+            let (lo, hi) = ((k * block_size).min(n_s), ((k + 1) * block_size).min(n_s));
+            let batch_global: Vec<(usize, usize)> =
+                pool.iter().copied().filter(|&(sg, _)| sg >= lo && sg < hi).collect();
+            if batch_global.is_empty() {
+                continue; // a block with no seeds contributes no loss
+            }
+            let src_core: Vec<usize> = (lo..hi).collect();
+            let mut tgt_core: Vec<usize> = batch_global.iter().map(|&(_, tg)| tg).collect();
+            tgt_core.sort_unstable();
+            tgt_core.dedup();
+            // Per-block, per-side seeds so every block draws an
+            // independent — but reproducible — halo.
+            let sub_s = sample_neighborhood(&g_s, &src_core, s.halo_per_node, self.seed ^ ((k as u64) << 1));
+            let sub_t = sample_neighborhood(&g_t, &tgt_core, s.halo_per_node, self.seed ^ ((k as u64) << 1) ^ 1);
+            let lap_s = Rc::new(local_laplacian(&sub_s));
+            let lap_t = Rc::new(local_laplacian(&sub_t));
+            // Source cores are the ascending range, so local = global − lo;
+            // target cores are sorted, so local = rank in the core.
+            let batch: Vec<(usize, usize)> = batch_global
+                .iter()
+                .map(|&(sg, tg)| (sg - lo, tgt_core.binary_search(&tg).expect("pair target is in the core")))
+                .collect();
+            blocks.push(Block { sub_s, sub_t, lap_s, lap_t, batch });
+        }
+        if desalign_telemetry::enabled() {
+            desalign_telemetry::counter("sampled.blocks").add(blocks.len() as u64);
+        }
+
+        let mut report = TrainReport::default();
+        if blocks.is_empty() {
+            return report;
+        }
+        let schedule = CosineWarmup::new(self.cfg.lr, self.cfg.epochs, self.cfg.warmup_frac);
+        let mut opt = AdamW::new(self.cfg.weight_decay);
+        for epoch in 0..self.cfg.epochs {
+            let _epoch_span = desalign_telemetry::span("epoch");
+            let mut agg = LossBreakdown::default();
+            for block in &blocks {
+                let mut sess = Session::with_workspace(&self.store, Rc::clone(&self.ws));
+                let enc_s = self.encoder.forward_sampled(&mut sess, &self.inputs[0], 0, &block.sub_s);
+                let enc_t = self.encoder.forward_sampled(&mut sess, &self.inputs[1], 1, &block.sub_t);
+                let (loss, bd) =
+                    mmsl_loss(&mut sess, &self.cfg, &enc_s, &enc_t, &block.batch, (&block.lap_s, &block.lap_t));
+                let mut grads = sess.backward(loss);
+                opt.step(&mut self.store, &mut grads, schedule.lr(epoch));
+                agg.total += bd.total;
+                agg.task0 += bd.task0;
+                agg.taskk += bd.taskk;
+                agg.modal_k1 += bd.modal_k1;
+                agg.modal_k += bd.modal_k;
+                agg.energy_penalty += bd.energy_penalty;
+            }
+            // Report per-block means so magnitudes stay comparable to the
+            // full-graph trainer's per-epoch breakdowns.
+            let nb = blocks.len() as f32;
+            agg.total /= nb;
+            agg.task0 /= nb;
+            agg.taskk /= nb;
+            agg.modal_k1 /= nb;
+            agg.modal_k /= nb;
+            agg.energy_penalty /= nb;
+            report.loss_history.push(agg);
+            report.epochs_run = epoch + 1;
+        }
+        report.final_loss = report.loss_history.last().copied().unwrap_or_default();
+        report.seconds = t0.elapsed().as_secs_f64();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::DesalignConfig;
+    use crate::model::DesalignModel;
+    use desalign_mmkg::{DatasetSpec, SynthConfig};
+
+    fn sampled_cfg() -> DesalignConfig {
+        let mut cfg = DesalignConfig::fast();
+        cfg.hidden_dim = 16;
+        cfg.feature_dims = desalign_mmkg::FeatureDims { relation: 32, attribute: 32, visual: 64 };
+        cfg.epochs = 6;
+        cfg.sampled.enabled = true;
+        cfg.sampled.block_entities = 40;
+        cfg.sampled.halo_per_node = 4;
+        cfg
+    }
+
+    #[test]
+    fn sampled_training_produces_finite_decreasing_loss() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(100).generate(1);
+        let mut model = DesalignModel::new(sampled_cfg(), &ds, 7);
+        let report = model.fit(&ds); // dispatches to fit_sampled
+        assert_eq!(report.epochs_run, 6);
+        assert!(report.loss_history.iter().all(|b| b.total.is_finite()), "sampled losses must stay finite");
+        assert!(
+            report.final_loss.total < report.loss_history[0].total,
+            "loss should decrease: {:?}",
+            report.loss_history.iter().map(|b| b.total).collect::<Vec<_>>()
+        );
+        // The trained model still evaluates through the full-graph path.
+        let metrics = model.evaluate(&ds);
+        assert!(metrics.num_queries > 0);
+        assert!(metrics.mrr.is_finite());
+    }
+
+    #[test]
+    fn sampled_training_is_deterministic() {
+        let ds = SynthConfig::preset(DatasetSpec::FbYg15k).scaled(80).generate(3);
+        let run = || {
+            let mut model = DesalignModel::new(sampled_cfg(), &ds, 11);
+            let report = model.fit_sampled(&ds);
+            let fp: Vec<u32> = model
+                .params()
+                .ids()
+                .flat_map(|id| model.params().value(id).as_slice().iter().map(|x| x.to_bits()))
+                .collect();
+            (report.final_loss.total.to_bits(), fp)
+        };
+        assert_eq!(run(), run(), "same seed must give a bit-identical sampled trajectory");
+    }
+
+    #[test]
+    fn sampled_training_beats_untrained() {
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(100).generate(2);
+        let mut cfg = sampled_cfg();
+        cfg.epochs = 25;
+        let mut trained = DesalignModel::new(cfg.clone(), &ds, 3);
+        let untrained = DesalignModel::new(cfg, &ds, 3);
+        trained.fit(&ds);
+        let m_trained = trained.evaluate(&ds);
+        let m_untrained = untrained.evaluate(&ds);
+        assert!(
+            m_trained.mrr > m_untrained.mrr,
+            "sampled training should help: {} vs {}",
+            m_trained.mrr,
+            m_untrained.mrr
+        );
+    }
+
+    #[test]
+    fn disabled_switch_keeps_full_graph_path_byte_stable() {
+        // `fit` with sampled.enabled = false must be the historical
+        // trajectory — construct two models with configs differing only
+        // in the (inert) sampled knobs and check identical weights.
+        let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(60).generate(4);
+        let mut cfg_a = sampled_cfg();
+        cfg_a.sampled.enabled = false;
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.sampled.block_entities = 7; // inert while disabled
+        cfg_b.sampled.halo_per_node = 1;
+        let fp = |cfg: DesalignConfig| {
+            let mut m = DesalignModel::new(cfg, &ds, 9);
+            m.fit(&ds);
+            m.params()
+                .ids()
+                .flat_map(|id| m.params().value(id).as_slice().iter().map(|x| x.to_bits()))
+                .collect::<Vec<u32>>()
+        };
+        assert_eq!(fp(cfg_a), fp(cfg_b));
+    }
+}

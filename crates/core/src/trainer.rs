@@ -127,8 +127,13 @@ impl DesalignModel {
     /// `fit` again continues training (used by the iterative strategy).
     ///
     /// Equivalent to `begin_training` → `train_epochs(all)` →
-    /// `end_training`; see the [module docs](self) for the split.
+    /// `end_training`; see the [module docs](self) for the split. With
+    /// `cfg.sampled.enabled`, dispatches to the out-of-core
+    /// [`DesalignModel::fit_sampled`] loop instead.
     pub fn fit(&mut self, dataset: &AlignmentDataset) -> TrainReport {
+        if self.cfg.sampled.enabled {
+            return self.fit_sampled(dataset);
+        }
         let mut state = self.begin_training(dataset);
         self.train_epochs(&mut state, usize::MAX);
         self.end_training(state)

@@ -25,6 +25,7 @@ mod energy;
 mod partition;
 mod propagation;
 mod spectral;
+mod subgraph;
 
 pub use adjacency::UndirectedGraph;
 pub use csr::Csr;
@@ -32,3 +33,4 @@ pub use energy::{dirichlet_energy, dirichlet_energy_edgesum, energy_gap_bounds, 
 pub use partition::{BlockLaplacian, SemanticPartition};
 pub use propagation::{closed_form_interpolation, propagate_features, PropagationConfig};
 pub use spectral::{lambda_max, power_iteration_sym, singular_value_range};
+pub use subgraph::{sample_neighborhood, SampledSubgraph};

@@ -1,0 +1,210 @@
+//! Seeded neighborhood sampling for out-of-core mini-batch training.
+//!
+//! The streaming data plane (see `docs/DATA_FORMAT.md`) partitions each
+//! knowledge graph into contiguous entity blocks. Training on one block
+//! still needs structural context from outside it — a GAT layer pulls
+//! messages from every neighbor — so [`sample_neighborhood`] extends a
+//! *core* node set with a bounded, deterministically sampled **halo** of
+//! cross-block neighbors and relabels the induced edges to local indices.
+//!
+//! The sample is a function of `(graph, core, halo_per_node, seed)` only:
+//! the same inputs always produce the same subgraph, which is what keeps
+//! the sampled training path reproducible across runs and thread counts.
+
+use crate::adjacency::UndirectedGraph;
+use desalign_tensor::{rng_from_seed, SliceRandom};
+
+/// An induced subgraph over `core ∪ halo`, relabeled to local indices.
+///
+/// Local index `i` corresponds to global node `nodes[i]`. The first
+/// `core_len` entries of `nodes` are the core in the order given to
+/// [`sample_neighborhood`]; the remainder is the halo in ascending global
+/// order. Loss terms should only ever anchor on local indices `< core_len`
+/// — halo nodes exist to give the core correct message-passing context,
+/// not to be scored themselves.
+#[derive(Clone, Debug)]
+pub struct SampledSubgraph {
+    /// Global node id for each local index (core first, then sorted halo).
+    pub nodes: Vec<usize>,
+    /// Number of leading entries of `nodes` that are core nodes.
+    pub core_len: usize,
+    /// Induced edges among `nodes`, as local index pairs with `u < v`,
+    /// sorted ascending. Every edge of the parent graph with both
+    /// endpoints in `nodes` is present exactly once.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl SampledSubgraph {
+    /// Number of nodes (core + halo) in the subgraph.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The local index of a global node, if it is in the subgraph.
+    ///
+    /// Core lookups scan the (small) core prefix; halo lookups binary
+    /// search the sorted suffix.
+    pub fn local_of(&self, global: usize) -> Option<usize> {
+        if let Some(i) = self.nodes[..self.core_len].iter().position(|&g| g == global) {
+            return Some(i);
+        }
+        self.nodes[self.core_len..].binary_search(&global).ok().map(|i| self.core_len + i)
+    }
+}
+
+/// Samples a neighborhood subgraph: the `core` nodes plus up to
+/// `halo_per_node` of each core node's outside-core neighbors, chosen by
+/// a seeded shuffle so the draw is deterministic.
+///
+/// Neighbors are considered in ascending global order; when a core node
+/// has more than `halo_per_node` outside-core neighbors, a Fisher–Yates
+/// shuffle seeded from `seed` picks which survive. Duplicate halo
+/// candidates (shared neighbors of several core nodes) are deduplicated.
+/// The induced edge set contains **every** parent edge with both endpoints
+/// kept — including halo–halo edges, which improves the degree estimates
+/// the GAT's attention softmax sees at the halo fringe.
+///
+/// # Panics
+///
+/// Panics if any core node is out of range for `g`, or if `core` contains
+/// duplicates.
+pub fn sample_neighborhood(g: &UndirectedGraph, core: &[usize], halo_per_node: usize, seed: u64) -> SampledSubgraph {
+    let n = g.num_nodes();
+    let mut in_core = vec![false; n];
+    for &c in core {
+        assert!(c < n, "sample_neighborhood: core node {c} out of range for a {n}-node graph");
+        assert!(!in_core[c], "sample_neighborhood: duplicate core node {c}");
+        in_core[c] = true;
+    }
+
+    // Adjacency lists (ascending neighbor order falls out of the sorted,
+    // deduplicated edge list kept by `UndirectedGraph`).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in g.edges() {
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+    for nbrs in adj.iter_mut() {
+        nbrs.sort_unstable();
+    }
+
+    // Halo draw: per core node, keep at most `halo_per_node` outside-core
+    // neighbors. The RNG stream is consumed in core order, so the sample
+    // depends only on (core order, seed) — never on thread count.
+    let mut rng = rng_from_seed(seed ^ 0xd1b5_4a32_d192_ed03);
+    let mut in_halo = vec![false; n];
+    let mut scratch: Vec<usize> = Vec::new();
+    for &c in core {
+        scratch.clear();
+        scratch.extend(adj[c].iter().copied().filter(|&v| !in_core[v]));
+        if scratch.len() > halo_per_node {
+            scratch.shuffle(&mut rng);
+            scratch.truncate(halo_per_node);
+        }
+        for &v in &scratch {
+            in_halo[v] = true;
+        }
+    }
+
+    let mut nodes: Vec<usize> = core.to_vec();
+    let halo: Vec<usize> = (0..n).filter(|&v| in_halo[v]).collect();
+    nodes.extend_from_slice(&halo);
+
+    // Local relabeling and the induced edge set.
+    let mut local = vec![usize::MAX; n];
+    for (i, &gid) in nodes.iter().enumerate() {
+        local[gid] = i;
+    }
+    let mut edges: Vec<(usize, usize)> = g
+        .edges()
+        .iter()
+        .filter_map(|&(u, v)| {
+            let (lu, lv) = (local[u], local[v]);
+            if lu == usize::MAX || lv == usize::MAX {
+                None
+            } else {
+                Some((lu.min(lv), lu.max(lv)))
+            }
+        })
+        .collect();
+    edges.sort_unstable();
+
+    SampledSubgraph { nodes, core_len: core.len(), edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> UndirectedGraph {
+        UndirectedGraph::new(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn core_prefix_and_halo_suffix() {
+        let g = path_graph(10);
+        let sub = sample_neighborhood(&g, &[4, 5], 4, 0);
+        assert_eq!(&sub.nodes[..2], &[4, 5]);
+        assert_eq!(sub.core_len, 2);
+        // Halo: node 3 (neighbor of 4) and node 6 (neighbor of 5), sorted.
+        assert_eq!(&sub.nodes[2..], &[3, 6]);
+        // Induced edges in local indices: (4,5)→(0,1), (3,4)→(0,2), (5,6)→(1,3).
+        assert_eq!(sub.edges, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn halo_budget_is_respected_and_deterministic() {
+        // Star graph: center 0 with 20 leaves.
+        let g = UndirectedGraph::new(21, (1..21).map(|v| (0, v)));
+        let a = sample_neighborhood(&g, &[0], 5, 42);
+        assert_eq!(a.core_len, 1);
+        assert_eq!(a.num_nodes(), 6, "center + 5 sampled leaves");
+        let b = sample_neighborhood(&g, &[0], 5, 42);
+        assert_eq!(a.nodes, b.nodes, "same seed → same sample");
+        assert_eq!(a.edges, b.edges);
+        let c = sample_neighborhood(&g, &[0], 5, 43);
+        assert_eq!(c.num_nodes(), 6);
+        // (Different seeds may coincide, but with C(20,5) draws they
+        // almost never do — and determinism per seed is what matters.)
+        assert_ne!(a.nodes, c.nodes, "different seed → different leaves");
+    }
+
+    #[test]
+    fn halo_halo_edges_are_induced() {
+        // Triangle 1-2-3 hanging off core node 0.
+        let g = UndirectedGraph::new(4, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let sub = sample_neighborhood(&g, &[0], 4, 7);
+        // Halo = {1, 2} (neighbors of 0); node 3 is two hops out.
+        assert_eq!(sub.nodes, vec![0, 1, 2]);
+        // The halo–halo edge (1,2) must be included.
+        assert!(sub.edges.contains(&(1, 2)));
+        assert_eq!(sub.edges.len(), 3);
+    }
+
+    #[test]
+    fn local_of_resolves_core_and_halo() {
+        let g = path_graph(8);
+        let sub = sample_neighborhood(&g, &[3, 2], 2, 9);
+        assert_eq!(sub.local_of(3), Some(0));
+        assert_eq!(sub.local_of(2), Some(1));
+        for (i, &gid) in sub.nodes.iter().enumerate() {
+            assert_eq!(sub.local_of(gid), Some(i));
+        }
+        assert_eq!(sub.local_of(7), None);
+    }
+
+    #[test]
+    fn zero_halo_is_the_induced_core_subgraph() {
+        let g = path_graph(6);
+        let sub = sample_neighborhood(&g, &[1, 2, 3], 0, 0);
+        assert_eq!(sub.nodes, vec![1, 2, 3]);
+        assert_eq!(sub.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        let g = path_graph(3);
+        sample_neighborhood(&g, &[5], 1, 0);
+    }
+}

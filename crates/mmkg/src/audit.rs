@@ -81,11 +81,11 @@ pub struct AuditReport {
 }
 
 impl AuditReport {
-    fn new(policy: AuditPolicy) -> Self {
+    pub(crate) fn new(policy: AuditPolicy) -> Self {
         Self { policy, counts: [0; DefectClass::ALL.len()], repairs: 0 }
     }
 
-    fn record(&mut self, class: DefectClass) {
+    pub(crate) fn record(&mut self, class: DefectClass) {
         let idx = DefectClass::ALL.iter().position(|c| *c == class).expect("class is in ALL");
         self.counts[idx] += 1;
     }
@@ -186,31 +186,14 @@ impl DatasetAuditor {
 
         // Alignment pairs: bounds + one-to-one, train scanned before test
         // so under Repair the supervision pairs win ties.
-        let (n_s, n_t) = (ds.source.num_entities, ds.target.num_entities);
-        let mut seen_s = vec![false; n_s];
-        let mut seen_t = vec![false; n_t];
+        let mut vet = PairVet::new(ds.source.num_entities, ds.target.num_entities);
         for (pairs, label) in [(&mut ds.train_pairs, "train_pairs"), (&mut ds.test_pairs, "test_pairs")] {
             let mut keep = Vec::with_capacity(pairs.len());
             for (i, &(s, t)) in pairs.iter().enumerate() {
-                if s >= n_s || t >= n_t {
-                    defect!(
-                        DefectClass::PairOutOfRange,
-                        format!("{label}[{i}]"),
-                        format!("({s},{t}) out of bounds for {n_s}x{n_t} entities")
-                    );
-                    continue;
+                match vet.vet(s, t) {
+                    Some((class, ctx)) => defect!(class, format!("{label}[{i}]"), ctx),
+                    None => keep.push((s, t)),
                 }
-                if seen_s[s] || seen_t[t] {
-                    defect!(
-                        DefectClass::DuplicatePair,
-                        format!("{label}[{i}]"),
-                        format!("({s},{t}) violates one-to-one mapping")
-                    );
-                    continue;
-                }
-                seen_s[s] = true;
-                seen_t[t] = true;
-                keep.push((s, t));
             }
             if repair && keep.len() != pairs.len() {
                 *pairs = keep;
@@ -283,20 +266,12 @@ fn audit_kg(
     }
 
     // Relation triples: bounds, vocabulary, self-loops, duplicates.
-    let mut seen = std::collections::HashSet::with_capacity(kg.rel_triples.len());
+    let mut vet = RelTripleVet::new(n, kg.num_relations);
     let mut keep = Vec::with_capacity(kg.rel_triples.len());
     for (i, &(h, r, t)) in kg.rel_triples.iter().enumerate() {
-        let loc = || format!("{side}.rel_triples[{i}]");
-        if h >= n || t >= n {
-            sink(DefectClass::DanglingEndpoint, loc(), format!("({h},{r},{t}) references a missing entity (have {n})"));
-        } else if r >= kg.num_relations {
-            sink(DefectClass::UnknownRelation, loc(), format!("({h},{r},{t}) uses unknown relation {r} (have {})", kg.num_relations));
-        } else if h == t {
-            sink(DefectClass::SelfLoopTriple, loc(), format!("({h},{r},{t}) is a self-loop"));
-        } else if !seen.insert((h, r, t)) {
-            sink(DefectClass::DuplicateTriple, loc(), format!("({h},{r},{t}) repeats an earlier triple"));
-        } else {
-            keep.push((h, r, t));
+        match vet.vet(h, r, t) {
+            Some((class, ctx)) => sink(class, format!("{side}.rel_triples[{i}]"), ctx),
+            None => keep.push((h, r, t)),
         }
     }
     if repair && keep.len() != kg.rel_triples.len() {
@@ -307,13 +282,9 @@ fn audit_kg(
     // frequency for the BoW encoder, never defects.
     let mut keep = Vec::with_capacity(kg.attr_triples.len());
     for (i, &(e, a)) in kg.attr_triples.iter().enumerate() {
-        let loc = || format!("{side}.attr_triples[{i}]");
-        if e >= n {
-            sink(DefectClass::DanglingEndpoint, loc(), format!("({e},{a}) references a missing entity (have {n})"));
-        } else if a >= kg.num_attributes {
-            sink(DefectClass::UnknownAttribute, loc(), format!("({e},{a}) uses unknown attribute {a} (have {})", kg.num_attributes));
-        } else {
-            keep.push((e, a));
+        match vet_attr_triple(e, a, n, kg.num_attributes) {
+            Some((class, ctx)) => sink(class, format!("{side}.attr_triples[{i}]"), ctx),
+            None => keep.push((e, a)),
         }
     }
     if repair && keep.len() != kg.attr_triples.len() {
@@ -326,21 +297,108 @@ fn audit_kg(
     let expected_dim = majority_dim(&kg.images);
     for i in 0..kg.images.len().min(n) {
         let Some(row) = kg.images[i].as_ref() else { continue };
-        let verdict = if let Some(k) = row.iter().position(|v| !v.is_finite()) {
-            Some((DefectClass::NonFiniteFeature, format!("row value [{k}] = {} is not finite", row[k])))
-        } else if expected_dim.is_some_and(|d| row.len() != d) {
-            Some((DefectClass::DimensionMismatch, format!("row has {} dims, majority is {}", row.len(), expected_dim.unwrap_or(0))))
-        } else if row.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>() == 0.0 {
-            Some((DefectClass::ZeroNormFeature, "row has zero norm".to_string()))
-        } else {
-            None
-        };
-        if let Some((class, ctx)) = verdict {
+        if let Some((class, ctx)) = vet_image_row(row, expected_dim) {
             sink(class, format!("{side}.images[{i}]"), ctx);
             if repair {
                 kg.images[i] = None; // quarantine: entity loses its image
             }
         }
+    }
+}
+
+// --- shared per-record verdicts --------------------------------------
+//
+// Both the in-memory `DatasetAuditor` above and the shard-streaming
+// `StreamingAuditor` (stream.rs) classify records through these helpers,
+// so the two audit paths cannot drift apart semantically. The shard
+// format assigns every relation triple to the shard owning its head
+// entity, so duplicates (which share all three fields) always land in the
+// same shard and the per-list `RelTripleVet` state gives identical
+// verdicts in both paths.
+
+/// Stateful relation-triple vet. Check order (first match wins): dangling
+/// endpoint → unknown relation → self-loop → duplicate. One instance per
+/// triple list.
+pub(crate) struct RelTripleVet {
+    n: usize,
+    num_relations: usize,
+    seen: std::collections::HashSet<(usize, usize, usize)>,
+}
+
+impl RelTripleVet {
+    pub(crate) fn new(n: usize, num_relations: usize) -> Self {
+        Self { n, num_relations, seen: std::collections::HashSet::new() }
+    }
+
+    /// `None` = keep the triple; `Some` = drop it, with class + context.
+    pub(crate) fn vet(&mut self, h: usize, r: usize, t: usize) -> Option<(DefectClass, String)> {
+        let (n, num_rel) = (self.n, self.num_relations);
+        if h >= n || t >= n {
+            Some((DefectClass::DanglingEndpoint, format!("({h},{r},{t}) references a missing entity (have {n})")))
+        } else if r >= num_rel {
+            Some((DefectClass::UnknownRelation, format!("({h},{r},{t}) uses unknown relation {r} (have {num_rel})")))
+        } else if h == t {
+            Some((DefectClass::SelfLoopTriple, format!("({h},{r},{t}) is a self-loop")))
+        } else if !self.seen.insert((h, r, t)) {
+            Some((DefectClass::DuplicateTriple, format!("({h},{r},{t}) repeats an earlier triple")))
+        } else {
+            None
+        }
+    }
+}
+
+/// Attribute-triple vet: bounds + vocabulary (duplicates are BoW term
+/// frequency, never defects). `None` = keep.
+pub(crate) fn vet_attr_triple(e: usize, a: usize, n: usize, num_attributes: usize) -> Option<(DefectClass, String)> {
+    if e >= n {
+        Some((DefectClass::DanglingEndpoint, format!("({e},{a}) references a missing entity (have {n})")))
+    } else if a >= num_attributes {
+        Some((DefectClass::UnknownAttribute, format!("({e},{a}) uses unknown attribute {a} (have {num_attributes})")))
+    } else {
+        None
+    }
+}
+
+/// Image-row vet against the side's majority dimension. Check order:
+/// non-finite value → dimension mismatch → zero norm. `None` = keep.
+pub(crate) fn vet_image_row(row: &[f32], expected_dim: Option<usize>) -> Option<(DefectClass, String)> {
+    if let Some(k) = row.iter().position(|v| !v.is_finite()) {
+        Some((DefectClass::NonFiniteFeature, format!("row value [{k}] = {} is not finite", row[k])))
+    } else if expected_dim.is_some_and(|d| row.len() != d) {
+        Some((DefectClass::DimensionMismatch, format!("row has {} dims, majority is {}", row.len(), expected_dim.unwrap_or(0))))
+    } else if row.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>() == 0.0 {
+        Some((DefectClass::ZeroNormFeature, "row has zero norm".to_string()))
+    } else {
+        None
+    }
+}
+
+/// Stateful alignment-pair vet: bounds then one-to-one. Feed the train
+/// list fully before the test list so supervision pairs win ties.
+pub(crate) struct PairVet {
+    n_s: usize,
+    n_t: usize,
+    seen_s: Vec<bool>,
+    seen_t: Vec<bool>,
+}
+
+impl PairVet {
+    pub(crate) fn new(n_s: usize, n_t: usize) -> Self {
+        Self { n_s, n_t, seen_s: vec![false; n_s], seen_t: vec![false; n_t] }
+    }
+
+    /// `None` = keep the pair; `Some` = drop it.
+    pub(crate) fn vet(&mut self, s: usize, t: usize) -> Option<(DefectClass, String)> {
+        let (n_s, n_t) = (self.n_s, self.n_t);
+        if s >= n_s || t >= n_t {
+            return Some((DefectClass::PairOutOfRange, format!("({s},{t}) out of bounds for {n_s}x{n_t} entities")));
+        }
+        if self.seen_s[s] || self.seen_t[t] {
+            return Some((DefectClass::DuplicatePair, format!("({s},{t}) violates one-to-one mapping")));
+        }
+        self.seen_s[s] = true;
+        self.seen_t[t] = true;
+        None
     }
 }
 
@@ -351,8 +409,14 @@ fn majority_dim(images: &[Option<Vec<f32>>]) -> Option<usize> {
     for row in images.iter().flatten() {
         *counts.entry(row.len()).or_insert(0) += 1;
     }
-    // BTreeMap iterates in ascending key order, so `>` keeps the smaller
-    // dimension on a tie.
+    majority_from_counts(counts)
+}
+
+/// Majority rule shared with the streaming auditor, which accumulates the
+/// dimension histogram across shards before deciding. BTreeMap iterates in
+/// ascending key order, so `>` (strict max) keeps the smaller dimension on
+/// a tie.
+pub(crate) fn majority_from_counts(counts: std::collections::BTreeMap<usize, usize>) -> Option<usize> {
     counts.into_iter().max_by(|a, b| a.1.cmp(&b.1)).map(|(d, _)| d)
 }
 

@@ -28,10 +28,17 @@ pub mod audit;
 mod features;
 mod kg;
 mod loader;
+pub mod shard;
+pub mod stream;
 mod synth;
 
 pub use audit::{dataset_fingerprint, AuditPolicy, AuditReport, DatasetAuditor};
 pub use features::{fill_missing_with_noise, FeatureDims, ModalFeatures};
 pub use kg::{AlignmentDataset, KgStats, Mmkg};
 pub use loader::{load_dataset_json, save_dataset_json};
+pub use shard::{
+    read_manifest, read_shard, shard_file_name, write_shards, Shard, ShardManifest, ShardMeta, SideMeta,
+    MANIFEST_FILE,
+};
+pub use stream::{streaming_fingerprint, StreamReport, StreamingAuditor};
 pub use synth::{DatasetSpec, SynthConfig};

@@ -76,7 +76,8 @@ pub fn save_dataset_json(ds: &AlignmentDataset, path: &Path) -> io::Result<()> {
 /// [`Schema`](desalign_util::DefectClass::Schema) (JSON of the wrong shape), or the
 /// structural defect class [`AlignmentDataset::validate`] found (dangling
 /// endpoint, out-of-range pair, …). The file path is attached as the
-/// outermost location.
+/// outermost location; parse failures name the byte offset of the first
+/// bad character (`json@byte N`) so corruption reports are actionable.
 pub fn load_dataset_json(path: &Path) -> Result<AlignmentDataset, DesalignError> {
     // Each failure keeps its own defect class at the outermost level (so
     // callers can match on it) while the file path becomes the location.
@@ -85,7 +86,7 @@ pub fn load_dataset_json(path: &Path) -> Result<AlignmentDataset, DesalignError>
         e.wrap(class, path.display().to_string(), "cannot load dataset")
     };
     let json = fs::read_to_string(path).map_err(|e| DesalignError::io(path.display().to_string(), e))?;
-    let doc = Json::parse(&json).map_err(|e| at(DesalignError::parse("json", e)))?;
+    let doc = Json::parse(&json).map_err(|e| at(DesalignError::parse(format!("json@byte {}", e.offset), e)))?;
     let ds = AlignmentDataset::from_json(&doc).map_err(|e| at(DesalignError::schema("json", e)))?;
     ds.validate().map_err(at)?;
     Ok(ds)
@@ -134,11 +135,21 @@ mod tests {
         let e = load_dataset_json(&dir.join("no-such-file.json")).unwrap_err();
         assert_eq!(e.class, DefectClass::Io);
 
-        // Not JSON → Parse.
+        // Not JSON → Parse, with the byte offset of the first bad
+        // character in the root-cause location.
         let p = dir.join("notjson.json");
         std::fs::write(&p, "][").expect("write");
         let e = load_dataset_json(&p).unwrap_err();
         assert_eq!(e.class, DefectClass::Parse);
+        assert!(e.root_cause().location.contains("@byte 0"), "{e}");
+
+        // Corruption mid-file names the offset where parsing stopped.
+        let p_mid = dir.join("midfile.json");
+        std::fs::write(&p_mid, "{\"name\": \"x\", \"source\": !!}").expect("write");
+        let e = load_dataset_json(&p_mid).unwrap_err();
+        assert_eq!(e.class, DefectClass::Parse);
+        assert!(e.root_cause().location.contains("json@byte 24"), "{e}");
+        std::fs::remove_file(&p_mid).ok();
 
         // Valid JSON, wrong shape → Schema.
         let p2 = dir.join("wrongshape.json");

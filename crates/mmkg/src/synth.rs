@@ -9,9 +9,17 @@
 //! attribute noise than monolingual ones, reflecting the heterogeneity the
 //! paper discusses in §V-F.
 
+use crate::shard::{
+    bucket_records, encode_shard, range_of, shard_file_name, write_manifest, ShardManifest, ShardMeta, SideMeta,
+    SHARD_FORMAT_VERSION,
+};
+use crate::stream::streaming_fingerprint;
 use crate::{AlignmentDataset, Mmkg};
 use desalign_tensor::{rng_from_seed, Rng64};
 use desalign_tensor::SliceRandom;
+use desalign_util::DesalignError;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 /// The five benchmark pairs of Table I.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -199,6 +207,178 @@ impl SynthConfig {
 
     /// Generates a dataset deterministically from `seed`.
     pub fn generate(&self, seed: u64) -> AlignmentDataset {
+        // The in-memory path is the streaming path with vec-backed image
+        // sinks: both share `generate_core`, whose RNG draw order is
+        // independent of where rows land, so `generate_sharded` produces
+        // the bit-identical dataset.
+        let mut src_images: Vec<Option<Vec<f32>>> = vec![None; self.entities.0];
+        let mut tgt_images: Vec<Option<Vec<f32>>> = vec![None; self.entities.1];
+        let mut ds = self.generate_core(
+            seed,
+            &mut |i, row| src_images[i] = Some(row),
+            &mut |i, row| tgt_images[i] = Some(row),
+        );
+        ds.source.images = src_images;
+        ds.target.images = tgt_images;
+        debug_assert_eq!(ds.validate(), Ok(()));
+        ds
+    }
+
+    /// Generates the dataset for `seed` **directly as a shard directory**,
+    /// without ever materializing the feature matrices: image rows are
+    /// spilled to scratch files as the generator draws them, then copied
+    /// into shards one range at a time. The RNG stream is shared with
+    /// [`Self::generate`], so the resulting directory assembles to the
+    /// bit-identical dataset (same [`crate::dataset_fingerprint`], which
+    /// is what the returned manifest records — computed by
+    /// [`streaming_fingerprint`], never from a resident dataset).
+    ///
+    /// Peak feature memory is O(one shard); the latent world (integer
+    /// records plus `latent_dim`-wide vectors, a fraction of
+    /// `vision_dim`-wide feature rows) stays resident.
+    pub fn generate_sharded(&self, seed: u64, dir: &Path, shard_entities: usize) -> Result<ShardManifest, DesalignError> {
+        if shard_entities == 0 {
+            return Err(DesalignError::config("shard_entities", "must be ≥ 1"));
+        }
+        let io_at = |p: &Path| {
+            let loc = p.display().to_string();
+            move |e: io::Error| DesalignError::io(loc.clone(), e)
+        };
+        std::fs::create_dir_all(dir).map_err(io_at(dir))?;
+
+        // Spill files: raw little-endian f32 rows, located by an
+        // (offset, dim) table per side. Offsets are O(n) words; rows —
+        // the dominant cost — go straight to disk.
+        let spill_paths = [dir.join(".spill-src.f32"), dir.join(".spill-tgt.f32")];
+        let mut offsets: [Vec<Option<(u64, u32)>>; 2] =
+            [vec![None; self.entities.0], vec![None; self.entities.1]];
+        let ds = {
+            let mut spill_err: [Option<io::Error>; 2] = [None, None];
+            let mut writers = [
+                (BufWriter::new(std::fs::File::create(&spill_paths[0]).map_err(io_at(&spill_paths[0]))?), 0u64),
+                (BufWriter::new(std::fs::File::create(&spill_paths[1]).map_err(io_at(&spill_paths[1]))?), 0u64),
+            ];
+            let (w_src, w_tgt) = writers.split_at_mut(1);
+            let (off_src, off_tgt) = offsets.split_at_mut(1);
+            let (err_src, err_tgt) = spill_err.split_at_mut(1);
+            let spill = |w: &mut (BufWriter<std::fs::File>, u64),
+                             off: &mut Vec<Option<(u64, u32)>>,
+                             err: &mut Option<io::Error>,
+                             i: usize,
+                             row: Vec<f32>| {
+                if err.is_some() {
+                    return;
+                }
+                off[i] = Some((w.1, row.len() as u32));
+                for v in &row {
+                    if let Err(e) = w.0.write_all(&v.to_bits().to_le_bytes()) {
+                        *err = Some(e);
+                        return;
+                    }
+                }
+                w.1 += 4 * row.len() as u64;
+            };
+            let ds = self.generate_core(
+                seed,
+                &mut |i, row| spill(&mut w_src[0], &mut off_src[0], &mut err_src[0], i, row),
+                &mut |i, row| spill(&mut w_tgt[0], &mut off_tgt[0], &mut err_tgt[0], i, row),
+            );
+            for (k, (w, _)) in writers.iter_mut().enumerate() {
+                w.flush().map_err(io_at(&spill_paths[k]))?;
+            }
+            for (k, e) in spill_err.into_iter().enumerate() {
+                if let Some(e) = e {
+                    return Err(DesalignError::io(spill_paths[k].display().to_string(), e));
+                }
+            }
+            ds
+        };
+
+        // Bucket the integer records (images in `ds` are all-None
+        // placeholders; `bucket_records` never touches them) and encode
+        // shard by shard, loading only that shard's rows from the spills.
+        let (n_s, n_t) = (ds.source.num_entities, ds.target.num_entities);
+        let num_shards = n_s.max(n_t).div_ceil(shard_entities).max(1);
+        let buckets = bucket_records(&ds, shard_entities, num_shards);
+        let mut spill_files = [
+            std::fs::File::open(&spill_paths[0]).map_err(io_at(&spill_paths[0]))?,
+            std::fs::File::open(&spill_paths[1]).map_err(io_at(&spill_paths[1]))?,
+        ];
+        let mut load_range = |side: usize, range: (usize, usize)| -> io::Result<Vec<Option<Vec<f32>>>> {
+            let mut rows = Vec::with_capacity(range.1 - range.0);
+            for e in range.0..range.1 {
+                match offsets[side][e] {
+                    None => rows.push(None),
+                    Some((off, dim)) => {
+                        let mut buf = vec![0u8; 4 * dim as usize];
+                        spill_files[side].seek(SeekFrom::Start(off))?;
+                        spill_files[side].read_exact(&mut buf)?;
+                        rows.push(Some(
+                            buf.chunks_exact(4).map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))).collect(),
+                        ));
+                    }
+                }
+            }
+            Ok(rows)
+        };
+        let mut shards = Vec::with_capacity(num_shards);
+        for (k, recs) in buckets.iter().enumerate() {
+            let src_range = range_of(k, shard_entities, n_s);
+            let tgt_range = range_of(k, shard_entities, n_t);
+            let mut src_rows = load_range(0, src_range).map_err(io_at(&spill_paths[0]))?;
+            let mut tgt_rows = load_range(1, tgt_range).map_err(io_at(&spill_paths[1]))?;
+            let file = shard_file_name(k);
+            let path = dir.join(&file);
+            let (payload_len, checksum) = encode_shard(
+                &path,
+                k,
+                src_range,
+                tgt_range,
+                recs,
+                |e| src_rows[e - src_range.0].take(),
+                |e| tgt_rows[e - tgt_range.0].take(),
+            )
+            .map_err(io_at(&path))?;
+            shards.push(ShardMeta { file, index: k, src_range, tgt_range, payload_len, checksum });
+        }
+        for p in &spill_paths {
+            std::fs::remove_file(p).map_err(io_at(p))?;
+        }
+
+        let mut manifest = ShardManifest {
+            version: SHARD_FORMAT_VERSION,
+            name: ds.name.clone(),
+            dataset_fingerprint: 0,
+            source: SideMeta {
+                num_entities: n_s,
+                num_relations: ds.source.num_relations,
+                num_attributes: ds.source.num_attributes,
+            },
+            target: SideMeta {
+                num_entities: n_t,
+                num_relations: ds.target.num_relations,
+                num_attributes: ds.target.num_attributes,
+            },
+            n_train: ds.train_pairs.len(),
+            n_test: ds.test_pairs.len(),
+            shard_entities,
+            shards,
+        };
+        manifest.dataset_fingerprint = streaming_fingerprint(dir, &manifest)?;
+        write_manifest(dir, &manifest)?;
+        Ok(manifest)
+    }
+
+    /// The generator body shared by [`generate`] and [`generate_sharded`]:
+    /// image rows leave through the per-side sinks (ascending view index
+    /// per side, source first) and the returned dataset carries all-`None`
+    /// image slots for the caller to fill or leave on disk.
+    fn generate_core(
+        &self,
+        seed: u64,
+        src_images_out: &mut dyn FnMut(usize, Vec<f32>),
+        tgt_images_out: &mut dyn FnMut(usize, Vec<f32>),
+    ) -> AlignmentDataset {
         let mut rng = rng_from_seed(seed ^ 0x9e37_79b9_7f4a_7c15);
         let (n_s, n_t) = self.entities;
         let n_pairs = ((n_s.min(n_t) as f32) * self.ea_pair_fraction).round() as usize;
@@ -270,8 +450,8 @@ impl SynthConfig {
             .map(|_| (0..self.vision_dim).map(|_| gauss(&mut rng) / (self.latent_dim as f32).sqrt()).collect())
             .collect();
 
-        let source = self.build_view(&mut rng, &src_world, world_n, &world_edges, &world_attrs, &latent, &vision_proj, 0);
-        let target = self.build_view(&mut rng, &tgt_world, world_n, &world_edges, &world_attrs, &latent, &vision_proj, 1);
+        let source = self.build_view(&mut rng, &src_world, world_n, &world_edges, &world_attrs, &latent, &vision_proj, 0, src_images_out);
+        let target = self.build_view(&mut rng, &tgt_world, world_n, &world_edges, &world_attrs, &latent, &vision_proj, 1, tgt_images_out);
 
         // --- alignments --------------------------------------------------------
         // View entity ids are the position of the world id in the view's
@@ -284,12 +464,11 @@ impl SynthConfig {
         let train_pairs = pairs[..n_train].to_vec();
         let test_pairs = pairs[n_train..].to_vec();
 
-        let ds = AlignmentDataset { name: self.split_name(), source: source_kg, target: target_kg, train_pairs, test_pairs };
-        debug_assert_eq!(ds.validate(), Ok(()));
-        ds
+        AlignmentDataset { name: self.split_name(), source: source_kg, target: target_kg, train_pairs, test_pairs }
     }
 
-    /// Builds one view KG. Returns the KG plus the world→view index map
+    /// Builds one view KG. Returns the KG (image slots all `None` — rows
+    /// leave through `images_out`) plus the world→view index map
     /// (usize::MAX for absent entities).
     #[allow(clippy::too_many_arguments)]
     fn build_view(
@@ -302,6 +481,7 @@ impl SynthConfig {
         latent: &[Vec<f32>],
         vision_proj: &[Vec<f32>],
         side: usize,
+        images_out: &mut dyn FnMut(usize, Vec<f32>),
     ) -> (Mmkg, Vec<usize>) {
         let n = view_world_ids.len();
         let (num_rel, num_attr, deg, ape, img_cov, tex_cov) = if side == 0 {
@@ -388,7 +568,10 @@ impl SynthConfig {
         for &e in &with_image {
             has_image[e] = true;
         }
-        let mut images: Vec<Option<Vec<f32>>> = vec![None; n];
+        // Rows are emitted in ascending view index, matching both the
+        // fingerprint's traversal order and the shard layout; the R_tex
+        // shuffle below comes *after* every image draw, so routing rows to
+        // a sink instead of a vec cannot perturb the RNG stream.
         for (view_idx, has) in has_image.iter().enumerate() {
             if !has {
                 continue;
@@ -408,7 +591,7 @@ impl SynthConfig {
             for x in &mut v {
                 *x /= norm;
             }
-            images[view_idx] = Some(v);
+            images_out(view_idx, v);
         }
 
         // R_tex override: keep text for only that fraction of entities.
@@ -426,7 +609,7 @@ impl SynthConfig {
             attr_triples.retain(|&(e, _)| keep_set[e]);
         }
 
-        let kg = Mmkg { num_entities: n, num_relations: num_rel, num_attributes: num_attr, rel_triples, attr_triples, images };
+        let kg = Mmkg { num_entities: n, num_relations: num_rel, num_attributes: num_attr, rel_triples, attr_triples, images: vec![None; n] };
         (kg, map)
     }
 }
@@ -466,6 +649,22 @@ mod tests {
         assert_eq!(a.train_pairs, b.train_pairs);
         let c = cfg.generate(8);
         assert_ne!(a.train_pairs, c.train_pairs);
+    }
+
+    #[test]
+    fn sharded_generation_matches_in_memory_bit_for_bit() {
+        let cfg = SynthConfig::preset(DatasetSpec::FbYg15k).scaled(120).with_image_ratio(0.5);
+        let ds = cfg.generate(21);
+        let dir = std::env::temp_dir().join("desalign-synth-sharded-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let manifest = cfg.generate_sharded(21, &dir, 50).expect("sharded generate");
+        assert_eq!(manifest.dataset_fingerprint, crate::dataset_fingerprint(&ds), "streamed generator must match in-memory");
+        let assembled = manifest.to_dataset(&dir).expect("assemble");
+        assert_eq!(assembled.source.images, ds.source.images);
+        assert_eq!(assembled.target.rel_triples, ds.target.rel_triples);
+        assert_eq!(assembled.train_pairs, ds.train_pairs);
+        assert!(!dir.join(".spill-src.f32").exists(), "spill files must be cleaned up");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -310,6 +310,23 @@ pub fn mutate_bytes(bytes: &[u8], mutations: usize, seed: u64) -> Vec<u8> {
     out
 }
 
+
+/// Applies [`mutate_bytes`] to a file in place: reads it, mutates
+/// `mutations` times from `seed`, writes the result back (which may be
+/// shorter or longer than the original). Returns the new length.
+///
+/// This is the shard-level fuzzing entry point: the streaming auditor's
+/// hostile-shard sweeps corrupt individual `shard-*.bin` files this way
+/// and assert that reads never panic — every damaged shard either fails
+/// its frame/checksum verification with a typed error or is quarantined.
+pub fn corrupt_file(path: &std::path::Path, mutations: usize, seed: u64) -> std::io::Result<u64> {
+    let bytes = std::fs::read(path)?;
+    let out = mutate_bytes(&bytes, mutations, seed);
+    let len = out.len() as u64;
+    std::fs::write(path, out)?;
+    Ok(len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,7 @@ pub mod fault;
 
 use std::fmt::Debug;
 
-pub use corrupt::{corrupt_dataset, mutate_bytes, CorruptionKind};
+pub use corrupt::{corrupt_dataset, corrupt_file, mutate_bytes, CorruptionKind};
 pub use desalign_tensor::{rng_from_seed, Matrix, Rng64, SliceRandom};
 pub use fault::{kill_during_atomic_write, truncate_file, KillAfterWriter};
 

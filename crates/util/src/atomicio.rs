@@ -145,6 +145,88 @@ pub fn atomic_write(path: &Path, payload: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Streaming counterpart of [`atomic_write`]: payload bytes arrive in any
+/// number of [`write`](FrameWriter::write) calls, the FNV-64 checksum and
+/// payload length accumulate as they stream, and [`finish`](FrameWriter::finish)
+/// appends the 24-byte footer, `fsync`s, and atomically renames the staged
+/// temp file over the destination.
+///
+/// Use this when the payload is too large (or too awkward) to build in one
+/// contiguous buffer — e.g. the sharded dataset writer, which emits a shard
+/// section by section. The resulting file is byte-identical to
+/// `atomic_write(path, &all_bytes)` and verifies with [`read_verified`].
+/// Dropping a `FrameWriter` without calling `finish` leaves only the stale
+/// `.tmp` file, which readers never look at.
+///
+/// ```
+/// use desalign_util::{read_verified, FrameWriter};
+///
+/// let path = std::env::temp_dir().join("desalign-framewriter-doc.bin");
+/// let mut w = FrameWriter::create(&path).unwrap();
+/// w.write(b"streamed in ").unwrap();
+/// w.write(b"two chunks").unwrap();
+/// let checksum = w.finish().unwrap();
+/// assert_eq!(read_verified(&path).unwrap(), b"streamed in two chunks");
+/// assert_eq!(checksum, desalign_util::checksum64(b"streamed in two chunks"));
+/// std::fs::remove_file(&path).ok();
+/// ```
+pub struct FrameWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    file: io::BufWriter<File>,
+    len: u64,
+    hash: u64,
+}
+
+impl FrameWriter {
+    /// Opens the staging temp file for `path` and starts an empty frame.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let tmp = temp_path(path);
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            tmp,
+            file: io::BufWriter::new(file),
+            len: 0,
+            hash: 0xcbf2_9ce4_8422_2325,
+        })
+    }
+
+    /// Appends payload bytes, folding them into the running checksum.
+    pub fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.len += bytes.len() as u64;
+        self.file.write_all(bytes)
+    }
+
+    /// Payload bytes written so far.
+    pub fn payload_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Appends the footer, `fsync`s, and renames the temp file over the
+    /// destination. Returns the payload checksum.
+    pub fn finish(self) -> io::Result<u64> {
+        let Self { path, tmp, mut file, len, hash } = self;
+        file.write_all(&len.to_le_bytes())?;
+        file.write_all(&hash.to_le_bytes())?;
+        file.write_all(&FOOTER_MAGIC)?;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+        drop(file);
+        fs::rename(&tmp, &path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir }) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(hash)
+    }
+}
+
 /// Reads `path` and returns the verified payload.
 ///
 /// I/O errors pass through; torn/truncated/corrupt frames become
@@ -246,6 +328,48 @@ mod tests {
     fn missing_file_is_not_found() {
         let err = read_verified(&tmp("never-written.bin")).expect_err("missing file");
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn frame_writer_matches_atomic_write_byte_for_byte() {
+        let a = tmp("fw-a.bin");
+        let b = tmp("fw-b.bin");
+        let payload = b"the same payload, two write paths";
+        atomic_write(&a, payload).expect("atomic_write");
+        let mut w = FrameWriter::create(&b).expect("create");
+        for chunk in payload.chunks(7) {
+            w.write(chunk).expect("write chunk");
+        }
+        assert_eq!(w.payload_len(), payload.len() as u64);
+        let checksum = w.finish().expect("finish");
+        assert_eq!(checksum, checksum64(payload));
+        assert_eq!(fs::read(&a).expect("read a"), fs::read(&b).expect("read b"));
+        assert!(!temp_path(&b).exists(), "temp file left behind");
+        fs::remove_file(&a).ok();
+        fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn frame_writer_empty_payload_round_trips() {
+        let p = tmp("fw-empty.bin");
+        let w = FrameWriter::create(&p).expect("create");
+        w.finish().expect("finish");
+        assert_eq!(read_verified(&p).expect("read"), b"");
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unfinished_frame_writer_leaves_destination_untouched() {
+        let p = tmp("fw-dropped.bin");
+        atomic_write(&p, b"old state").expect("seed");
+        {
+            let mut w = FrameWriter::create(&p).expect("create");
+            w.write(b"never finished").expect("write");
+            // dropped without finish()
+        }
+        assert_eq!(read_verified(&p).expect("read"), b"old state");
+        fs::remove_file(&p).ok();
+        fs::remove_file(temp_path(&p)).ok();
     }
 
     #[test]

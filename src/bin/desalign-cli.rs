@@ -8,11 +8,24 @@
 //! desalign-cli presets
 //! ```
 //!
+//! The streaming data plane (`docs/DATA_FORMAT.md`) is driven by three
+//! more commands:
+//!
+//! ```text
+//! desalign-cli shard        --data split.json --out shards/ [--shard-entities N]
+//! desalign-cli shard        --preset fbdb15k --scale 300 --out shards/   # streamed, out of core
+//! desalign-cli shard-audit  --dir shards/ [--policy strict|repair]
+//! desalign-cli shard-export --dir shards/ --out split.json
+//! ```
+//!
 //! Flags are parsed by hand (no CLI dependency); unknown flags abort with
 //! usage help.
 
 use desalign::core::{DesalignConfig, DesalignModel};
-use desalign::mmkg::{load_dataset_json, save_dataset_json, DatasetSpec, SynthConfig};
+use desalign::mmkg::{
+    load_dataset_json, read_manifest, save_dataset_json, write_shards, AuditPolicy, DatasetSpec, StreamingAuditor,
+    SynthConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,6 +43,9 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "presets" => cmd_presets(),
+        "shard" => cmd_shard(&flags),
+        "shard-audit" => cmd_shard_audit(&flags),
+        "shard-export" => cmd_shard_export(&flags),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
@@ -181,6 +197,76 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_shard(flags: &Flags) -> Result<(), String> {
+    let out = PathBuf::from(flags.require("out")?);
+    let shard_entities: usize = flags.parse("shard-entities", 500)?;
+    let manifest = if let Some(data) = flags.get("data") {
+        // Convert an existing JSON split into the sharded layout.
+        let data = PathBuf::from(data);
+        let ds = load_dataset_json(&data).map_err(|e| format!("cannot load {}: {e}", data.display()))?;
+        write_shards(&ds, &out, shard_entities).map_err(|e| format!("cannot shard {}: {e}", out.display()))?
+    } else {
+        // Generate straight to shards, never materializing the full KG.
+        let spec = preset_by_name(flags.require("preset")?)?;
+        let scale: usize = flags.parse("scale", 300)?;
+        let seed: u64 = flags.parse("seed", 42)?;
+        let cfg = SynthConfig::preset(spec).scaled(scale);
+        cfg.generate_sharded(seed, &out, shard_entities)
+            .map_err(|e| format!("cannot generate shards in {}: {e}", out.display()))?
+    };
+    println!(
+        "wrote {} shard(s) to {} — {} + {} entities, fingerprint {:016x}",
+        manifest.shards.len(),
+        out.display(),
+        manifest.source.num_entities,
+        manifest.target.num_entities,
+        manifest.dataset_fingerprint
+    );
+    Ok(())
+}
+
+fn cmd_shard_audit(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(flags.require("dir")?);
+    let policy = match flags.get("policy").unwrap_or("strict") {
+        "strict" => AuditPolicy::Strict,
+        "repair" => AuditPolicy::Repair,
+        other => return Err(format!("unknown --policy '{other}' (strict|repair)")),
+    };
+    let report = StreamingAuditor::new(policy)
+        .audit_dir(&dir)
+        .map_err(|e| format!("audit of {} failed: {e}", dir.display()))?;
+    println!("{}", report.audit.summary());
+    println!(
+        "shards: {} read, {} rewritten, {} quarantined; peak payload {} B; fingerprint {:016x}",
+        report.shards_read,
+        report.shards_rewritten,
+        report.quarantined.len(),
+        report.peak_payload_bytes,
+        report.fingerprint
+    );
+    if !report.quarantined.is_empty() {
+        println!("quarantined shard indices: {:?}", report.quarantined);
+    }
+    Ok(())
+}
+
+fn cmd_shard_export(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(flags.require("dir")?);
+    let out = PathBuf::from(flags.require("out")?);
+    let manifest = read_manifest(&dir).map_err(|e| format!("cannot read manifest in {}: {e}", dir.display()))?;
+    let ds = manifest.to_dataset(&dir).map_err(|e| format!("cannot assemble {}: {e}", dir.display()))?;
+    save_dataset_json(&ds, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "assembled {} shard(s) from {} into {} — {} + {} entities",
+        manifest.shards.len(),
+        dir.display(),
+        out.display(),
+        ds.source.num_entities,
+        ds.target.num_entities
+    );
+    Ok(())
+}
+
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}\n");
     eprintln!("usage:");
@@ -190,5 +276,10 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("  desalign-cli train    --data <file> [--epochs N] [--dim N] [--lr F]");
     eprintln!("                        [--sp-iterations N] [--model-seed N] [--save <ckpt>]");
     eprintln!("  desalign-cli evaluate --data <file> --load <ckpt> [--dim N] [--model-seed N]");
+    eprintln!("  desalign-cli shard    --data <file> --out <dir> [--shard-entities N]");
+    eprintln!("  desalign-cli shard    --preset <name> --out <dir> [--scale N] [--seed N]");
+    eprintln!("                        [--shard-entities N]   (streamed, out of core)");
+    eprintln!("  desalign-cli shard-audit  --dir <dir> [--policy strict|repair]");
+    eprintln!("  desalign-cli shard-export --dir <dir> --out <file>");
     ExitCode::FAILURE
 }
