@@ -51,6 +51,18 @@ if [ "$fp_telemetry" != "$fp_default" ]; then
 fi
 echo "    fingerprint $fp_telemetry (identical with telemetry on)"
 
+# Failpoint instrumentation must be free when off (docs/RELIABILITY.md):
+# with DESALIGN_FAILPOINTS set but empty every site is one atomic load and
+# no behaviour may change — the end-to-end fingerprint must match the run
+# without the variable, bit for bit.
+echo "==> determinism fingerprint (failpoints present but inactive)"
+fp_failpoints=$(DESALIGN_FAILPOINTS="" cargo run -q --offline --release -p desalign-bench --bin determinism_fingerprint)
+if [ "$fp_failpoints" != "$fp_default" ]; then
+    echo "    FAILPOINT PERTURBATION: fingerprint $fp_failpoints with DESALIGN_FAILPOINTS=\"\" != $fp_default without"
+    exit 1
+fi
+echo "    fingerprint $fp_failpoints (identical with failpoints compiled in, schedule empty)"
+
 # Crash-safety gate (docs/RELIABILITY.md): a run that checkpoints, loses a
 # mid-write overwrite to a simulated kill, and resumes in a fresh process
 # must reproduce the straight run bit for bit.
@@ -173,6 +185,7 @@ echo "==> desalign-serve smoke (restart + thread-count bit-identity)"
 serve_ckpt=$(mktemp -u)
 serve_probe1=$(mktemp)
 serve_probe2=$(mktemp)
+serve_metrics=$(mktemp)
 for leg in 1 2; do
     serve_log=$(mktemp)
     env DESALIGN_SERVE_CHECKPOINT="$serve_ckpt" DESALIGN_SCALE=40 DESALIGN_EPOCHS=2 \
@@ -187,7 +200,7 @@ for leg in 1 2; do
     serve_addr=$(grep "listening on" "$serve_log" | awk '{print $NF}')
     probe_var=serve_probe$leg
     env DESALIGN_SERVE_ADDR="$serve_addr" DESALIGN_LOADGEN_PROBE="${!probe_var}" \
-        DESALIGN_LOADGEN_SHUTDOWN=1 \
+        DESALIGN_LOADGEN_METRICS="$serve_metrics" DESALIGN_LOADGEN_SHUTDOWN=1 \
         cargo run -q --offline --release -p desalign-serve --bin loadgen >/dev/null
     wait "$serve_pid"
     grep -q "drained" "$serve_log" || { echo "    serve (leg $leg) did not drain gracefully"; exit 1; }
@@ -200,7 +213,15 @@ if ! cmp -s "$serve_probe1" "$serve_probe2"; then
     exit 1
 fi
 echo "    probe bit-identical across restart and DESALIGN_THREADS=2"
-rm -f "$serve_probe1" "$serve_probe2" "$serve_ckpt" "$serve_ckpt.tmp"
+
+# The robustness counters (docs/RELIABILITY.md) must be registered at boot
+# so dashboards see explicit zeros, not absent series: grep the /metrics
+# dump the smoke client captured for each family.
+for counter in serve.shed serve.breaker_open serve.deadline_expired checkpoint.reloads failpoint.evals; do
+    grep -q "\"$counter\"" "$serve_metrics" || { echo "    /metrics lost the $counter counter"; exit 1; }
+done
+echo "    /metrics exposes the shed/breaker/reload/failpoint counter families"
+rm -f "$serve_probe1" "$serve_probe2" "$serve_metrics" "$serve_ckpt" "$serve_ckpt.tmp"
 
 # Serving latency bench smoke + gate: in-process servers, every
 # (max_batch × thread-count) leg must report finite positive p50/p99/QPS
@@ -215,11 +236,25 @@ DESALIGN_LOADGEN_CLIENTS=2 DESALIGN_LOADGEN_REQUESTS=40 \
 test -s "$serve_bench_out" || { echo "    loadgen did not write its JSON artifact"; exit 1; }
 grep -q '"p50_us"' "$serve_bench_out" || { echo "    serve bench artifact lost its p50_us column"; exit 1; }
 grep -q '"p99_us"' "$serve_bench_out" || { echo "    serve bench artifact lost its p99_us column"; exit 1; }
-if grep -q "NaN\|Infinity" "$serve_bench_out"; then
-    echo "    NON-FINITE LATENCIES: serve bench artifact contains NaN/Infinity"
-    exit 1
-fi
+grep -q '"mode":"open"' "$serve_bench_out" || { echo "    serve bench artifact lost its open-loop legs"; exit 1; }
+grep -q '"offered_qps"' "$serve_bench_out" || { echo "    serve bench artifact lost its offered_qps column"; exit 1; }
 rm -f "$serve_bench_out"
+
+# Chaos gate (docs/RELIABILITY.md): replay the seeded fault schedules —
+# torn writes, flaky shard reads, a socket storm against a tiny admission
+# queue, an engine-fault breaker trip, and reloads under load. The bin
+# asserts every scenario itself under DESALIGN_CHAOS_GATE=1 (well-formed
+# responses only, sheds actually happen, breaker opens and closes, faulted
+# reload rolls back, zero panics); the greps pin the artifact schema.
+echo "==> chaos_bench (fault replay + zero-panic gate)"
+chaos_out=$(mktemp)
+DESALIGN_CHAOS_GATE=1 DESALIGN_CHAOS_OUT="$chaos_out" \
+    cargo run -q --offline --release -p desalign-serve --bin chaos_bench >/dev/null
+test -s "$chaos_out" || { echo "    chaos_bench did not write its JSON artifact"; exit 1; }
+grep -q '"schema":"chaos-bench-v1"' "$chaos_out" || { echo "    chaos artifact lost its schema tag"; exit 1; }
+grep -q '"panics":0' "$chaos_out" || { echo "    CHAOS PANIC: chaos_bench recorded a panic"; exit 1; }
+grep -q '"failed":0' "$chaos_out" || { echo "    chaos_bench recorded a failed scenario"; exit 1; }
+rm -f "$chaos_out"
 
 # Streaming data-plane gates (docs/DATA_FORMAT.md). First: byte-identity —
 # the sharded layout must be a lossless encoding. Generate a split straight

@@ -189,6 +189,9 @@ impl DesalignModel {
     /// files fail with `InvalidData` (the frame checksum catches them
     /// before parsing starts); the model is untouched on any error.
     pub fn resume_training(&mut self, dataset: &AlignmentDataset, path: &Path) -> io::Result<TrainState> {
+        // Failpoint `checkpoint.load`: exercises the resume-under-fault
+        // path. No-op without an active schedule.
+        desalign_failpoint::fail_io("checkpoint.load")?;
         let bytes = read_verified(path)?;
         let text = String::from_utf8(bytes).map_err(|e| invalid(format!("checkpoint is not UTF-8: {e}")))?;
         let doc = Json::parse(&text).map_err(jerr)?;
@@ -296,6 +299,9 @@ impl DesalignModel {
     ///
     /// The model is untouched on any error.
     pub fn load_checkpoint_inference(&mut self, dataset: &AlignmentDataset, path: &Path) -> io::Result<()> {
+        // Failpoint `checkpoint.load`: lets the serve-layer reload path
+        // rehearse a failed load. No-op without an active schedule.
+        desalign_failpoint::fail_io("checkpoint.load")?;
         let bytes = read_verified(path)?;
         let text = String::from_utf8(bytes).map_err(|e| invalid(format!("checkpoint is not UTF-8: {e}")))?;
         let doc = Json::parse(&text).map_err(jerr)?;

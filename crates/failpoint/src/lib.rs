@@ -1,0 +1,556 @@
+//! Deterministic, schedule-driven fault injection for the I/O plane.
+//!
+//! A **failpoint** is a named site in production code — `atomicio.write`,
+//! `shard.read`, `serve.engine`, … — where a fault *may* be injected. With
+//! no schedule installed every site is a no-op behind one relaxed atomic
+//! load, so the instrumented binaries are the shipping binaries; the
+//! chaos harness (`chaos_bench`, the `faults.rs` test suites, ci.sh)
+//! installs a schedule and replays the exact same fault sequence on every
+//! run.
+//!
+//! # Schedule grammar
+//!
+//! A schedule is a `;`-separated list of entries, each
+//! `site=action[@trigger]`, read from the `DESALIGN_FAILPOINTS`
+//! environment variable on first evaluation or installed programmatically
+//! with [`install`]:
+//!
+//! ```text
+//! atomicio.write=torn:10@1;serve.engine=err@3~6;serve.read=timeout@p0.25
+//! ```
+//!
+//! Actions:
+//!
+//! | action | fault |
+//! |---|---|
+//! | `err` | `io::ErrorKind::Other` ("injected fault") |
+//! | `notfound` | `io::ErrorKind::NotFound` |
+//! | `wouldblock` | `io::ErrorKind::WouldBlock` (socket reads treat this as a timeout) |
+//! | `timeout` | `io::ErrorKind::TimedOut` |
+//! | `interrupted` | `io::ErrorKind::Interrupted` |
+//! | `delay:<ms>` | sleep `<ms>` milliseconds, then proceed normally |
+//! | `torn:<n>` | torn write: the site persists only the first `<n>` payload bytes, then fails (only write sites interpret the byte budget; elsewhere it degrades to `err`) |
+//!
+//! Triggers (hit counts are per-site, 1-based, counted across the whole
+//! process lifetime — or since the last [`install`]/[`clear`]):
+//!
+//! | trigger | fires on |
+//! |---|---|
+//! | *(omitted)* | every hit |
+//! | `@k` | exactly the k-th hit |
+//! | `@k+` | the k-th hit and every one after |
+//! | `@k~m` | hits k through m inclusive |
+//! | `@%k` | every k-th hit (k, 2k, 3k, …) |
+//! | `@p<f>` | seeded pseudo-random: probability `f ∈ [0,1]` per hit, deterministic in (site, hit index, schedule seed) |
+//!
+//! # Determinism
+//!
+//! Within one thread of execution a schedule replays exactly: hit counts
+//! advance one per evaluation and `@p` draws hash the (site, hit, seed)
+//! triple — no global RNG, no wall clock. Under concurrency the *set* of
+//! fired faults is still exact (hit counters are atomic), but which
+//! request observes the k-th hit is scheduling-dependent; chaos assertions
+//! should therefore be aggregate (counts, zero panics, well-formed
+//! responses), not per-request.
+//!
+//! # Zero-cost when off
+//!
+//! [`evaluate`] first checks one process-global atomic; with
+//! `DESALIGN_FAILPOINTS` unset (or empty) that check is the *entire* cost
+//! and no site ever perturbs behaviour. ci.sh pins this with a
+//! fingerprint gate: the end-to-end training fingerprint with
+//! `DESALIGN_FAILPOINTS=""` must equal the run without the variable.
+//!
+//! ```
+//! use desalign_failpoint as failpoint;
+//!
+//! let _guard = failpoint::exclusive(); // schedules are process-global
+//! failpoint::install("doc.site=err@2").unwrap();
+//! assert!(failpoint::fail_io("doc.site").is_ok());  // hit 1: no fault
+//! assert!(failpoint::fail_io("doc.site").is_err()); // hit 2: fires
+//! assert!(failpoint::fail_io("doc.site").is_ok());  // hit 3: no fault
+//! failpoint::clear();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Duration;
+
+/// The environment variable holding the schedule.
+pub const ENV_SCHEDULE: &str = "DESALIGN_FAILPOINTS";
+
+/// The environment variable seeding `@p` probabilistic triggers.
+pub const ENV_SEED: &str = "DESALIGN_FAILPOINTS_SEED";
+
+// ---------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------
+
+/// The fault a fired failpoint asks the site to inject.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Return an `io::Error` of this kind.
+    Err(io::ErrorKind),
+    /// Sleep for this long, then proceed normally.
+    Delay(Duration),
+    /// Torn write: persist only the first `n` payload bytes, then fail.
+    /// Sites that do not write bytes treat this as [`FaultAction::Err`].
+    Torn(usize),
+}
+
+/// One fired fault, as returned by [`evaluate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fault {
+    /// What to inject.
+    pub action: FaultAction,
+}
+
+impl Fault {
+    /// The `io::Error` this fault maps to (for [`FaultAction::Delay`] the
+    /// caller should sleep instead; see [`fail_io`]).
+    pub fn to_io_error(&self, site: &str) -> io::Error {
+        let kind = match self.action {
+            FaultAction::Err(kind) => kind,
+            FaultAction::Delay(_) => io::ErrorKind::Other,
+            FaultAction::Torn(_) => io::ErrorKind::Interrupted,
+        };
+        io::Error::new(kind, format!("injected fault at failpoint '{site}'"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Triggers
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Trigger {
+    Always,
+    Hit(u64),
+    From(u64),
+    Range(u64, u64),
+    Every(u64),
+    Prob(f64),
+}
+
+impl Trigger {
+    fn fires(&self, site: &str, hit: u64, seed: u64) -> bool {
+        match *self {
+            Trigger::Always => true,
+            Trigger::Hit(k) => hit == k,
+            Trigger::From(k) => hit >= k,
+            Trigger::Range(k, m) => hit >= k && hit <= m,
+            Trigger::Every(k) => k > 0 && hit % k == 0,
+            Trigger::Prob(p) => {
+                let h = splitmix(fnv64(site.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+                (h >> 11) as f64 / (1u64 << 53) as f64 % 1.0 < p
+            }
+        }
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Schedule + registry
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SiteRule {
+    site: String,
+    action: FaultAction,
+    trigger: Trigger,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Schedule {
+    rules: Vec<SiteRule>,
+    seed: u64,
+}
+
+/// Process-global activation state: 0 = uninitialized (read env on first
+/// evaluation), 1 = inactive (fast no-op path), 2 = active.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static REGISTRY: RwLock<Option<Schedule>> = RwLock::new(None);
+static EVALS: AtomicU64 = AtomicU64::new(0);
+static FIRED: AtomicU64 = AtomicU64::new(0);
+
+fn parse_action(spec: &str) -> Result<FaultAction, String> {
+    if let Some(ms) = spec.strip_prefix("delay:") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad delay milliseconds '{ms}'"))?;
+        return Ok(FaultAction::Delay(Duration::from_millis(ms)));
+    }
+    if let Some(n) = spec.strip_prefix("torn:") {
+        let n: usize = n.parse().map_err(|_| format!("bad torn byte budget '{n}'"))?;
+        return Ok(FaultAction::Torn(n));
+    }
+    match spec {
+        "err" => Ok(FaultAction::Err(io::ErrorKind::Other)),
+        "notfound" => Ok(FaultAction::Err(io::ErrorKind::NotFound)),
+        "wouldblock" => Ok(FaultAction::Err(io::ErrorKind::WouldBlock)),
+        "timeout" => Ok(FaultAction::Err(io::ErrorKind::TimedOut)),
+        "interrupted" => Ok(FaultAction::Err(io::ErrorKind::Interrupted)),
+        other => Err(format!("unknown action '{other}' (err|notfound|wouldblock|timeout|interrupted|delay:<ms>|torn:<n>)")),
+    }
+}
+
+fn parse_trigger(spec: &str) -> Result<Trigger, String> {
+    if spec.is_empty() {
+        return Ok(Trigger::Always);
+    }
+    if let Some(p) = spec.strip_prefix('p') {
+        let p: f64 = p.parse().map_err(|_| format!("bad probability '{p}'"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability {p} outside [0, 1]"));
+        }
+        return Ok(Trigger::Prob(p));
+    }
+    if let Some(k) = spec.strip_prefix('%') {
+        let k: u64 = k.parse().map_err(|_| format!("bad period '{k}'"))?;
+        if k == 0 {
+            return Err("period must be ≥ 1".into());
+        }
+        return Ok(Trigger::Every(k));
+    }
+    if let Some(k) = spec.strip_suffix('+') {
+        let k: u64 = k.parse().map_err(|_| format!("bad hit index '{k}'"))?;
+        return Ok(Trigger::From(k));
+    }
+    if let Some((k, m)) = spec.split_once('~') {
+        let k: u64 = k.parse().map_err(|_| format!("bad range start '{k}'"))?;
+        let m: u64 = m.parse().map_err(|_| format!("bad range end '{m}'"))?;
+        if m < k {
+            return Err(format!("empty hit range {k}~{m}"));
+        }
+        return Ok(Trigger::Range(k, m));
+    }
+    let k: u64 = spec.parse().map_err(|_| format!("bad trigger '{spec}'"))?;
+    Ok(Trigger::Hit(k))
+}
+
+fn parse_schedule(text: &str, seed: u64) -> Result<Schedule, String> {
+    let mut rules = Vec::new();
+    for entry in text.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, spec) = entry.split_once('=').ok_or_else(|| format!("entry '{entry}' is not site=action[@trigger]"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("entry '{entry}' has an empty site name"));
+        }
+        let (action, trigger) = match spec.split_once('@') {
+            Some((a, t)) => (parse_action(a.trim())?, parse_trigger(t.trim())?),
+            None => (parse_action(spec.trim())?, Trigger::Always),
+        };
+        rules.push(SiteRule {
+            site: site.to_string(),
+            action,
+            trigger,
+            hits: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        });
+    }
+    Ok(Schedule { rules, seed })
+}
+
+fn init_from_env() -> u8 {
+    let seed = std::env::var(ENV_SEED).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0u64);
+    match std::env::var(ENV_SCHEDULE) {
+        Ok(text) if !text.trim().is_empty() => match parse_schedule(&text, seed) {
+            Ok(schedule) => {
+                *REGISTRY.write().expect("failpoint registry") = Some(schedule);
+                2
+            }
+            Err(e) => {
+                // A malformed schedule must be loud, not silently inert:
+                // the whole point is deterministic replay.
+                panic!("{ENV_SCHEDULE} is malformed: {e}");
+            }
+        },
+        _ => 1,
+    }
+}
+
+fn state() -> u8 {
+    let s = STATE.load(Ordering::Acquire);
+    if s != 0 {
+        return s;
+    }
+    let s = init_from_env();
+    // Another thread may have raced the env read; both computed the same
+    // answer from the same environment, so either store wins.
+    STATE.store(s, Ordering::Release);
+    s
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Installs a schedule programmatically (tests, `chaos_bench`),
+/// replacing any active one and resetting every per-site hit counter.
+///
+/// Schedules are process-global: concurrent tests must serialize through
+/// [`exclusive`].
+///
+/// # Errors
+/// A human-readable description of the first malformed entry.
+pub fn install(schedule: &str) -> Result<(), String> {
+    install_seeded(schedule, 0)
+}
+
+/// [`install`] with an explicit seed for `@p` probabilistic triggers.
+///
+/// # Errors
+/// A human-readable description of the first malformed entry.
+pub fn install_seeded(schedule: &str, seed: u64) -> Result<(), String> {
+    let parsed = parse_schedule(schedule, seed)?;
+    let active = !parsed.rules.is_empty();
+    *REGISTRY.write().expect("failpoint registry") = Some(parsed);
+    STATE.store(if active { 2 } else { 1 }, Ordering::Release);
+    Ok(())
+}
+
+/// Removes any active schedule: every site returns to the no-op fast
+/// path. (The `DESALIGN_FAILPOINTS` environment variable is *not*
+/// re-read after a `clear`.)
+pub fn clear() {
+    *REGISTRY.write().expect("failpoint registry") = None;
+    STATE.store(1, Ordering::Release);
+}
+
+/// Whether any schedule is active.
+pub fn active() -> bool {
+    state() == 2
+}
+
+/// Serializes tests that install process-global schedules. Hold the
+/// returned guard for the duration of the scheduled section.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Evaluates the failpoint named `site`: counts the hit and returns the
+/// fault to inject, or `None`. With no schedule active this is one
+/// relaxed atomic load.
+#[inline]
+pub fn evaluate(site: &str) -> Option<Fault> {
+    if state() != 2 {
+        return None;
+    }
+    evaluate_slow(site)
+}
+
+#[inline(never)]
+fn evaluate_slow(site: &str) -> Option<Fault> {
+    let registry = REGISTRY.read().expect("failpoint registry");
+    let schedule = registry.as_ref()?;
+    let mut fault = None;
+    for rule in schedule.rules.iter().filter(|r| r.site == site) {
+        EVALS.fetch_add(1, Ordering::Relaxed);
+        let hit = rule.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        if fault.is_none() && rule.trigger.fires(site, hit, schedule.seed) {
+            rule.fired.fetch_add(1, Ordering::Relaxed);
+            FIRED.fetch_add(1, Ordering::Relaxed);
+            fault = Some(Fault { action: rule.action.clone() });
+        }
+    }
+    fault
+}
+
+/// The common I/O-site shape: sleeps through [`FaultAction::Delay`]
+/// faults and returns the injected `io::Error` for everything else.
+/// Sites that interpret [`FaultAction::Torn`] byte budgets should call
+/// [`evaluate`] directly.
+#[inline]
+pub fn fail_io(site: &str) -> io::Result<()> {
+    match evaluate(site) {
+        None => Ok(()),
+        Some(fault) => match fault.action {
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            _ => Err(fault.to_io_error(site)),
+        },
+    }
+}
+
+/// Counter snapshot for `/metrics`: the aggregate
+/// `failpoint.evals` / `failpoint.fired` pair (always present, zero when
+/// no schedule ever fired) plus one `failpoint.fired.<site>` entry per
+/// scheduled site.
+pub fn counters() -> Vec<(String, u64)> {
+    let mut out = vec![
+        ("failpoint.evals".to_string(), EVALS.load(Ordering::Relaxed)),
+        ("failpoint.fired".to_string(), FIRED.load(Ordering::Relaxed)),
+    ];
+    if let Some(schedule) = REGISTRY.read().expect("failpoint registry").as_ref() {
+        for rule in &schedule.rules {
+            out.push((format!("failpoint.fired.{}", rule.site), rule.fired.load(Ordering::Relaxed)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_schedule_is_a_no_op() {
+        let _guard = exclusive();
+        clear();
+        assert!(!active());
+        assert!(evaluate("nowhere").is_none());
+        assert!(fail_io("nowhere").is_ok());
+    }
+
+    #[test]
+    fn hit_trigger_fires_exactly_once() {
+        let _guard = exclusive();
+        install("t.hit=err@2").unwrap();
+        assert!(fail_io("t.hit").is_ok());
+        let err = fail_io("t.hit").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(err.to_string().contains("t.hit"));
+        for _ in 0..5 {
+            assert!(fail_io("t.hit").is_ok());
+        }
+        clear();
+    }
+
+    #[test]
+    fn range_from_and_every_triggers() {
+        let _guard = exclusive();
+        install("t.range=err@2~3;t.from=err@3+;t.every=err@%2").unwrap();
+        let fires = |site: &str, n: usize| (0..n).map(|_| fail_io(site).is_err()).collect::<Vec<_>>();
+        assert_eq!(fires("t.range", 4), vec![false, true, true, false]);
+        assert_eq!(fires("t.from", 4), vec![false, false, true, true]);
+        assert_eq!(fires("t.every", 4), vec![false, true, false, true]);
+        clear();
+    }
+
+    #[test]
+    fn probabilistic_trigger_is_seeded_and_deterministic() {
+        let _guard = exclusive();
+        let draw = |seed: u64| -> Vec<bool> {
+            install_seeded("t.prob=err@p0.5", seed).unwrap();
+            (0..64).map(|_| fail_io("t.prob").is_err()).collect()
+        };
+        let a = draw(7);
+        let b = draw(7);
+        let c = draw(8);
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        assert_ne!(a, c, "different seeds should differ (64 draws at p=0.5)");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((8..=56).contains(&fired), "p=0.5 fired {fired}/64 times");
+        clear();
+    }
+
+    #[test]
+    fn kinds_map_to_io_error_kinds() {
+        let _guard = exclusive();
+        install("t.nf=notfound;t.wb=wouldblock;t.to=timeout;t.ir=interrupted").unwrap();
+        assert_eq!(fail_io("t.nf").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(fail_io("t.wb").unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(fail_io("t.to").unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(fail_io("t.ir").unwrap_err().kind(), io::ErrorKind::Interrupted);
+        clear();
+    }
+
+    #[test]
+    fn delay_sleeps_and_proceeds() {
+        let _guard = exclusive();
+        install("t.delay=delay:20@1").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(fail_io("t.delay").is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(fail_io("t.delay").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn torn_carries_its_byte_budget() {
+        let _guard = exclusive();
+        install("t.torn=torn:10").unwrap();
+        match evaluate("t.torn") {
+            Some(Fault { action: FaultAction::Torn(10) }) => {}
+            other => panic!("expected Torn(10), got {other:?}"),
+        }
+        // fail_io degrades torn to an Interrupted error for non-write sites.
+        assert_eq!(fail_io("t.torn").unwrap_err().kind(), io::ErrorKind::Interrupted);
+        clear();
+    }
+
+    #[test]
+    fn counters_track_evals_and_fires_per_site() {
+        let _guard = exclusive();
+        install("t.cnt=err@1").unwrap();
+        let _ = fail_io("t.cnt");
+        let _ = fail_io("t.cnt");
+        let snapshot = counters();
+        let get = |name: &str| snapshot.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert!(get("failpoint.evals").unwrap() >= 2);
+        assert!(get("failpoint.fired").unwrap() >= 1);
+        assert_eq!(get("failpoint.fired.t.cnt"), Some(1));
+        clear();
+        let after = counters();
+        assert!(after.iter().any(|(n, _)| n == "failpoint.evals"), "aggregates survive clear()");
+        assert!(!after.iter().any(|(n, _)| n == "failpoint.fired.t.cnt"));
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected_with_context() {
+        let _guard = exclusive();
+        for bad in ["nosite", "s=warp", "s=err@0x", "s=err@p2", "s=err@5~2", "s=delay:x", "s=err@%0"] {
+            let err = install(bad).unwrap_err();
+            assert!(!err.is_empty(), "'{bad}' accepted");
+        }
+        // install() failure leaves the previous state untouched.
+        install("t.ok=err@1").unwrap();
+        assert!(install("broken").is_err());
+        assert!(fail_io("t.ok").is_err(), "failed install clobbered the active schedule");
+        clear();
+    }
+
+    #[test]
+    fn multiple_rules_for_one_site_all_count_hits() {
+        let _guard = exclusive();
+        install("t.multi=delay:0@1;t.multi=err@2").unwrap();
+        assert!(fail_io("t.multi").is_ok()); // delay fires (0ms), err does not
+        assert!(fail_io("t.multi").is_err()); // err fires on its hit 2
+        clear();
+    }
+
+    #[test]
+    fn empty_schedule_installs_as_inactive() {
+        let _guard = exclusive();
+        install("").unwrap();
+        assert!(!active());
+        install("  ;  ").unwrap();
+        assert!(!active());
+        clear();
+    }
+}

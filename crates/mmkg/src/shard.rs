@@ -474,6 +474,10 @@ pub fn read_manifest(dir: &Path) -> Result<ShardManifest, DesalignError> {
 /// is a typed [`DesalignError`] whose location carries the file and —
 /// for payload decode errors — the byte offset where decoding stopped.
 pub fn read_shard(path: &Path) -> Result<Shard, DesalignError> {
+    // Failpoint `shard.read`: replays a flaky disk under the streaming
+    // auditor / neighborhood sampler. No-op without an active schedule.
+    desalign_failpoint::fail_io("shard.read")
+        .map_err(|e| DesalignError::io(path.display().to_string(), e))?;
     let payload = read_verified(path).map_err(|e| {
         if e.kind() == io::ErrorKind::InvalidData {
             DesalignError::parse(path.display().to_string(), format!("shard frame invalid: {e}"))

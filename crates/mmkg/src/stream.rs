@@ -108,6 +108,9 @@ pub struct StreamingAuditor {
 fn load_verified_shard(dir: &Path, meta: &ShardMeta) -> Result<crate::Shard, DesalignError> {
     let path = dir.join(&meta.file);
     let loc = || path.display().to_string();
+    // Same fault site as the random-access `read_shard`: a flaky disk
+    // looks the same whether a shard is loaded for streaming or directly.
+    desalign_failpoint::fail_io("shard.read").map_err(|e| DesalignError::io(loc(), e))?;
     let payload = read_verified(&path).map_err(|e| {
         if e.kind() == io::ErrorKind::InvalidData {
             DesalignError::parse(loc(), format!("shard frame invalid: {e}"))

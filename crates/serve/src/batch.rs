@@ -7,8 +7,21 @@
 //! instead of per-request scans. Because every query row is scored
 //! independently, coalescing is invisible in the response bytes; it only
 //! changes throughput.
+//!
+//! Two robustness hooks ride on the batch path:
+//!
+//! - **Deadline shedding.** A query carrying an already-expired deadline
+//!   ([`Batcher::submit_with_deadline`]) is answered with a typed
+//!   `Io`-class error *before* the engine runs — scoring work whose
+//!   caller has stopped waiting only steals capacity from live requests.
+//!   Counted in `serve.deadline_expired`.
+//! - **Engine slot.** [`Batcher::spawn_slot`] runs batches through an
+//!   [`EngineSlot`] (circuit breaker + hot reload): the engine `Arc` is
+//!   snapshotted once per batch, so a concurrent checkpoint reload never
+//!   swaps the engine out from under in-flight queries.
 
 use crate::engine::{AlignAnswer, AlignEngine, AlignQuery};
+use crate::slot::EngineSlot;
 use desalign_util::{DefectClass, DesalignError};
 use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
@@ -18,6 +31,7 @@ use std::time::{Duration, Instant};
 struct BatchItem {
     query: AlignQuery,
     k: usize,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<AlignAnswer, DesalignError>>,
 }
 
@@ -32,6 +46,7 @@ pub struct Batcher {
 struct BatchCounters {
     batches: desalign_telemetry::Counter,
     queries: desalign_telemetry::Counter,
+    expired: desalign_telemetry::Counter,
     last_batch: desalign_telemetry::Gauge,
 }
 
@@ -40,8 +55,29 @@ fn batch_counters() -> &'static BatchCounters {
     C.get_or_init(|| BatchCounters {
         batches: desalign_telemetry::counter("serve.batches"),
         queries: desalign_telemetry::counter("serve.batched_queries"),
+        expired: desalign_telemetry::counter("serve.deadline_expired"),
         last_batch: desalign_telemetry::gauge("serve.last_batch"),
     })
+}
+
+/// How one batch of items gets answered: a pinned engine (the original
+/// [`Batcher::spawn`] contract) or a reloadable slot with breaker.
+enum EngineSource {
+    Fixed(Arc<AlignEngine>),
+    Slot(Arc<EngineSlot>),
+}
+
+impl EngineSource {
+    fn answer(&self, queries: &[(AlignQuery, usize)]) -> Vec<Result<AlignAnswer, DesalignError>> {
+        match self {
+            EngineSource::Fixed(engine) => engine.answer_batch(queries),
+            EngineSource::Slot(slot) => {
+                // One snapshot per batch: a swap mid-batch is invisible.
+                let engine = slot.current();
+                slot.answer_batch(&engine, queries)
+            }
+        }
+    }
 }
 
 impl Batcher {
@@ -50,11 +86,22 @@ impl Batcher {
     /// thread waits for stragglers after the first query of a batch
     /// arrives (ignored when `max_batch <= 1` — nothing to wait for).
     pub fn spawn(engine: Arc<AlignEngine>, max_batch: usize, window: Duration) -> (Self, JoinHandle<()>) {
+        Self::spawn_source(EngineSource::Fixed(engine), max_batch, window)
+    }
+
+    /// [`spawn`](Self::spawn) over an [`EngineSlot`]: batches go through
+    /// the circuit breaker and pick up hot-reloaded engines at batch
+    /// granularity.
+    pub fn spawn_slot(slot: Arc<EngineSlot>, max_batch: usize, window: Duration) -> (Self, JoinHandle<()>) {
+        Self::spawn_source(EngineSource::Slot(slot), max_batch, window)
+    }
+
+    fn spawn_source(source: EngineSource, max_batch: usize, window: Duration) -> (Self, JoinHandle<()>) {
         let (tx, rx) = mpsc::channel::<BatchItem>();
         let max_batch = max_batch.max(1);
         let handle = std::thread::Builder::new()
             .name("desalign-serve-batcher".into())
-            .spawn(move || run_batcher(engine, rx, max_batch, window))
+            .spawn(move || run_batcher(source, rx, max_batch, window))
             .expect("spawn batcher thread");
         (Self { tx }, handle)
     }
@@ -66,14 +113,30 @@ impl Batcher {
     /// The query's own typed error, or [`DefectClass::Io`] when the
     /// batching thread is gone (server shutting down).
     pub fn submit(&self, query: AlignQuery, k: usize) -> Result<AlignAnswer, DesalignError> {
+        self.submit_with_deadline(query, k, None)
+    }
+
+    /// [`submit`](Self::submit) with an optional deadline. A query whose
+    /// deadline has passed by the time the batcher dequeues it is shed
+    /// with an `Io`-class error (HTTP 503) instead of being scored.
+    pub fn submit_with_deadline(
+        &self,
+        query: AlignQuery,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<AlignAnswer, DesalignError> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let unavailable = || DesalignError::new(DefectClass::Io, "serve.batcher", "batching thread is gone (server draining)");
-        self.tx.send(BatchItem { query, k, reply: reply_tx }).map_err(|_| unavailable())?;
+        self.tx.send(BatchItem { query, k, deadline, reply: reply_tx }).map_err(|_| unavailable())?;
         reply_rx.recv().map_err(|_| unavailable())?
     }
 }
 
-fn run_batcher(engine: Arc<AlignEngine>, rx: mpsc::Receiver<BatchItem>, max_batch: usize, window: Duration) {
+fn expired_error() -> DesalignError {
+    DesalignError::new(DefectClass::Io, "serve.deadline", "deadline expired before the query was scored")
+}
+
+fn run_batcher(source: EngineSource, rx: mpsc::Receiver<BatchItem>, max_batch: usize, window: Duration) {
     loop {
         // Block for the first query of the next batch; a closed channel
         // means every handle (worker) is gone → drain complete.
@@ -86,21 +149,41 @@ fn run_batcher(engine: Arc<AlignEngine>, rx: mpsc::Receiver<BatchItem>, max_batc
             let deadline = Instant::now() + window;
             while batch.len() < max_batch {
                 let now = Instant::now();
+                // `filter(!is_zero)` matters: `recv_timeout(ZERO)` can
+                // still dequeue an already-queued item on some
+                // platforms, turning "window over" into a busy spin.
+                // The regression tests below pin both edges.
                 let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
                     break;
                 };
                 match rx.recv_timeout(remaining) {
                     Ok(item) => batch.push(item),
-                    Err(_) => break, // window elapsed or channel closed
+                    Err(mpsc::RecvTimeoutError::Timeout) => break, // window elapsed
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
+        // Shed items whose deadline passed while they queued: reply with
+        // the typed expiry error, score only the rest.
+        let now = Instant::now();
+        let (expired, live): (Vec<BatchItem>, Vec<BatchItem>) =
+            batch.into_iter().partition(|i| matches!(i.deadline, Some(d) if d <= now));
         let c = batch_counters();
+        if !expired.is_empty() {
+            c.expired.add(expired.len() as u64);
+            for item in expired {
+                let _ = item.reply.send(Err(expired_error()));
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch = live;
         c.batches.incr();
         c.queries.add(batch.len() as u64);
         c.last_batch.set(batch.len() as f64);
         let queries: Vec<(AlignQuery, usize)> = batch.iter().map(|i| (i.query.clone(), i.k)).collect();
-        let answers = engine.answer_batch(&queries);
+        let answers = source.answer(&queries);
         for (item, answer) in batch.into_iter().zip(answers) {
             // A reply send fails only when the submitter gave up
             // (connection died); the batch itself is unaffected.
@@ -112,6 +195,7 @@ fn run_batcher(engine: Arc<AlignEngine>, rx: mpsc::Receiver<BatchItem>, max_batc
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slot::BreakerConfig;
     use desalign_eval::RetrievalConfig;
     use desalign_tensor::Matrix;
 
@@ -146,6 +230,61 @@ mod tests {
         assert_eq!(err.class, DefectClass::PairOutOfRange);
         let ok = batcher.submit(AlignQuery::Entity(0), 2).unwrap();
         assert_eq!(ok.candidates.len(), 2);
+        drop(batcher);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn zero_window_never_spins_and_still_answers_every_query() {
+        // Regression: with window = 0 the straggler loop must break
+        // immediately (each query becomes its own batch) instead of
+        // calling recv_timeout with a zero/expired deadline forever.
+        let engine = tiny_engine();
+        let (batcher, handle) = Batcher::spawn(engine, 8, Duration::ZERO);
+        for i in 0..16usize {
+            let ok = batcher.submit(AlignQuery::Entity(i % 2), 2).unwrap();
+            assert_eq!(ok.candidates.len(), 2);
+        }
+        drop(batcher);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_without_touching_the_engine() {
+        let engine = tiny_engine();
+        let (batcher, handle) = Batcher::spawn(engine.clone(), 4, Duration::from_millis(2));
+        // A deadline already in the past must come back as the typed
+        // expiry error, not an answer.
+        let past = Instant::now() - Duration::from_millis(10);
+        let err = batcher.submit_with_deadline(AlignQuery::Entity(0), 2, Some(past)).unwrap_err();
+        assert_eq!(err.class, DefectClass::Io);
+        assert_eq!(err.location, "serve.deadline");
+        // A generous deadline still answers normally afterwards — the
+        // shed path must not wedge the batching loop.
+        let future = Instant::now() + Duration::from_secs(5);
+        let ok = batcher.submit_with_deadline(AlignQuery::Entity(0), 2, Some(future)).unwrap();
+        assert_eq!(ok, engine.answer(&AlignQuery::Entity(0), 2).unwrap());
+        drop(batcher);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slot_batcher_answers_and_survives_a_mid_stream_swap() {
+        let slot = Arc::new(EngineSlot::from_arc(tiny_engine(), BreakerConfig::default()));
+        let (batcher, handle) = Batcher::spawn_slot(slot.clone(), 4, Duration::from_millis(2));
+        let before = batcher.submit(AlignQuery::Entity(0), 2).unwrap();
+        assert_eq!(before.candidates.len(), 2);
+        // Swap in a smaller engine; subsequent batches see it.
+        let queries = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let items = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let fresh = AlignEngine::from_embeddings(queries, items, &RetrievalConfig::default(), 4).unwrap();
+        assert_eq!(slot.swap(fresh), 2);
+        let after = batcher.submit(AlignQuery::Entity(0), 2).unwrap();
+        assert_eq!(after.candidates.len(), 2);
+        // Entity 1 exists only in the old engine: the new generation
+        // rejects it, proving batches picked up the swap.
+        let err = batcher.submit(AlignQuery::Entity(1), 2).unwrap_err();
+        assert_eq!(err.class, DefectClass::PairOutOfRange);
         drop(batcher);
         handle.join().unwrap();
     }

@@ -11,11 +11,17 @@
 //!   draining the server via `POST /admin/shutdown`.
 //!
 //! - **Bench** (no `DESALIGN_SERVE_ADDR`): starts in-process servers over
-//!   a deterministic synthetic engine and measures closed-loop latency
-//!   for every (max_batch × thread-count) leg, writing exact p50/p99/QPS
-//!   to `BENCH_serve.json`. `DESALIGN_SERVE_GATE=1` turns the sanity
-//!   conditions (≥ 3 legs, finite positive percentiles, zero errors) into
-//!   hard failures for ci.sh.
+//!   a deterministic synthetic engine and measures latency two ways,
+//!   writing exact p50/p99/QPS to `BENCH_serve.json`:
+//!   *closed-loop* legs (every max_batch × thread-count combination; each
+//!   client waits for its response before sending the next request) and
+//!   *open-loop* legs (`DESALIGN_LOADGEN_RATES`, default `2000,8000`
+//!   offered QPS; requests depart on a fixed arrival schedule whether or
+//!   not earlier ones finished, so queueing delay is visible — the
+//!   offered vs. achieved QPS gap is the overload signal).
+//!   `DESALIGN_SERVE_GATE=1` turns the sanity conditions (≥ 3 legs,
+//!   finite positive percentiles, zero errors) into hard failures for
+//!   ci.sh.
 
 use desalign_serve::{AlignEngine, ServeConfig, Server};
 use desalign_tensor::Matrix;
@@ -149,9 +155,27 @@ fn smoke(addr: &str) {
     expect(status, 400, "malformed align must be a 400", &body);
     println!("loadgen: malformed query rejected with 400");
 
+    let (status, body) = or_die("GET /readyz", client.request("GET", "/readyz", ""));
+    expect(status, 200, "readyz", &body);
+    let ready = or_die("parse readyz", Json::parse(&body));
+    if ready.get("ready").and_then(Json::as_bool) != Some(true) {
+        eprintln!("loadgen: /readyz reports not ready on an idle server: {body}");
+        std::process::exit(1);
+    }
+    println!("loadgen: readyz ok");
+
     if let Ok(path) = std::env::var("DESALIGN_LOADGEN_PROBE") {
         or_die(&format!("write probe {path}"), std::fs::write(&path, &probe_body));
         println!("loadgen: probe written to {path}");
+    }
+
+    // Dump the raw /metrics body (fetched after the probe, so the
+    // robustness counters are registered and visible) for ci.sh greps.
+    if let Ok(path) = std::env::var("DESALIGN_LOADGEN_METRICS") {
+        let (status, body) = or_die("GET /metrics (dump)", client.request("GET", "/metrics", ""));
+        expect(status, 200, "metrics dump", &body);
+        or_die(&format!("write metrics {path}"), std::fs::write(&path, &body));
+        println!("loadgen: metrics written to {path}");
     }
 
     if std::env::var("DESALIGN_LOADGEN_SHUTDOWN").as_deref() == Ok("1") {
@@ -193,13 +217,17 @@ fn percentile(sorted_us: &[u64], q: f64) -> f64 {
 }
 
 struct Leg {
+    mode: &'static str,
     max_batch: usize,
     threads: usize,
     requests: usize,
     errors: usize,
+    shed: usize,
     p50_us: f64,
     p99_us: f64,
     mean_us: f64,
+    /// Arrival rate the schedule asked for (open-loop only; NaN closed).
+    offered_qps: f64,
     qps: f64,
 }
 
@@ -259,13 +287,104 @@ fn run_leg(max_batch: usize, threads: usize, clients: usize, per_client: usize) 
     all.sort_unstable();
     let mean = if all.is_empty() { f64::NAN } else { all.iter().sum::<u64>() as f64 / all.len() as f64 };
     Leg {
+        mode: "closed",
         max_batch,
         threads,
         requests: all.len(),
         errors,
+        shed: 0,
         p50_us: percentile(&all, 0.50),
         p99_us: percentile(&all, 0.99),
         mean_us: mean,
+        offered_qps: f64::NAN,
+        qps: if wall > 0.0 { all.len() as f64 / wall } else { f64::NAN },
+    }
+}
+
+/// One open-loop leg: `total` requests depart on a fixed `rate`-QPS
+/// arrival schedule split round-robin across `clients` connections. A
+/// client that falls behind its schedule sends immediately (the backlog
+/// is the point — latency is measured from the *scheduled* departure, so
+/// queueing delay shows up in the percentiles). 503 sheds are counted
+/// separately from hard errors: shedding under overload is the designed
+/// response, not a failure.
+fn run_open_leg(rate: f64, clients: usize, total: usize) -> Leg {
+    desalign_parallel::set_thread_override(Some(2));
+    let engine = or_die(
+        "build bench engine",
+        AlignEngine::from_embeddings(
+            synth_matrix(256, 32, 11),
+            synth_matrix(512, 32, 23),
+            &desalign_eval::RetrievalConfig::default(),
+            256,
+        ),
+    );
+    let cfg = ServeConfig {
+        max_batch: 16,
+        batch_window: Duration::from_micros(200),
+        workers: clients,
+        ..ServeConfig::default()
+    };
+    let server = or_die("start bench server", Server::start(engine, &cfg));
+    let addr = server.addr().to_string();
+
+    let per_client = total.div_ceil(clients);
+    let interval = Duration::from_secs_f64(clients as f64 / rate);
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || -> (Vec<u64>, usize, usize) {
+            let mut client = match Client::connect(&addr) {
+                Ok(cl) => cl,
+                Err(_) => return (Vec::new(), per_client, 0),
+            };
+            // Client c owns arrivals c, c+clients, c+2·clients, … of the
+            // global schedule.
+            let offset = Duration::from_secs_f64(c as f64 / rate);
+            let mut lat = Vec::with_capacity(per_client);
+            let (mut errors, mut shed) = (0usize, 0usize);
+            for i in 0..per_client {
+                let scheduled = t0 + offset + interval * (i as u32);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let body = format!("{{\"entity\": {}, \"k\": 10}}", (c * per_client + i) % 256);
+                match client.request("POST", "/v1/align", &body) {
+                    Ok((200, _)) => lat.push(scheduled.elapsed().as_micros() as u64),
+                    Ok((503, _)) => shed += 1,
+                    _ => errors += 1,
+                }
+            }
+            (lat, errors, shed)
+        }));
+    }
+    let mut all = Vec::new();
+    let (mut errors, mut shed) = (0usize, 0usize);
+    for j in joins {
+        let (lat, e, s) = j.join().expect("client thread");
+        all.extend(lat);
+        errors += e;
+        shed += s;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    desalign_parallel::set_thread_override(None);
+
+    all.sort_unstable();
+    let mean = if all.is_empty() { f64::NAN } else { all.iter().sum::<u64>() as f64 / all.len() as f64 };
+    Leg {
+        mode: "open",
+        max_batch: 16,
+        threads: 2,
+        requests: all.len(),
+        errors,
+        shed,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+        mean_us: mean,
+        offered_qps: rate,
         qps: if wall > 0.0 { all.len() as f64 / wall } else { f64::NAN },
     }
 }
@@ -287,17 +406,37 @@ fn bench() {
         }
     }
 
+    // Open-loop legs: fixed arrival rates, offered vs. achieved QPS.
+    let rates: Vec<f64> = std::env::var("DESALIGN_LOADGEN_RATES")
+        .unwrap_or_else(|_| "2000,8000".into())
+        .split(',')
+        .filter_map(|r| r.trim().parse().ok())
+        .filter(|r: &f64| *r > 0.0)
+        .collect();
+    let open_total = env_usize("DESALIGN_LOADGEN_OPEN_REQUESTS", 400);
+    for &rate in &rates {
+        let leg = run_open_leg(rate, clients, open_total);
+        println!(
+            "loadgen: open rate={:>6.0} → offered {:>6.0} achieved {:>6.0} qps  p50 {:>7.0}µs  p99 {:>7.0}µs  ({} req, {} shed, {} errors)",
+            rate, leg.offered_qps, leg.qps, leg.p50_us, leg.p99_us, leg.requests, leg.shed, leg.errors
+        );
+        legs.push(leg);
+    }
+
     let legs_json: Vec<Json> = legs
         .iter()
         .map(|l| {
             json!({
+                "mode": l.mode,
                 "max_batch": l.max_batch,
                 "threads": l.threads,
                 "requests": l.requests,
                 "errors": l.errors,
+                "shed": l.shed,
                 "p50_us": l.p50_us,
                 "p99_us": l.p99_us,
                 "mean_us": l.mean_us,
+                "offered_qps": l.offered_qps,
                 "qps": l.qps,
             })
         })
@@ -316,8 +455,14 @@ fn bench() {
         if legs.len() < 3 {
             failures.push(format!("only {} legs measured (need ≥ 3)", legs.len()));
         }
+        if !legs.iter().any(|l| l.mode == "open") {
+            failures.push("no open-loop legs measured (DESALIGN_LOADGEN_RATES empty?)".into());
+        }
         for l in &legs {
-            let tag = format!("batch={} threads={}", l.max_batch, l.threads);
+            let tag = format!("mode={} batch={} threads={}", l.mode, l.max_batch, l.threads);
+            if l.mode == "open" && !(l.offered_qps.is_finite() && l.offered_qps > 0.0) {
+                failures.push(format!("{tag}: bogus offered rate {}", l.offered_qps));
+            }
             if !(l.p50_us.is_finite() && l.p50_us > 0.0 && l.p99_us.is_finite() && l.p99_us > 0.0) {
                 failures.push(format!("{tag}: non-finite or zero percentile (p50 {}, p99 {})", l.p50_us, l.p99_us));
             }

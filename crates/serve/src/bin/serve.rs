@@ -87,7 +87,30 @@ fn main() {
         engine.dim(),
         engine.backend(),
     );
-    let server = or_die("bind server", Server::start(engine, &serve_cfg));
+
+    // With a checkpoint source, expose POST /admin/reload: the reloader
+    // rebuilds a fresh model shell (same env-derived config, so the
+    // checkpoint header digests still match), loads the requested — or
+    // boot — checkpoint through the digest-checked inference loader, and
+    // hands back a candidate engine. Any failure leaves the serving
+    // engine untouched.
+    let boot_checkpoint = std::env::var("DESALIGN_SERVE_CHECKPOINT").ok().map(PathBuf::from);
+    let server = match boot_checkpoint {
+        Some(boot) => {
+            let cache_capacity = serve_cfg.cache_capacity;
+            let reloader = Box::new(move |requested: Option<&str>| {
+                let path = requested.map(PathBuf::from).unwrap_or_else(|| boot.clone());
+                let ds = SynthConfig::preset(DatasetSpec::FbDb15k).scaled(scale).generate(seed);
+                let mut model = DesalignModel::new(model_config(epochs), &ds, seed);
+                model
+                    .load_checkpoint_inference(&ds, &path)
+                    .map_err(|e| desalign_util::DesalignError::io(path.display().to_string(), e))?;
+                AlignEngine::from_model(&model, cache_capacity)
+            });
+            or_die("bind server", Server::start_reloadable(engine, &serve_cfg, reloader))
+        }
+        None => or_die("bind server", Server::start(engine, &serve_cfg)),
+    };
 
     // ci.sh greps this exact line for the ephemeral port.
     println!("desalign-serve listening on {}", server.addr());

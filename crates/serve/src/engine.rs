@@ -41,6 +41,11 @@ pub struct AlignAnswer {
 pub struct AlignEngine {
     queries: Matrix,
     index: ItemIndex,
+    /// Exact-scan shadow index, built only when the primary is IVF. The
+    /// circuit breaker (`EngineSlot`) answers from it while the primary
+    /// is suspected faulty — exact scan has no probe-list tuning to go
+    /// wrong and is the recall reference the IVF harness audits against.
+    fallback: Option<ItemIndex>,
     cache: Mutex<LruCache>,
 }
 
@@ -66,7 +71,13 @@ impl AlignEngine {
             ));
         }
         let index = ItemIndex::build(&items, cfg)?;
-        Ok(Self { queries, index, cache: Mutex::new(LruCache::new(cache_capacity)) })
+        let fallback = if index.kind() == IndexKind::Ivf {
+            let exact = RetrievalConfig { kind: IndexKind::Exact, ..cfg.clone() };
+            Some(ItemIndex::build(&items, &exact)?)
+        } else {
+            None
+        };
+        Ok(Self { queries, index, fallback, cache: Mutex::new(LruCache::new(cache_capacity)) })
     }
 
     /// Builds an engine from a trained model: the per-round L2-normalized
@@ -174,6 +185,27 @@ impl AlignEngine {
     /// list to each request's own `k` is bit-identical to answering that
     /// request alone — batch composition can never change response bytes.
     pub fn answer_batch(&self, batch: &[(AlignQuery, usize)]) -> Vec<Result<AlignAnswer, DesalignError>> {
+        self.answer_batch_on(&self.index, batch)
+    }
+
+    /// Whether a degraded-mode shadow index exists (true iff the primary
+    /// backend is IVF).
+    pub fn has_fallback(&self) -> bool {
+        self.fallback.is_some()
+    }
+
+    /// [`answer_batch`](Self::answer_batch) through the exact-scan shadow
+    /// index. Falls through to the primary when no fallback exists (the
+    /// primary already *is* the exact scan then). Used by the circuit
+    /// breaker while the primary backend is suspected faulty.
+    pub fn answer_batch_degraded(&self, batch: &[(AlignQuery, usize)]) -> Vec<Result<AlignAnswer, DesalignError>> {
+        match &self.fallback {
+            Some(exact) => self.answer_batch_on(exact, batch),
+            None => self.answer_batch_on(&self.index, batch),
+        }
+    }
+
+    fn answer_batch_on(&self, index: &ItemIndex, batch: &[(AlignQuery, usize)]) -> Vec<Result<AlignAnswer, DesalignError>> {
         let _span = desalign_telemetry::span("serve.batch");
         let mut out: Vec<Option<Result<AlignAnswer, DesalignError>>> = batch.iter().map(|_| None).collect();
         let mut rows: Vec<f32> = Vec::new();
@@ -194,7 +226,7 @@ impl AlignEngine {
             // Featurization already validated every row, so the only
             // errors left are construction-time ones that cannot occur
             // here; map them defensively anyway.
-            match self.index.search_batch(&stacked, max_k) {
+            match index.search_batch(&stacked, max_k) {
                 Ok(lists) => {
                     for (slot, mut list) in slots.into_iter().zip(lists) {
                         list.truncate(batch[slot].1);
@@ -266,6 +298,32 @@ mod tests {
         assert_eq!(answers[1].as_ref().unwrap_err().class, DefectClass::PairOutOfRange);
         assert_eq!(answers[2].as_ref().unwrap(), &engine.answer(&batch[2].0, 3).unwrap());
         assert_eq!(answers[3].as_ref().unwrap_err().class, DefectClass::DimensionMismatch);
+    }
+
+    #[test]
+    fn ivf_engine_carries_an_exact_fallback_and_degraded_answers_match_exact() {
+        use desalign_eval::IvfParams;
+        let queries = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let items = Matrix::from_rows(&[&[1.0, 0.0], &[0.7, 0.7], &[0.0, 1.0], &[0.5, 0.1]]);
+        let ivf_cfg = RetrievalConfig {
+            kind: IndexKind::Ivf,
+            ivf: IvfParams { nlist: 2, nprobe: 1, kmeans_iters: 2, seed: 7 },
+        };
+        let ivf = AlignEngine::from_embeddings(queries.clone(), items.clone(), &ivf_cfg, 8).unwrap();
+        let exact = AlignEngine::from_embeddings(queries, items, &RetrievalConfig::default(), 8).unwrap();
+        assert!(ivf.has_fallback());
+        assert!(!exact.has_fallback());
+        let batch = vec![(AlignQuery::Entity(0), 3), (AlignQuery::Entity(2), 2)];
+        let degraded = ivf.answer_batch_degraded(&batch);
+        let reference = exact.answer_batch(&batch);
+        for (d, r) in degraded.iter().zip(&reference) {
+            assert_eq!(d.as_ref().unwrap(), r.as_ref().unwrap());
+        }
+        // Without a fallback, degraded answers fall through to the primary.
+        assert_eq!(
+            exact.answer_batch_degraded(&batch)[0].as_ref().unwrap(),
+            reference[0].as_ref().unwrap()
+        );
     }
 
     #[test]

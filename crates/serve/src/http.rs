@@ -27,6 +27,11 @@ pub struct HttpRequest {
     /// Whether the connection should stay open after responding
     /// (HTTP/1.1 default, overridden by `Connection: close`).
     pub keep_alive: bool,
+    /// Per-request deadline budget in milliseconds, from the optional
+    /// `x-desalign-deadline-ms` header. `None` means no deadline.
+    /// Unparseable values are treated as absent rather than rejected —
+    /// a deadline hint must never turn a valid request into a 400.
+    pub deadline_ms: Option<u64>,
 }
 
 /// What reading one request produced.
@@ -93,6 +98,10 @@ impl Conn {
 
     /// Reads more bytes from the socket into the buffer. `Ok(0)` is EOF.
     fn fill(&mut self) -> io::Result<usize> {
+        // Failpoint `serve.read`: `wouldblock`/`timeout` faults route
+        // through the existing timeout handling (408 / idle close), `err`
+        // through the I/O drop path. No-op without an active schedule.
+        desalign_failpoint::fail_io("serve.read")?;
         self.compact();
         let mut chunk = [0u8; 4096];
         let n = self.stream.read(&mut chunk)?;
@@ -163,6 +172,7 @@ impl Conn {
 
         // --- headers ---------------------------------------------------
         let mut content_length = 0usize;
+        let mut deadline_ms: Option<u64> = None;
         for line in &lines[1..] {
             let Some((name, value)) = line.split_once(':') else {
                 return ReadOutcome::Bad { status: 400, detail: format!("malformed header '{line}'") };
@@ -185,6 +195,7 @@ impl Conn {
                         keep_alive = true;
                     }
                 }
+                "x-desalign-deadline-ms" => deadline_ms = value.parse::<u64>().ok(),
                 _ => {}
             }
         }
@@ -214,7 +225,7 @@ impl Conn {
         }
         let body = self.buffered()[..content_length].to_vec();
         self.pos += content_length;
-        ReadOutcome::Request(HttpRequest { method, path, body, keep_alive })
+        ReadOutcome::Request(HttpRequest { method, path, body, keep_alive, deadline_ms })
     }
 }
 
@@ -237,13 +248,37 @@ pub fn reason(status: u16) -> &'static str {
 /// Writes one JSON response with explicit framing. `keep_alive: false`
 /// adds `Connection: close` so well-behaved clients stop pipelining.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str, keep_alive: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}\r\n",
+    write_response_with(stream, status, body, keep_alive, &[])
+}
+
+/// [`write_response`] with additional response headers (e.g.
+/// `Retry-After` on a load-shed 503). Header names and values are
+/// emitted verbatim; callers pass well-formed tokens only.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    // Failpoint `serve.write`: a fault here drops the connection after
+    // the request was processed — the client sees a torn response, the
+    // server must survive it. No-op without an active schedule.
+    desalign_failpoint::fail_io("serve.write")?;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}",
         status,
         reason(status),
         body.len(),
         if keep_alive { "" } else { "Connection: close\r\n" },
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -281,6 +316,20 @@ mod tests {
                 assert_eq!(r.body, b"hej!");
                 assert!(r.keep_alive);
             }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_header_parses_and_bad_values_are_ignored() {
+        let out = roundtrip(b"POST /v1/align HTTP/1.1\r\nx-desalign-deadline-ms: 250\r\nContent-Length: 0\r\n\r\n");
+        match out {
+            ReadOutcome::Request(r) => assert_eq!(r.deadline_ms, Some(250)),
+            other => panic!("expected request, got {other:?}"),
+        }
+        let out = roundtrip(b"POST /v1/align HTTP/1.1\r\nX-Desalign-Deadline-Ms: soon\r\nContent-Length: 0\r\n\r\n");
+        match out {
+            ReadOutcome::Request(r) => assert_eq!(r.deadline_ms, None, "bad value must degrade to no deadline"),
             other => panic!("expected request, got {other:?}"),
         }
     }

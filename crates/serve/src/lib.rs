@@ -12,14 +12,30 @@
 //!
 //! - [`AlignEngine`] — the read-only core: a query-side embedding table,
 //!   an `ItemIndex` over the target corpus (exact or IVF, per the
-//!   checkpoint's retrieval settings), and an [`LruCache`] for
-//!   entity-id featurizations.
+//!   checkpoint's retrieval settings), an exact-scan fallback index for
+//!   IVF engines, and an [`LruCache`] for entity-id featurizations.
+//! - [`EngineSlot`] — the mutable cell between batcher and engine: an
+//!   atomically swappable `Arc<AlignEngine>` (hot checkpoint reload) plus
+//!   a circuit breaker that routes batches to the fallback after
+//!   [`BreakerConfig::threshold`] consecutive engine faults and closes
+//!   again on a clean half-open probe.
 //! - [`Batcher`] — time/size-windowed coalescing: concurrent requests
 //!   merge into one `search_batch` call without changing a single
-//!   response bit (each row is scored independently).
-//! - [`Server`] — the TCP front: worker threads, `POST /v1/align`,
-//!   `GET /healthz`, `GET /metrics`, `POST /admin/shutdown`, typed
+//!   response bit (each row is scored independently). Queries carrying a
+//!   deadline budget are shed at dequeue instead of scored late.
+//! - [`Server`] — the TCP front: worker threads, bounded admission
+//!   (deterministic 503 + `Retry-After` shedding), `POST /v1/align`,
+//!   `GET /healthz` (liveness), `GET /readyz` (readiness: drain,
+//!   breaker, queue room), `GET /metrics`, `POST /admin/reload`
+//!   (digest-checked engine swap with rollback-by-absence, when started
+//!   via [`Server::start_reloadable`]), `POST /admin/shutdown`, typed
 //!   errors mapped to 4xx/5xx, graceful drain.
+//!
+//! Every I/O boundary evaluates `desalign-failpoint` sites
+//! (`serve.read`, `serve.write`, `serve.engine`, `serve.reload`), so the
+//! fault paths above are driven deterministically by the `faults_overload`
+//! / `shutdown_race` suites and the `chaos_bench` bin — see
+//! `docs/RELIABILITY.md`.
 //!
 //! ## Determinism at the edge
 //!
@@ -71,9 +87,11 @@ mod cache;
 mod engine;
 mod http;
 mod server;
+mod slot;
 
 pub use batch::Batcher;
 pub use cache::LruCache;
 pub use engine::{AlignAnswer, AlignEngine, AlignQuery};
-pub use http::{write_response, Conn, HttpRequest, ReadOutcome, MAX_HEADER_BYTES};
-pub use server::{ServeConfig, Server};
+pub use http::{write_response, write_response_with, Conn, HttpRequest, ReadOutcome, MAX_HEADER_BYTES};
+pub use server::{Reloader, ServeConfig, Server};
+pub use slot::{BreakerConfig, EngineSlot};

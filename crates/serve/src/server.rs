@@ -1,5 +1,5 @@
-//! The TCP/HTTP server: worker threads, routing, error mapping, graceful
-//! drain.
+//! The TCP/HTTP server: worker threads, routing, error mapping, overload
+//! control, hot reload, graceful drain.
 //!
 //! Connections are handled by dedicated OS worker threads (blocking socket
 //! reads must not occupy the `desalign-parallel` pool, whose workers are
@@ -9,18 +9,40 @@
 //! plus one self-connect "poke" per worker unblocks `accept`, workers
 //! finish their in-flight requests (bounded by the read timeout), and the
 //! batching thread exits when the last worker drops its handle.
+//!
+//! ## Overload behaviour (docs/RELIABILITY.md has the full matrix)
+//!
+//! - **Admission control.** At most `queue_capacity` align queries may be
+//!   in flight; the next one is *shed* deterministically with a 503 +
+//!   `Retry-After: 1` before any engine work happens (`serve.shed`).
+//! - **Deadline budget.** A request carrying `x-desalign-deadline-ms`
+//!   that expires while queued is shed by the batcher instead of scored
+//!   (`serve.deadline_expired`).
+//! - **Circuit breaker.** Consecutive engine faults flip the
+//!   [`EngineSlot`] into degraded (exact-scan) mode; `GET /readyz`
+//!   reports it so load balancers route around the replica.
+//! - **Hot reload.** `POST /admin/reload` builds a candidate engine from
+//!   the (digest-checked) checkpoint and atomically swaps it in; any
+//!   load or validation fault rolls back to the serving engine.
 
 use crate::batch::Batcher;
 use crate::engine::{AlignEngine, AlignQuery};
-use crate::http::{write_response, Conn, HttpRequest, ReadOutcome};
+use crate::http::{write_response, write_response_with, Conn, HttpRequest, ReadOutcome};
+use crate::slot::{BreakerConfig, EngineSlot};
 use desalign_eval::IndexKind;
 use desalign_util::{json, DefectClass, DesalignError, Json};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Builds a replacement [`AlignEngine`] for `POST /admin/reload`. The
+/// argument is the optional `"checkpoint"` path from the request body
+/// (`None` reloads whatever source the server was booted from). The
+/// engine is swapped in only when this returns `Ok`.
+pub type Reloader = dyn Fn(Option<&str>) -> Result<AlignEngine, DesalignError> + Send + Sync;
 
 /// Everything the server's behaviour is parameterized by. Every knob is
 /// documented in docs/SERVING.md and exercised by a test or the ci.sh
@@ -46,6 +68,15 @@ pub struct ServeConfig {
     /// Socket read timeout — bounds how long a stalled client can hold a
     /// worker, and therefore the drain latency of [`Server::shutdown`].
     pub read_timeout: Duration,
+    /// Admission bound: align queries in flight beyond this are shed
+    /// with 503 + `Retry-After` instead of queueing without bound.
+    pub queue_capacity: usize,
+    /// Circuit breaker: consecutive engine-fault batches before the
+    /// server degrades to the exact-scan fallback.
+    pub breaker_threshold: usize,
+    /// Circuit breaker: while open, probe the primary every this-many
+    /// batches.
+    pub breaker_probe_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +90,9 @@ impl Default for ServeConfig {
             max_body: 1 << 20,
             default_k: 10,
             read_timeout: Duration::from_secs(5),
+            queue_capacity: 256,
+            breaker_threshold: 5,
+            breaker_probe_every: 16,
         }
     }
 }
@@ -81,17 +115,26 @@ impl ServeConfig {
             max_body: env_usize("DESALIGN_SERVE_MAX_BODY", d.max_body),
             default_k: env_usize("DESALIGN_SERVE_K", d.default_k),
             read_timeout: Duration::from_millis(env_usize("DESALIGN_SERVE_TIMEOUT_MS", 5000) as u64),
+            queue_capacity: env_usize("DESALIGN_SERVE_QUEUE", d.queue_capacity).max(1),
+            breaker_threshold: env_usize("DESALIGN_SERVE_BREAKER", d.breaker_threshold).max(1),
+            breaker_probe_every: env_usize("DESALIGN_SERVE_BREAKER_PROBE", d.breaker_probe_every).max(1),
         }
     }
 }
 
 struct Shared {
-    engine: Arc<AlignEngine>,
+    slot: Arc<EngineSlot>,
     draining: AtomicBool,
     addr: SocketAddr,
     workers: usize,
     max_body: usize,
     default_k: usize,
+    queue_capacity: usize,
+    inflight: AtomicUsize,
+    reloader: Option<Box<Reloader>>,
+    /// Serializes concurrent `/admin/reload` requests: one candidate
+    /// engine is built at a time.
+    reload_lock: Mutex<()>,
 }
 
 impl Shared {
@@ -126,19 +169,39 @@ pub struct Server {
 
 impl Server {
     /// Binds `cfg.addr`, spawns the batching thread and `cfg.workers`
-    /// connection workers, and returns immediately.
+    /// connection workers, and returns immediately. `/admin/reload` is
+    /// not available (use [`Server::start_reloadable`] to enable it).
     pub fn start(engine: AlignEngine, cfg: &ServeConfig) -> io::Result<Server> {
+        Self::start_inner(engine, cfg, None)
+    }
+
+    /// [`start`](Self::start) with a [`Reloader`]: `POST /admin/reload`
+    /// builds a replacement engine through it and hot-swaps on success.
+    pub fn start_reloadable(engine: AlignEngine, cfg: &ServeConfig, reloader: Box<Reloader>) -> io::Result<Server> {
+        Self::start_inner(engine, cfg, Some(reloader))
+    }
+
+    fn start_inner(engine: AlignEngine, cfg: &ServeConfig, reloader: Option<Box<Reloader>>) -> io::Result<Server> {
+        register_robustness_counters();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let engine = Arc::new(engine);
-        let (batcher, batcher_handle) = Batcher::spawn(engine.clone(), cfg.max_batch, cfg.batch_window);
+        let breaker = BreakerConfig {
+            threshold: cfg.breaker_threshold.max(1),
+            probe_every: cfg.breaker_probe_every.max(1),
+        };
+        let slot = Arc::new(EngineSlot::new(engine, breaker));
+        let (batcher, batcher_handle) = Batcher::spawn_slot(slot.clone(), cfg.max_batch, cfg.batch_window);
         let shared = Arc::new(Shared {
-            engine,
+            slot,
             draining: AtomicBool::new(false),
             addr,
             workers: cfg.workers.max(1),
             max_body: cfg.max_body,
             default_k: cfg.default_k.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            inflight: AtomicUsize::new(0),
+            reloader,
+            reload_lock: Mutex::new(()),
         });
         let mut workers = Vec::with_capacity(shared.workers);
         for w in 0..shared.workers {
@@ -186,11 +249,32 @@ impl Server {
     }
 }
 
+/// Touches every robustness counter once so `/metrics` reports them at 0
+/// from the first scrape — the ci.sh grep gates (and dashboards) never
+/// see them pop into existence mid-incident.
+fn register_robustness_counters() {
+    for name in [
+        "serve.shed",
+        "serve.breaker_open",
+        "serve.breaker_close",
+        "serve.degraded_answers",
+        "serve.engine_faults",
+        "serve.deadline_expired",
+        "checkpoint.reloads",
+        "checkpoint.reload_failures",
+    ] {
+        let _ = desalign_telemetry::counter(name);
+    }
+}
+
 struct ServeMetrics {
     requests: desalign_telemetry::Counter,
     errors: desalign_telemetry::Counter,
     align_queries: desalign_telemetry::Counter,
     connections: desalign_telemetry::Counter,
+    shed: desalign_telemetry::Counter,
+    reloads: desalign_telemetry::Counter,
+    reload_failures: desalign_telemetry::Counter,
     request_us: desalign_telemetry::Histogram,
     align_us: desalign_telemetry::Histogram,
 }
@@ -202,6 +286,9 @@ fn serve_metrics() -> &'static ServeMetrics {
         errors: desalign_telemetry::counter("serve.errors"),
         align_queries: desalign_telemetry::counter("serve.align_queries"),
         connections: desalign_telemetry::counter("serve.connections"),
+        shed: desalign_telemetry::counter("serve.shed"),
+        reloads: desalign_telemetry::counter("checkpoint.reloads"),
+        reload_failures: desalign_telemetry::counter("checkpoint.reload_failures"),
         request_us: desalign_telemetry::histogram("serve.request_us"),
         align_us: desalign_telemetry::histogram("serve.align_us"),
     })
@@ -226,22 +313,38 @@ fn worker_loop(listener: TcpListener, shared: Arc<Shared>, batcher: Batcher, tim
     }
 }
 
+/// One routed response: status, JSON body, and the flags that shape how
+/// it is written (shutdown initiation, `Retry-After` on sheds).
+struct Routed {
+    status: u16,
+    body: String,
+    shutdown: bool,
+    retry_after: bool,
+}
+
+impl Routed {
+    fn plain(status: u16, body: String) -> Self {
+        Self { status, body, shutdown: false, retry_after: false }
+    }
+}
+
 fn handle_connection(mut conn: Conn, shared: &Shared, batcher: &Batcher) {
     loop {
         match conn.read_request(shared.max_body) {
             ReadOutcome::Request(req) => {
                 let t0 = Instant::now();
                 let _span = desalign_telemetry::span("serve.request");
-                let (status, body, shutdown) = route(&req, shared, batcher);
+                let routed = route(&req, shared, batcher);
                 let m = serve_metrics();
                 m.requests.incr();
-                if status >= 400 {
+                if routed.status >= 400 {
                     m.errors.incr();
                 }
                 m.request_us.record(t0.elapsed().as_micros() as u64);
-                let keep = req.keep_alive && !shutdown && !shared.draining();
-                let write_ok = write_response(conn.stream(), status, &body, keep).is_ok();
-                if shutdown {
+                let keep = req.keep_alive && !routed.shutdown && !shared.draining();
+                let extra: &[(&str, &str)] = if routed.retry_after { &[("Retry-After", "1")] } else { &[] };
+                let write_ok = write_response_with(conn.stream(), routed.status, &routed.body, keep, extra).is_ok();
+                if routed.shutdown {
                     shared.initiate();
                 }
                 if !write_ok || !keep {
@@ -294,24 +397,52 @@ fn error_body_raw(class: &str, location: &str, context: &str) -> String {
     json!({ "error": json!({ "class": class, "location": location, "context": context }) }).to_string()
 }
 
-fn route(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> (u16, String, bool) {
+fn route(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, health_body(shared), false),
-        ("GET", "/metrics") => (200, desalign_telemetry::metrics_json().to_string(), false),
-        ("POST", "/v1/align") => {
-            let (status, body) = align(req, shared, batcher);
-            (status, body, false)
+        ("GET", "/healthz") => Routed::plain(200, health_body(shared)),
+        ("GET", "/readyz") => {
+            let (status, body) = readiness(shared);
+            Routed::plain(status, body)
         }
-        ("POST", "/admin/shutdown") => (200, json!({ "status": "draining" }).to_string(), true),
-        (_, "/healthz" | "/metrics" | "/v1/align" | "/admin/shutdown") => {
-            (405, error_body_raw("schema", "serve.route", &format!("method {} not allowed here", req.method)), false)
+        ("GET", "/metrics") => Routed::plain(200, metrics_body()),
+        ("POST", "/v1/align") => align(req, shared, batcher),
+        ("POST", "/admin/reload") => {
+            let (status, body) = reload(req, shared);
+            Routed::plain(status, body)
         }
-        (_, path) => (404, error_body_raw("schema", "serve.route", &format!("unknown path '{path}'")), false),
+        ("POST", "/admin/shutdown") => {
+            Routed { status: 200, body: json!({ "status": "draining" }).to_string(), shutdown: true, retry_after: false }
+        }
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/align" | "/admin/reload" | "/admin/shutdown") => Routed::plain(
+            405,
+            error_body_raw("schema", "serve.route", &format!("method {} not allowed here", req.method)),
+        ),
+        (_, path) => Routed::plain(404, error_body_raw("schema", "serve.route", &format!("unknown path '{path}'"))),
     }
 }
 
+/// The `/metrics` body: telemetry counters/gauges/histograms with the
+/// failpoint crate's own counters merged into the `counters` object
+/// (`desalign-failpoint` sits below `desalign-telemetry` in the crate
+/// graph, so it cannot register them itself).
+fn metrics_body() -> String {
+    let mut doc = desalign_telemetry::metrics_json();
+    if let Json::Object(sections) = &mut doc {
+        for (name, section) in sections.iter_mut() {
+            if name == "counters" {
+                if let Json::Object(counters) = section {
+                    for (fp_name, value) in desalign_failpoint::counters() {
+                        counters.push((fp_name, Json::Num(value as f64)));
+                    }
+                }
+            }
+        }
+    }
+    doc.to_string()
+}
+
 fn health_body(shared: &Shared) -> String {
-    let e = &shared.engine;
+    let e = shared.slot.current();
     let (hits, misses) = e.cache_stats();
     json!({
         "status": if shared.draining() { "draining" } else { "ok" },
@@ -326,8 +457,84 @@ fn health_body(shared: &Shared) -> String {
         "workers": shared.workers,
         "cache_hits": hits as f64,
         "cache_misses": misses as f64,
+        "generation": shared.slot.generation(),
+        "breaker": if shared.slot.breaker_open() { "open" } else { "closed" },
+        "queue_capacity": shared.queue_capacity,
     })
     .to_string()
+}
+
+/// `GET /readyz` — the load-balancer contract, distinct from liveness:
+/// 200 only when this replica should receive traffic (not draining, not
+/// degraded, admission queue not saturated). docs/SERVING.md specifies
+/// the states.
+fn readiness(shared: &Shared) -> (u16, String) {
+    let draining = shared.draining();
+    let breaker_open = shared.slot.breaker_open();
+    let inflight = shared.inflight.load(Ordering::SeqCst);
+    let saturated = inflight >= shared.queue_capacity;
+    let ready = !draining && !breaker_open && !saturated;
+    let body = json!({
+        "ready": ready,
+        "draining": draining,
+        "breaker": if breaker_open { "open" } else { "closed" },
+        "inflight": inflight,
+        "queue_capacity": shared.queue_capacity,
+        "generation": shared.slot.generation(),
+    })
+    .to_string();
+    (if ready { 200 } else { 503 }, body)
+}
+
+/// `POST /admin/reload`: build a candidate engine (optionally from the
+/// `"checkpoint"` path in the body), then atomically swap it in. Any
+/// fault during load or validation leaves the serving engine untouched —
+/// rollback is the absence of the swap.
+fn reload(req: &HttpRequest, shared: &Shared) -> (u16, String) {
+    let Some(reloader) = shared.reloader.as_deref() else {
+        return (503, error_body_raw("io", "serve.reload", "this server was started without a reloader (no checkpoint source)"));
+    };
+    // Parse the optional body: `{}` / empty → reload the boot source.
+    let checkpoint: Option<String> = if req.body.is_empty() {
+        None
+    } else {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(e) => return (400, error_body_raw("parse", "reload.body", &format!("body is not UTF-8: {e}"))),
+        };
+        match Json::parse(text) {
+            Ok(doc) => match doc.get("checkpoint") {
+                None => None,
+                Some(v) => match v.as_str() {
+                    Some(s) => Some(s.to_string()),
+                    None => return (400, error_body_raw("schema", "reload.checkpoint", "'checkpoint' must be a string path")),
+                },
+            },
+            Err(e) => return (400, error_body_raw("parse", "reload.body", &e.to_string())),
+        }
+    };
+    // One reload at a time: candidate builds are memory-heavy and the
+    // generation sequence should be observable.
+    let _serial = shared.reload_lock.lock().expect("reload lock");
+    let m = serve_metrics();
+    let built = reloader(checkpoint.as_deref()).and_then(|engine| {
+        // Failpoint `serve.reload`: a validation fault *after* a clean
+        // build — the swap must still not happen.
+        desalign_failpoint::fail_io("serve.reload")
+            .map_err(|e| DesalignError::io("serve.reload", e))?;
+        Ok(engine)
+    });
+    match built {
+        Ok(engine) => {
+            let generation = shared.slot.swap(engine);
+            m.reloads.incr();
+            (200, json!({ "status": "reloaded", "generation": generation }).to_string())
+        }
+        Err(e) => {
+            m.reload_failures.incr();
+            (status_for(e.class), error_body(&e))
+        }
+    }
 }
 
 /// Parses the `/v1/align` body. Schema (docs/SERVING.md): exactly one of
@@ -374,15 +581,27 @@ fn parse_align(body: &[u8], default_k: usize) -> Result<(AlignQuery, usize), Des
     Ok((query, k))
 }
 
-fn align(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> (u16, String) {
+fn align(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> Routed {
     let t0 = Instant::now();
     let (query, k) = match parse_align(&req.body, shared.default_k) {
         Ok(parsed) => parsed,
-        Err(e) => return (status_for(e.class), error_body(&e)),
+        Err(e) => return Routed::plain(status_for(e.class), error_body(&e)),
     };
+    // Admission control: shed the (capacity+1)-th concurrent query
+    // before any engine work. `Retry-After: 1` tells well-behaved
+    // clients when to come back.
+    let admitted = shared.inflight.fetch_add(1, Ordering::SeqCst);
+    if admitted >= shared.queue_capacity {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        serve_metrics().shed.incr();
+        let body = error_body_raw("io", "serve.admission", "server at capacity; retry after the queue drains");
+        return Routed { status: 503, body, shutdown: false, retry_after: true };
+    }
+    let deadline = req.deadline_ms.map(|ms| t0 + Duration::from_millis(ms));
     let m = serve_metrics();
     m.align_queries.incr();
-    let result = batcher.submit(query, k);
+    let result = batcher.submit_with_deadline(query, k, deadline);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
     m.align_us.record(t0.elapsed().as_micros() as u64);
     match result {
         Ok(answer) => {
@@ -391,8 +610,8 @@ fn align(req: &HttpRequest, shared: &Shared, batcher: &Batcher) -> (u16, String)
                 .iter()
                 .map(|&(id, score)| json!({ "id": id, "score": score }))
                 .collect();
-            (200, json!({ "k": k, "candidates": Json::Array(cands) }).to_string())
+            Routed::plain(200, json!({ "k": k, "candidates": Json::Array(cands) }).to_string())
         }
-        Err(e) => (status_for(e.class), error_body(&e)),
+        Err(e) => Routed::plain(status_for(e.class), error_body(&e)),
     }
 }

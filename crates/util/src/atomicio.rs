@@ -48,9 +48,35 @@
 //! std::fs::remove_file(&path).ok();
 //! ```
 
+use desalign_failpoint::{self as failpoint, FaultAction};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Evaluates a write-path failpoint. A [`FaultAction::Torn`] fault
+/// persists only the first `n` bytes of `framed` to `tmp` (simulating a
+/// process killed mid-write: the destination is untouched, the staging
+/// file holds a torn prefix) and then fails; other faults map through
+/// [`desalign_failpoint::fail_io`] semantics.
+fn write_failpoint(site: &str, tmp: &Path, framed: &[u8]) -> io::Result<()> {
+    match failpoint::evaluate(site) {
+        None => Ok(()),
+        Some(fault) => match fault.action {
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultAction::Torn(n) => {
+                let cut = n.min(framed.len());
+                let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(tmp)?;
+                f.write_all(&framed[..cut])?;
+                f.sync_all()?;
+                Err(fault.to_io_error(site))
+            }
+            FaultAction::Err(_) => Err(fault.to_io_error(site)),
+        },
+    }
+}
 
 /// ASCII magic `DESACKPT` closing every frame.
 pub const FOOTER_MAGIC: [u8; 8] = *b"DESACKPT";
@@ -129,6 +155,10 @@ pub fn temp_path(path: &Path) -> PathBuf {
 pub fn atomic_write(path: &Path, payload: &[u8]) -> io::Result<()> {
     let tmp = temp_path(path);
     let framed = frame(payload);
+    // Failpoint `atomicio.write`: `torn:<n>` replays a kill mid-write
+    // (torn staging file, destination untouched); `err` fails before any
+    // byte is staged. No-op without an active schedule.
+    write_failpoint("atomicio.write", &tmp, &framed)?;
     {
         let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
         f.write_all(&framed)?;
@@ -193,7 +223,23 @@ impl FrameWriter {
     }
 
     /// Appends payload bytes, folding them into the running checksum.
+    ///
+    /// Failpoint `atomicio.frame.write`: `torn:<n>` persists only the
+    /// first `n` bytes of this chunk before failing (the destination file
+    /// is never touched — only the staging temp file tears).
     pub fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if let Some(fault) = failpoint::evaluate("atomicio.frame.write") {
+            match fault.action {
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                FaultAction::Torn(n) => {
+                    let cut = n.min(bytes.len());
+                    self.file.write_all(&bytes[..cut])?;
+                    let _ = self.file.flush();
+                    return Err(fault.to_io_error("atomicio.frame.write"));
+                }
+                FaultAction::Err(_) => return Err(fault.to_io_error("atomicio.frame.write")),
+            }
+        }
         for &b in bytes {
             self.hash ^= b as u64;
             self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -211,6 +257,10 @@ impl FrameWriter {
     /// destination. Returns the payload checksum.
     pub fn finish(self) -> io::Result<u64> {
         let Self { path, tmp, mut file, len, hash } = self;
+        // Failpoint `atomicio.frame.finish`: fail before the footer +
+        // rename make the new frame visible — the destination keeps its
+        // previous generation, exactly like a kill at this instant.
+        desalign_failpoint::fail_io("atomicio.frame.finish")?;
         file.write_all(&len.to_le_bytes())?;
         file.write_all(&hash.to_le_bytes())?;
         file.write_all(&FOOTER_MAGIC)?;
@@ -233,6 +283,9 @@ impl FrameWriter {
 /// `InvalidData` errors (see [`unframe`]). Never panics and never returns
 /// unverified bytes.
 pub fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
+    // Failpoint `atomicio.read`: injected flaky-disk reads (err/notfound/
+    // timeout/delay). No-op without an active schedule.
+    desalign_failpoint::fail_io("atomicio.read")?;
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let payload_len = unframe(&bytes)?.len();
@@ -289,6 +342,9 @@ mod tests {
 
     #[test]
     fn atomic_write_then_read_verified() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let path = tmp("write-read.bin");
         atomic_write(&path, b"generation 1").expect("write 1");
         assert_eq!(read_verified(&path).expect("read 1"), b"generation 1");
@@ -300,6 +356,9 @@ mod tests {
 
     #[test]
     fn stale_temp_file_is_ignored_and_overwritten() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let path = tmp("stale-tmp.bin");
         atomic_write(&path, b"good state").expect("write");
         // A previous writer died mid-write: partial frame at the temp path.
@@ -313,6 +372,9 @@ mod tests {
 
     #[test]
     fn torn_final_file_errors_cleanly() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let path = tmp("torn.bin");
         atomic_write(&path, b"complete").expect("write");
         let full = fs::read(&path).expect("read raw");
@@ -326,12 +388,18 @@ mod tests {
 
     #[test]
     fn missing_file_is_not_found() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let err = read_verified(&tmp("never-written.bin")).expect_err("missing file");
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 
     #[test]
     fn frame_writer_matches_atomic_write_byte_for_byte() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let a = tmp("fw-a.bin");
         let b = tmp("fw-b.bin");
         let payload = b"the same payload, two write paths";
@@ -351,6 +419,9 @@ mod tests {
 
     #[test]
     fn frame_writer_empty_payload_round_trips() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let p = tmp("fw-empty.bin");
         let w = FrameWriter::create(&p).expect("create");
         w.finish().expect("finish");
@@ -360,6 +431,9 @@ mod tests {
 
     #[test]
     fn unfinished_frame_writer_leaves_destination_untouched() {
+        // Serialized: failpoint tests install process-global schedules
+        // on the sites these helpers hit.
+        let _guard = desalign_failpoint::exclusive();
         let p = tmp("fw-dropped.bin");
         atomic_write(&p, b"old state").expect("seed");
         {
@@ -370,6 +444,66 @@ mod tests {
         assert_eq!(read_verified(&p).expect("read"), b"old state");
         fs::remove_file(&p).ok();
         fs::remove_file(temp_path(&p)).ok();
+    }
+
+    #[test]
+    fn torn_write_failpoint_preserves_the_old_generation() {
+        let _guard = desalign_failpoint::exclusive();
+        let path = tmp("fp-torn.bin");
+        atomic_write(&path, b"generation 1").expect("seed write");
+        // Tear the next write at several byte budgets: the destination
+        // must keep generation 1 every time, and the torn staging file
+        // must never verify.
+        for cut in [0usize, 1, 5, 20] {
+            desalign_failpoint::install(&format!("atomicio.write=torn:{cut}@1")).expect("install");
+            let err = atomic_write(&path, b"generation 2 (torn)").expect_err("torn write must fail");
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+            assert_eq!(read_verified(&path).expect("old generation intact"), b"generation 1");
+            let staged = fs::read(temp_path(&path)).expect("torn staging file exists");
+            assert!(unframe(&staged).is_err(), "torn prefix of {cut} bytes verified");
+        }
+        desalign_failpoint::clear();
+        // With the schedule gone the same write succeeds and replaces.
+        atomic_write(&path, b"generation 2").expect("clean write");
+        assert_eq!(read_verified(&path).expect("read"), b"generation 2");
+        fs::remove_file(&path).ok();
+        fs::remove_file(temp_path(&path)).ok();
+    }
+
+    #[test]
+    fn frame_writer_failpoints_keep_the_destination_untouched() {
+        let _guard = desalign_failpoint::exclusive();
+        let path = tmp("fp-fw.bin");
+        atomic_write(&path, b"old state").expect("seed");
+        desalign_failpoint::install("atomicio.frame.write=torn:3@2").expect("install");
+        let mut w = FrameWriter::create(&path).expect("create");
+        w.write(b"chunk one ").expect("hit 1 passes");
+        let err = w.write(b"chunk two").expect_err("hit 2 tears");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        drop(w);
+        assert_eq!(read_verified(&path).expect("read"), b"old state");
+
+        desalign_failpoint::install("atomicio.frame.finish=err@1").expect("install");
+        let mut w = FrameWriter::create(&path).expect("create");
+        w.write(b"never lands").expect("write");
+        assert!(w.finish().is_err(), "finish failpoint must fire");
+        assert_eq!(read_verified(&path).expect("read"), b"old state");
+        desalign_failpoint::clear();
+        fs::remove_file(&path).ok();
+        fs::remove_file(temp_path(&path)).ok();
+    }
+
+    #[test]
+    fn read_failpoint_injects_flaky_disk_errors() {
+        let _guard = desalign_failpoint::exclusive();
+        let path = tmp("fp-read.bin");
+        atomic_write(&path, b"payload").expect("write");
+        desalign_failpoint::install("atomicio.read=err@2").expect("install");
+        assert_eq!(read_verified(&path).expect("hit 1 passes"), b"payload");
+        assert!(read_verified(&path).is_err(), "hit 2 must fail");
+        assert_eq!(read_verified(&path).expect("hit 3 passes"), b"payload");
+        desalign_failpoint::clear();
+        fs::remove_file(&path).ok();
     }
 
     #[test]
